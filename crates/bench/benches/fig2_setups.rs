@@ -1,0 +1,19 @@
+//! E3 / Figure 2: prints the setup sweep, then benchmarks one sweep point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssdhammer_bench::fig2;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig2::run(5);
+    println!("\n{}", fig2::render(&rows));
+
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.bench_function("setup_sweep", |b| {
+        b.iter(|| fig2::run(5));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

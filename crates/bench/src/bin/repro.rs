@@ -1,0 +1,215 @@
+//! `repro` — regenerates every table and figure of *Rowhammering Storage
+//! Devices* (HotStorage '21) as text, and optionally dumps the structured
+//! results as JSON.
+//!
+//! ```text
+//! repro <experiment> [--seed N] [--json] [--full]
+//!
+//! experiments:
+//!   table1        Table 1  — minimal access rate to trigger bitflips
+//!   fig1          Figure 1 — two-sided FTL rowhammer redirects an LBA
+//!   fig2          Figure 2 — direct vs helper-VM setups
+//!   fig3          Figure 3 — end-to-end ext4 indirect-block exploit
+//!   prob          §4.3     — probability of success
+//!   mitigations   §5       — mitigation matrix
+//!   feasibility   §2.3     — NVMe-rate feasibility
+//!   ablations     design-choice ablations (DESIGN.md §5)
+//!   escalation    §3.2     — privilege escalation via polyglot blocks
+//!   all           everything above
+//!
+//! flags:
+//!   --seed N   manufacturing-variation seed (default 7)
+//!   --json     print structured JSON instead of tables
+//!   --full     fig3 only: run the paper-prototype-scale configuration
+//!              (1 GiB SSD, 5% spray cap, 5-minute hammer bursts) instead
+//!              of the fast demo
+//! ```
+
+use ssdhammer_bench::{ablations, fig1, fig2, fig3, sec23, sec43, sec5, table1};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = None;
+    let mut seed = 7u64;
+    let mut json = false;
+    let mut full = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--json" => json = true,
+            "--full" => full = true,
+            name if experiment.is_none() && !name.starts_with('-') => {
+                experiment = Some(name.to_owned());
+            }
+            other => die(&format!("unknown argument '{other}'")),
+        }
+    }
+    let experiment = experiment.unwrap_or_else(|| "all".to_owned());
+    let run_one = |name: &str| run_experiment(name, seed, json, full);
+    match experiment.as_str() {
+        "all" => {
+            for name in [
+                "table1",
+                "fig1",
+                "fig2",
+                "fig3",
+                "prob",
+                "mitigations",
+                "feasibility",
+                "ablations",
+                "escalation",
+            ] {
+                run_one(name);
+                println!();
+            }
+        }
+        name => run_one(name),
+    }
+}
+
+fn run_experiment(name: &str, seed: u64, json: bool, full: bool) {
+    match name {
+        "table1" => {
+            let rows = table1::run(seed);
+            if json {
+                println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+            } else {
+                print!("{}", table1::render(&rows));
+            }
+        }
+        "fig1" => {
+            let r = fig1::run(seed);
+            if json {
+                println!("{}", serde_json::to_string_pretty(&r).unwrap());
+            } else {
+                print!("{}", fig1::render(&r));
+            }
+        }
+        "fig2" => {
+            let rows = fig2::run(seed);
+            if json {
+                println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+            } else {
+                print!("{}", fig2::render(&rows));
+            }
+        }
+        "fig3" => {
+            if full {
+                run_fig3_full(seed, json);
+            } else {
+                let r = fig3::run(seed);
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&r).unwrap());
+                } else {
+                    print!("{}", fig3::render(&r));
+                    let ablation = fig3::spray_ablation(seed);
+                    print!("{}", fig3::render_ablation(&ablation));
+                }
+            }
+        }
+        "prob" => {
+            let r = sec43::run(seed);
+            if json {
+                println!("{}", serde_json::to_string_pretty(&r).unwrap());
+            } else {
+                print!("{}", sec43::render(&r));
+            }
+        }
+        "mitigations" => {
+            let rows = sec5::run(seed);
+            let leak_rows = sec5::run_leak_matrix(seed);
+            if json {
+                println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+                println!("{}", serde_json::to_string_pretty(&leak_rows).unwrap());
+            } else {
+                print!("{}", sec5::render(&rows));
+                print!("{}", sec5::render_leak_matrix(&leak_rows));
+            }
+        }
+        "feasibility" => {
+            let rows = sec23::run(seed);
+            if json {
+                println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+            } else {
+                print!("{}", sec23::render(&rows));
+            }
+        }
+        "ablations" => {
+            print!("{}", ablations::render(seed));
+        }
+        "escalation" => {
+            use ssdhammer_cloud::{run_escalation, EscalationConfig};
+            let outcome = run_escalation(&EscalationConfig::fast_demo(seed))
+                .expect("escalation run");
+            if json {
+                println!("{}", serde_json::to_string_pretty(&outcome.cycles).unwrap());
+            } else {
+                println!(
+                    "§3.2 privilege escalation: escalated={} tag={:?} simulated_time={}",
+                    outcome.escalated, outcome.observed_tag, outcome.total_time
+                );
+                for c in &outcome.cycles {
+                    println!(
+                        "  cycle {:>2}: flips={:<4} legitimate={:<4} crashed={:<3} hijacked={}",
+                        c.cycle, c.flips, c.legitimate, c.crashed, c.escalated
+                    );
+                }
+            }
+        }
+        other => die(&format!("unknown experiment '{other}'")),
+    }
+}
+
+/// The paper-prototype-scale end-to-end run (§4.1's 1 GiB SSD).
+fn run_fig3_full(seed: u64, json: bool) {
+    use ssdhammer_cloud::{run_case_study, CaseStudyConfig};
+    eprintln!("running the paper-prototype configuration; this simulates hours of attack time...");
+    let config = CaseStudyConfig::paper_prototype(seed);
+    let outcome = run_case_study(&config).expect("case study");
+    if json {
+        #[derive(serde::Serialize)]
+        struct Full<'a> {
+            success: bool,
+            cycles: &'a [ssdhammer_cloud::CycleReport],
+            total_time_secs: f64,
+            corruption_events: usize,
+        }
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&Full {
+                success: outcome.success,
+                cycles: &outcome.cycles,
+                total_time_secs: outcome.total_time.as_secs_f64(),
+                corruption_events: outcome.corruption_events,
+            })
+            .unwrap()
+        );
+    } else {
+        println!(
+            "paper-prototype case study: success={} cycles={} corruption_events={} simulated_time={}",
+            outcome.success,
+            outcome.cycles.len(),
+            outcome.corruption_events,
+            outcome.total_time,
+        );
+        println!("(paper §4.2: \"on our testbed this took about two hours\")");
+        for c in &outcome.cycles {
+            println!(
+                "  cycle {:>2}: files={} sites={} flips={} hits={} leaked={}",
+                c.cycle, c.sprayed_files, c.sites_hammered, c.flips, c.scan_hits, c.leaked_secret
+            );
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    eprintln!("usage: repro [table1|fig1|fig2|fig3|prob|mitigations|feasibility|ablations|escalation|all] [--seed N] [--json] [--full]");
+    std::process::exit(2);
+}

@@ -1,0 +1,34 @@
+//! # ssdhammer-bench
+//!
+//! The experiment library regenerating **every table and figure** of
+//! *Rowhammering Storage Devices* (HotStorage '21), shared between the
+//! Criterion benches (`benches/`) and the `repro` binary.
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`table1`] | Table 1 — minimal access rate to trigger bitflips |
+//! | [`fig1`] | Figure 1 — two-sided FTL rowhammering redirects an LBA |
+//! | [`fig2`] | Figure 2 — direct vs helper-VM setups |
+//! | [`fig3`] | Figure 3 / §4.2 — end-to-end ext4 indirect-block exploit |
+//! | [`sec43`] | §4.3 — probability of success |
+//! | [`sec5`] | §5 — mitigations |
+//! | [`sec23`] | §2.3 — NVMe-rate feasibility |
+//!
+//! The [`ablations`] module additionally sweeps the design choices called
+//! out in DESIGN.md (amplification, fast path, mapping structure, victim
+//! activity).
+//!
+//! Run `cargo run -p ssdhammer-bench --bin repro -- all` for the complete
+//! text reproduction, or `cargo bench` for the timed harnesses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod sec23;
+pub mod sec43;
+pub mod sec5;
+pub mod table1;

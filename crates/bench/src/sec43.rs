@@ -1,0 +1,67 @@
+//! Experiment E5 — **§4.3**: probability of success. Closed form,
+//! Monte-Carlo cross-check, and the cumulative-success curve (7 % per
+//! cycle, >50 % after 10 cycles with the paper's parameters).
+
+use serde::{Deserialize, Serialize};
+use ssdhammer_core::AttackParams;
+
+/// The reproduced §4.3 numbers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sec43Result {
+    /// Closed-form per-cycle probability.
+    pub analytic: f64,
+    /// Monte-Carlo estimate.
+    pub monte_carlo: f64,
+    /// Cumulative success after n cycles, n = 1..=max.
+    pub cumulative: Vec<f64>,
+    /// Cycles needed to exceed 50 %.
+    pub cycles_to_half: u32,
+}
+
+/// Runs the §4.3 reproduction with the paper's illustration parameters on a
+/// 1 GiB SSD.
+#[must_use]
+pub fn run(seed: u64) -> Sec43Result {
+    let params = AttackParams::paper_example(1 << 18);
+    let analytic = params.useful_flip_probability();
+    Sec43Result {
+        analytic,
+        monte_carlo: params.monte_carlo_useful_flip(400_000, seed),
+        cumulative: (1..=12).map(|n| params.cumulative_success(n)).collect(),
+        cycles_to_half: params.cycles_for_success(0.5),
+    }
+}
+
+/// Renders the reproduction.
+#[must_use]
+pub fn render(r: &Sec43Result) -> String {
+    let mut out = format!(
+        "§4.3: probability of success (C_a = C_v = PB/2, F_v = C_v/4, F_a = C_a)\n\
+         per-cycle useful-flip probability: analytic {:.4} (paper: 7%), Monte-Carlo {:.4}\n\
+         cycles to >50%: {} (paper: 10)\n\
+         cumulative success:",
+        r.analytic, r.monte_carlo, r.cycles_to_half,
+    );
+    for (i, c) in r.cumulative.iter().enumerate() {
+        out.push_str(&format!(" n={}:{:.1}%", i + 1, c * 100.0));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers_reproduce() {
+        let r = run(11);
+        assert!((r.analytic - 0.0703).abs() < 0.001, "analytic {}", r.analytic);
+        assert!((r.monte_carlo - r.analytic).abs() < 0.003);
+        assert_eq!(r.cycles_to_half, 10);
+        assert!(r.cumulative[9] > 0.5, "10 cycles: {}", r.cumulative[9]);
+        assert!(r.cumulative[8] < 0.5, "9 cycles: {}", r.cumulative[8]);
+        // Monotone non-decreasing curve.
+        assert!(r.cumulative.windows(2).all(|w| w[1] >= w[0]));
+    }
+}

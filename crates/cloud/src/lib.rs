@@ -1,0 +1,43 @@
+//! # ssdhammer-cloud
+//!
+//! The §4 cloud case study of *Rowhammering Storage Devices* (HotStorage
+//! '21): a multi-tenant host whose VMs share one SSD (and therefore one FTL
+//! and one L2P table), with the full spray → hammer → scan attack loop.
+//!
+//! * [`SharedSsd`] / [`PartitionView`] — one device, partition-per-tenant,
+//!   each partition a block device with its own logical address space.
+//! * [`VictimVm`] — a provisioned filesystem holding privileged content
+//!   (an SSH private key, a "setuid binary") plus the unprivileged attacker
+//!   process's working directory.
+//! * [`AttackerVm`] — Figure 2 (b)'s helper: raw access to its own
+//!   partition, payload spraying, and high-rate hammer driving.
+//! * [`run_case_study`] — the end-to-end §4.2 attack; returns per-cycle
+//!   statistics, the simulated time to success, and the leaked block.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use ssdhammer_cloud::{run_case_study, CaseStudyConfig};
+//!
+//! let outcome = run_case_study(&CaseStudyConfig::fast_demo(7)).unwrap();
+//! assert!(outcome.success);
+//! println!("leaked after {} (simulated)", outcome.total_time);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod escalation;
+mod partition;
+mod study;
+mod tenants;
+
+pub use escalation::{run_escalation, EscalationConfig, EscalationCycle, EscalationOutcome};
+pub use partition::{PartitionView, SharedSsd};
+pub use study::{
+    run_case_study, AttackSetup, CaseStudyConfig, CaseStudyOutcome, CycleReport,
+};
+pub use tenants::{
+    AttackerVm, CloudError, ExecResult, VictimVm, VictimVmOptions, ATTACKER_UID, LEGIT_BINARY_MARKER,
+    SECRET_MARKER,
+};

@@ -1,0 +1,548 @@
+//! The §3.1 attack primitive: setup, hammer, and redirection detection
+//! against a live device.
+//!
+//! Hammering goes through the NVMe controller ([`Ssd::hammer_device_reads`])
+//! so interface service rates and §5's rate-limit mitigation apply exactly
+//! as they would to per-command submission. Redirection detection reads the
+//! L2P entries back through the *device* path, so ECC correction (and
+//! ECC-uncorrectable failures) are visible the way the firmware would see
+//! them.
+
+use serde::{Deserialize, Serialize};
+use ssdhammer_dram::HammerReport;
+use ssdhammer_flash::Ppn;
+use ssdhammer_ftl::{Ftl, FtlError};
+use ssdhammer_nvme::{NvmeError, Ssd};
+use ssdhammer_simkit::{Lba, SimDuration, BLOCK_SIZE};
+use ssdhammer_workload::HammerStyle;
+
+use crate::recon::AttackSite;
+
+/// The host-visible state of one L2P entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MappingState {
+    /// Maps to a physical page.
+    Mapped(Ppn),
+    /// The unmapped sentinel.
+    Unmapped,
+    /// The device could not read the entry (ECC-uncorrectable).
+    Unreadable,
+}
+
+/// One observed L2P redirection (the attack's payoff).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Redirection {
+    /// The victim device LBA whose mapping changed.
+    pub lba: Lba,
+    /// Host-visible mapping before hammering.
+    pub from: MappingState,
+    /// Host-visible mapping after hammering.
+    pub to: MappingState,
+}
+
+/// Result of one [`run_primitive`] execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrimitiveOutcome {
+    /// DRAM-level hammer statistics.
+    pub report: HammerReport,
+    /// Every victim LBA whose host-visible mapping changed.
+    pub redirections: Vec<Redirection>,
+}
+
+/// Snapshots ground-truth mappings of `lbas` without disturbing the device
+/// (diagnostic peek; bypasses ECC).
+///
+/// # Errors
+///
+/// Propagates FTL/DRAM errors.
+pub fn snapshot_mappings(ftl: &Ftl, lbas: &[Lba]) -> Result<Vec<Option<Ppn>>, FtlError> {
+    lbas.iter().map(|&l| ftl.peek_mapping(l)).collect()
+}
+
+/// Snapshots the *host-visible* mapping states of `lbas`, reading each entry
+/// through the device path (activations + ECC, including scrub-on-correct).
+///
+/// # Errors
+///
+/// Propagates only addressing errors; per-entry ECC failures become
+/// [`MappingState::Unreadable`].
+pub fn snapshot_host_mappings(
+    ftl: &mut Ftl,
+    lbas: &[Lba],
+) -> Result<Vec<MappingState>, FtlError> {
+    lbas.iter()
+        .map(|&l| match ftl.entry_read(l) {
+            Ok(Some(ppn)) => Ok(MappingState::Mapped(ppn)),
+            Ok(None) => Ok(MappingState::Unmapped),
+            Err(FtlError::Dram(_)) => Ok(MappingState::Unreadable),
+            Err(e) => Err(e),
+        })
+        .collect()
+}
+
+/// Diffs two mapping snapshots taken over the same `lbas`.
+#[must_use]
+pub fn diff_mappings(
+    lbas: &[Lba],
+    before: &[MappingState],
+    after: &[MappingState],
+) -> Vec<Redirection> {
+    lbas.iter()
+        .zip(before.iter().zip(after))
+        .filter(|(_, (b, a))| b != a)
+        .map(|(&lba, (&from, &to))| Redirection { lba, from, to })
+        .collect()
+}
+
+/// §3.1's setup phase: "the attacker prepares the L2P table by writing data
+/// to contiguous LBAs" so the firmware allocates physical pages and L2P
+/// entries for them. Writes a recognizable pattern block to every LBA.
+///
+/// # Errors
+///
+/// Propagates FTL errors.
+pub fn setup_entries(ftl: &mut Ftl, lbas: &[Lba]) -> Result<(), FtlError> {
+    let mut block = [0u8; BLOCK_SIZE];
+    for &lba in lbas {
+        block[..8].copy_from_slice(&lba.as_u64().to_le_bytes());
+        ftl.write(lba, &block)?;
+    }
+    Ok(())
+}
+
+/// Builds the request set for hammering `site` in the given style.
+///
+/// Representative LBAs: one per aggressor row suffices to activate it; the
+/// single-sided variant alternates with a far row of the same bank to force
+/// row-buffer conflicts. Many-sided patterns spanning several sites are
+/// built by [`many_sided_request_set`].
+#[must_use]
+pub fn request_set_for_site(site: &AttackSite, style: HammerStyle) -> Vec<Lba> {
+    let above = site.above_lbas[0];
+    let below = site.below_lbas[0];
+    // For the far row, reuse the below row's last LBA — same bank, and far
+    // enough in practice for the tiny single-sided pattern; callers with
+    // stronger needs can build their own set via ssdhammer-workload.
+    let far = *site.below_lbas.last().expect("non-empty by construction");
+    ssdhammer_workload::hammer_request_set(style, above, below, far, &[])
+}
+
+/// Builds a TRRespass-style many-sided request set from several sites of
+/// the *same bank*: the aggressor pairs of every site, interleaved, so the
+/// per-bank TRR sampler sees more hot rows than it can track.
+///
+/// # Panics
+///
+/// Panics if `sites` is empty or the sites span multiple banks.
+#[must_use]
+pub fn many_sided_request_set(sites: &[AttackSite]) -> Vec<Lba> {
+    assert!(!sites.is_empty(), "need at least one site");
+    let bank = sites[0].victim.bank;
+    assert!(
+        sites.iter().all(|s| s.victim.bank == bank),
+        "many-sided sites must share a bank"
+    );
+    sites
+        .iter()
+        .flat_map(|s| [s.above_lbas[0], s.below_lbas[0]])
+        .collect()
+}
+
+/// Groups `sites` by bank and returns up to `count` sites from the bank
+/// holding the most sites — the raw material for a many-sided pattern.
+#[must_use]
+pub fn sites_sharing_a_bank(sites: &[AttackSite], count: usize) -> Vec<AttackSite> {
+    use std::collections::HashMap;
+    let mut by_bank: HashMap<u32, Vec<&AttackSite>> = HashMap::new();
+    for s in sites {
+        by_bank.entry(s.victim.bank).or_default().push(s);
+    }
+    let Some((_, best)) = by_bank
+        .into_iter()
+        .max_by_key(|(bank, v)| (v.len(), u32::MAX - bank))
+    else {
+        return Vec::new();
+    };
+    best.into_iter().take(count).cloned().collect()
+}
+
+/// Runs one hammer burst against `site` on a live device and reports any
+/// host-visible redirections among its victim-row LBAs.
+///
+/// `request_rate` is the host request rate (requests/second), bounded by
+/// the controller's interface rate and any configured rate limit; `duration`
+/// is how long to hammer.
+///
+/// # Errors
+///
+/// Propagates device errors.
+pub fn run_primitive(
+    ssd: &mut Ssd,
+    site: &AttackSite,
+    style: HammerStyle,
+    request_rate: f64,
+    duration: SimDuration,
+) -> Result<PrimitiveOutcome, NvmeError> {
+    let pattern = request_set_for_site(site, style);
+    run_pattern(ssd, &pattern, &site.victim_lbas, request_rate, duration)
+}
+
+/// Runs a many-sided burst across `sites` (same bank), reporting
+/// redirections over the union of their victim LBAs.
+///
+/// # Errors
+///
+/// Propagates device errors.
+///
+/// # Panics
+///
+/// Panics if `sites` is empty or spans multiple banks.
+pub fn run_many_sided(
+    ssd: &mut Ssd,
+    sites: &[AttackSite],
+    request_rate: f64,
+    duration: SimDuration,
+) -> Result<PrimitiveOutcome, NvmeError> {
+    let pattern = many_sided_request_set(sites);
+    let victims: Vec<Lba> = sites.iter().flat_map(|s| s.victim_lbas.clone()).collect();
+    run_pattern(ssd, &pattern, &victims, request_rate, duration)
+}
+
+/// Shared burst driver: snapshot → hammer → snapshot → diff.
+fn run_pattern(
+    ssd: &mut Ssd,
+    pattern: &[Lba],
+    victims: &[Lba],
+    request_rate: f64,
+    duration: SimDuration,
+) -> Result<PrimitiveOutcome, NvmeError> {
+    let before = snapshot_host_mappings(ssd.ftl_mut(), victims)?;
+    let requests = (request_rate * duration.as_secs_f64()).ceil() as u64;
+    let report = ssd.hammer_device_reads(pattern, requests, request_rate)?;
+    let after = snapshot_host_mappings(ssd.ftl_mut(), victims)?;
+    Ok(PrimitiveOutcome {
+        report,
+        redirections: diff_mappings(victims, &before, &after),
+    })
+}
+
+/// Online rowhammerability probing (§4.2): "the attacker could randomly
+/// pick rows to rowhammer, but the success rate may be unacceptably low;
+/// rowhammerability is determined primarily by variation in the
+/// manufacturing process and must be tested online and on the specific
+/// device."
+///
+/// For each candidate site, writes probe entries, hammers briefly at
+/// `request_rate`, and keeps the sites whose victim entries actually
+/// changed. Returns the confirmed subset, preserving order.
+///
+/// # Errors
+///
+/// Propagates device errors.
+pub fn probe_sites(
+    ssd: &mut Ssd,
+    candidates: &[AttackSite],
+    request_rate: f64,
+    burst: SimDuration,
+) -> Result<Vec<AttackSite>, NvmeError> {
+    let mut confirmed = Vec::new();
+    for site in candidates {
+        setup_entries(ssd.ftl_mut(), &site.victim_lbas)?;
+        let outcome = run_primitive(ssd, site, HammerStyle::DoubleSided, request_rate, burst)?;
+        if !outcome.redirections.is_empty() {
+            confirmed.push(site.clone());
+        }
+    }
+    Ok(confirmed)
+}
+
+/// Expected simulated time to the first *useful* flip given the per-cycle
+/// useful-flip probability and the duration of one attack cycle — the §4.2
+/// "about two hours" figure generalized.
+///
+/// # Panics
+///
+/// Panics unless `0 < p_useful <= 1`.
+#[must_use]
+pub fn expected_time_to_success(cycle: SimDuration, p_useful: f64) -> SimDuration {
+    assert!(p_useful > 0.0 && p_useful <= 1.0, "bad probability");
+    SimDuration::from_secs_f64(cycle.as_secs_f64() / p_useful)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recon::find_attack_sites;
+    use ssdhammer_dram::{DramGeometry, MappingKind, ModuleProfile, TrrConfig};
+    use ssdhammer_flash::FlashGeometry;
+    use ssdhammer_nvme::SsdConfig;
+
+    fn eager_profile() -> ModuleProfile {
+        let mut profile =
+            ModuleProfile::from_min_rate("eager", ssdhammer_dram::DramGeneration::Ddr3, 2021, 1);
+        profile.hc_first = 1000;
+        profile.threshold_spread = 0.0;
+        profile.row_vulnerable_prob = 1.0;
+        profile.weak_cells_per_row = 8.0;
+        profile
+    }
+
+    fn vulnerable_ssd() -> Ssd {
+        let mut config = SsdConfig::test_small(5);
+        config.dram_geometry = DramGeometry::tiny_test();
+        config.dram_profile = eager_profile();
+        config.dram_mapping = MappingKind::Linear;
+        config.flash_geometry = FlashGeometry::mib64();
+        Ssd::build(config)
+    }
+
+    #[test]
+    fn figure1_mechanism_redirects_a_victim_lba() {
+        let mut ssd = vulnerable_ssd();
+        let sites = find_attack_sites(ssd.ftl(), 4);
+        let site = sites.first().expect("a site must exist").clone();
+        setup_entries(ssd.ftl_mut(), &site.victim_lbas).unwrap();
+        setup_entries(ssd.ftl_mut(), &[site.above_lbas[0], site.below_lbas[0]]).unwrap();
+        let outcome = run_primitive(
+            &mut ssd,
+            &site,
+            HammerStyle::DoubleSided,
+            5_000_000.0,
+            SimDuration::from_millis(200),
+        )
+        .unwrap();
+        assert!(!outcome.report.flips.is_empty(), "no flips at all");
+        assert!(
+            !outcome.redirections.is_empty(),
+            "a victim LBA should have been redirected"
+        );
+        let r = outcome.redirections[0];
+        assert_ne!(r.from, r.to);
+    }
+
+    #[test]
+    fn below_threshold_rate_produces_no_redirections() {
+        let mut ssd = vulnerable_ssd();
+        let site = find_attack_sites(ssd.ftl(), 1).pop().unwrap();
+        setup_entries(ssd.ftl_mut(), &site.victim_lbas).unwrap();
+        let outcome = run_primitive(
+            &mut ssd,
+            &site,
+            HammerStyle::DoubleSided,
+            10_000.0, // far below the ~15.6K acts/window needed
+            SimDuration::from_millis(200),
+        )
+        .unwrap();
+        assert!(outcome.redirections.is_empty());
+    }
+
+    #[test]
+    fn controller_rate_limit_bounds_the_hammer() {
+        let mut config = SsdConfig::test_small(5);
+        config.dram_geometry = DramGeometry::tiny_test();
+        config.dram_profile = eager_profile();
+        config.dram_mapping = MappingKind::Linear;
+        config.flash_geometry = FlashGeometry::mib64();
+        config.controller.rate_limit_iops = Some(10_000.0);
+        let mut ssd = Ssd::build(config);
+        let site = find_attack_sites(ssd.ftl(), 1).pop().unwrap();
+        setup_entries(ssd.ftl_mut(), &site.victim_lbas).unwrap();
+        // Ask for 5M/s; the limiter must clamp to 10K/s — below threshold.
+        let outcome = run_primitive(
+            &mut ssd,
+            &site,
+            HammerStyle::DoubleSided,
+            5_000_000.0,
+            SimDuration::from_millis(200),
+        )
+        .unwrap();
+        assert!(outcome.report.achieved_rate <= 10_500.0);
+        assert!(outcome.redirections.is_empty());
+    }
+
+    #[test]
+    fn ecc_hides_redirections_from_the_host() {
+        let mut config = SsdConfig::test_small(5);
+        config.dram_geometry = DramGeometry::tiny_test();
+        config.dram_profile = eager_profile();
+        config.dram_mapping = MappingKind::Linear;
+        config.flash_geometry = FlashGeometry::mib64();
+        config.ecc = Some(ssdhammer_dram::EccConfig::default());
+        let mut ssd = Ssd::build(config);
+        let site = find_attack_sites(ssd.ftl(), 1).pop().unwrap();
+        setup_entries(ssd.ftl_mut(), &site.victim_lbas).unwrap();
+        let outcome = run_primitive(
+            &mut ssd,
+            &site,
+            HammerStyle::DoubleSided,
+            5_000_000.0,
+            SimDuration::from_millis(200),
+        )
+        .unwrap();
+        assert!(
+            !outcome.report.flips.is_empty(),
+            "cells still flip physically under ECC"
+        );
+        assert!(
+            outcome
+                .redirections
+                .iter()
+                .all(|r| r.to == MappingState::Unreadable || r.from == r.to),
+            "single-bit flips must be corrected (or at worst detected): {:?}",
+            outcome.redirections
+        );
+    }
+
+    #[test]
+    fn many_sided_defeats_trr_where_double_sided_fails() {
+        let build = || {
+            let mut config = SsdConfig::test_small(5);
+            config.dram_geometry = DramGeometry::tiny_test();
+            config.dram_profile = eager_profile();
+            config.dram_mapping = MappingKind::Linear;
+            config.flash_geometry = FlashGeometry::mib64();
+            config.trr = Some(TrrConfig {
+                sampler_size: 4,
+                detection_threshold: 100,
+            });
+            Ssd::build(config)
+        };
+        // Double-sided: fully tracked, no redirections.
+        let mut ssd = build();
+        let sites = find_attack_sites(ssd.ftl(), 64);
+        let site = sites[0].clone();
+        setup_entries(ssd.ftl_mut(), &site.victim_lbas).unwrap();
+        let ds = run_primitive(
+            &mut ssd,
+            &site,
+            HammerStyle::DoubleSided,
+            10_000_000.0,
+            SimDuration::from_millis(200),
+        )
+        .unwrap();
+        assert!(ds.redirections.is_empty(), "TRR should stop double-sided");
+
+        // Many-sided over 9 same-bank sites: sampler overwhelmed.
+        let mut ssd = build();
+        let sites = find_attack_sites(ssd.ftl(), 256);
+        let group = sites_sharing_a_bank(&sites, 9);
+        assert!(group.len() >= 6, "need several same-bank sites");
+        for s in &group {
+            setup_entries(ssd.ftl_mut(), &s.victim_lbas).unwrap();
+        }
+        let ms = run_many_sided(&mut ssd, &group, 20_000_000.0, SimDuration::from_millis(400))
+            .unwrap();
+        assert!(
+            !ms.redirections.is_empty(),
+            "many-sided should escape the sampler: {:?}",
+            ms.report.flips.len()
+        );
+    }
+
+    #[test]
+    fn one_location_fails_on_open_page_device() {
+        let mut ssd = vulnerable_ssd();
+        let site = find_attack_sites(ssd.ftl(), 1).pop().unwrap();
+        setup_entries(ssd.ftl_mut(), &site.victim_lbas).unwrap();
+        let outcome = run_primitive(
+            &mut ssd,
+            &site,
+            HammerStyle::OneLocation,
+            5_000_000.0,
+            SimDuration::from_millis(200),
+        )
+        .unwrap();
+        assert!(
+            outcome.redirections.is_empty(),
+            "open-page row buffer should absorb one-location hammering"
+        );
+    }
+
+    #[test]
+    fn probing_confirms_hammerable_sites_online() {
+        // A device where only some rows carry weak cells: probing must keep
+        // a subset (the flippable ones, given their stored data) and drop
+        // the rest.
+        let mut config = SsdConfig::test_small(5);
+        config.dram_geometry = DramGeometry::tiny_test();
+        let mut profile = eager_profile();
+        profile.row_vulnerable_prob = 0.4;
+        config.dram_profile = profile;
+        config.dram_mapping = MappingKind::Linear;
+        config.flash_geometry = FlashGeometry::mib64();
+        let mut ssd = Ssd::build(config);
+        let candidates = find_attack_sites(ssd.ftl(), 16);
+        assert!(!candidates.is_empty());
+        let confirmed = probe_sites(
+            &mut ssd,
+            &candidates,
+            5_000_000.0,
+            SimDuration::from_millis(100),
+        )
+        .unwrap();
+        assert!(!confirmed.is_empty(), "some site must confirm");
+        for c in &confirmed {
+            assert!(candidates.contains(c));
+        }
+
+        // An invulnerable device confirms nothing.
+        let mut config = SsdConfig::test_small(5);
+        config.dram_geometry = DramGeometry::tiny_test();
+        config.dram_mapping = MappingKind::Linear;
+        config.flash_geometry = FlashGeometry::mib64();
+        let mut clean = Ssd::build(config);
+        // Reuse candidate coordinates; they exist on the clean device too
+        // (recon needs weak cells, so find none — probe the raw triples by
+        // constructing sites from the vulnerable device's list).
+        let confirmed = probe_sites(
+            &mut clean,
+            &candidates,
+            5_000_000.0,
+            SimDuration::from_millis(100),
+        )
+        .unwrap();
+        assert!(confirmed.is_empty());
+    }
+
+    #[test]
+    fn diff_detects_only_changes() {
+        let lbas = [Lba(1), Lba(2), Lba(3)];
+        let before = [
+            MappingState::Mapped(Ppn(10)),
+            MappingState::Mapped(Ppn(20)),
+            MappingState::Unmapped,
+        ];
+        let after = [
+            MappingState::Mapped(Ppn(10)),
+            MappingState::Mapped(Ppn(99)),
+            MappingState::Unmapped,
+        ];
+        let d = diff_mappings(&lbas, &before, &after);
+        assert_eq!(
+            d,
+            vec![Redirection {
+                lba: Lba(2),
+                from: MappingState::Mapped(Ppn(20)),
+                to: MappingState::Mapped(Ppn(99)),
+            }]
+        );
+    }
+
+    #[test]
+    fn expected_time_scales_inversely_with_probability() {
+        let cycle = SimDuration::from_secs(600);
+        let t7 = expected_time_to_success(cycle, 0.07);
+        let t14 = expected_time_to_success(cycle, 0.14);
+        assert!((t7.as_secs_f64() - 8571.4).abs() < 1.0);
+        assert!((t7.as_secs_f64() / t14.as_secs_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn setup_writes_recognizable_blocks() {
+        let mut ssd = vulnerable_ssd();
+        setup_entries(ssd.ftl_mut(), &[Lba(5), Lba(6)]).unwrap();
+        let mut buf = [0u8; BLOCK_SIZE];
+        ssd.ftl_mut().read(Lba(6), &mut buf).unwrap();
+        assert_eq!(u64::from_le_bytes(buf[..8].try_into().unwrap()), 6);
+    }
+}

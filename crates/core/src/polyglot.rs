@@ -1,0 +1,117 @@
+//! Polyglot blocks for the privilege-escalation scenario (§3.2).
+//!
+//! "Before flipping any bits, the attacker needs to blindly spray the disk
+//! with polyglot blocks, i.e., blocks that are valid as executable code,
+//! file data, and file metadata. Replacing a victim LBA in a sensitive file
+//! with a polyglot block can result in a privilege escalation."
+//!
+//! We model a toy executable format (magic trailer + entry payload) so the
+//! cloud case study can demonstrate the *write-something-somewhere*
+//! primitive end to end: a block that simultaneously parses as (a) a
+//! maliciously formed indirect block (pointer array in its leading slots),
+//! (b) plausible file data, and (c) a "binary" our simulated loader accepts.
+
+use ssdhammer_simkit::BLOCK_SIZE;
+
+use crate::spray::malicious_indirect_payload;
+
+/// Magic trailer identifying a block as a valid "executable" to the
+/// simulated loader. Lives in the final 16 bytes so the leading bytes stay
+/// free for the indirect-pointer interpretation.
+pub const EXEC_MAGIC: &[u8; 8] = b"SHEXEC1\0";
+
+/// Offset of the magic trailer within a block.
+pub const EXEC_MAGIC_OFFSET: usize = BLOCK_SIZE - 16;
+
+/// Offset of the 8-byte payload tag ("shellcode" identity) after the magic.
+pub const EXEC_PAYLOAD_OFFSET: usize = BLOCK_SIZE - 8;
+
+/// Builds a polyglot block:
+///
+/// * bytes `0..4·targets.len()` form a valid indirect-pointer array;
+/// * the final 16 bytes form a valid executable trailer carrying
+///   `payload_tag` (the attacker's "shellcode" identity);
+/// * everything in between is zero — valid (sparse) in all three readings.
+///
+/// # Panics
+///
+/// Panics if `targets` would collide with the trailer (more than 1019
+/// pointers).
+#[must_use]
+pub fn polyglot_block(targets: &[u32], payload_tag: u64) -> [u8; BLOCK_SIZE] {
+    assert!(
+        targets.len() * 4 <= EXEC_MAGIC_OFFSET,
+        "too many targets for a polyglot block"
+    );
+    let mut block = malicious_indirect_payload(targets);
+    block[EXEC_MAGIC_OFFSET..EXEC_MAGIC_OFFSET + 8].copy_from_slice(EXEC_MAGIC);
+    block[EXEC_PAYLOAD_OFFSET..].copy_from_slice(&payload_tag.to_le_bytes());
+    block
+}
+
+/// The simulated loader's validity check: does this block "execute"?
+#[must_use]
+pub fn is_valid_executable(block: &[u8]) -> bool {
+    block.len() == BLOCK_SIZE
+        && &block[EXEC_MAGIC_OFFSET..EXEC_MAGIC_OFFSET + 8] == EXEC_MAGIC
+}
+
+/// Extracts the payload tag from a valid executable block.
+#[must_use]
+pub fn executable_payload(block: &[u8]) -> Option<u64> {
+    if !is_valid_executable(block) {
+        return None;
+    }
+    Some(u64::from_le_bytes(
+        block[EXEC_PAYLOAD_OFFSET..].try_into().ok()?,
+    ))
+}
+
+/// The indirect-block reading of a polyglot: its leading pointer slots.
+#[must_use]
+pub fn indirect_view(block: &[u8], slots: usize) -> Vec<u32> {
+    block
+        .chunks_exact(4)
+        .take(slots)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polyglot_is_valid_in_all_three_readings() {
+        let block = polyglot_block(&[100, 200], 0xDEAD_BEEF);
+        // (a) indirect block reading.
+        assert_eq!(indirect_view(&block, 2), vec![100, 200]);
+        // (b) file data: any bytes qualify; spot-check determinism.
+        assert_eq!(block[8], 0);
+        // (c) executable reading.
+        assert!(is_valid_executable(&block));
+        assert_eq!(executable_payload(&block), Some(0xDEAD_BEEF));
+    }
+
+    #[test]
+    fn ordinary_blocks_do_not_execute() {
+        assert!(!is_valid_executable(&[0u8; BLOCK_SIZE]));
+        assert!(!is_valid_executable(&[0u8; 100]));
+        assert_eq!(executable_payload(&[0u8; BLOCK_SIZE]), None);
+    }
+
+    #[test]
+    fn trailer_survives_pointer_area() {
+        let targets: Vec<u32> = (0..1000).collect();
+        let block = polyglot_block(&targets, 7);
+        assert!(is_valid_executable(&block));
+        assert_eq!(indirect_view(&block, 1000), targets);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many targets")]
+    fn overfull_pointer_area_rejected() {
+        let targets: Vec<u32> = (0..1021).collect();
+        let _ = polyglot_block(&targets, 7);
+    }
+}

@@ -1,0 +1,100 @@
+//! SEC-DED ECC model: single-error-correct, double-error-detect per 64-bit
+//! word, the standard server-DRAM scheme the paper lists among potentially
+//! effective mitigations (§5: "strengthening ECC may also protect against FTL
+//! rowhammering"). The paper's emulation environment notably did *not*
+//! support ECC (§4.1); the Samsung PM1733's on-board-DRAM ECC status is
+//! "unknown".
+
+use serde::{Deserialize, Serialize};
+
+/// Width of one ECC codeword in bits (a 64-bit data word, the usual SEC-DED
+/// granularity).
+pub const ECC_WORD_BITS: u64 = 64;
+
+/// ECC behaviour configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EccConfig {
+    /// Whether a corrected (single-bit) error is also written back to the
+    /// array, healing the cell until it is hammered again. Controllers that
+    /// only correct on the read path leave the flip latent, so a second flip
+    /// in the same word later becomes uncorrectable.
+    pub scrub_on_correct: bool,
+}
+
+impl Default for EccConfig {
+    fn default() -> Self {
+        EccConfig {
+            scrub_on_correct: true,
+        }
+    }
+}
+
+/// Outcome of applying SEC-DED to one 64-bit word with a known set of
+/// flipped bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EccOutcome {
+    /// No flipped bits: data returned as stored.
+    Clean,
+    /// Exactly one flipped bit: corrected transparently.
+    Corrected,
+    /// Exactly two flipped bits: detected but uncorrectable; the read fails.
+    DetectedUncorrectable,
+    /// Three or more flipped bits: beyond SEC-DED's guarantee — the word may
+    /// be silently mis-returned (we model it as returned-as-stored, i.e.
+    /// silent corruption).
+    SilentCorruption,
+}
+
+impl EccOutcome {
+    /// Classifies a word by the number of flipped bits it contains.
+    #[must_use]
+    pub fn classify(flipped_bits_in_word: usize) -> EccOutcome {
+        match flipped_bits_in_word {
+            0 => EccOutcome::Clean,
+            1 => EccOutcome::Corrected,
+            2 => EccOutcome::DetectedUncorrectable,
+            _ => EccOutcome::SilentCorruption,
+        }
+    }
+
+    /// True when the host receives the *original* (pre-flip) data.
+    #[must_use]
+    pub fn returns_clean_data(self) -> bool {
+        matches!(self, EccOutcome::Clean | EccOutcome::Corrected)
+    }
+
+    /// True when the read completes at all (silent corruption completes —
+    /// wrongly).
+    #[must_use]
+    pub fn read_succeeds(self) -> bool {
+        !matches!(self, EccOutcome::DetectedUncorrectable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_follows_secded() {
+        assert_eq!(EccOutcome::classify(0), EccOutcome::Clean);
+        assert_eq!(EccOutcome::classify(1), EccOutcome::Corrected);
+        assert_eq!(EccOutcome::classify(2), EccOutcome::DetectedUncorrectable);
+        assert_eq!(EccOutcome::classify(3), EccOutcome::SilentCorruption);
+        assert_eq!(EccOutcome::classify(9), EccOutcome::SilentCorruption);
+    }
+
+    #[test]
+    fn corrected_reads_return_clean_data() {
+        assert!(EccOutcome::Corrected.returns_clean_data());
+        assert!(!EccOutcome::SilentCorruption.returns_clean_data());
+    }
+
+    #[test]
+    fn only_double_errors_fail_the_read() {
+        assert!(EccOutcome::Clean.read_succeeds());
+        assert!(EccOutcome::Corrected.read_succeeds());
+        assert!(!EccOutcome::DetectedUncorrectable.read_succeeds());
+        assert!(EccOutcome::SilentCorruption.read_succeeds());
+    }
+}

@@ -1,0 +1,222 @@
+//! DRAM organization: channels, DIMMs, ranks, banks, rows.
+
+use serde::{Deserialize, Serialize};
+use ssdhammer_simkit::ByteSize;
+
+/// Physical organization of a DRAM subsystem.
+///
+/// All dimensions must be powers of two so that address decomposition is a
+/// bit-slice operation, as in real memory controllers.
+///
+/// # Examples
+///
+/// ```
+/// use ssdhammer_dram::DramGeometry;
+///
+/// let g = DramGeometry::testbed_i7_2600();
+/// assert_eq!(g.total_banks(), 64);
+/// assert_eq!(g.total_bytes().as_u64(), 16 << 30);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DramGeometry {
+    /// Memory channels.
+    pub channels: u32,
+    /// DIMMs per channel.
+    pub dimms_per_channel: u32,
+    /// Ranks per DIMM.
+    pub ranks_per_dimm: u32,
+    /// Banks per rank.
+    pub banks_per_rank: u32,
+    /// Rows per bank.
+    pub rows_per_bank: u32,
+    /// Bytes per row (the row-buffer size).
+    pub row_bytes: u32,
+}
+
+impl DramGeometry {
+    /// The paper's testbed: Intel i7-2600 with 4×4 GiB Samsung DDR3 DIMMs,
+    /// organized as 2 channels × 2 DIMMs × 2 ranks × 8 banks × 2^15 rows
+    /// (§4.1), with 8 KiB rows.
+    #[must_use]
+    pub fn testbed_i7_2600() -> Self {
+        DramGeometry {
+            channels: 2,
+            dimms_per_channel: 2,
+            ranks_per_dimm: 2,
+            banks_per_rank: 8,
+            rows_per_bank: 1 << 15,
+            row_bytes: 8 << 10,
+        }
+    }
+
+    /// A plausible SSD-onboard DRAM part: single channel, single rank,
+    /// 8 banks × 2^13 rows × 8 KiB rows = 512 MiB — the scale of the DRAM on
+    /// a consumer NVMe drive (§2.3: ~1 MiB DRAM per 1 GiB of flash, plus
+    /// data/write caching).
+    #[must_use]
+    pub fn ssd_onboard_512mib() -> Self {
+        DramGeometry {
+            channels: 1,
+            dimms_per_channel: 1,
+            ranks_per_dimm: 1,
+            banks_per_rank: 8,
+            rows_per_bank: 1 << 13,
+            row_bytes: 8 << 10,
+        }
+    }
+
+    /// A miniature geometry for unit tests: 2 banks × 64 rows × 1 KiB rows.
+    #[must_use]
+    pub fn tiny_test() -> Self {
+        DramGeometry {
+            channels: 1,
+            dimms_per_channel: 1,
+            ranks_per_dimm: 1,
+            banks_per_rank: 2,
+            rows_per_bank: 64,
+            row_bytes: 1 << 10,
+        }
+    }
+
+    /// Total number of banks across the whole subsystem.
+    #[must_use]
+    pub fn total_banks(&self) -> u32 {
+        self.channels * self.dimms_per_channel * self.ranks_per_dimm * self.banks_per_rank
+    }
+
+    /// Total addressable capacity.
+    #[must_use]
+    pub fn total_bytes(&self) -> ByteSize {
+        ByteSize::bytes(
+            u64::from(self.total_banks()) * u64::from(self.rows_per_bank)
+                * u64::from(self.row_bytes),
+        )
+    }
+
+    /// log2 of the row size — the number of column (offset) bits.
+    #[must_use]
+    pub fn col_bits(&self) -> u32 {
+        self.row_bytes.trailing_zeros()
+    }
+
+    /// log2 of the global bank count.
+    #[must_use]
+    pub fn bank_bits(&self) -> u32 {
+        self.total_banks().trailing_zeros()
+    }
+
+    /// log2 of the per-bank row count.
+    #[must_use]
+    pub fn row_bits(&self) -> u32 {
+        self.rows_per_bank.trailing_zeros()
+    }
+
+    /// Checks every dimension is a power of two.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first non-power-of-two dimension.
+    pub fn validate(&self) -> Result<(), String> {
+        let dims = [
+            ("channels", self.channels),
+            ("dimms_per_channel", self.dimms_per_channel),
+            ("ranks_per_dimm", self.ranks_per_dimm),
+            ("banks_per_rank", self.banks_per_rank),
+            ("rows_per_bank", self.rows_per_bank),
+            ("row_bytes", self.row_bytes),
+        ];
+        for (name, v) in dims {
+            if v == 0 || !v.is_power_of_two() {
+                return Err(format!("{name} must be a non-zero power of two, got {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A decoded DRAM location: global bank index, row within the bank, byte
+/// offset (column) within the row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Location {
+    /// Global bank index in `0..geometry.total_banks()`.
+    pub bank: u32,
+    /// Row index within the bank.
+    pub row: u32,
+    /// Byte offset within the row.
+    pub col: u32,
+}
+
+impl Location {
+    /// The `(bank, row)` pair, ignoring the column — the granularity at which
+    /// activation counting and rowhammer pressure operate.
+    #[must_use]
+    pub fn row_key(&self) -> RowKey {
+        RowKey {
+            bank: self.bank,
+            row: self.row,
+        }
+    }
+}
+
+/// Identifies one physical row of one bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RowKey {
+    /// Global bank index.
+    pub bank: u32,
+    /// Row index within the bank.
+    pub row: u32,
+}
+
+impl RowKey {
+    /// The physically adjacent row `delta` rows away, if it exists.
+    #[must_use]
+    pub fn neighbor(&self, delta: i64, rows_per_bank: u32) -> Option<RowKey> {
+        let row = i64::from(self.row) + delta;
+        if row < 0 || row >= i64::from(rows_per_bank) {
+            None
+        } else {
+            Some(RowKey {
+                bank: self.bank,
+                row: row as u32,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_matches_paper() {
+        let g = DramGeometry::testbed_i7_2600();
+        assert_eq!(g.total_banks(), 64);
+        assert_eq!(g.total_bytes(), ByteSize::gib(16));
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn bit_widths_cover_address() {
+        let g = DramGeometry::ssd_onboard_512mib();
+        let bits = g.col_bits() + g.bank_bits() + g.row_bits();
+        assert_eq!(1u64 << bits, g.total_bytes().as_u64());
+    }
+
+    #[test]
+    fn validate_rejects_non_power_of_two() {
+        let mut g = DramGeometry::tiny_test();
+        g.rows_per_bank = 63;
+        assert!(g.validate().unwrap_err().contains("rows_per_bank"));
+        g.rows_per_bank = 0;
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn neighbor_respects_bank_edges() {
+        let k = RowKey { bank: 1, row: 0 };
+        assert_eq!(k.neighbor(-1, 64), None);
+        assert_eq!(k.neighbor(1, 64), Some(RowKey { bank: 1, row: 1 }));
+        let top = RowKey { bank: 1, row: 63 };
+        assert_eq!(top.neighbor(1, 64), None);
+    }
+}

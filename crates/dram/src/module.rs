@@ -1,0 +1,1185 @@
+//! The DRAM module simulator: data storage, activation bookkeeping, refresh
+//! windows, disturbance-error (rowhammer) evaluation, ECC, and TRR.
+//!
+//! ## Model
+//!
+//! * Every access decodes its physical address through the configured
+//!   [`AddressMapping`] into `(bank, row, col)`.
+//! * A *row-buffer miss* activates (ACT) the target row. Under the default
+//!   open-page policy, consecutive accesses to the open row of a bank do not
+//!   re-activate it — which is why single-address hammering achieves nothing
+//!   and the attack must alternate between rows (§3.1's alternating read
+//!   sequence).
+//! * Activations are counted per row within the current *refresh window*
+//!   (64 ms by default). An activation of row `r` adds disturbance pressure
+//!   to physical neighbors `r±1` (and `r±2` scaled by
+//!   [`ModuleProfile::distance2_factor`]) and *resets* pressure on `r`
+//!   itself, because activating a row restores its cells' charge.
+//! * A weak cell of a victim row flips once the accumulated pressure within
+//!   one window reaches its threshold **and** the stored bit matches the
+//!   cell's vulnerable orientation (true-cells flip 1→0, anti-cells 0→1).
+//!   Flips persist until the row is rewritten.
+//! * With [`TrrConfig`] active, aggressors the per-bank sampler tracks are
+//!   neutralized: their contribution is capped at the detection threshold.
+//!   Many-sided patterns overflow the sampler and escape (TRRespass).
+//! * With [`EccConfig`] active, reads apply SEC-DED per 64-bit word.
+//!
+//! Rows never written are unobservable: disturbance there has no effect on
+//! any read, exactly like scribbling on uninitialized memory.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+use ssdhammer_simkit::{DramAddr, SimClock, SimDuration, SimTime};
+
+use crate::ecc::{EccConfig, EccOutcome, ECC_WORD_BITS};
+use crate::geometry::{DramGeometry, RowKey};
+use crate::mapping::AddressMapping;
+use crate::profile::{ModuleProfile, RowPolicy};
+use crate::trr::TrrConfig;
+use crate::weakcells::{weak_cells_for_row, WeakCell};
+
+/// Errors surfaced by DRAM accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DramError {
+    /// Address beyond the module's capacity.
+    OutOfRange {
+        /// The offending address.
+        addr: DramAddr,
+    },
+    /// SEC-DED detected a double-bit error in the requested range.
+    Uncorrectable {
+        /// The address whose codeword failed.
+        addr: DramAddr,
+    },
+}
+
+impl core::fmt::Display for DramError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DramError::OutOfRange { addr } => write!(f, "dram address {addr} out of range"),
+            DramError::Uncorrectable { addr } => {
+                write!(f, "uncorrectable ecc error at dram address {addr}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DramError {}
+
+/// Direction of an observed bitflip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlipDirection {
+    /// A charged true-cell leaked: 1 → 0.
+    OneToZero,
+    /// An anti-cell charged up: 0 → 1.
+    ZeroToOne,
+}
+
+/// One disturbance error that corrupted stored data.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlipEvent {
+    /// Simulated time of the flip.
+    pub time: SimTime,
+    /// The victim row.
+    pub row: RowKey,
+    /// Bit index within the row.
+    pub bit: u64,
+    /// Flip direction.
+    pub direction: FlipDirection,
+    /// Physical byte address containing the flipped bit.
+    pub addr: DramAddr,
+}
+
+/// Aggregate counters exposed by the module.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct DramTelemetry {
+    /// Row activations issued.
+    pub activations: u64,
+    /// Accesses served from the open row buffer.
+    pub row_hits: u64,
+    /// Read operations.
+    pub reads: u64,
+    /// Write operations.
+    pub writes: u64,
+    /// Total bitflips applied to stored data.
+    pub flips: u64,
+    /// Single-bit errors ECC corrected.
+    pub ecc_corrected: u64,
+    /// Double-bit errors ECC detected (failed reads).
+    pub ecc_uncorrectable: u64,
+    /// Words returned with ≥3 flipped bits (silent corruption).
+    pub ecc_silent: u64,
+}
+
+/// Result of a bulk hammering run (see [`DramModule::run_hammer`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HammerReport {
+    /// Activations actually issued across all aggressors.
+    pub activations: u64,
+    /// Effective activation rate achieved, per second.
+    pub achieved_rate: f64,
+    /// Refresh windows the run spanned.
+    pub windows: u64,
+    /// Flips that occurred during the run.
+    pub flips: Vec<FlipEvent>,
+    /// Simulated time consumed.
+    pub elapsed: SimDuration,
+}
+
+#[derive(Debug, Default)]
+struct RowData {
+    bytes: Box<[u8]>,
+    /// Bits currently flipped relative to last written data (ECC's view).
+    flipped_bits: BTreeSet<u64>,
+}
+
+/// The simulated DRAM module. See the module-level docs for the model.
+///
+/// # Examples
+///
+/// ```
+/// use ssdhammer_dram::{DramGeometry, DramModule, MappingKind, ModuleProfile};
+/// use ssdhammer_simkit::{DramAddr, SimClock};
+///
+/// let mut dram = DramModule::builder(DramGeometry::tiny_test())
+///     .profile(ModuleProfile::ddr3_2016())
+///     .mapping(MappingKind::Linear)
+///     .seed(42)
+///     .build(SimClock::new());
+/// dram.write_u32(DramAddr(0x100), 0xDEAD_BEEF).unwrap();
+/// assert_eq!(dram.read_u32(DramAddr(0x100)).unwrap(), 0xDEAD_BEEF);
+/// ```
+#[derive(Debug)]
+pub struct DramModule {
+    mapping: AddressMapping,
+    profile: ModuleProfile,
+    clock: SimClock,
+    seed: u64,
+    ecc: Option<EccConfig>,
+    trr: Option<TrrConfig>,
+    timing_enabled: bool,
+
+    rows: HashMap<RowKey, RowData>,
+    remaining_weak: HashMap<RowKey, Vec<WeakCell>>,
+    window_idx: u64,
+    acts: HashMap<RowKey, u64>,
+    /// Pressure already "spent" on a row at its last self-refresh (ACT).
+    discount: HashMap<RowKey, f64>,
+    open_rows: HashMap<u32, u32>,
+    telemetry: DramTelemetry,
+    flip_log: Vec<FlipEvent>,
+}
+
+/// Builder for [`DramModule`].
+#[derive(Debug, Clone)]
+pub struct DramModuleBuilder {
+    geometry: DramGeometry,
+    profile: ModuleProfile,
+    mapping: crate::mapping::MappingKind,
+    seed: u64,
+    ecc: Option<EccConfig>,
+    trr: Option<TrrConfig>,
+    timing_enabled: bool,
+}
+
+impl DramModuleBuilder {
+    /// Sets the vulnerability profile (default: the paper's testbed DDR3).
+    #[must_use]
+    pub fn profile(mut self, profile: ModuleProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Sets the controller address mapping (default: XOR/swizzle).
+    #[must_use]
+    pub fn mapping(mut self, kind: crate::mapping::MappingKind) -> Self {
+        self.mapping = kind;
+        self
+    }
+
+    /// Sets the manufacturing-variation seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables SEC-DED ECC.
+    #[must_use]
+    pub fn ecc(mut self, ecc: EccConfig) -> Self {
+        self.ecc = Some(ecc);
+        self
+    }
+
+    /// Enables sampler-based TRR.
+    #[must_use]
+    pub fn trr(mut self, trr: TrrConfig) -> Self {
+        self.trr = Some(trr);
+        self
+    }
+
+    /// Disables clock advancement on accesses (pure functional mode, used by
+    /// callers that account for time themselves).
+    #[must_use]
+    pub fn without_timing(mut self) -> Self {
+        self.timing_enabled = false;
+        self
+    }
+
+    /// Finalizes the module on the given clock.
+    #[must_use]
+    pub fn build(self, clock: SimClock) -> DramModule {
+        let mapping = AddressMapping::new(self.geometry, self.mapping);
+        DramModule {
+            mapping,
+            profile: self.profile,
+            clock,
+            seed: self.seed,
+            ecc: self.ecc,
+            trr: self.trr,
+            timing_enabled: self.timing_enabled,
+            rows: HashMap::new(),
+            remaining_weak: HashMap::new(),
+            window_idx: 0,
+            acts: HashMap::new(),
+            discount: HashMap::new(),
+            open_rows: HashMap::new(),
+            telemetry: DramTelemetry::default(),
+            flip_log: Vec::new(),
+        }
+    }
+}
+
+impl DramModule {
+    /// Starts building a module over `geometry`.
+    #[must_use]
+    pub fn builder(geometry: DramGeometry) -> DramModuleBuilder {
+        DramModuleBuilder {
+            geometry,
+            profile: ModuleProfile::testbed_ddr3(),
+            mapping: crate::mapping::MappingKind::default_xor(),
+            seed: 0,
+            ecc: None,
+            trr: None,
+            timing_enabled: true,
+        }
+    }
+
+    /// The address mapping in effect.
+    #[must_use]
+    pub fn mapping(&self) -> &AddressMapping {
+        &self.mapping
+    }
+
+    /// The vulnerability profile in effect.
+    #[must_use]
+    pub fn profile(&self) -> &ModuleProfile {
+        &self.profile
+    }
+
+    /// The clock this module advances.
+    #[must_use]
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Aggregate counters.
+    #[must_use]
+    pub fn telemetry(&self) -> &DramTelemetry {
+        &self.telemetry
+    }
+
+    /// All flips recorded so far (also see [`DramModule::drain_flips`]).
+    #[must_use]
+    pub fn flip_log(&self) -> &[FlipEvent] {
+        &self.flip_log
+    }
+
+    /// Removes and returns the recorded flips.
+    pub fn drain_flips(&mut self) -> Vec<FlipEvent> {
+        std::mem::take(&mut self.flip_log)
+    }
+
+    /// Offline profiling: the weak cells of `row` on this specific module.
+    ///
+    /// The paper assumes the attacker "can map out potential aggressor and
+    /// victim rows in a given SSD model offline" (§4.2); this accessor plays
+    /// that role for tests and experiment setup. It never mutates state.
+    #[must_use]
+    pub fn profile_row(&self, row: RowKey) -> Vec<WeakCell> {
+        weak_cells_for_row(
+            self.seed,
+            &self.profile,
+            u64::from(self.mapping.geometry().row_bytes) * 8,
+            row,
+        )
+    }
+
+    /// Scans `bank` for rows that are double-sided-hammerable: the row has
+    /// weak cells and both physical neighbors exist. Returns up to `limit`
+    /// row indices in ascending order.
+    #[must_use]
+    pub fn vulnerable_rows(&self, bank: u32, limit: usize) -> Vec<u32> {
+        let rows = self.mapping.geometry().rows_per_bank;
+        (1..rows.saturating_sub(1))
+            .filter(|&r| !self.profile_row(RowKey { bank, row: r }).is_empty())
+            .take(limit)
+            .collect()
+    }
+
+    // ---- data path -------------------------------------------------------
+
+    /// Reads `buf.len()` bytes starting at `addr`. The range must not cross a
+    /// row boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::OutOfRange`] for bad addresses;
+    /// [`DramError::Uncorrectable`] when ECC detects a double-bit error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range crosses a row boundary.
+    pub fn read(&mut self, addr: DramAddr, buf: &mut [u8]) -> Result<(), DramError> {
+        let loc = self.checked_decode(addr, buf.len())?;
+        self.tick_window();
+        let key = loc.row_key();
+        // Pressure accumulated up to now may flip cells an instant before the
+        // activation refreshes the row.
+        self.evaluate_victim(key);
+        let hit = self.activate(key);
+        self.charge_access_time(hit);
+        self.telemetry.reads += 1;
+        let start_bit = u64::from(loc.col) * 8;
+        let end_bit = start_bit + buf.len() as u64 * 8;
+        // Serve data. Unwritten rows read as zero.
+        let Some(row_data) = self.rows.get(&key) else {
+            buf.fill(0);
+            return Ok(());
+        };
+        buf.copy_from_slice(&row_data.bytes[loc.col as usize..loc.col as usize + buf.len()]);
+        if self.ecc.is_some() {
+            self.apply_ecc(addr, key, start_bit, end_bit, buf)?;
+        }
+        Ok(())
+    }
+
+    /// Writes `data` starting at `addr`. The range must not cross a row
+    /// boundary. Writing recharges the covered cells (clears their flips).
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::OutOfRange`] for bad addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range crosses a row boundary.
+    pub fn write(&mut self, addr: DramAddr, data: &[u8]) -> Result<(), DramError> {
+        let loc = self.checked_decode(addr, data.len())?;
+        self.tick_window();
+        let key = loc.row_key();
+        self.evaluate_victim(key);
+        let hit = self.activate(key);
+        self.charge_access_time(hit);
+        self.telemetry.writes += 1;
+        let row_bytes = self.mapping.geometry().row_bytes as usize;
+        let row_data = self.rows.entry(key).or_insert_with(|| RowData {
+            bytes: vec![0u8; row_bytes].into_boxed_slice(),
+            flipped_bits: BTreeSet::new(),
+        });
+        row_data.bytes[loc.col as usize..loc.col as usize + data.len()].copy_from_slice(data);
+        let start_bit = u64::from(loc.col) * 8;
+        let end_bit = start_bit + data.len() as u64 * 8;
+        let cleared: Vec<u64> = row_data
+            .flipped_bits
+            .range(start_bit..end_bit)
+            .copied()
+            .collect();
+        for b in cleared {
+            row_data.flipped_bits.remove(&b);
+        }
+        Ok(())
+    }
+
+    /// Reads a little-endian `u32` (the size of one L2P entry).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DramModule::read`].
+    pub fn read_u32(&mut self, addr: DramAddr) -> Result<u32, DramError> {
+        let mut buf = [0u8; 4];
+        self.read(addr, &mut buf)?;
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    /// Writes a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DramModule::write`].
+    pub fn write_u32(&mut self, addr: DramAddr, value: u32) -> Result<(), DramError> {
+        self.write(addr, &value.to_le_bytes())
+    }
+
+    // ---- hammering -------------------------------------------------------
+
+    /// Issues `total_accesses` round-robin accesses over `aggressors` at
+    /// `rate_per_sec`, advancing the simulated clock, handling every refresh
+    /// window boundary crossed, and applying any resulting flips.
+    ///
+    /// This is the fast path for experiments that hammer for simulated
+    /// minutes or hours: cost is proportional to the number of refresh
+    /// windows, not the number of accesses.
+    ///
+    /// With fewer than two aggressors under the open-page policy the row
+    /// buffer absorbs every repeat access and (almost) no activations are
+    /// generated — matching real hardware, where one-location hammering
+    /// requires a closed-page controller.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::OutOfRange`] if any aggressor address is out of range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aggressors` is empty or `rate_per_sec` is not positive.
+    pub fn run_hammer(
+        &mut self,
+        aggressors: &[DramAddr],
+        total_accesses: u64,
+        rate_per_sec: f64,
+    ) -> Result<HammerReport, DramError> {
+        assert!(!aggressors.is_empty(), "need at least one aggressor");
+        assert!(rate_per_sec > 0.0, "rate must be positive");
+        let keys: Vec<RowKey> = aggressors
+            .iter()
+            .map(|&a| self.checked_decode(a, 1).map(|l| l.row_key()))
+            .collect::<Result<_, _>>()?;
+        // Row-buffer absorption: single-aggressor open-page patterns generate
+        // one ACT per window, not one per access.
+        let absorbed = keys.len() == 1 && self.profile.row_policy == RowPolicy::OpenPage;
+
+        let start = self.clock.now();
+        let flips_before = self.flip_log.len();
+        let mut issued = 0u64;
+        let mut activations = 0u64;
+        let window = self.profile.refresh_interval;
+        while issued < total_accesses {
+            self.tick_window();
+            let now = self.clock.now();
+            let window_end = now.window_start(window) + window;
+            let span = window_end - now;
+            let span_accesses =
+                ((rate_per_sec * span.as_secs_f64()).floor() as u64).min(total_accesses - issued);
+            if span_accesses == 0 {
+                if span >= window {
+                    // Rate below one access per whole window: issue a single
+                    // access and idle out its period.
+                    self.apply_bulk_accesses(&keys, 1, absorbed, &mut activations);
+                    issued += 1;
+                    self.clock
+                        .advance(SimDuration::from_rate_per_sec(rate_per_sec));
+                    continue;
+                }
+                // Less than one access period left in this window: settle and
+                // cross the boundary, then continue in the next window.
+                self.settle_window();
+                self.clock.advance_to(window_end);
+                continue;
+            }
+            self.apply_bulk_accesses(&keys, span_accesses, absorbed, &mut activations);
+            issued += span_accesses;
+            let used = SimDuration::from_secs_f64(span_accesses as f64 / rate_per_sec);
+            // Settle this window's flips before the boundary clears counters.
+            self.settle_window();
+            self.clock.advance(used.min(span).max(SimDuration::from_nanos(1)));
+            if self.clock.now() >= window_end {
+                self.clock.advance_to(window_end);
+            }
+        }
+        self.settle_window();
+        let elapsed = self.clock.elapsed_since(start);
+        let windows = elapsed.as_nanos() / window.as_nanos().max(1) + 1;
+        Ok(HammerReport {
+            activations,
+            achieved_rate: if elapsed.is_zero() {
+                0.0
+            } else {
+                activations as f64 / elapsed.as_secs_f64()
+            },
+            windows,
+            flips: self.flip_log[flips_before..].to_vec(),
+            elapsed,
+        })
+    }
+
+    /// Distributes `n` accesses round-robin over `keys` in the current
+    /// window, counting activations and pressure (but not advancing time —
+    /// the caller owns pacing).
+    fn apply_bulk_accesses(
+        &mut self,
+        keys: &[RowKey],
+        n: u64,
+        absorbed: bool,
+        activations: &mut u64,
+    ) {
+        if absorbed {
+            // Open-page single row: at most one ACT (if the row was not
+            // already open).
+            let key = keys[0];
+            self.activate(key);
+            *activations += 1;
+            return;
+        }
+        let per = n / keys.len() as u64;
+        let extra = (n % keys.len() as u64) as usize;
+        for (i, &key) in keys.iter().enumerate() {
+            let acts = per + u64::from(i < extra);
+            if acts == 0 {
+                continue;
+            }
+            *self.acts.entry(key).or_insert(0) += acts;
+            self.telemetry.activations += acts;
+            *activations += acts;
+            // The aggressor itself is refreshed by its own activations.
+            self.discount.insert(key, self.raw_pressure(key));
+            self.open_rows.insert(key.bank, key.row);
+        }
+    }
+
+    /// Diagnostic backdoor: reads stored bytes without activating the row,
+    /// without advancing time, and without ECC — the view a lab analyzer
+    /// would have of the array contents. Experiments use it to verify flips
+    /// without disturbing the system under test. Unwritten rows read as zero.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::OutOfRange`] for bad addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range crosses a row boundary.
+    pub fn peek(&self, addr: DramAddr, buf: &mut [u8]) -> Result<(), DramError> {
+        let loc = self.checked_decode(addr, buf.len())?;
+        match self.rows.get(&loc.row_key()) {
+            Some(row) => buf.copy_from_slice(
+                &row.bytes[loc.col as usize..loc.col as usize + buf.len()],
+            ),
+            None => buf.fill(0),
+        }
+        Ok(())
+    }
+
+    /// Forces `n` activations of the row containing `addr`, regardless of
+    /// row-buffer state, without transferring data.
+    ///
+    /// This models access amplification where intervening traffic closes the
+    /// row between touches — the paper "manually amplified each L2P row
+    /// activation (5 hammers per I/O request)" in its SPDK prototype (§4.1);
+    /// the FTL layer exposes the same knob through this method.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::OutOfRange`] for bad addresses.
+    pub fn force_activations(&mut self, addr: DramAddr, n: u64) -> Result<(), DramError> {
+        let loc = self.checked_decode(addr, 1)?;
+        self.tick_window();
+        let key = loc.row_key();
+        self.evaluate_victim(key);
+        *self.acts.entry(key).or_insert(0) += n;
+        self.telemetry.activations += n;
+        self.discount.insert(key, self.raw_pressure(key));
+        self.open_rows.insert(key.bank, key.row);
+        if self.timing_enabled {
+            self.clock.advance(self.profile.t_row_miss * n);
+        }
+        Ok(())
+    }
+
+    // ---- internals ---------------------------------------------------------
+
+    fn checked_decode(
+        &self,
+        addr: DramAddr,
+        len: usize,
+    ) -> Result<crate::geometry::Location, DramError> {
+        let g = self.mapping.geometry();
+        let end = addr.as_u64().checked_add(len as u64);
+        if end.is_none() || end.unwrap() > g.total_bytes().as_u64() {
+            return Err(DramError::OutOfRange { addr });
+        }
+        let loc = self.mapping.decode(addr);
+        assert!(
+            loc.col as usize + len <= g.row_bytes as usize,
+            "access at {addr} (+{len}) crosses a row boundary"
+        );
+        Ok(loc)
+    }
+
+    /// Rolls the refresh window forward if the clock has crossed a boundary,
+    /// settling outstanding disturbance first.
+    fn tick_window(&mut self) {
+        let idx = self
+            .clock
+            .now()
+            .window_index(self.profile.refresh_interval);
+        if idx != self.window_idx {
+            self.settle_window();
+            self.acts.clear();
+            self.discount.clear();
+            self.window_idx = idx;
+        }
+    }
+
+    /// Activates `key` if a row-buffer miss, counting pressure on neighbors.
+    /// Returns true on a row-buffer hit.
+    fn activate(&mut self, key: RowKey) -> bool {
+        let open = self.open_rows.get(&key.bank).copied();
+        let hit = self.profile.row_policy == RowPolicy::OpenPage && open == Some(key.row);
+        if hit {
+            self.telemetry.row_hits += 1;
+            return true;
+        }
+        self.open_rows.insert(key.bank, key.row);
+        *self.acts.entry(key).or_insert(0) += 1;
+        self.telemetry.activations += 1;
+        // Activation refreshes this row: remember the pressure it has
+        // already absorbed so only *future* pressure counts.
+        let p = self.raw_pressure(key);
+        self.discount.insert(key, p);
+        false
+    }
+
+    /// Advances the clock by the access latency, when timing is enabled.
+    fn charge_access_time(&mut self, row_hit: bool) {
+        if self.timing_enabled {
+            let d = if row_hit {
+                self.profile.t_row_hit
+            } else {
+                self.profile.t_row_miss
+            };
+            self.clock.advance(d);
+        }
+    }
+
+    /// Pressure accumulated on `victim` this window, before self-refresh
+    /// discounting and after TRR suppression.
+    fn raw_pressure(&self, victim: RowKey) -> f64 {
+        let rows = self.mapping.geometry().rows_per_bank;
+        let tracked: Option<Vec<u32>> = self.trr.map(|trr| {
+            let bank_acts: Vec<(u32, u64)> = self
+                .acts
+                .iter()
+                .filter(|(k, _)| k.bank == victim.bank)
+                .map(|(k, &n)| (k.row, n))
+                .collect();
+            trr.tracked_rows(&bank_acts)
+        });
+        let contribution = |key: RowKey| -> f64 {
+            let Some(&n) = self.acts.get(&key) else {
+                return 0.0;
+            };
+            match (&self.trr, &tracked) {
+                (Some(trr), Some(t)) if t.contains(&key.row) => {
+                    n.min(trr.detection_threshold) as f64
+                }
+                _ => n as f64,
+            }
+        };
+        let mut p = 0.0;
+        for delta in [-1i64, 1] {
+            if let Some(n) = victim.neighbor(delta, rows) {
+                p += contribution(n);
+            }
+        }
+        if self.profile.distance2_factor > 0.0 {
+            for delta in [-2i64, 2] {
+                if let Some(n) = victim.neighbor(delta, rows) {
+                    p += contribution(n) * self.profile.distance2_factor;
+                }
+            }
+        }
+        p
+    }
+
+    /// Effective pressure: raw pressure minus what the row's own last
+    /// activation already refreshed away.
+    fn effective_pressure(&self, victim: RowKey) -> f64 {
+        let raw = self.raw_pressure(victim);
+        let discount = self.discount.get(&victim).copied().unwrap_or(0.0);
+        (raw - discount).max(0.0)
+    }
+
+    /// Applies any flips that current pressure causes on `victim`.
+    fn evaluate_victim(&mut self, victim: RowKey) {
+        if self.acts.is_empty() {
+            return;
+        }
+        let pressure = self.effective_pressure(victim);
+        if pressure <= 0.0 {
+            return;
+        }
+        // Only materialized rows hold observable data.
+        if !self.rows.contains_key(&victim) {
+            return;
+        }
+        let row_bits = u64::from(self.mapping.geometry().row_bytes) * 8;
+        let cells = self
+            .remaining_weak
+            .entry(victim)
+            .or_insert_with(|| weak_cells_for_row(self.seed, &self.profile, row_bits, victim));
+        if cells.is_empty() {
+            return;
+        }
+        let now = self.clock.now();
+        let mut flipped_indices = Vec::new();
+        {
+            let row_data = self.rows.get_mut(&victim).expect("checked above");
+            for (i, cell) in cells.iter().enumerate() {
+                if (cell.threshold as f64) > pressure {
+                    break; // cells are sorted by threshold
+                }
+                let byte = (cell.bit / 8) as usize;
+                let mask = 1u8 << (cell.bit % 8);
+                let stored_one = row_data.bytes[byte] & mask != 0;
+                if stored_one != cell.orientation.vulnerable_value() {
+                    continue; // safe charge state; cell cannot flip now
+                }
+                row_data.bytes[byte] ^= mask;
+                row_data.flipped_bits.insert(cell.bit);
+                flipped_indices.push(i);
+                let direction = if stored_one {
+                    FlipDirection::OneToZero
+                } else {
+                    FlipDirection::ZeroToOne
+                };
+                let addr = self.mapping.encode(crate::geometry::Location {
+                    bank: victim.bank,
+                    row: victim.row,
+                    col: (cell.bit / 8) as u32,
+                });
+                self.flip_log.push(FlipEvent {
+                    time: now,
+                    row: victim,
+                    bit: cell.bit,
+                    direction,
+                    addr,
+                });
+            }
+        }
+        self.telemetry.flips += flipped_indices.len() as u64;
+        // Remove flipped cells (they have discharged; rewriting recharges the
+        // row but these specific cells remain weak — modeled by regenerating
+        // on rewrite being unnecessary: a flipped cell that is rewritten can
+        // flip again, so re-arm it instead of dropping it permanently).
+        // Re-arming: keep the cell in the list but it will only flip again
+        // after the row is rewritten (its stored bit then matches again).
+        // Since flipping changed the stored bit to the safe value, the
+        // orientation check above already prevents double-flips, so no
+        // removal is needed.
+        let _ = flipped_indices;
+    }
+
+    /// Evaluates every victim adjacent to any aggressor acted on this window.
+    fn settle_window(&mut self) {
+        if self.acts.is_empty() {
+            return;
+        }
+        let rows = self.mapping.geometry().rows_per_bank;
+        let reach = if self.profile.distance2_factor > 0.0 { 2 } else { 1 };
+        let mut victims = HashSet::new();
+        for key in self.acts.keys() {
+            for delta in 1..=reach {
+                if let Some(v) = key.neighbor(-delta, rows) {
+                    victims.insert(v);
+                }
+                if let Some(v) = key.neighbor(delta, rows) {
+                    victims.insert(v);
+                }
+            }
+        }
+        let mut victims: Vec<RowKey> = victims.into_iter().collect();
+        victims.sort();
+        for v in victims {
+            self.evaluate_victim(v);
+        }
+    }
+
+    /// SEC-DED over the words overlapping `[start_bit, end_bit)` of `key`;
+    /// corrects/flags `buf` (which holds the stored bytes for that range).
+    fn apply_ecc(
+        &mut self,
+        addr: DramAddr,
+        key: RowKey,
+        start_bit: u64,
+        end_bit: u64,
+        buf: &mut [u8],
+    ) -> Result<(), DramError> {
+        let ecc = self.ecc.expect("caller checked");
+        let word_lo = start_bit / ECC_WORD_BITS;
+        let word_hi = end_bit.div_ceil(ECC_WORD_BITS);
+        let row_data = match self.rows.get_mut(&key) {
+            Some(r) => r,
+            None => return Ok(()),
+        };
+        let mut corrected = 0u64;
+        let mut silent = 0u64;
+        for word in word_lo..word_hi {
+            let w_start = word * ECC_WORD_BITS;
+            let w_end = w_start + ECC_WORD_BITS;
+            let flips: Vec<u64> = row_data
+                .flipped_bits
+                .range(w_start..w_end)
+                .copied()
+                .collect();
+            match EccOutcome::classify(flips.len()) {
+                EccOutcome::Clean => {}
+                EccOutcome::Corrected => {
+                    corrected += 1;
+                    let bit = flips[0];
+                    // Return the original value.
+                    if bit >= start_bit && bit < end_bit {
+                        let rel = bit - start_bit;
+                        buf[(rel / 8) as usize] ^= 1 << (rel % 8);
+                    }
+                    if ecc.scrub_on_correct {
+                        let byte = (bit / 8) as usize;
+                        row_data.bytes[byte] ^= 1 << (bit % 8);
+                        row_data.flipped_bits.remove(&bit);
+                    }
+                }
+                EccOutcome::DetectedUncorrectable => {
+                    self.telemetry.ecc_corrected += corrected;
+                    self.telemetry.ecc_uncorrectable += 1;
+                    return Err(DramError::Uncorrectable { addr });
+                }
+                EccOutcome::SilentCorruption => {
+                    silent += 1;
+                }
+            }
+        }
+        self.telemetry.ecc_corrected += corrected;
+        self.telemetry.ecc_silent += silent;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::MappingKind;
+
+    fn tiny(profile: ModuleProfile) -> DramModule {
+        DramModule::builder(DramGeometry::tiny_test())
+            .profile(profile)
+            .mapping(MappingKind::Linear)
+            .seed(7)
+            .build(SimClock::new())
+    }
+
+    /// A profile whose weak cells flip after exactly 1000 aggregate
+    /// activations and where every row is vulnerable with several cells.
+    fn eager_profile() -> ModuleProfile {
+        let mut p = ModuleProfile::from_min_rate("eager", crate::DramGeneration::Ddr3, 2021, 1);
+        p.hc_first = 1000;
+        p.threshold_spread = 0.0;
+        p.row_vulnerable_prob = 1.0;
+        p.weak_cells_per_row = 4.0;
+        p
+    }
+
+    /// Address of column 0 of (bank, row) under the module's mapping.
+    fn row_addr(m: &DramModule, bank: u32, row: u32) -> DramAddr {
+        m.mapping().encode(crate::geometry::Location { bank, row, col: 0 })
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = tiny(ModuleProfile::invulnerable());
+        m.write(DramAddr(100), b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        m.read(DramAddr(100), &mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let mut m = tiny(ModuleProfile::invulnerable());
+        let mut buf = [9u8; 8];
+        m.read(DramAddr(2048), &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 8]);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut m = tiny(ModuleProfile::invulnerable());
+        let cap = DramGeometry::tiny_test().total_bytes().as_u64();
+        let mut buf = [0u8; 4];
+        assert!(matches!(
+            m.read(DramAddr(cap), &mut buf),
+            Err(DramError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn open_page_absorbs_same_row_accesses() {
+        let mut m = tiny(ModuleProfile::invulnerable());
+        let mut buf = [0u8; 4];
+        for _ in 0..10 {
+            m.read(DramAddr(0), &mut buf).unwrap();
+        }
+        assert_eq!(m.telemetry().activations, 1);
+        assert_eq!(m.telemetry().row_hits, 9);
+    }
+
+    #[test]
+    fn closed_page_activates_every_access() {
+        let mut m = tiny(ModuleProfile::invulnerable().with_row_policy(RowPolicy::ClosedPage));
+        let mut buf = [0u8; 4];
+        for _ in 0..10 {
+            m.read(DramAddr(0), &mut buf).unwrap();
+        }
+        assert_eq!(m.telemetry().activations, 10);
+    }
+
+    #[test]
+    fn alternating_rows_activate_every_access() {
+        let mut m = tiny(ModuleProfile::invulnerable());
+        let a = row_addr(&m, 0, 4);
+        let b = row_addr(&m, 0, 6);
+        let mut buf = [0u8; 4];
+        for _ in 0..5 {
+            m.read(a, &mut buf).unwrap();
+            m.read(b, &mut buf).unwrap();
+        }
+        assert_eq!(m.telemetry().activations, 10);
+    }
+
+    #[test]
+    fn double_sided_hammer_flips_victim() {
+        let mut m = tiny(eager_profile());
+        // Victim row 5 between aggressors 4 and 6; write known data so flips
+        // are observable.
+        let victim = row_addr(&m, 0, 5);
+        m.write(victim, &[0xFFu8; 64]).unwrap();
+        let aggr = [row_addr(&m, 0, 4), row_addr(&m, 0, 6)];
+        let report = m
+            .run_hammer(&aggr, 200_000, 10_000_000.0)
+            .unwrap();
+        assert!(
+            report.flips.iter().any(|f| f.row == RowKey { bank: 0, row: 5 }),
+            "expected a flip on the victim row; report: {report:?}"
+        );
+        assert!(m.telemetry().flips > 0);
+    }
+
+    #[test]
+    fn hammering_below_threshold_rate_does_not_flip() {
+        let mut m = tiny(eager_profile());
+        let victim = row_addr(&m, 0, 5);
+        m.write(victim, &[0xFFu8; 64]).unwrap();
+        let aggr = [row_addr(&m, 0, 4), row_addr(&m, 0, 6)];
+        // 1000 ACTs needed per 64ms window => rate floor ~15.6K/s. Hammer at
+        // 10K/s: never enough within any window.
+        let report = m.run_hammer(&aggr, 5_000, 10_000.0).unwrap();
+        assert!(report.flips.is_empty(), "no flips expected: {report:?}");
+    }
+
+    #[test]
+    fn single_aggressor_open_page_is_absorbed() {
+        let mut m = tiny(eager_profile());
+        let victim = row_addr(&m, 0, 5);
+        m.write(victim, &[0xFFu8; 64]).unwrap();
+        let aggr = [row_addr(&m, 0, 4)];
+        let report = m.run_hammer(&aggr, 500_000, 10_000_000.0).unwrap();
+        assert!(report.flips.is_empty());
+        assert!(report.activations < 100, "row buffer should absorb repeats");
+    }
+
+    #[test]
+    fn one_location_works_under_closed_page() {
+        let mut m = tiny(eager_profile().with_row_policy(RowPolicy::ClosedPage));
+        let victim = row_addr(&m, 0, 5);
+        m.write(victim, &[0xFFu8; 64]).unwrap();
+        let aggr = [row_addr(&m, 0, 4)];
+        let report = m.run_hammer(&aggr, 500_000, 10_000_000.0).unwrap();
+        assert!(!report.flips.is_empty(), "closed-page one-location should flip");
+    }
+
+    #[test]
+    fn victim_accesses_refresh_and_protect_it() {
+        let mut m = tiny(eager_profile());
+        let victim = row_addr(&m, 0, 5);
+        m.write(victim, &[0xFFu8; 64]).unwrap();
+        let a = row_addr(&m, 0, 4);
+        let b = row_addr(&m, 0, 6);
+        let mut buf = [0u8; 4];
+        // Interleave aggressor accesses with frequent victim reads: the
+        // victim's self-refresh keeps effective pressure near zero.
+        for _ in 0..2000 {
+            m.read(a, &mut buf).unwrap();
+            m.read(b, &mut buf).unwrap();
+            m.read(victim, &mut buf).unwrap();
+        }
+        assert_eq!(m.telemetry().flips, 0);
+    }
+
+    #[test]
+    fn flips_persist_across_windows_until_rewrite() {
+        let mut m = tiny(eager_profile());
+        let victim = row_addr(&m, 0, 5);
+        m.write(victim, &[0xFFu8; 1024]).unwrap();
+        let aggr = [row_addr(&m, 0, 4), row_addr(&m, 0, 6)];
+        m.run_hammer(&aggr, 200_000, 10_000_000.0).unwrap();
+        assert!(m.telemetry().flips > 0);
+        // Jump far ahead: data stays corrupted.
+        m.clock().advance(SimDuration::from_secs(10));
+        let mut buf = vec![0u8; 1024];
+        m.read(victim, &mut buf).unwrap();
+        assert!(buf.iter().any(|&b| b != 0xFF), "corruption persists");
+        // Rewrite recharges the cells.
+        m.write(victim, &[0xFFu8; 1024]).unwrap();
+        let mut buf2 = vec![0u8; 1024];
+        m.read(victim, &mut buf2).unwrap();
+        assert!(buf2.iter().all(|&b| b == 0xFF));
+    }
+
+    #[test]
+    fn refresh_window_rollover_clears_pressure() {
+        let mut m = tiny(eager_profile());
+        let victim = row_addr(&m, 0, 5);
+        m.write(victim, &[0xFFu8; 64]).unwrap();
+        let a = row_addr(&m, 0, 4);
+        let b = row_addr(&m, 0, 6);
+        let mut buf = [0u8; 4];
+        // 400 ACTs per window (threshold 1000), spread over many windows:
+        // rate too low, never flips.
+        for _ in 0..10 {
+            for _ in 0..200 {
+                m.read(a, &mut buf).unwrap();
+                m.read(b, &mut buf).unwrap();
+            }
+            m.clock().advance(SimDuration::from_millis(64));
+        }
+        assert_eq!(m.telemetry().flips, 0);
+    }
+
+    #[test]
+    fn trr_defeats_double_sided() {
+        let mut m = DramModule::builder(DramGeometry::tiny_test())
+            .profile(eager_profile())
+            .mapping(MappingKind::Linear)
+            .seed(7)
+            .trr(TrrConfig {
+                sampler_size: 4,
+                detection_threshold: 100,
+            })
+            .build(SimClock::new());
+        let victim = row_addr(&m, 0, 5);
+        m.write(victim, &[0xFFu8; 64]).unwrap();
+        let aggr = [row_addr(&m, 0, 4), row_addr(&m, 0, 6)];
+        let report = m.run_hammer(&aggr, 500_000, 10_000_000.0).unwrap();
+        assert!(report.flips.is_empty(), "TRR should absorb double-sided");
+    }
+
+    #[test]
+    fn many_sided_defeats_trr() {
+        let mut m = DramModule::builder(DramGeometry::tiny_test())
+            .profile(eager_profile())
+            .mapping(MappingKind::Linear)
+            .seed(7)
+            .trr(TrrConfig {
+                sampler_size: 4,
+                detection_threshold: 100,
+            })
+            .build(SimClock::new());
+        // 9 aggressor pairs around 9 victims; sampler capacity 4 is
+        // overwhelmed by 18 hot rows.
+        let mut aggr = Vec::new();
+        let mut victims = Vec::new();
+        for i in 0..9u32 {
+            let v = 5 + i * 3;
+            victims.push(v);
+            m.write(row_addr(&m, 0, v), &[0xFFu8; 64]).unwrap();
+            aggr.push(row_addr(&m, 0, v - 1));
+            aggr.push(row_addr(&m, 0, v + 1));
+        }
+        let report = m.run_hammer(&aggr, 4_000_000, 20_000_000.0).unwrap();
+        assert!(
+            !report.flips.is_empty(),
+            "many-sided should overwhelm the sampler: {:?}",
+            m.telemetry()
+        );
+    }
+
+    #[test]
+    fn ecc_corrects_single_flip() {
+        let mut m = DramModule::builder(DramGeometry::tiny_test())
+            .profile(eager_profile())
+            .mapping(MappingKind::Linear)
+            .seed(7)
+            .ecc(EccConfig::default())
+            .build(SimClock::new());
+        let victim = row_addr(&m, 0, 5);
+        m.write(victim, &[0xFFu8; 1024]).unwrap();
+        let aggr = [row_addr(&m, 0, 4), row_addr(&m, 0, 6)];
+        m.run_hammer(&aggr, 200_000, 10_000_000.0).unwrap();
+        assert!(m.telemetry().flips > 0, "cells should still flip physically");
+        // Reads see corrected data (flips on this seed land in distinct words).
+        let mut buf = vec![0u8; 1024];
+        m.read(victim, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0xFF), "ECC should hide the flips");
+        assert!(m.telemetry().ecc_corrected > 0);
+    }
+
+    #[test]
+    fn hammer_report_rates_are_consistent() {
+        let mut m = tiny(ModuleProfile::invulnerable());
+        let aggr = [row_addr(&m, 0, 4), row_addr(&m, 0, 6)];
+        let report = m.run_hammer(&aggr, 100_000, 1_000_000.0).unwrap();
+        assert_eq!(report.activations, 100_000);
+        assert!((report.achieved_rate - 1_000_000.0).abs() / 1_000_000.0 < 0.05);
+        assert!((report.elapsed.as_secs_f64() - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn u32_roundtrip_and_flip_visibility() {
+        let mut m = tiny(eager_profile());
+        let victim = row_addr(&m, 0, 5);
+        m.write_u32(victim, 0xFFFF_FFFF).unwrap();
+        assert_eq!(m.read_u32(victim).unwrap(), 0xFFFF_FFFF);
+        let aggr = [row_addr(&m, 0, 4), row_addr(&m, 0, 6)];
+        m.run_hammer(&aggr, 400_000, 10_000_000.0).unwrap();
+        // Some flip may or may not land inside the first 4 bytes, but the
+        // value must still be readable.
+        let _ = m.read_u32(victim).unwrap();
+    }
+
+    #[test]
+    fn vulnerable_rows_listing_matches_profiling() {
+        let m = tiny(ModuleProfile::ddr3_2016());
+        let rows = m.vulnerable_rows(0, 10);
+        for r in &rows {
+            assert!(!m.profile_row(RowKey { bank: 0, row: *r }).is_empty());
+        }
+    }
+
+    #[test]
+    fn timing_advances_clock_by_hit_and_miss_latency() {
+        let mut m = tiny(ModuleProfile::invulnerable());
+        let mut buf = [0u8; 4];
+        m.read(DramAddr(0), &mut buf).unwrap(); // miss: 45ns
+        m.read(DramAddr(0), &mut buf).unwrap(); // hit: 15ns
+        assert_eq!(m.clock().now().as_nanos(), 60);
+
+        let mut m2 = DramModule::builder(DramGeometry::tiny_test())
+            .profile(ModuleProfile::invulnerable())
+            .mapping(MappingKind::Linear)
+            .without_timing()
+            .build(SimClock::new());
+        m2.read(DramAddr(0), &mut buf).unwrap();
+        assert_eq!(m2.clock().now().as_nanos(), 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Target Row Refresh (TRR): the in-DRAM mitigation that tracks frequently
+//! activated rows and refreshes their neighbors.
+//!
+//! We model the sampler-based TRR that TRRespass (Frigo et al. 2020)
+//! reverse-engineered: per bank, the device can track a bounded number of
+//! aggressor candidates per refresh window. Aggressors the sampler tracks are
+//! neutralized (their neighbors get refreshed often enough that no pressure
+//! accumulates); aggressors beyond the sampler's capacity escape — which is
+//! exactly why *many-sided* patterns defeat TRR while double-sided ones do
+//! not.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the sampler-based TRR model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrrConfig {
+    /// How many distinct aggressor rows per bank the sampler can track within
+    /// one refresh window.
+    pub sampler_size: usize,
+    /// Minimum activations within the window before a row is considered an
+    /// aggressor candidate at all (filters ordinary traffic).
+    pub detection_threshold: u64,
+}
+
+impl Default for TrrConfig {
+    fn default() -> Self {
+        // TRRespass found samplers tracking on the order of 1-16 aggressors;
+        // 4 is a common effective capacity.
+        TrrConfig {
+            sampler_size: 4,
+            detection_threshold: 2_000,
+        }
+    }
+}
+
+impl TrrConfig {
+    /// Given the per-row activation counts of one bank within the current
+    /// window, returns the set of rows the sampler tracks (and therefore
+    /// neutralizes).
+    ///
+    /// Candidates are rows at or above `detection_threshold`; if more
+    /// candidates exist than `sampler_size`, the sampler keeps the
+    /// most-activated ones (ties broken by row index for determinism) and the
+    /// rest *escape* — the TRRespass effect.
+    #[must_use]
+    pub fn tracked_rows(&self, acts: &[(u32, u64)]) -> Vec<u32> {
+        let mut candidates: Vec<(u32, u64)> = acts
+            .iter()
+            .copied()
+            .filter(|&(_, n)| n >= self.detection_threshold)
+            .collect();
+        candidates.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        candidates
+            .into_iter()
+            .take(self.sampler_size)
+            .map(|(row, _)| row)
+            .collect()
+    }
+
+    /// True when a pattern with `distinct_aggressors` equally-hot rows would
+    /// overwhelm this sampler (some aggressors escape tracking).
+    #[must_use]
+    pub fn overwhelmed_by(&self, distinct_aggressors: usize) -> bool {
+        distinct_aggressors > self.sampler_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_hottest_rows_up_to_capacity() {
+        let trr = TrrConfig {
+            sampler_size: 2,
+            detection_threshold: 10,
+        };
+        let acts = vec![(5u32, 100u64), (9, 300), (2, 200), (7, 5)];
+        // Row 7 is below detection threshold; of the rest, top-2 by count.
+        assert_eq!(trr.tracked_rows(&acts), vec![9, 2]);
+    }
+
+    #[test]
+    fn double_sided_is_fully_tracked() {
+        let trr = TrrConfig::default();
+        let acts = vec![(10u32, 50_000u64), (12, 50_000)];
+        assert_eq!(trr.tracked_rows(&acts).len(), 2);
+        assert!(!trr.overwhelmed_by(2));
+    }
+
+    #[test]
+    fn many_sided_overwhelms_sampler() {
+        let trr = TrrConfig::default();
+        let acts: Vec<(u32, u64)> = (0..10).map(|i| (i * 2, 30_000u64)).collect();
+        let tracked = trr.tracked_rows(&acts);
+        assert_eq!(tracked.len(), trr.sampler_size);
+        assert!(trr.overwhelmed_by(10));
+        // Escaped rows are the ones not in the tracked set.
+        let escaped = acts.iter().filter(|(r, _)| !tracked.contains(r)).count();
+        assert_eq!(escaped, 6);
+    }
+
+    #[test]
+    fn ties_break_deterministically_by_row() {
+        let trr = TrrConfig {
+            sampler_size: 2,
+            detection_threshold: 1,
+        };
+        let acts = vec![(30u32, 7u64), (10, 7), (20, 7)];
+        assert_eq!(trr.tracked_rows(&acts), vec![10, 20]);
+    }
+
+    #[test]
+    fn quiet_traffic_is_ignored() {
+        let trr = TrrConfig::default();
+        let acts = vec![(1u32, 10u64), (2, 12)];
+        assert!(trr.tracked_rows(&acts).is_empty());
+    }
+}

@@ -1,0 +1,192 @@
+//! Weak-cell placement: which cells of which rows are susceptible to
+//! disturbance errors, and at what hammer count.
+//!
+//! Rowhammerability "is determined primarily by variation in the
+//! manufacturing process" (§4.2); we model it as a deterministic function of
+//! the module seed, so the same simulated module always has the same weak
+//! cells (an attacker can profile it once, like a real device), while
+//! different seeds produce different modules of the same class.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use ssdhammer_simkit::rng::{derive_seed, seeded};
+
+use crate::geometry::RowKey;
+use crate::profile::ModuleProfile;
+
+/// Charge convention of a DRAM cell, which determines the only direction it
+/// can flip: a *true-cell* stores logical 1 as charged and leaks toward 0; an
+/// *anti-cell* is the opposite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellOrientation {
+    /// Flips 1 → 0.
+    TrueCell,
+    /// Flips 0 → 1.
+    AntiCell,
+}
+
+impl CellOrientation {
+    /// The bit value this cell can lose (i.e. the value vulnerable to a flip).
+    #[must_use]
+    pub fn vulnerable_value(self) -> bool {
+        matches!(self, CellOrientation::TrueCell)
+    }
+}
+
+/// One disturbance-susceptible cell within a row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeakCell {
+    /// Bit index within the row (`0..row_bytes*8`).
+    pub bit: u64,
+    /// Aggregate adjacent-row activations within one refresh window needed to
+    /// flip this cell.
+    pub threshold: u64,
+    /// Flip direction.
+    pub orientation: CellOrientation,
+}
+
+/// Deterministically generates the weak cells of `row` for a module with the
+/// given `seed` and `profile`.
+///
+/// The weakest cells across a module approach `profile.hc_first` (the
+/// calibrated Table 1 threshold); per-cell thresholds carry an exponential
+/// tail of scale `threshold_spread`.
+///
+/// # Examples
+///
+/// ```
+/// use ssdhammer_dram::{weak_cells_for_row, ModuleProfile, RowKey};
+///
+/// let profile = ModuleProfile::ddr3_2016();
+/// let row = RowKey { bank: 0, row: 7 };
+/// let a = weak_cells_for_row(42, &profile, 1 << 13, row);
+/// let b = weak_cells_for_row(42, &profile, 1 << 13, row);
+/// assert_eq!(a, b); // same module -> same cells
+/// ```
+#[must_use]
+pub fn weak_cells_for_row(
+    seed: u64,
+    profile: &ModuleProfile,
+    row_bits_len: u64,
+    row: RowKey,
+) -> Vec<WeakCell> {
+    if profile.row_vulnerable_prob <= 0.0 {
+        return Vec::new();
+    }
+    let sub = derive_seed(seed, "weak-cells", (u64::from(row.bank) << 32) | u64::from(row.row));
+    let mut rng = seeded(sub);
+    if rng.gen::<f64>() >= profile.row_vulnerable_prob {
+        return Vec::new();
+    }
+    // Cell count: at least one, with the expectation set by the profile.
+    let mean = profile.weak_cells_per_row.max(1.0);
+    let extra = mean - 1.0;
+    let mut count = 1usize;
+    count += extra.floor() as usize;
+    if rng.gen::<f64>() < extra.fract() {
+        count += 1;
+    }
+    let mut cells = Vec::with_capacity(count);
+    for _ in 0..count {
+        let bit = rng.gen_range(0..row_bits_len);
+        // Exponential tail above the calibrated floor. The weakest cell over
+        // many rows converges to hc_first.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let tail = -(u.ln()) * profile.threshold_spread;
+        let threshold = if profile.hc_first == u64::MAX {
+            u64::MAX
+        } else {
+            (profile.hc_first as f64 * (1.0 + tail)).round() as u64
+        };
+        let orientation = if rng.gen::<bool>() {
+            CellOrientation::TrueCell
+        } else {
+            CellOrientation::AntiCell
+        };
+        cells.push(WeakCell {
+            bit,
+            threshold,
+            orientation,
+        });
+    }
+    cells.sort_by_key(|c| (c.threshold, c.bit));
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> ModuleProfile {
+        ModuleProfile::ddr3_2016()
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_row() {
+        let row = RowKey { bank: 3, row: 99 };
+        assert_eq!(
+            weak_cells_for_row(7, &profile(), 8192 * 8, row),
+            weak_cells_for_row(7, &profile(), 8192 * 8, row)
+        );
+        // Different seed should (overwhelmingly) differ somewhere over many rows.
+        let differs = (0..64).any(|r| {
+            let k = RowKey { bank: 0, row: r };
+            weak_cells_for_row(1, &profile(), 8192 * 8, k)
+                != weak_cells_for_row(2, &profile(), 8192 * 8, k)
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn vulnerable_fraction_matches_probability() {
+        let p = profile();
+        let vulnerable = (0..2000u32)
+            .filter(|&r| {
+                !weak_cells_for_row(11, &p, 8192 * 8, RowKey { bank: 0, row: r }).is_empty()
+            })
+            .count();
+        let frac = vulnerable as f64 / 2000.0;
+        assert!((frac - p.row_vulnerable_prob).abs() < 0.05, "fraction {frac}");
+    }
+
+    #[test]
+    fn thresholds_floor_at_hc_first() {
+        let p = profile();
+        let min = (0..2000u32)
+            .flat_map(|r| weak_cells_for_row(11, &p, 8192 * 8, RowKey { bank: 0, row: r }))
+            .map(|c| c.threshold)
+            .min()
+            .unwrap();
+        assert!(min >= p.hc_first);
+        // With ~600 vulnerable rows the sample minimum sits within ~3% of the floor.
+        assert!((min as f64) < p.hc_first as f64 * 1.03, "min {min}");
+    }
+
+    #[test]
+    fn bits_are_in_range_and_sorted() {
+        let p = profile();
+        for r in 0..200u32 {
+            let cells = weak_cells_for_row(5, &p, 1024, RowKey { bank: 1, row: r });
+            assert!(cells.iter().all(|c| c.bit < 1024));
+            assert!(cells.windows(2).all(|w| w[0].threshold <= w[1].threshold));
+        }
+    }
+
+    #[test]
+    fn invulnerable_profile_has_no_cells() {
+        let p = ModuleProfile::invulnerable();
+        for r in 0..100u32 {
+            assert!(weak_cells_for_row(1, &p, 8192 * 8, RowKey { bank: 0, row: r }).is_empty());
+        }
+    }
+
+    #[test]
+    fn both_orientations_occur() {
+        let p = profile();
+        let cells: Vec<WeakCell> = (0..500u32)
+            .flat_map(|r| weak_cells_for_row(3, &p, 8192 * 8, RowKey { bank: 0, row: r }))
+            .collect();
+        assert!(cells.iter().any(|c| c.orientation == CellOrientation::TrueCell));
+        assert!(cells.iter().any(|c| c.orientation == CellOrientation::AntiCell));
+    }
+}

@@ -1,0 +1,258 @@
+//! NAND flash organization and addressing.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+use ssdhammer_simkit::ByteSize;
+
+/// A global physical page number across the whole flash array.
+///
+/// Distinct from [`ssdhammer_simkit::Lba`]: the FTL's entire job — and the
+/// attack's entire leverage — is the mapping between the two.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Ppn(pub u64);
+
+impl Ppn {
+    /// The raw index.
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Ppn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PPN#{}", self.0)
+    }
+}
+
+impl From<u64> for Ppn {
+    fn from(v: u64) -> Self {
+        Ppn(v)
+    }
+}
+
+/// A global erase-block index.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct BlockId(pub u64);
+
+impl BlockId {
+    /// The raw index.
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BLK#{}", self.0)
+    }
+}
+
+/// Physical organization of the NAND array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlashGeometry {
+    /// Independent channels (parallel buses).
+    pub channels: u32,
+    /// Dies per channel.
+    pub dies_per_channel: u32,
+    /// Planes per die.
+    pub planes_per_die: u32,
+    /// Erase blocks per plane.
+    pub blocks_per_plane: u32,
+    /// Pages per erase block.
+    pub pages_per_block: u32,
+    /// Data bytes per page (4 KiB throughout the workspace).
+    pub page_bytes: u32,
+    /// Out-of-band (spare) bytes per page, used by the FTL for reverse
+    /// mapping metadata.
+    pub oob_bytes: u32,
+}
+
+impl FlashGeometry {
+    /// A 1 GiB SSD as in the paper's prototype (§4.1): 4 channels × 1 die ×
+    /// 1 plane × 64 blocks × 1024 pages × 4 KiB = 1 GiB.
+    #[must_use]
+    pub fn gib1() -> Self {
+        FlashGeometry {
+            channels: 4,
+            dies_per_channel: 1,
+            planes_per_die: 1,
+            blocks_per_plane: 64,
+            pages_per_block: 1024,
+            page_bytes: 4096,
+            oob_bytes: 32,
+        }
+    }
+
+    /// A small array for tests: 2 channels × 1 die × 1 plane × 8 blocks ×
+    /// 64 pages × 4 KiB = 4 MiB.
+    #[must_use]
+    pub fn tiny_test() -> Self {
+        FlashGeometry {
+            channels: 2,
+            dies_per_channel: 1,
+            planes_per_die: 1,
+            blocks_per_plane: 8,
+            pages_per_block: 64,
+            page_bytes: 4096,
+            oob_bytes: 32,
+        }
+    }
+
+    /// A mid-size array (64 MiB) for integration tests: 4 channels × 16
+    /// blocks × 256 pages.
+    #[must_use]
+    pub fn mib64() -> Self {
+        FlashGeometry {
+            channels: 4,
+            dies_per_channel: 1,
+            planes_per_die: 1,
+            blocks_per_plane: 16,
+            pages_per_block: 256,
+            page_bytes: 4096,
+            oob_bytes: 32,
+        }
+    }
+
+    /// Total number of erase blocks.
+    #[must_use]
+    pub fn total_blocks(&self) -> u64 {
+        u64::from(self.channels)
+            * u64::from(self.dies_per_channel)
+            * u64::from(self.planes_per_die)
+            * u64::from(self.blocks_per_plane)
+    }
+
+    /// Total number of pages.
+    #[must_use]
+    pub fn total_pages(&self) -> u64 {
+        self.total_blocks() * u64::from(self.pages_per_block)
+    }
+
+    /// Total data capacity (excluding OOB).
+    #[must_use]
+    pub fn total_bytes(&self) -> ByteSize {
+        ByteSize::bytes(self.total_pages() * u64::from(self.page_bytes))
+    }
+
+    /// The block containing `ppn`.
+    #[must_use]
+    pub fn block_of(&self, ppn: Ppn) -> BlockId {
+        BlockId(ppn.as_u64() / u64::from(self.pages_per_block))
+    }
+
+    /// Page index of `ppn` within its block.
+    #[must_use]
+    pub fn page_in_block(&self, ppn: Ppn) -> u32 {
+        (ppn.as_u64() % u64::from(self.pages_per_block)) as u32
+    }
+
+    /// First page of `block`.
+    #[must_use]
+    pub fn first_page(&self, block: BlockId) -> Ppn {
+        Ppn(block.as_u64() * u64::from(self.pages_per_block))
+    }
+
+    /// The channel serving `block`. Blocks stripe across channels round-robin
+    /// so sequential block allocation exploits channel parallelism.
+    #[must_use]
+    pub fn channel_of(&self, block: BlockId) -> u32 {
+        (block.as_u64() % u64::from(self.channels)) as u32
+    }
+
+    /// Validates all dimensions are non-zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns the name of the first zero dimension.
+    pub fn validate(&self) -> Result<(), String> {
+        let dims = [
+            ("channels", self.channels),
+            ("dies_per_channel", self.dies_per_channel),
+            ("planes_per_die", self.planes_per_die),
+            ("blocks_per_plane", self.blocks_per_plane),
+            ("pages_per_block", self.pages_per_block),
+            ("page_bytes", self.page_bytes),
+        ];
+        for (name, v) in dims {
+            if v == 0 {
+                return Err(format!("{name} must be non-zero"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// NAND operation latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlashTiming {
+    /// Page read (tR) in nanoseconds.
+    pub t_read_ns: u64,
+    /// Page program (tPROG) in nanoseconds.
+    pub t_program_ns: u64,
+    /// Block erase (tBERS) in nanoseconds.
+    pub t_erase_ns: u64,
+    /// Per-page bus transfer time in nanoseconds.
+    pub t_xfer_ns: u64,
+}
+
+impl Default for FlashTiming {
+    fn default() -> Self {
+        // Datasheet-ish TLC NAND numbers.
+        FlashTiming {
+            t_read_ns: 50_000,
+            t_program_ns: 600_000,
+            t_erase_ns: 3_000_000,
+            t_xfer_ns: 10_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gib1_capacity() {
+        let g = FlashGeometry::gib1();
+        assert_eq!(g.total_bytes(), ByteSize::gib(1));
+        assert_eq!(g.total_blocks(), 256);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn ppn_block_decomposition() {
+        let g = FlashGeometry::tiny_test();
+        let ppn = Ppn(64 * 3 + 17);
+        assert_eq!(g.block_of(ppn), BlockId(3));
+        assert_eq!(g.page_in_block(ppn), 17);
+        assert_eq!(g.first_page(BlockId(3)), Ppn(192));
+    }
+
+    #[test]
+    fn channels_stripe_blocks() {
+        let g = FlashGeometry::tiny_test();
+        assert_eq!(g.channel_of(BlockId(0)), 0);
+        assert_eq!(g.channel_of(BlockId(1)), 1);
+        assert_eq!(g.channel_of(BlockId(2)), 0);
+    }
+
+    #[test]
+    fn validate_catches_zero() {
+        let mut g = FlashGeometry::tiny_test();
+        g.pages_per_block = 0;
+        assert!(g.validate().unwrap_err().contains("pages_per_block"));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Ppn(12).to_string(), "PPN#12");
+        assert_eq!(BlockId(3).to_string(), "BLK#3");
+    }
+}

@@ -1,0 +1,1627 @@
+//! The filesystem proper: formatting, mounting, path operations, and
+//! block-granular file I/O over any [`BlockStorage`].
+//!
+//! Design notes:
+//!
+//! * All file I/O is block-granular (4 KiB), matching the paper's
+//!   block-level exploit; `size` still tracks bytes.
+//! * **No caching**: every metadata and data access goes to the device, so
+//!   when the FTL under the device redirects an LBA, the filesystem
+//!   faithfully follows the corrupted pointer chain — the behaviour §4.2
+//!   exploits.
+//! * Directories always use extent addressing; regular files choose
+//!   per-inode between checksummed extents and unchecksummed indirect
+//!   blocks, as in ext4.
+
+use ssdhammer_simkit::{BlockStorage, Lba, BLOCK_SIZE};
+
+use crate::error::{FsError, FsResult};
+use crate::layout::{
+    AddressingMode, Dirent, Extent, FileType, FsBlock, Ino, Inode, InodeMap, SuperBlock,
+    DIRECT_PTRS, DIRENT_SIZE, EXTENT_MAGIC, INODES_PER_BLOCK, INODE_SIZE, INLINE_EXTENTS,
+    MAX_NAME, PTRS_PER_BLOCK, ROOT_INO,
+};
+
+/// Extents per depth-1 leaf block: header(12) + n·12 + crc(4) ≤ 4096.
+pub const EXTENTS_PER_LEAF: usize = (BLOCK_SIZE - 12 - 4) / 12;
+
+/// Who is performing an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Credentials {
+    /// User id; 0 is root.
+    pub uid: u32,
+}
+
+impl Credentials {
+    /// The superuser.
+    #[must_use]
+    pub const fn root() -> Credentials {
+        Credentials { uid: 0 }
+    }
+
+    /// An ordinary user.
+    #[must_use]
+    pub const fn user(uid: u32) -> Credentials {
+        Credentials { uid }
+    }
+
+    /// True for the superuser.
+    #[must_use]
+    pub const fn is_root(&self) -> bool {
+        self.uid == 0
+    }
+}
+
+/// Metadata returned by [`FileSystem::stat`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stat {
+    /// The inode number.
+    pub ino: Ino,
+    /// File type.
+    pub ftype: FileType,
+    /// Permission bits.
+    pub perms: u16,
+    /// Owner.
+    pub uid: u32,
+    /// Size in bytes.
+    pub size: u64,
+    /// Addressing mode of the block map.
+    pub addressing: AddressingMode,
+}
+
+/// An ext4-like filesystem over a block device.
+///
+/// # Examples
+///
+/// ```
+/// use ssdhammer_fs::{AddressingMode, Credentials, FileSystem};
+/// use ssdhammer_simkit::RamDisk;
+///
+/// # fn main() -> Result<(), ssdhammer_fs::FsError> {
+/// let mut fs = FileSystem::format(RamDisk::new(256))?;
+/// let root = Credentials::root();
+/// let ino = fs.create("/hello.txt", root, 0o644, AddressingMode::Extents)?;
+/// fs.write_file_block(ino, root, 0, &[b'h'; 4096])?;
+/// let data = fs.read_file_block(ino, root, 0)?;
+/// assert_eq!(data[0], b'h');
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FileSystem<S: BlockStorage> {
+    dev: S,
+    sb: SuperBlock,
+}
+
+impl<S: BlockStorage> FileSystem<S> {
+    // ---- lifecycle ---------------------------------------------------------
+
+    /// Formats `dev` and mounts the fresh filesystem.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NoSpace`] for devices too small for metadata, plus I/O
+    /// errors.
+    pub fn format(mut dev: S) -> FsResult<Self> {
+        let total = u32::try_from(dev.block_count()).map_err(|_| FsError::NoSpace)?;
+        let sb = SuperBlock::compute(total)?;
+        dev.write_block(Lba(0), &sb.encode())?;
+        // Zero the bitmaps and inode table.
+        let zero = [0u8; BLOCK_SIZE];
+        for b in sb.block_bitmap_start..sb.data_start {
+            dev.write_block(Lba(u64::from(b)), &zero)?;
+        }
+        let mut fs = FileSystem { dev, sb };
+        // Reserve the metadata blocks in the block bitmap.
+        for b in 0..sb.data_start {
+            fs.bitmap_set(sb.block_bitmap_start, b, true)?;
+        }
+        // Inode 0 is reserved (invalid).
+        fs.bitmap_set(sb.inode_bitmap_start, 0, true)?;
+        // Root directory.
+        let root_ino = fs.alloc_ino()?;
+        debug_assert_eq!(root_ino, ROOT_INO);
+        let root = Inode::new(FileType::Directory, 0o755, 0, AddressingMode::Extents);
+        fs.write_inode(root_ino, &root)?;
+        Ok(fs)
+    }
+
+    /// Mounts an existing filesystem, verifying the superblock.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Corrupted`] when the superblock fails validation.
+    pub fn mount(mut dev: S) -> FsResult<Self> {
+        let mut buf = [0u8; BLOCK_SIZE];
+        dev.read_block(Lba(0), &mut buf)?;
+        let sb = SuperBlock::decode(&buf)?;
+        if u64::from(sb.total_blocks) != dev.block_count() {
+            return Err(FsError::Corrupted(
+                "superblock size does not match device".into(),
+            ));
+        }
+        Ok(FileSystem { dev, sb })
+    }
+
+    /// Consumes the filesystem, returning the device.
+    #[must_use]
+    pub fn into_device(self) -> S {
+        self.dev
+    }
+
+    /// The underlying device (e.g. to inspect FTL state in experiments).
+    pub fn device_mut(&mut self) -> &mut S {
+        &mut self.dev
+    }
+
+    /// The superblock (read-only).
+    #[must_use]
+    pub fn superblock(&self) -> &SuperBlock {
+        &self.sb
+    }
+
+    /// Enables or disables §5's extents-only policy: when on, creating
+    /// indirect-addressed files fails with [`FsError::PermissionDenied`].
+    ///
+    /// # Errors
+    ///
+    /// I/O errors persisting the superblock.
+    pub fn set_extents_only(&mut self, on: bool) -> FsResult<()> {
+        self.sb.extents_only = on;
+        self.dev.write_block(Lba(0), &self.sb.encode())?;
+        Ok(())
+    }
+
+    // ---- low-level device access -------------------------------------------
+
+    fn read_raw(&mut self, block: FsBlock) -> FsResult<[u8; BLOCK_SIZE]> {
+        let mut buf = [0u8; BLOCK_SIZE];
+        self.dev.read_block(Lba(u64::from(block)), &mut buf)?;
+        Ok(buf)
+    }
+
+    fn write_raw(&mut self, block: FsBlock, buf: &[u8; BLOCK_SIZE]) -> FsResult<()> {
+        self.dev.write_block(Lba(u64::from(block)), buf)?;
+        Ok(())
+    }
+
+    // ---- bitmaps -----------------------------------------------------------
+
+    fn bitmap_get(&mut self, start: u32, index: u32) -> FsResult<bool> {
+        let block = start + index / (BLOCK_SIZE as u32 * 8);
+        let bit = index % (BLOCK_SIZE as u32 * 8);
+        let buf = self.read_raw(block)?;
+        Ok(buf[(bit / 8) as usize] & (1 << (bit % 8)) != 0)
+    }
+
+    fn bitmap_set(&mut self, start: u32, index: u32, value: bool) -> FsResult<()> {
+        let block = start + index / (BLOCK_SIZE as u32 * 8);
+        let bit = index % (BLOCK_SIZE as u32 * 8);
+        let mut buf = self.read_raw(block)?;
+        let byte = &mut buf[(bit / 8) as usize];
+        if value {
+            *byte |= 1 << (bit % 8);
+        } else {
+            *byte &= !(1 << (bit % 8));
+        }
+        self.write_raw(block, &buf)
+    }
+
+    /// Allocates the first free data block.
+    fn alloc_block(&mut self) -> FsResult<FsBlock> {
+        for bb in 0..self.sb.block_bitmap_len {
+            let block = self.sb.block_bitmap_start + bb;
+            let mut buf = self.read_raw(block)?;
+            for (byte_idx, byte) in buf.iter_mut().enumerate() {
+                if *byte == 0xFF {
+                    continue;
+                }
+                let free_bit = byte.trailing_ones();
+                let index = bb * (BLOCK_SIZE as u32 * 8) + byte_idx as u32 * 8 + free_bit;
+                if index >= self.sb.total_blocks {
+                    return Err(FsError::NoSpace);
+                }
+                *byte |= 1 << free_bit;
+                self.write_raw(block, &buf)?;
+                return Ok(index);
+            }
+        }
+        Err(FsError::NoSpace)
+    }
+
+    fn free_block(&mut self, b: FsBlock) -> FsResult<()> {
+        if b < self.sb.data_start || b >= self.sb.total_blocks {
+            return Err(FsError::Corrupted(format!("freeing non-data block {b}")));
+        }
+        self.bitmap_set(self.sb.block_bitmap_start, b, false)?;
+        // TRIM the freed block so the FTL can drop the mapping (gives the
+        // attacker the fast unmapped-read path the paper mentions).
+        self.dev.trim_block(Lba(u64::from(b)))?;
+        Ok(())
+    }
+
+    fn alloc_ino(&mut self) -> FsResult<Ino> {
+        for i in 1..self.sb.inode_count {
+            if !self.bitmap_get(self.sb.inode_bitmap_start, i)? {
+                self.bitmap_set(self.sb.inode_bitmap_start, i, true)?;
+                return Ok(Ino(i));
+            }
+        }
+        Err(FsError::NoSpace)
+    }
+
+    fn free_ino(&mut self, ino: Ino) -> FsResult<()> {
+        self.bitmap_set(self.sb.inode_bitmap_start, ino.0, false)
+    }
+
+    /// True when `ino` is allocated.
+    fn ino_allocated(&mut self, ino: Ino) -> FsResult<bool> {
+        if ino.0 == 0 || ino.0 >= self.sb.inode_count {
+            return Ok(false);
+        }
+        self.bitmap_get(self.sb.inode_bitmap_start, ino.0)
+    }
+
+    // ---- inode table -------------------------------------------------------
+
+    /// Reads an inode from the table.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] for unallocated inodes; [`FsError::Corrupted`]
+    /// when the stored inode fails validation.
+    pub fn read_inode(&mut self, ino: Ino) -> FsResult<Inode> {
+        if !self.ino_allocated(ino)? {
+            return Err(FsError::NotFound);
+        }
+        let block = self.sb.inode_table_start + ino.0 / INODES_PER_BLOCK as u32;
+        let offset = (ino.0 as usize % INODES_PER_BLOCK) * INODE_SIZE;
+        let buf = self.read_raw(block)?;
+        let mut ibuf = [0u8; INODE_SIZE];
+        ibuf.copy_from_slice(&buf[offset..offset + INODE_SIZE]);
+        Inode::decode(&ibuf)
+    }
+
+    fn write_inode(&mut self, ino: Ino, inode: &Inode) -> FsResult<()> {
+        let block = self.sb.inode_table_start + ino.0 / INODES_PER_BLOCK as u32;
+        let offset = (ino.0 as usize % INODES_PER_BLOCK) * INODE_SIZE;
+        let mut buf = self.read_raw(block)?;
+        buf[offset..offset + INODE_SIZE].copy_from_slice(&inode.encode());
+        self.write_raw(block, &buf)
+    }
+
+    // ---- permissions -------------------------------------------------------
+
+    fn can_read(inode: &Inode, cred: Credentials) -> bool {
+        cred.is_root()
+            || (cred.uid == inode.uid && inode.perms & 0o400 != 0)
+            || (cred.uid != inode.uid && inode.perms & 0o004 != 0)
+    }
+
+    fn can_write(inode: &Inode, cred: Credentials) -> bool {
+        cred.is_root()
+            || (cred.uid == inode.uid && inode.perms & 0o200 != 0)
+            || (cred.uid != inode.uid && inode.perms & 0o002 != 0)
+    }
+
+    // ---- block mapping -----------------------------------------------------
+
+    /// Resolves file-logical `logical` to a filesystem block, without
+    /// allocating. `None` = hole.
+    fn map_block(&mut self, inode: &Inode, logical: u32) -> FsResult<Option<FsBlock>> {
+        match &inode.map {
+            InodeMap::Extents { inline, leaf } => {
+                let find = |extents: &[Extent]| {
+                    extents
+                        .iter()
+                        .find(|e| e.logical <= logical && logical < e.logical + e.len)
+                        .map(|e| e.start + (logical - e.logical))
+                };
+                if let Some(b) = find(inline) {
+                    return Ok(Some(b));
+                }
+                if let Some(leaf_block) = leaf {
+                    let extents = self.read_extent_leaf(*leaf_block)?;
+                    return Ok(find(&extents));
+                }
+                Ok(None)
+            }
+            InodeMap::Indirect {
+                direct,
+                single,
+                double,
+            } => {
+                let l = logical as usize;
+                if l < DIRECT_PTRS {
+                    return Ok(nonzero(direct[l]));
+                }
+                let l = l - DIRECT_PTRS;
+                if l < PTRS_PER_BLOCK {
+                    if *single == 0 {
+                        return Ok(None);
+                    }
+                    // No checksum verification — the indirect block's
+                    // pointers are trusted as read (§4.2).
+                    let ptrs = self.read_raw(*single)?;
+                    return Ok(nonzero(read_ptr(&ptrs, l)));
+                }
+                let l = l - PTRS_PER_BLOCK;
+                if l < PTRS_PER_BLOCK * PTRS_PER_BLOCK {
+                    if *double == 0 {
+                        return Ok(None);
+                    }
+                    let outer = self.read_raw(*double)?;
+                    let mid = read_ptr(&outer, l / PTRS_PER_BLOCK);
+                    if mid == 0 {
+                        return Ok(None);
+                    }
+                    let inner = self.read_raw(mid)?;
+                    return Ok(nonzero(read_ptr(&inner, l % PTRS_PER_BLOCK)));
+                }
+                Err(FsError::FileTooLarge)
+            }
+        }
+    }
+
+    /// Like [`FileSystem::map_block`] but allocates the backing block (and
+    /// any needed indirect/leaf blocks), updating `inode` in place.
+    fn map_block_alloc(&mut self, inode: &mut Inode, logical: u32) -> FsResult<FsBlock> {
+        if let Some(b) = self.map_block(inode, logical)? {
+            return Ok(b);
+        }
+        let data = self.alloc_block()?;
+        match &mut inode.map {
+            InodeMap::Extents { .. } => self.extent_insert(inode, logical, data)?,
+            InodeMap::Indirect {
+                direct,
+                single,
+                double,
+            } => {
+                let l = logical as usize;
+                if l < DIRECT_PTRS {
+                    direct[l] = data;
+                } else if l - DIRECT_PTRS < PTRS_PER_BLOCK {
+                    let li = l - DIRECT_PTRS;
+                    let single_block = if *single == 0 {
+                        let nb = self.alloc_block()?;
+                        self.write_raw(nb, &[0u8; BLOCK_SIZE])?;
+                        *single = nb;
+                        nb
+                    } else {
+                        *single
+                    };
+                    let mut ptrs = self.read_raw(single_block)?;
+                    write_ptr(&mut ptrs, li, data);
+                    self.write_raw(single_block, &ptrs)?;
+                } else if l - DIRECT_PTRS - PTRS_PER_BLOCK < PTRS_PER_BLOCK * PTRS_PER_BLOCK {
+                    let li = l - DIRECT_PTRS - PTRS_PER_BLOCK;
+                    let double_block = if *double == 0 {
+                        let nb = self.alloc_block()?;
+                        self.write_raw(nb, &[0u8; BLOCK_SIZE])?;
+                        *double = nb;
+                        nb
+                    } else {
+                        *double
+                    };
+                    let mut outer = self.read_raw(double_block)?;
+                    let mut mid = read_ptr(&outer, li / PTRS_PER_BLOCK);
+                    if mid == 0 {
+                        mid = self.alloc_block()?;
+                        self.write_raw(mid, &[0u8; BLOCK_SIZE])?;
+                        write_ptr(&mut outer, li / PTRS_PER_BLOCK, mid);
+                        self.write_raw(double_block, &outer)?;
+                    }
+                    let mut inner = self.read_raw(mid)?;
+                    write_ptr(&mut inner, li % PTRS_PER_BLOCK, data);
+                    self.write_raw(mid, &inner)?;
+                } else {
+                    self.free_block(data)?;
+                    return Err(FsError::FileTooLarge);
+                }
+            }
+        }
+        Ok(data)
+    }
+
+    /// Inserts `(logical → data)` into an extent map, merging with an
+    /// adjacent extent when possible and spilling to a leaf block when the
+    /// inline area fills.
+    fn extent_insert(&mut self, inode: &mut Inode, logical: u32, data: FsBlock) -> FsResult<()> {
+        let InodeMap::Extents { inline, leaf } = &mut inode.map else {
+            unreachable!("caller matched extents");
+        };
+        // Try to extend the extent ending right before `logical`.
+        for e in inline.iter_mut() {
+            if e.logical + e.len == logical && e.start + e.len == data {
+                e.len += 1;
+                return Ok(());
+            }
+        }
+        if inline.len() < INLINE_EXTENTS && leaf.is_none() {
+            inline.push(Extent {
+                logical,
+                len: 1,
+                start: data,
+            });
+            inline.sort_by_key(|e| e.logical);
+            return Ok(());
+        }
+        // Spill path: move everything into (or append to) the leaf block.
+        let leaf_block = match *leaf {
+            Some(b) => b,
+            None => {
+                let b = self.alloc_block()?;
+                let moved = std::mem::take(inline);
+                *leaf = Some(b);
+                self.write_extent_leaf(b, &moved)?;
+                b
+            }
+        };
+        let mut extents = self.read_extent_leaf(leaf_block)?;
+        for e in extents.iter_mut() {
+            if e.logical + e.len == logical && e.start + e.len == data {
+                e.len += 1;
+                self.write_extent_leaf(leaf_block, &extents)?;
+                return Ok(());
+            }
+        }
+        if extents.len() >= EXTENTS_PER_LEAF {
+            return Err(FsError::FileTooLarge);
+        }
+        extents.push(Extent {
+            logical,
+            len: 1,
+            start: data,
+        });
+        extents.sort_by_key(|e| e.logical);
+        self.write_extent_leaf(leaf_block, &extents)
+    }
+
+    /// Reads and verifies a depth-1 extent leaf block (checksummed like
+    /// ext4's).
+    fn read_extent_leaf(&mut self, block: FsBlock) -> FsResult<Vec<Extent>> {
+        let buf = self.read_raw(block)?;
+        let magic = u16::from_le_bytes([buf[0], buf[1]]);
+        if magic != EXTENT_MAGIC {
+            return Err(FsError::Corrupted(format!(
+                "extent leaf magic {magic:#06x}"
+            )));
+        }
+        let stored = u32::from_le_bytes(buf[BLOCK_SIZE - 4..].try_into().unwrap());
+        if ssdhammer_simkit::crc32c(&buf[..BLOCK_SIZE - 4]) != stored {
+            return Err(FsError::Corrupted("extent leaf checksum mismatch".into()));
+        }
+        let entries = u16::from_le_bytes([buf[2], buf[3]]) as usize;
+        if entries > EXTENTS_PER_LEAF {
+            return Err(FsError::Corrupted(format!(
+                "extent leaf entry count {entries}"
+            )));
+        }
+        let mut out = Vec::with_capacity(entries);
+        for i in 0..entries {
+            let off = 12 + i * 12;
+            out.push(Extent {
+                logical: u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()),
+                len: u32::from_le_bytes(buf[off + 4..off + 8].try_into().unwrap()),
+                start: u32::from_le_bytes(buf[off + 8..off + 12].try_into().unwrap()),
+            });
+        }
+        Ok(out)
+    }
+
+    fn write_extent_leaf(&mut self, block: FsBlock, extents: &[Extent]) -> FsResult<()> {
+        let mut buf = [0u8; BLOCK_SIZE];
+        buf[0..2].copy_from_slice(&EXTENT_MAGIC.to_le_bytes());
+        buf[2..4].copy_from_slice(&(extents.len() as u16).to_le_bytes());
+        buf[4..6].copy_from_slice(&(EXTENTS_PER_LEAF as u16).to_le_bytes());
+        for (i, e) in extents.iter().enumerate() {
+            let off = 12 + i * 12;
+            buf[off..off + 4].copy_from_slice(&e.logical.to_le_bytes());
+            buf[off + 4..off + 8].copy_from_slice(&e.len.to_le_bytes());
+            buf[off + 8..off + 12].copy_from_slice(&e.start.to_le_bytes());
+        }
+        let crc = ssdhammer_simkit::crc32c(&buf[..BLOCK_SIZE - 4]);
+        buf[BLOCK_SIZE - 4..].copy_from_slice(&crc.to_le_bytes());
+        self.write_raw(block, &buf)
+    }
+
+    // ---- directories -------------------------------------------------------
+
+    fn dir_entries(&mut self, dir: &Inode) -> FsResult<Vec<Dirent>> {
+        let mut out = Vec::new();
+        let blocks = (dir.size as usize).div_ceil(BLOCK_SIZE);
+        for b in 0..blocks as u32 {
+            let Some(fsb) = self.map_block(dir, b)? else {
+                continue;
+            };
+            let buf = self.read_raw(fsb)?;
+            for slot in 0..BLOCK_SIZE / DIRENT_SIZE {
+                let off = slot * DIRENT_SIZE;
+                if u64::from(b) * BLOCK_SIZE as u64 + off as u64 >= dir.size {
+                    break;
+                }
+                if let Some(d) = Dirent::decode(&buf[off..off + DIRENT_SIZE])? {
+                    out.push(d);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn dir_lookup(&mut self, dir: &Inode, name: &str) -> FsResult<Option<Dirent>> {
+        Ok(self
+            .dir_entries(dir)?
+            .into_iter()
+            .find(|d| d.name == name))
+    }
+
+    fn dir_insert(&mut self, dir_ino: Ino, dir: &mut Inode, entry: &Dirent) -> FsResult<()> {
+        // Find a free slot in existing blocks.
+        let blocks = (dir.size as usize).div_ceil(BLOCK_SIZE);
+        for b in 0..blocks as u32 {
+            let Some(fsb) = self.map_block(dir, b)? else {
+                continue;
+            };
+            let mut buf = self.read_raw(fsb)?;
+            for slot in 0..BLOCK_SIZE / DIRENT_SIZE {
+                let off = slot * DIRENT_SIZE;
+                if u64::from(b) * BLOCK_SIZE as u64 + off as u64 >= dir.size {
+                    break;
+                }
+                if Dirent::decode(&buf[off..off + DIRENT_SIZE])?.is_none() {
+                    buf[off..off + DIRENT_SIZE].copy_from_slice(&entry.encode());
+                    self.write_raw(fsb, &buf)?;
+                    return Ok(());
+                }
+            }
+        }
+        // Append a new slot (possibly a new block).
+        let logical = (dir.size / BLOCK_SIZE as u64) as u32;
+        let within = (dir.size % BLOCK_SIZE as u64) as usize;
+        let fsb = self.map_block_alloc(dir, logical)?;
+        let mut buf = self.read_raw(fsb)?;
+        buf[within..within + DIRENT_SIZE].copy_from_slice(&entry.encode());
+        self.write_raw(fsb, &buf)?;
+        dir.size += DIRENT_SIZE as u64;
+        self.write_inode(dir_ino, dir)
+    }
+
+    fn dir_remove(&mut self, dir: &Inode, name: &str) -> FsResult<Dirent> {
+        let blocks = (dir.size as usize).div_ceil(BLOCK_SIZE);
+        for b in 0..blocks as u32 {
+            let Some(fsb) = self.map_block(dir, b)? else {
+                continue;
+            };
+            let mut buf = self.read_raw(fsb)?;
+            for slot in 0..BLOCK_SIZE / DIRENT_SIZE {
+                let off = slot * DIRENT_SIZE;
+                if u64::from(b) * BLOCK_SIZE as u64 + off as u64 >= dir.size {
+                    break;
+                }
+                if let Some(d) = Dirent::decode(&buf[off..off + DIRENT_SIZE])? {
+                    if d.name == name {
+                        buf[off..off + DIRENT_SIZE].fill(0);
+                        self.write_raw(fsb, &buf)?;
+                        return Ok(d);
+                    }
+                }
+            }
+        }
+        Err(FsError::NotFound)
+    }
+
+    // ---- path resolution ---------------------------------------------------
+
+    fn split_path(path: &str) -> FsResult<Vec<&str>> {
+        if !path.starts_with('/') {
+            return Err(FsError::InvalidName);
+        }
+        let parts: Vec<&str> = path.split('/').filter(|p| !p.is_empty()).collect();
+        for p in &parts {
+            if p.len() > MAX_NAME {
+                return Err(FsError::InvalidName);
+            }
+        }
+        Ok(parts)
+    }
+
+    /// Resolves an absolute path to its inode number.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`], [`FsError::NotADirectory`], or corruption/IO
+    /// errors.
+    pub fn lookup(&mut self, path: &str) -> FsResult<Ino> {
+        let parts = Self::split_path(path)?;
+        let mut cur = ROOT_INO;
+        for part in parts {
+            let inode = self.read_inode(cur)?;
+            if inode.ftype != FileType::Directory {
+                return Err(FsError::NotADirectory);
+            }
+            match self.dir_lookup(&inode, part)? {
+                Some(d) => cur = d.ino,
+                None => return Err(FsError::NotFound),
+            }
+        }
+        Ok(cur)
+    }
+
+    /// Resolves the parent directory of `path`, returning `(parent_ino,
+    /// final_name)`.
+    fn resolve_parent<'p>(&mut self, path: &'p str) -> FsResult<(Ino, &'p str)> {
+        let parts = Self::split_path(path)?;
+        let Some((&name, ancestors)) = parts.split_last() else {
+            return Err(FsError::InvalidName);
+        };
+        let mut cur = ROOT_INO;
+        for part in ancestors {
+            let inode = self.read_inode(cur)?;
+            if inode.ftype != FileType::Directory {
+                return Err(FsError::NotADirectory);
+            }
+            match self.dir_lookup(&inode, part)? {
+                Some(d) => cur = d.ino,
+                None => return Err(FsError::NotFound),
+            }
+        }
+        Ok((cur, name))
+    }
+
+    // ---- public operations -------------------------------------------------
+
+    /// Creates a regular file. Returns its inode number.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Exists`], [`FsError::PermissionDenied`] (including when
+    /// the extents-only policy rejects `Indirect`), path errors, and I/O
+    /// errors.
+    pub fn create(
+        &mut self,
+        path: &str,
+        cred: Credentials,
+        perms: u16,
+        addressing: AddressingMode,
+    ) -> FsResult<Ino> {
+        if self.sb.extents_only && addressing == AddressingMode::Indirect {
+            return Err(FsError::PermissionDenied);
+        }
+        let (parent_ino, name) = self.resolve_parent(path)?;
+        let mut parent = self.read_inode(parent_ino)?;
+        if parent.ftype != FileType::Directory {
+            return Err(FsError::NotADirectory);
+        }
+        if !Self::can_write(&parent, cred) {
+            return Err(FsError::PermissionDenied);
+        }
+        if self.dir_lookup(&parent, name)?.is_some() {
+            return Err(FsError::Exists);
+        }
+        let ino = self.alloc_ino()?;
+        let inode = Inode::new(FileType::Regular, perms, cred.uid, addressing);
+        self.write_inode(ino, &inode)?;
+        self.dir_insert(
+            parent_ino,
+            &mut parent,
+            &Dirent {
+                ino,
+                ftype: FileType::Regular,
+                name: name.to_owned(),
+            },
+        )?;
+        Ok(ino)
+    }
+
+    /// Creates a directory.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`FileSystem::create`].
+    pub fn mkdir(&mut self, path: &str, cred: Credentials, perms: u16) -> FsResult<Ino> {
+        let (parent_ino, name) = self.resolve_parent(path)?;
+        let mut parent = self.read_inode(parent_ino)?;
+        if parent.ftype != FileType::Directory {
+            return Err(FsError::NotADirectory);
+        }
+        if !Self::can_write(&parent, cred) {
+            return Err(FsError::PermissionDenied);
+        }
+        if self.dir_lookup(&parent, name)?.is_some() {
+            return Err(FsError::Exists);
+        }
+        let ino = self.alloc_ino()?;
+        let inode = Inode::new(FileType::Directory, perms, cred.uid, AddressingMode::Extents);
+        self.write_inode(ino, &inode)?;
+        self.dir_insert(
+            parent_ino,
+            &mut parent,
+            &Dirent {
+                ino,
+                ftype: FileType::Directory,
+                name: name.to_owned(),
+            },
+        )?;
+        Ok(ino)
+    }
+
+    /// Lists a directory.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotADirectory`], permission, and I/O errors.
+    pub fn readdir(&mut self, path: &str, cred: Credentials) -> FsResult<Vec<Dirent>> {
+        let ino = self.lookup(path)?;
+        let inode = self.read_inode(ino)?;
+        if inode.ftype != FileType::Directory {
+            return Err(FsError::NotADirectory);
+        }
+        if !Self::can_read(&inode, cred) {
+            return Err(FsError::PermissionDenied);
+        }
+        self.dir_entries(&inode)
+    }
+
+    /// File metadata by inode.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] and corruption errors.
+    pub fn stat(&mut self, ino: Ino) -> FsResult<Stat> {
+        let inode = self.read_inode(ino)?;
+        Ok(Stat {
+            ino,
+            ftype: inode.ftype,
+            perms: inode.perms,
+            uid: inode.uid,
+            size: inode.size,
+            addressing: inode.map.mode(),
+        })
+    }
+
+    /// Writes the 4 KiB block at file-logical index `logical`, allocating as
+    /// needed (sparse files supported: unwritten lower blocks remain holes).
+    ///
+    /// # Errors
+    ///
+    /// Permission, space, and I/O errors; [`FsError::IsADirectory`] for
+    /// directories.
+    pub fn write_file_block(
+        &mut self,
+        ino: Ino,
+        cred: Credentials,
+        logical: u32,
+        data: &[u8; BLOCK_SIZE],
+    ) -> FsResult<()> {
+        let mut inode = self.read_inode(ino)?;
+        if inode.ftype != FileType::Regular {
+            return Err(FsError::IsADirectory);
+        }
+        if !Self::can_write(&inode, cred) {
+            return Err(FsError::PermissionDenied);
+        }
+        let fsb = self.map_block_alloc(&mut inode, logical)?;
+        self.write_raw(fsb, data)?;
+        inode.size = inode.size.max((u64::from(logical) + 1) * BLOCK_SIZE as u64);
+        self.write_inode(ino, &inode)
+    }
+
+    /// Reads the 4 KiB block at file-logical index `logical`. Holes read as
+    /// zeroes.
+    ///
+    /// # Errors
+    ///
+    /// Permission and I/O errors; [`FsError::Corrupted`] when extent
+    /// metadata fails its checksum.
+    pub fn read_file_block(
+        &mut self,
+        ino: Ino,
+        cred: Credentials,
+        logical: u32,
+    ) -> FsResult<[u8; BLOCK_SIZE]> {
+        let inode = self.read_inode(ino)?;
+        if inode.ftype != FileType::Regular {
+            return Err(FsError::IsADirectory);
+        }
+        if !Self::can_read(&inode, cred) {
+            return Err(FsError::PermissionDenied);
+        }
+        match self.map_block(&inode, logical)? {
+            None => Ok([0u8; BLOCK_SIZE]),
+            Some(fsb) => self.read_raw(fsb),
+        }
+    }
+
+    /// Removes a regular file, freeing its blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::IsADirectory`] for directories, permission and I/O errors.
+    pub fn unlink(&mut self, path: &str, cred: Credentials) -> FsResult<()> {
+        let (parent_ino, name) = self.resolve_parent(path)?;
+        let parent = self.read_inode(parent_ino)?;
+        if !Self::can_write(&parent, cred) {
+            return Err(FsError::PermissionDenied);
+        }
+        let Some(entry) = self.dir_lookup(&parent, name)? else {
+            return Err(FsError::NotFound);
+        };
+        if entry.ftype == FileType::Directory {
+            return Err(FsError::IsADirectory);
+        }
+        let inode = self.read_inode(entry.ino)?;
+        self.dir_remove(&parent, name)?;
+        self.release_blocks(&inode)?;
+        self.free_ino(entry.ino)
+    }
+
+    /// Removes an empty directory.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::DirectoryNotEmpty`], permission, and I/O errors.
+    pub fn rmdir(&mut self, path: &str, cred: Credentials) -> FsResult<()> {
+        let (parent_ino, name) = self.resolve_parent(path)?;
+        let parent = self.read_inode(parent_ino)?;
+        if !Self::can_write(&parent, cred) {
+            return Err(FsError::PermissionDenied);
+        }
+        let Some(entry) = self.dir_lookup(&parent, name)? else {
+            return Err(FsError::NotFound);
+        };
+        if entry.ftype != FileType::Directory {
+            return Err(FsError::NotADirectory);
+        }
+        let dir = self.read_inode(entry.ino)?;
+        if !self.dir_entries(&dir)?.is_empty() {
+            return Err(FsError::DirectoryNotEmpty);
+        }
+        self.dir_remove(&parent, name)?;
+        self.release_blocks(&dir)?;
+        self.free_ino(entry.ino)
+    }
+
+    /// All filesystem blocks a file references (data + its metadata blocks:
+    /// indirect blocks and extent leaves). Used by unlink and fsck.
+    pub(crate) fn referenced_blocks(&mut self, inode: &Inode) -> FsResult<Vec<FsBlock>> {
+        let mut out = Vec::new();
+        match &inode.map {
+            InodeMap::Extents { inline, leaf } => {
+                let mut extents = inline.clone();
+                if let Some(lb) = leaf {
+                    out.push(*lb);
+                    extents.extend(self.read_extent_leaf(*lb)?);
+                }
+                for e in &extents {
+                    for i in 0..e.len {
+                        out.push(e.start + i);
+                    }
+                }
+            }
+            InodeMap::Indirect {
+                direct,
+                single,
+                double,
+            } => {
+                out.extend(direct.iter().copied().filter(|&b| b != 0));
+                if *single != 0 {
+                    out.push(*single);
+                    let ptrs = self.read_raw(*single)?;
+                    for i in 0..PTRS_PER_BLOCK {
+                        let p = read_ptr(&ptrs, i);
+                        if p != 0 {
+                            out.push(p);
+                        }
+                    }
+                }
+                if *double != 0 {
+                    out.push(*double);
+                    let outer = self.read_raw(*double)?;
+                    for i in 0..PTRS_PER_BLOCK {
+                        let mid = read_ptr(&outer, i);
+                        if mid == 0 {
+                            continue;
+                        }
+                        out.push(mid);
+                        let inner = self.read_raw(mid)?;
+                        for j in 0..PTRS_PER_BLOCK {
+                            let p = read_ptr(&inner, j);
+                            if p != 0 {
+                                out.push(p);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Renames a file or directory. The destination must not exist.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Exists`] if `to` exists, [`FsError::PermissionDenied`]
+    /// without write access to both parents, plus path/I-O errors.
+    pub fn rename(&mut self, from: &str, to: &str, cred: Credentials) -> FsResult<()> {
+        let (from_parent_ino, from_name) = self.resolve_parent(from)?;
+        let (to_parent_ino, to_name) = self.resolve_parent(to)?;
+        let from_parent = self.read_inode(from_parent_ino)?;
+        let mut to_parent = self.read_inode(to_parent_ino)?;
+        if !Self::can_write(&from_parent, cred) || !Self::can_write(&to_parent, cred) {
+            return Err(FsError::PermissionDenied);
+        }
+        let Some(entry) = self.dir_lookup(&from_parent, from_name)? else {
+            return Err(FsError::NotFound);
+        };
+        if self.dir_lookup(&to_parent, to_name)?.is_some() {
+            return Err(FsError::Exists);
+        }
+        if to_name.len() > MAX_NAME {
+            return Err(FsError::InvalidName);
+        }
+        self.dir_remove(&from_parent, from_name)?;
+        // Re-read: removing may have touched shared dir state when both
+        // parents are the same directory.
+        if to_parent_ino == from_parent_ino {
+            to_parent = self.read_inode(to_parent_ino)?;
+        }
+        self.dir_insert(
+            to_parent_ino,
+            &mut to_parent,
+            &Dirent {
+                ino: entry.ino,
+                ftype: entry.ftype,
+                name: to_name.to_owned(),
+            },
+        )
+    }
+
+    /// Changes permission bits. Only the owner or root may do this.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::PermissionDenied`] plus path/I-O errors.
+    pub fn chmod(&mut self, path: &str, cred: Credentials, perms: u16) -> FsResult<()> {
+        let ino = self.lookup(path)?;
+        let mut inode = self.read_inode(ino)?;
+        if !cred.is_root() && cred.uid != inode.uid {
+            return Err(FsError::PermissionDenied);
+        }
+        inode.perms = perms;
+        self.write_inode(ino, &inode)
+    }
+
+    /// Changes ownership. Root only.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::PermissionDenied`] plus path/I-O errors.
+    pub fn chown(&mut self, path: &str, cred: Credentials, uid: u32) -> FsResult<()> {
+        if !cred.is_root() {
+            return Err(FsError::PermissionDenied);
+        }
+        let ino = self.lookup(path)?;
+        let mut inode = self.read_inode(ino)?;
+        inode.uid = uid;
+        self.write_inode(ino, &inode)
+    }
+
+    /// Truncates a regular file to `blocks` 4 KiB blocks, freeing everything
+    /// beyond (holes included — they were never allocated).
+    ///
+    /// # Errors
+    ///
+    /// Permission and I/O errors; [`FsError::IsADirectory`] for directories.
+    pub fn truncate(&mut self, ino: Ino, cred: Credentials, blocks: u32) -> FsResult<()> {
+        let mut inode = self.read_inode(ino)?;
+        if inode.ftype != FileType::Regular {
+            return Err(FsError::IsADirectory);
+        }
+        if !Self::can_write(&inode, cred) {
+            return Err(FsError::PermissionDenied);
+        }
+        match &mut inode.map {
+            InodeMap::Extents { inline, leaf } => {
+                let mut freed = Vec::new();
+                let trim = |extents: &mut Vec<Extent>, freed: &mut Vec<FsBlock>| {
+                    extents.retain_mut(|e| {
+                        if e.logical >= blocks {
+                            for i in 0..e.len {
+                                freed.push(e.start + i);
+                            }
+                            false
+                        } else {
+                            let keep = blocks - e.logical;
+                            if e.len > keep {
+                                for i in keep..e.len {
+                                    freed.push(e.start + i);
+                                }
+                                e.len = keep;
+                            }
+                            true
+                        }
+                    });
+                };
+                trim(inline, &mut freed);
+                if let Some(leaf_block) = *leaf {
+                    let mut extents = self.read_extent_leaf(leaf_block)?;
+                    trim(&mut extents, &mut freed);
+                    if extents.is_empty() {
+                        freed.push(leaf_block);
+                        *leaf = None;
+                    } else {
+                        self.write_extent_leaf(leaf_block, &extents)?;
+                    }
+                }
+                for b in freed {
+                    self.free_block(b)?;
+                }
+            }
+            InodeMap::Indirect {
+                direct,
+                single,
+                double,
+            } => {
+                let mut freed = Vec::new();
+                for (i, d) in direct.iter_mut().enumerate() {
+                    if i as u32 >= blocks && *d != 0 {
+                        freed.push(*d);
+                        *d = 0;
+                    }
+                }
+                if *single != 0 {
+                    let cut = blocks.saturating_sub(DIRECT_PTRS as u32);
+                    let mut ptrs = self.read_raw(*single)?;
+                    let mut any_left = false;
+                    for i in 0..PTRS_PER_BLOCK {
+                        let p = read_ptr(&ptrs, i);
+                        if p == 0 {
+                            continue;
+                        }
+                        if (i as u32) >= cut {
+                            freed.push(p);
+                            write_ptr(&mut ptrs, i, 0);
+                        } else {
+                            any_left = true;
+                        }
+                    }
+                    if any_left {
+                        self.write_raw(*single, &ptrs)?;
+                    } else {
+                        freed.push(*single);
+                        *single = 0;
+                    }
+                }
+                if *double != 0 {
+                    let cut = blocks.saturating_sub((DIRECT_PTRS + PTRS_PER_BLOCK) as u32);
+                    let mut outer = self.read_raw(*double)?;
+                    let mut outer_left = false;
+                    for oi in 0..PTRS_PER_BLOCK {
+                        let mid = read_ptr(&outer, oi);
+                        if mid == 0 {
+                            continue;
+                        }
+                        let mut inner = self.read_raw(mid)?;
+                        let mut inner_left = false;
+                        for ii in 0..PTRS_PER_BLOCK {
+                            let p = read_ptr(&inner, ii);
+                            if p == 0 {
+                                continue;
+                            }
+                            let logical = (oi * PTRS_PER_BLOCK + ii) as u32;
+                            if logical >= cut {
+                                freed.push(p);
+                                write_ptr(&mut inner, ii, 0);
+                            } else {
+                                inner_left = true;
+                            }
+                        }
+                        if inner_left {
+                            self.write_raw(mid, &inner)?;
+                            outer_left = true;
+                        } else {
+                            freed.push(mid);
+                            write_ptr(&mut outer, oi, 0);
+                        }
+                    }
+                    if outer_left {
+                        self.write_raw(*double, &outer)?;
+                    } else {
+                        freed.push(*double);
+                        *double = 0;
+                    }
+                }
+                for b in freed {
+                    self.free_block(b)?;
+                }
+            }
+        }
+        inode.size = inode.size.min(u64::from(blocks) * BLOCK_SIZE as u64);
+        self.write_inode(ino, &inode)
+    }
+
+    /// Whether `b` is marked allocated in the block bitmap (fsck helper).
+    pub(crate) fn block_allocated(&mut self, b: FsBlock) -> FsResult<bool> {
+        self.bitmap_get(self.sb.block_bitmap_start, b)
+    }
+
+    /// Directory listing without permission checks (fsck helper).
+    pub(crate) fn dir_entries_for_fsck(&mut self, dir: &Inode) -> FsResult<Vec<Dirent>> {
+        self.dir_entries(dir)
+    }
+
+    /// Inode allocation state (fsck helper).
+    pub(crate) fn ino_allocated_for_fsck(&mut self, ino: Ino) -> FsResult<bool> {
+        self.ino_allocated(ino)
+    }
+
+    fn release_blocks(&mut self, inode: &Inode) -> FsResult<()> {
+        for b in self.referenced_blocks(inode)? {
+            // A corrupted map may reference out-of-range or metadata blocks;
+            // skip those rather than cascading the damage.
+            if b >= self.sb.data_start && b < self.sb.total_blocks {
+                self.free_block(b)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn nonzero(b: FsBlock) -> Option<FsBlock> {
+    (b != 0).then_some(b)
+}
+
+fn read_ptr(buf: &[u8; BLOCK_SIZE], index: usize) -> FsBlock {
+    u32::from_le_bytes(buf[index * 4..index * 4 + 4].try_into().unwrap())
+}
+
+fn write_ptr(buf: &mut [u8; BLOCK_SIZE], index: usize, value: FsBlock) {
+    buf[index * 4..index * 4 + 4].copy_from_slice(&value.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssdhammer_simkit::RamDisk;
+
+    fn fs() -> FileSystem<RamDisk> {
+        FileSystem::format(RamDisk::new(2048)).unwrap()
+    }
+
+    fn block_of(byte: u8) -> [u8; BLOCK_SIZE] {
+        [byte; BLOCK_SIZE]
+    }
+
+    const ROOT: Credentials = Credentials::root();
+    const ALICE: Credentials = Credentials::user(1000);
+    const BOB: Credentials = Credentials::user(1001);
+
+    #[test]
+    fn format_mount_roundtrip() {
+        let fs1 = fs();
+        let dev = fs1.into_device();
+        let fs2 = FileSystem::mount(dev).unwrap();
+        assert_eq!(fs2.superblock().total_blocks, 2048);
+    }
+
+    #[test]
+    fn mount_rejects_garbage() {
+        assert!(matches!(
+            FileSystem::mount(RamDisk::new(64)),
+            Err(FsError::Corrupted(_))
+        ));
+    }
+
+    #[test]
+    fn create_write_read_extents() {
+        let mut f = fs();
+        let ino = f.create("/a", ROOT, 0o644, AddressingMode::Extents).unwrap();
+        for i in 0..20u32 {
+            f.write_file_block(ino, ROOT, i, &block_of(i as u8)).unwrap();
+        }
+        for i in 0..20u32 {
+            assert_eq!(f.read_file_block(ino, ROOT, i).unwrap()[0], i as u8);
+        }
+        let st = f.stat(ino).unwrap();
+        assert_eq!(st.size, 20 * 4096);
+        assert_eq!(st.addressing, AddressingMode::Extents);
+    }
+
+    #[test]
+    fn create_write_read_indirect() {
+        let mut f = fs();
+        let ino = f
+            .create("/b", ROOT, 0o644, AddressingMode::Indirect)
+            .unwrap();
+        // Cover direct, single-indirect ranges.
+        for i in [0u32, 11, 12, 13, 100] {
+            f.write_file_block(ino, ROOT, i, &block_of((i % 251) as u8))
+                .unwrap();
+        }
+        for i in [0u32, 11, 12, 13, 100] {
+            assert_eq!(
+                f.read_file_block(ino, ROOT, i).unwrap()[0],
+                (i % 251) as u8
+            );
+        }
+    }
+
+    #[test]
+    fn double_indirect_range_works() {
+        let mut f = FileSystem::format(RamDisk::new(4096)).unwrap();
+        let ino = f
+            .create("/big", ROOT, 0o644, AddressingMode::Indirect)
+            .unwrap();
+        let logical = (DIRECT_PTRS + PTRS_PER_BLOCK + 5) as u32;
+        f.write_file_block(ino, ROOT, logical, &block_of(0xEE)).unwrap();
+        assert_eq!(f.read_file_block(ino, ROOT, logical).unwrap()[0], 0xEE);
+        // Neighboring unwritten block is a hole.
+        assert_eq!(f.read_file_block(ino, ROOT, logical + 1).unwrap()[0], 0);
+    }
+
+    #[test]
+    fn holes_read_zero_both_modes() {
+        let mut f = fs();
+        for (path, mode) in [
+            ("/he", AddressingMode::Extents),
+            ("/hi", AddressingMode::Indirect),
+        ] {
+            let ino = f.create(path, ROOT, 0o644, mode).unwrap();
+            // Write only block 12 (like the paper's spray files).
+            f.write_file_block(ino, ROOT, 12, &block_of(9)).unwrap();
+            for i in 0..12u32 {
+                assert_eq!(f.read_file_block(ino, ROOT, i).unwrap(), block_of(0));
+            }
+            assert_eq!(f.read_file_block(ino, ROOT, 12).unwrap(), block_of(9));
+        }
+    }
+
+    #[test]
+    fn spray_shape_uses_one_indirect_and_one_data_block() {
+        // "The attacker creates each file with a hole of 12 blocks … and then
+        // stores a single data block mapped using an indirect block" (§4.2).
+        let mut f = fs();
+        let ino = f
+            .create("/spray", ROOT, 0o644, AddressingMode::Indirect)
+            .unwrap();
+        f.write_file_block(ino, ROOT, 12, &block_of(1)).unwrap();
+        let inode = f.read_inode(ino).unwrap();
+        let InodeMap::Indirect { direct, single, double } = inode.map else {
+            panic!("expected indirect map");
+        };
+        assert!(direct.iter().all(|&d| d == 0), "12-block hole");
+        assert_ne!(single, 0, "single-indirect block allocated");
+        assert_eq!(double, 0);
+    }
+
+    #[test]
+    fn directories_nest_and_list() {
+        let mut f = fs();
+        f.mkdir("/home", ROOT, 0o755).unwrap();
+        f.mkdir("/home/alice", ROOT, 0o755).unwrap();
+        f.create("/home/alice/notes", ROOT, 0o644, AddressingMode::Extents)
+            .unwrap();
+        let entries = f.readdir("/home/alice", ROOT).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].name, "notes");
+        assert!(f.lookup("/home/alice/notes").is_ok());
+        assert_eq!(f.lookup("/home/bob").unwrap_err(), FsError::NotFound);
+    }
+
+    #[test]
+    fn many_files_in_one_directory() {
+        let mut f = FileSystem::format(RamDisk::new(8192)).unwrap();
+        for i in 0..200 {
+            f.create(&format!("/f{i}"), ROOT, 0o644, AddressingMode::Extents)
+                .unwrap();
+        }
+        assert_eq!(f.readdir("/", ROOT).unwrap().len(), 200);
+    }
+
+    #[test]
+    fn permissions_enforced() {
+        let mut f = fs();
+        f.mkdir("/secret", ROOT, 0o700).unwrap();
+        let ino = f
+            .create("/secret/key", ROOT, 0o600, AddressingMode::Extents)
+            .unwrap();
+        f.write_file_block(ino, ROOT, 0, &block_of(0x55)).unwrap();
+        // Alice cannot read root's 0600 file.
+        assert_eq!(
+            f.read_file_block(ino, ALICE, 0).unwrap_err(),
+            FsError::PermissionDenied
+        );
+        // Alice cannot create in a 0700 root-owned dir.
+        assert_eq!(
+            f.create("/secret/mine", ALICE, 0o644, AddressingMode::Extents)
+                .unwrap_err(),
+            FsError::PermissionDenied
+        );
+        // World-readable works.
+        let pub_ino = f
+            .create("/pub", ROOT, 0o644, AddressingMode::Extents)
+            .unwrap();
+        f.write_file_block(pub_ino, ROOT, 0, &block_of(1)).unwrap();
+        assert!(f.read_file_block(pub_ino, ALICE, 0).is_ok());
+        // Alice's own file: Bob can't write it.
+        f.mkdir("/home", ROOT, 0o777).unwrap();
+        let a_ino = f
+            .create("/home/a", ALICE, 0o600, AddressingMode::Extents)
+            .unwrap();
+        assert_eq!(
+            f.write_file_block(a_ino, BOB, 0, &block_of(2)).unwrap_err(),
+            FsError::PermissionDenied
+        );
+    }
+
+    #[test]
+    fn unlink_frees_space() {
+        let mut f = fs();
+        let ino = f.create("/t", ROOT, 0o644, AddressingMode::Extents).unwrap();
+        for i in 0..50u32 {
+            f.write_file_block(ino, ROOT, i, &block_of(1)).unwrap();
+        }
+        f.unlink("/t", ROOT).unwrap();
+        assert_eq!(f.lookup("/t").unwrap_err(), FsError::NotFound);
+        // Space is reusable: create a file of the same size again.
+        let ino2 = f.create("/t2", ROOT, 0o644, AddressingMode::Extents).unwrap();
+        for i in 0..50u32 {
+            f.write_file_block(ino2, ROOT, i, &block_of(2)).unwrap();
+        }
+    }
+
+    #[test]
+    fn rmdir_requires_empty() {
+        let mut f = fs();
+        f.mkdir("/d", ROOT, 0o755).unwrap();
+        f.create("/d/x", ROOT, 0o644, AddressingMode::Extents).unwrap();
+        assert_eq!(f.rmdir("/d", ROOT).unwrap_err(), FsError::DirectoryNotEmpty);
+        f.unlink("/d/x", ROOT).unwrap();
+        f.rmdir("/d", ROOT).unwrap();
+        assert_eq!(f.lookup("/d").unwrap_err(), FsError::NotFound);
+    }
+
+    #[test]
+    fn extents_only_policy_blocks_indirect_creation() {
+        let mut f = fs();
+        f.set_extents_only(true).unwrap();
+        assert_eq!(
+            f.create("/x", ROOT, 0o644, AddressingMode::Indirect)
+                .unwrap_err(),
+            FsError::PermissionDenied
+        );
+        assert!(f.create("/y", ROOT, 0o644, AddressingMode::Extents).is_ok());
+        // The policy survives a remount.
+        let dev = f.into_device();
+        let f2 = FileSystem::mount(dev).unwrap();
+        assert!(f2.superblock().extents_only);
+    }
+
+    #[test]
+    fn extent_spill_to_leaf_and_checksum_protection() {
+        let mut f = FileSystem::format(RamDisk::new(8192)).unwrap();
+        let ino = f.create("/frag", ROOT, 0o644, AddressingMode::Extents).unwrap();
+        // Force fragmentation: interleave writes to two files so extents
+        // cannot merge, spilling past the 4 inline slots.
+        let other = f.create("/other", ROOT, 0o644, AddressingMode::Extents).unwrap();
+        for i in 0..40u32 {
+            f.write_file_block(ino, ROOT, i, &block_of(3)).unwrap();
+            f.write_file_block(other, ROOT, i, &block_of(4)).unwrap();
+        }
+        let inode = f.read_inode(ino).unwrap();
+        let InodeMap::Extents { leaf, .. } = inode.map else {
+            panic!()
+        };
+        let leaf = leaf.expect("should have spilled to a leaf");
+        for i in 0..40u32 {
+            assert_eq!(f.read_file_block(ino, ROOT, i).unwrap()[0], 3);
+        }
+        // Corrupt one pointer inside the leaf: reads must now fail loudly.
+        let mut buf = f.read_raw(leaf).unwrap();
+        buf[20] ^= 0x04;
+        f.write_raw(leaf, &buf).unwrap();
+        let err = f.read_file_block(ino, ROOT, 39).unwrap_err();
+        assert!(matches!(err, FsError::Corrupted(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn indirect_block_tampering_goes_undetected() {
+        // The exploited asymmetry (§4.2): redirecting an indirect block's
+        // pointer is accepted silently.
+        let mut f = fs();
+        let victim = f
+            .create("/v", ROOT, 0o666, AddressingMode::Indirect)
+            .unwrap();
+        f.write_file_block(victim, ROOT, 12, &block_of(0xAA)).unwrap();
+        let secret = f
+            .create("/s", ROOT, 0o600, AddressingMode::Extents)
+            .unwrap();
+        f.write_file_block(secret, ROOT, 0, &block_of(0x5E)).unwrap();
+        // Find the secret's data block and the victim's indirect block.
+        let s_inode = f.read_inode(secret).unwrap();
+        let secret_block = f.map_block(&s_inode, 0).unwrap().unwrap();
+        let v_inode = f.read_inode(victim).unwrap();
+        let InodeMap::Indirect { single, .. } = v_inode.map else {
+            panic!()
+        };
+        // Tamper: point the victim's 13th block at the secret.
+        let mut ptrs = f.read_raw(single).unwrap();
+        write_ptr(&mut ptrs, 0, secret_block);
+        f.write_raw(single, &ptrs).unwrap();
+        // Alice reads the (0666) victim file and receives root's 0600 data:
+        // block-level pointers bypass the permission check.
+        let leaked = f.read_file_block(victim, ALICE, 12).unwrap();
+        assert_eq!(leaked, block_of(0x5E));
+    }
+
+    #[test]
+    fn path_validation() {
+        let mut f = fs();
+        assert_eq!(
+            f.create("relative", ROOT, 0o644, AddressingMode::Extents)
+                .unwrap_err(),
+            FsError::InvalidName
+        );
+        let long = format!("/{}", "x".repeat(MAX_NAME + 1));
+        assert_eq!(
+            f.create(&long, ROOT, 0o644, AddressingMode::Extents)
+                .unwrap_err(),
+            FsError::InvalidName
+        );
+        assert_eq!(
+            f.create("/a/b", ROOT, 0o644, AddressingMode::Extents)
+                .unwrap_err(),
+            FsError::NotFound
+        );
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let mut f = fs();
+        f.create("/dup", ROOT, 0o644, AddressingMode::Extents).unwrap();
+        assert_eq!(
+            f.create("/dup", ROOT, 0o644, AddressingMode::Extents)
+                .unwrap_err(),
+            FsError::Exists
+        );
+    }
+
+    #[test]
+    fn no_space_is_reported() {
+        let mut f = FileSystem::format(RamDisk::new(32)).unwrap();
+        let ino = f.create("/fill", ROOT, 0o644, AddressingMode::Extents).unwrap();
+        let mut result = Ok(());
+        for i in 0..64u32 {
+            result = f.write_file_block(ino, ROOT, i, &block_of(1));
+            if result.is_err() {
+                break;
+            }
+        }
+        assert_eq!(result.unwrap_err(), FsError::NoSpace);
+    }
+
+    #[test]
+    fn rename_moves_between_directories() {
+        let mut f = fs();
+        f.mkdir("/a", ROOT, 0o755).unwrap();
+        f.mkdir("/b", ROOT, 0o755).unwrap();
+        let ino = f.create("/a/x", ROOT, 0o644, AddressingMode::Extents).unwrap();
+        f.write_file_block(ino, ROOT, 0, &block_of(9)).unwrap();
+        f.rename("/a/x", "/b/y", ROOT).unwrap();
+        assert_eq!(f.lookup("/a/x").unwrap_err(), FsError::NotFound);
+        let moved = f.lookup("/b/y").unwrap();
+        assert_eq!(moved, ino);
+        assert_eq!(f.read_file_block(moved, ROOT, 0).unwrap()[0], 9);
+        // Same-directory rename also works.
+        f.rename("/b/y", "/b/z", ROOT).unwrap();
+        assert!(f.lookup("/b/z").is_ok());
+        // Destination collision rejected.
+        f.create("/b/w", ROOT, 0o644, AddressingMode::Extents).unwrap();
+        assert_eq!(f.rename("/b/z", "/b/w", ROOT).unwrap_err(), FsError::Exists);
+        // Unprivileged rename out of a protected dir fails.
+        assert_eq!(
+            f.rename("/b/z", "/b/q", ALICE).unwrap_err(),
+            FsError::PermissionDenied
+        );
+    }
+
+    #[test]
+    fn chmod_and_chown_enforce_ownership() {
+        let mut f = fs();
+        f.mkdir("/home", ROOT, 0o777).unwrap();
+        let ino = f.create("/home/a", ALICE, 0o600, AddressingMode::Extents).unwrap();
+        f.write_file_block(ino, ALICE, 0, &block_of(1)).unwrap();
+        // Bob can't chmod Alice's file; Alice can.
+        assert_eq!(
+            f.chmod("/home/a", BOB, 0o644).unwrap_err(),
+            FsError::PermissionDenied
+        );
+        f.chmod("/home/a", ALICE, 0o644).unwrap();
+        assert!(f.read_file_block(ino, BOB, 0).is_ok());
+        // Only root chowns.
+        assert_eq!(
+            f.chown("/home/a", ALICE, BOB.uid).unwrap_err(),
+            FsError::PermissionDenied
+        );
+        f.chown("/home/a", ROOT, BOB.uid).unwrap();
+        assert_eq!(f.stat(ino).unwrap().uid, BOB.uid);
+    }
+
+    #[test]
+    fn truncate_extents_frees_tail() {
+        let mut f = fs();
+        let ino = f.create("/t", ROOT, 0o644, AddressingMode::Extents).unwrap();
+        for i in 0..30u32 {
+            f.write_file_block(ino, ROOT, i, &block_of(7)).unwrap();
+        }
+        f.truncate(ino, ROOT, 10).unwrap();
+        assert_eq!(f.stat(ino).unwrap().size, 10 * 4096);
+        for i in 0..10u32 {
+            assert_eq!(f.read_file_block(ino, ROOT, i).unwrap()[0], 7);
+        }
+        for i in 10..30u32 {
+            assert_eq!(f.read_file_block(ino, ROOT, i).unwrap(), block_of(0));
+        }
+        assert!(f.fsck().unwrap().is_clean());
+    }
+
+    #[test]
+    fn truncate_indirect_frees_pointer_blocks() {
+        let mut f = FileSystem::format(RamDisk::new(8192)).unwrap();
+        let ino = f.create("/t", ROOT, 0o644, AddressingMode::Indirect).unwrap();
+        // Spans direct + single + double indirect ranges.
+        for i in [0u32, 5, 12, 100, (DIRECT_PTRS + PTRS_PER_BLOCK + 3) as u32] {
+            f.write_file_block(ino, ROOT, i, &block_of(3)).unwrap();
+        }
+        f.truncate(ino, ROOT, 6).unwrap();
+        assert_eq!(f.read_file_block(ino, ROOT, 5).unwrap()[0], 3);
+        for i in [12u32, 100, (DIRECT_PTRS + PTRS_PER_BLOCK + 3) as u32] {
+            assert_eq!(f.read_file_block(ino, ROOT, i).unwrap(), block_of(0));
+        }
+        let inode = f.read_inode(ino).unwrap();
+        let InodeMap::Indirect { single, double, .. } = inode.map else {
+            panic!();
+        };
+        assert_eq!(single, 0, "empty single-indirect block must be freed");
+        assert_eq!(double, 0, "empty double-indirect tree must be freed");
+        assert!(f.fsck().unwrap().is_clean());
+        // Truncate to zero empties everything.
+        f.truncate(ino, ROOT, 0).unwrap();
+        assert_eq!(f.stat(ino).unwrap().size, 0);
+        assert!(f.fsck().unwrap().is_clean());
+    }
+
+    #[test]
+    fn truncate_spilled_extent_leaf() {
+        let mut f = FileSystem::format(RamDisk::new(8192)).unwrap();
+        let ino = f.create("/frag", ROOT, 0o644, AddressingMode::Extents).unwrap();
+        let other = f.create("/other", ROOT, 0o644, AddressingMode::Extents).unwrap();
+        for i in 0..40u32 {
+            f.write_file_block(ino, ROOT, i, &block_of(3)).unwrap();
+            f.write_file_block(other, ROOT, i, &block_of(4)).unwrap();
+        }
+        // The leaf exists; truncating to zero must free it too.
+        f.truncate(ino, ROOT, 0).unwrap();
+        let inode = f.read_inode(ino).unwrap();
+        let InodeMap::Extents { inline, leaf } = &inode.map else {
+            panic!();
+        };
+        assert!(inline.is_empty());
+        assert!(leaf.is_none());
+        assert!(f.fsck().unwrap().is_clean());
+    }
+
+    #[test]
+    fn freed_blocks_are_trimmed() {
+        let mut f = fs();
+        let ino = f.create("/tr", ROOT, 0o644, AddressingMode::Extents).unwrap();
+        f.write_file_block(ino, ROOT, 0, &block_of(1)).unwrap();
+        let populated_before = f.device_mut().populated_blocks();
+        f.unlink("/tr", ROOT).unwrap();
+        assert!(
+            f.device_mut().populated_blocks() < populated_before,
+            "unlink should trim freed blocks"
+        );
+    }
+}

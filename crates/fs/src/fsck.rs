@@ -1,0 +1,287 @@
+//! Filesystem consistency checking.
+//!
+//! §3.2's first attack outcome is plain *data corruption*: "the corruption
+//! may lead to more severe damage if the corruption happens on critical file
+//! system metadata … rendering the file system unmountable." `fsck` is how
+//! experiments quantify that outcome: it walks every allocated inode,
+//! verifies extent checksums, and cross-checks block references against the
+//! allocation bitmap.
+
+use std::collections::HashMap;
+
+use ssdhammer_simkit::BlockStorage;
+
+use crate::error::{FsError, FsResult};
+use crate::fs::FileSystem;
+use crate::layout::{FileType, Ino};
+
+/// One inconsistency found by [`FileSystem::fsck`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsckIssue {
+    /// An inode failed to decode or its extent checksum failed.
+    BadInode {
+        /// The inode.
+        ino: Ino,
+        /// Why it failed.
+        reason: String,
+    },
+    /// A file references a block outside the data area.
+    WildPointer {
+        /// The referencing inode.
+        ino: Ino,
+        /// The out-of-range block.
+        block: u32,
+    },
+    /// A file references a block the bitmap says is free.
+    UnallocatedReference {
+        /// The referencing inode.
+        ino: Ino,
+        /// The inconsistent block.
+        block: u32,
+    },
+    /// Two files (or one file twice) reference the same block.
+    DoubleReference {
+        /// First referencing inode.
+        first: Ino,
+        /// Second referencing inode.
+        second: Ino,
+        /// The shared block.
+        block: u32,
+    },
+    /// A directory entry points at an unallocated inode.
+    DanglingDirent {
+        /// The directory.
+        dir: Ino,
+        /// The entry name.
+        name: String,
+        /// The missing target.
+        target: Ino,
+    },
+}
+
+impl core::fmt::Display for FsckIssue {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FsckIssue::BadInode { ino, reason } => write!(f, "{ino}: {reason}"),
+            FsckIssue::WildPointer { ino, block } => {
+                write!(f, "{ino}: wild pointer to block {block}")
+            }
+            FsckIssue::UnallocatedReference { ino, block } => {
+                write!(f, "{ino}: references free block {block}")
+            }
+            FsckIssue::DoubleReference {
+                first,
+                second,
+                block,
+            } => write!(f, "block {block} referenced by both {first} and {second}"),
+            FsckIssue::DanglingDirent { dir, name, target } => {
+                write!(f, "{dir}: entry '{name}' points at missing {target}")
+            }
+        }
+    }
+}
+
+/// Result of a full consistency check.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FsckReport {
+    /// Inodes examined.
+    pub inodes_checked: u32,
+    /// Every inconsistency found.
+    pub issues: Vec<FsckIssue>,
+}
+
+impl FsckReport {
+    /// True when the filesystem is fully consistent.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+impl<S: BlockStorage> FileSystem<S> {
+    /// Performs a full consistency check. Never mutates the filesystem.
+    ///
+    /// # Errors
+    ///
+    /// Only unrecoverable device I/O failures; structural corruption is
+    /// *reported*, not returned as an error.
+    pub fn fsck(&mut self) -> FsResult<FsckReport> {
+        let mut report = FsckReport::default();
+        let sb = *self.superblock();
+        let mut owners: HashMap<u32, Ino> = HashMap::new();
+
+        for raw in 1..sb.inode_count {
+            let ino = Ino(raw);
+            let inode = match self.read_inode(ino) {
+                Ok(i) => i,
+                Err(FsError::NotFound) => continue,
+                Err(FsError::Corrupted(reason)) => {
+                    report.inodes_checked += 1;
+                    report.issues.push(FsckIssue::BadInode { ino, reason });
+                    continue;
+                }
+                Err(other) => return Err(other),
+            };
+            report.inodes_checked += 1;
+            let blocks = match self.referenced_blocks(&inode) {
+                Ok(b) => b,
+                Err(FsError::Corrupted(reason)) => {
+                    report.issues.push(FsckIssue::BadInode { ino, reason });
+                    continue;
+                }
+                Err(FsError::Io(e)) => return Err(FsError::Io(e)),
+                Err(other) => {
+                    report.issues.push(FsckIssue::BadInode {
+                        ino,
+                        reason: other.to_string(),
+                    });
+                    continue;
+                }
+            };
+            for b in blocks {
+                if b < sb.data_start || b >= sb.total_blocks {
+                    report.issues.push(FsckIssue::WildPointer { ino, block: b });
+                    continue;
+                }
+                if !self.block_allocated(b)? {
+                    report
+                        .issues
+                        .push(FsckIssue::UnallocatedReference { ino, block: b });
+                }
+                if let Some(&first) = owners.get(&b) {
+                    report.issues.push(FsckIssue::DoubleReference {
+                        first,
+                        second: ino,
+                        block: b,
+                    });
+                } else {
+                    owners.insert(b, ino);
+                }
+            }
+            if inode.ftype == FileType::Directory {
+                let entries = match self.dir_entries_for_fsck(&inode) {
+                    Ok(e) => e,
+                    Err(_) => {
+                        report.issues.push(FsckIssue::BadInode {
+                            ino,
+                            reason: "unreadable directory".into(),
+                        });
+                        continue;
+                    }
+                };
+                for d in entries {
+                    if !self.ino_allocated_for_fsck(d.ino)? {
+                        report.issues.push(FsckIssue::DanglingDirent {
+                            dir: ino,
+                            name: d.name,
+                            target: d.ino,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::Credentials;
+    use crate::layout::AddressingMode;
+    use ssdhammer_simkit::{Lba, RamDisk, BLOCK_SIZE};
+
+    const ROOT: Credentials = Credentials::root();
+
+    fn populated_fs() -> FileSystem<RamDisk> {
+        let mut f = FileSystem::format(RamDisk::new(2048)).unwrap();
+        f.mkdir("/home", ROOT, 0o755).unwrap();
+        for i in 0..5 {
+            let ino = f
+                .create(&format!("/home/f{i}"), ROOT, 0o644, AddressingMode::Extents)
+                .unwrap();
+            f.write_file_block(ino, ROOT, 0, &[i as u8; BLOCK_SIZE]).unwrap();
+        }
+        let ind = f
+            .create("/home/ind", ROOT, 0o644, AddressingMode::Indirect)
+            .unwrap();
+        f.write_file_block(ind, ROOT, 12, &[9u8; BLOCK_SIZE]).unwrap();
+        f
+    }
+
+    #[test]
+    fn clean_filesystem_passes() {
+        let mut f = populated_fs();
+        let report = f.fsck().unwrap();
+        assert!(report.is_clean(), "issues: {:?}", report.issues);
+        assert!(report.inodes_checked >= 7);
+    }
+
+    #[test]
+    fn corrupted_indirect_pointer_is_flagged() {
+        let mut f = populated_fs();
+        let ino = f.lookup("/home/ind").unwrap();
+        let inode = f.read_inode(ino).unwrap();
+        let crate::layout::InodeMap::Indirect { single, .. } = inode.map else {
+            panic!()
+        };
+        // Redirect pointer 0 to a wildly out-of-range block, simulating a
+        // high-bit L2P-style flip.
+        let mut buf = [0u8; BLOCK_SIZE];
+        let mut dev_view = f.into_device();
+        dev_view.read_block(Lba(u64::from(single)), &mut buf).unwrap();
+        buf[0..4].copy_from_slice(&0xFFFF_FF00u32.to_le_bytes());
+        dev_view.write_block(Lba(u64::from(single)), &buf).unwrap();
+        let mut f = FileSystem::mount(dev_view).unwrap();
+        let report = f.fsck().unwrap();
+        assert!(
+            report
+                .issues
+                .iter()
+                .any(|i| matches!(i, FsckIssue::WildPointer { .. })),
+            "issues: {:?}",
+            report.issues
+        );
+    }
+
+    #[test]
+    fn cross_file_redirection_is_a_double_reference() {
+        let mut f = populated_fs();
+        let victim = f.lookup("/home/ind").unwrap();
+        let v_inode = f.read_inode(victim).unwrap();
+        let crate::layout::InodeMap::Indirect { single, .. } = v_inode.map else {
+            panic!()
+        };
+        // Point the victim's data at another file's block.
+        let other = f.lookup("/home/f0").unwrap();
+        let o_inode = f.read_inode(other).unwrap();
+        let crate::layout::InodeMap::Extents { inline, .. } = &o_inode.map else {
+            panic!()
+        };
+        let stolen = inline[0].start;
+        let mut buf = [0u8; BLOCK_SIZE];
+        let mut dev = f.into_device();
+        dev.read_block(Lba(u64::from(single)), &mut buf).unwrap();
+        buf[0..4].copy_from_slice(&stolen.to_le_bytes());
+        dev.write_block(Lba(u64::from(single)), &buf.clone()).unwrap();
+        let mut f = FileSystem::mount(dev).unwrap();
+        let report = f.fsck().unwrap();
+        assert!(
+            report
+                .issues
+                .iter()
+                .any(|i| matches!(i, FsckIssue::DoubleReference { .. })),
+            "issues: {:?}",
+            report.issues
+        );
+    }
+
+    #[test]
+    fn issue_display_is_informative() {
+        let issue = FsckIssue::WildPointer {
+            ino: Ino(5),
+            block: 9999,
+        };
+        assert_eq!(issue.to_string(), "ino5: wild pointer to block 9999");
+    }
+}

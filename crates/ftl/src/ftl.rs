@@ -1,0 +1,1237 @@
+//! The page-mapped flash translation layer.
+//!
+//! Structurally modeled on the SPDK FTL the paper attacked (§4.1): a
+//! DRAM-resident L2P array, out-of-place writes with an append point, greedy
+//! garbage collection, and wear-aware block allocation. Every L2P lookup and
+//! update is a real access to the simulated [`DramModule`], so host I/O
+//! produces DRAM row activations — the attack surface.
+
+use serde::{Deserialize, Serialize};
+use ssdhammer_simkit::{DramAddr, Lba, SimClock, SimTime, BLOCK_SIZE};
+use ssdhammer_dram::{DramError, DramModule, HammerReport};
+use ssdhammer_flash::{BlockId, FlashArray, FlashError, Ppn};
+
+use crate::l2p::{L2pLayout, L2pTable};
+
+/// Errors surfaced by FTL operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FtlError {
+    /// LBA beyond the exported capacity.
+    OutOfRange {
+        /// The offending address.
+        lba: Lba,
+    },
+    /// Buffer is not exactly one 4 KiB block.
+    BadBufferLen {
+        /// Supplied length.
+        got: usize,
+    },
+    /// No free space remains even after garbage collection.
+    DeviceFull,
+    /// The underlying DRAM failed (e.g. ECC-uncorrectable L2P entry).
+    Dram(DramError),
+    /// The underlying flash failed.
+    Flash(FlashError),
+}
+
+impl From<DramError> for FtlError {
+    fn from(e: DramError) -> Self {
+        FtlError::Dram(e)
+    }
+}
+
+impl From<FlashError> for FtlError {
+    fn from(e: FlashError) -> Self {
+        FtlError::Flash(e)
+    }
+}
+
+impl core::fmt::Display for FtlError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FtlError::OutOfRange { lba } => write!(f, "{lba} beyond exported capacity"),
+            FtlError::BadBufferLen { got } => {
+                write!(f, "buffer length {got}, expected {BLOCK_SIZE}")
+            }
+            FtlError::DeviceFull => write!(f, "device full"),
+            FtlError::Dram(e) => write!(f, "dram: {e}"),
+            FtlError::Flash(e) => write!(f, "flash: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FtlError {}
+
+/// FTL construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FtlConfig {
+    /// L2P placement policy.
+    pub l2p_layout: L2pLayout,
+    /// DRAM byte address where the L2P table starts.
+    pub l2p_base: DramAddr,
+    /// Blocks reserved as overprovisioning (not exported). `0` selects an
+    /// automatic 1/16 of all blocks (min 2).
+    pub overprovision_blocks: u32,
+    /// Garbage collection starts when the free-block count drops to this.
+    pub gc_free_threshold: u32,
+    /// DRAM activations of the entry's row per host I/O. The paper's SPDK
+    /// prototype amplified to 5 per request to compensate for its slow
+    /// testbed (§4.1); real firmware corresponds to 1.
+    pub hammer_amplification: u32,
+    /// Serve reads of unmapped/trimmed LBAs without touching flash — the
+    /// acceleration the paper notes attackers prefer (§3, threat model).
+    pub unmapped_fast_path: bool,
+    /// Relocate a block once it has served this many reads since its last
+    /// erase, to stay ahead of NAND read disturb. `None` disables
+    /// read-refresh (data then degrades past the flash's tolerance).
+    pub read_refresh_threshold: Option<u64>,
+    /// T10-DIF-style block integrity (§5: "block data integrity … algorithms
+    /// protect data integrity … from misdirected writes by relying on the
+    /// block's LBA to digest … block data"): every page stores a guard tag
+    /// binding (LBA, data); reads verify it, so a redirected mapping fails
+    /// loudly instead of silently serving another block's data.
+    pub dif: bool,
+}
+
+impl Default for FtlConfig {
+    fn default() -> Self {
+        FtlConfig {
+            l2p_layout: L2pLayout::Linear,
+            l2p_base: DramAddr(0),
+            overprovision_blocks: 0,
+            gc_free_threshold: 2,
+            hammer_amplification: 1,
+            unmapped_fast_path: true,
+            // Half the flash default tolerance: hot metadata pages (e.g. a
+            // filesystem's directory blocks, re-read on every lookup) cross
+            // the NAND read-disturb limit quickly; production FTLs relocate
+            // them preemptively.
+            read_refresh_threshold: Some(50_000),
+            dif: false,
+        }
+    }
+}
+
+/// What a read translated to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// Entry was the unmapped sentinel; zeroes returned without flash access.
+    Unmapped,
+    /// Entry was unmapped but the fast path is disabled
+    /// ([`FtlConfig::unmapped_fast_path`]): the firmware performed a flash
+    /// access anyway, costing real channel time.
+    SlowUnmapped {
+        /// Flash completion time of the wasted access.
+        completed: SimTime,
+    },
+    /// Entry decoded to a physical page beyond the array — a wildly
+    /// corrupted mapping. Zeroes returned.
+    Wild {
+        /// The raw (corrupt) page number found in the entry.
+        entry: u64,
+    },
+    /// DIF verification failed: the mapped page's guard tag does not match
+    /// this LBA+data (a misdirected mapping). Zeroes returned; the host sees
+    /// an integrity error instead of another block's data.
+    GuardMismatch {
+        /// The physical page that failed verification.
+        ppn: Ppn,
+    },
+    /// Entry pointed at a real page, which was read.
+    Mapped {
+        /// The physical page served.
+        ppn: Ppn,
+        /// Flash completion time of the read.
+        completed: SimTime,
+    },
+}
+
+/// Aggregate FTL counters.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct FtlTelemetry {
+    /// Host reads served.
+    pub host_reads: u64,
+    /// Host writes served.
+    pub host_writes: u64,
+    /// Host trims served.
+    pub host_trims: u64,
+    /// Garbage-collection victim blocks processed.
+    pub gc_runs: u64,
+    /// Pages relocated by garbage collection or read-refresh.
+    pub gc_relocated: u64,
+    /// Blocks relocated preemptively due to read disturb.
+    pub read_refreshes: u64,
+}
+
+/// The flash translation layer. See the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use ssdhammer_ftl::{Ftl, FtlConfig};
+/// use ssdhammer_simkit::Lba;
+///
+/// # fn main() -> Result<(), ssdhammer_ftl::FtlError> {
+/// let mut ftl = Ftl::tiny_for_tests(1);
+/// let block = vec![0x42u8; 4096];
+/// ftl.write(Lba(7), &block)?;
+/// let mut out = vec![0u8; 4096];
+/// ftl.read(Lba(7), &mut out)?;
+/// assert_eq!(out, block);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Ftl {
+    dram: DramModule,
+    nand: FlashArray,
+    config: FtlConfig,
+    table: L2pTable,
+    clock: SimClock,
+    exported_lbas: u64,
+    free_blocks: Vec<BlockId>,
+    sealed_blocks: Vec<BlockId>,
+    active_block: Option<BlockId>,
+    valid: Vec<bool>,
+    valid_count: Vec<u32>,
+    /// Monotonic write sequence stamped into every page's OOB, so
+    /// [`Ftl::recover`] can order versions of the same LBA.
+    write_seq: u64,
+    telemetry: FtlTelemetry,
+}
+
+/// OOB layout: little-endian LBA (8 bytes), write sequence (8 bytes), then
+/// the DIF guard tag (4 bytes; zero when DIF is off).
+fn encode_oob(lba: Lba, seq: u64, guard: u32) -> [u8; 20] {
+    let mut oob = [0u8; 20];
+    oob[..8].copy_from_slice(&lba.as_u64().to_le_bytes());
+    oob[8..16].copy_from_slice(&seq.to_le_bytes());
+    oob[16..].copy_from_slice(&guard.to_le_bytes());
+    oob
+}
+
+fn decode_oob(oob: &[u8]) -> (Lba, u64, u32) {
+    let lba = u64::from_le_bytes(oob[..8].try_into().expect("oob holds 8-byte lba"));
+    let seq = u64::from_le_bytes(oob[8..16].try_into().expect("oob holds 8-byte seq"));
+    let guard = u32::from_le_bytes(oob[16..20].try_into().expect("oob holds 4-byte guard"));
+    (Lba(lba), seq, guard)
+}
+
+/// The DIF guard: CRC-32C over the LBA and the block payload.
+fn dif_guard(lba: Lba, data: &[u8]) -> u32 {
+    let mut state = !0u32;
+    state = ssdhammer_simkit::crc32c_update(state, &lba.as_u64().to_le_bytes());
+    state = ssdhammer_simkit::crc32c_update(state, data);
+    !state
+}
+
+impl Ftl {
+    /// Assembles an FTL over the given DRAM and flash. Initializes the L2P
+    /// table in DRAM (all entries unmapped).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the L2P table does not fit in the DRAM module, or on DRAM
+    /// errors during initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hammer_amplification` is zero or physical page numbers do
+    /// not fit 32-bit entries.
+    pub fn new(
+        dram: DramModule,
+        nand: FlashArray,
+        config: FtlConfig,
+    ) -> Result<Self, FtlError> {
+        assert!(config.hammer_amplification >= 1, "amplification must be >= 1");
+        let mut dram = dram;
+        let geometry = *nand.geometry();
+        assert!(
+            geometry.total_pages() < u64::from(crate::l2p::INVALID_ENTRY),
+            "flash too large for 32-bit L2P entries"
+        );
+        let good = nand.good_blocks();
+        let op = if config.overprovision_blocks == 0 {
+            ((geometry.total_blocks() / 16) as u32).max(2)
+        } else {
+            config.overprovision_blocks
+        };
+        assert!(
+            (good.len() as u64) > u64::from(op),
+            "overprovisioning exceeds usable blocks"
+        );
+        let exported_lbas =
+            (good.len() as u64 - u64::from(op)) * u64::from(geometry.pages_per_block);
+        let table = L2pTable::new(config.l2p_base, exported_lbas, config.l2p_layout);
+        let dram_cap = dram.mapping().geometry().total_bytes().as_u64();
+        if config.l2p_base.as_u64() + table.size_bytes() > dram_cap {
+            return Err(FtlError::Dram(DramError::OutOfRange {
+                addr: config.l2p_base,
+            }));
+        }
+        table.init(&mut dram)?;
+        let clock = dram.clock().clone();
+        let total_pages = geometry.total_pages() as usize;
+        Ok(Ftl {
+            dram,
+            nand,
+            config,
+            table,
+            clock,
+            exported_lbas,
+            free_blocks: good,
+            sealed_blocks: Vec::new(),
+            active_block: None,
+            valid: vec![false; total_pages],
+            valid_count: vec![0; geometry.total_blocks() as usize],
+            write_seq: 0,
+            telemetry: FtlTelemetry::default(),
+        })
+    }
+
+    /// Rebuilds an FTL from the flash array's out-of-band metadata, as after
+    /// a power loss: every programmed page carries `(LBA, sequence)` in its
+    /// OOB, and the highest sequence per LBA wins.
+    ///
+    /// Limitation (shared with journal-less real FTLs): TRIMs are not
+    /// persisted, so blocks trimmed before the crash come back mapped to
+    /// their last written content.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`Ftl::new`].
+    pub fn recover(
+        dram: DramModule,
+        nand: FlashArray,
+        config: FtlConfig,
+    ) -> Result<Self, FtlError> {
+        let mut ftl = Self::new(dram, nand, config)?;
+        let geometry = *ftl.nand.geometry();
+        // Winner page per LBA by sequence.
+        let mut winners: std::collections::HashMap<u64, (u64, Ppn)> =
+            std::collections::HashMap::new();
+        let mut max_seq = 0u64;
+        let blocks = ftl.nand.good_blocks();
+        for &block in &blocks {
+            let filled = ftl.nand.next_page(block)?;
+            let first = geometry.first_page(block).as_u64();
+            for p in first..first + u64::from(filled) {
+                let oob = ftl.nand.read_oob(Ppn(p))?;
+                let (lba, seq, _) = decode_oob(&oob);
+                if lba.as_u64() >= ftl.exported_lbas {
+                    continue; // stale or foreign metadata
+                }
+                max_seq = max_seq.max(seq);
+                let slot = winners.entry(lba.as_u64()).or_insert((seq, Ppn(p)));
+                if seq >= slot.0 {
+                    *slot = (seq, Ppn(p));
+                }
+            }
+        }
+        for (lba, (_, ppn)) in &winners {
+            ftl.table.set(&mut ftl.dram, Lba(*lba), Some(*ppn))?;
+            ftl.mark_valid(*ppn);
+        }
+        ftl.write_seq = max_seq + 1;
+        // Block bookkeeping: empty blocks are free, everything else sealed
+        // (a fresh active block is opened on the next write).
+        ftl.free_blocks.clear();
+        ftl.sealed_blocks.clear();
+        ftl.active_block = None;
+        for &block in &blocks {
+            if ftl.nand.next_page(block)? == 0 {
+                ftl.free_blocks.push(block);
+            } else {
+                ftl.sealed_blocks.push(block);
+            }
+        }
+        Ok(ftl)
+    }
+
+    /// Tears the FTL apart into its substrates — used by crash-recovery
+    /// tests and experiments ("pull the power, keep the flash").
+    #[must_use]
+    pub fn into_parts(self) -> (DramModule, FlashArray) {
+        (self.dram, self.nand)
+    }
+
+    /// A small fully-wired FTL (tiny DRAM + tiny flash, linear mappings, no
+    /// timing) for unit tests and doc examples.
+    #[must_use]
+    pub fn tiny_for_tests(seed: u64) -> Self {
+        use ssdhammer_dram::{DramGeometry, MappingKind, ModuleProfile};
+        use ssdhammer_flash::FlashGeometry;
+        let clock = SimClock::new();
+        let dram = DramModule::builder(DramGeometry::tiny_test())
+            .profile(ModuleProfile::invulnerable())
+            .mapping(MappingKind::Linear)
+            .seed(seed)
+            .without_timing()
+            .build(clock.clone());
+        let nand = FlashArray::new(FlashGeometry::tiny_test(), clock, seed);
+        Ftl::new(dram, nand, FtlConfig::default()).expect("tiny ftl")
+    }
+
+    /// Number of LBAs exported to the host.
+    #[must_use]
+    pub fn capacity_lbas(&self) -> u64 {
+        self.exported_lbas
+    }
+
+    /// The L2P table descriptor (layout arithmetic).
+    #[must_use]
+    pub fn table(&self) -> &L2pTable {
+        &self.table
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &FtlConfig {
+        &self.config
+    }
+
+    /// Aggregate counters.
+    #[must_use]
+    pub fn telemetry(&self) -> &FtlTelemetry {
+        &self.telemetry
+    }
+
+    /// The DRAM module (experiments inspect flips and telemetry through it).
+    #[must_use]
+    pub fn dram(&self) -> &DramModule {
+        &self.dram
+    }
+
+    /// Mutable DRAM access for experiment setup/verification.
+    pub fn dram_mut(&mut self) -> &mut DramModule {
+        &mut self.dram
+    }
+
+    /// The NAND array (read-only view).
+    #[must_use]
+    pub fn nand(&self) -> &FlashArray {
+        &self.nand
+    }
+
+    /// The shared simulation clock.
+    #[must_use]
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    fn check_lba(&self, lba: Lba) -> Result<(), FtlError> {
+        if lba.as_u64() >= self.exported_lbas {
+            Err(FtlError::OutOfRange { lba })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// L2P read on the host path, with configured activation amplification.
+    fn amplified_get(&mut self, lba: Lba) -> Result<Option<Ppn>, FtlError> {
+        let entry = self.table.get(&mut self.dram, lba)?;
+        let amp = u64::from(self.config.hammer_amplification);
+        if amp > 1 {
+            self.dram
+                .force_activations(self.table.entry_addr(lba), amp - 1)?;
+        }
+        Ok(entry)
+    }
+
+    /// Reads one block. Returns what the mapping resolved to.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range LBAs, bad buffer sizes, or substrate errors.
+    pub fn read(&mut self, lba: Lba, buf: &mut [u8]) -> Result<ReadOutcome, FtlError> {
+        self.check_lba(lba)?;
+        if buf.len() != BLOCK_SIZE {
+            return Err(FtlError::BadBufferLen { got: buf.len() });
+        }
+        self.telemetry.host_reads += 1;
+        match self.amplified_get(lba)? {
+            None => {
+                buf.fill(0);
+                if self.config.unmapped_fast_path {
+                    Ok(ReadOutcome::Unmapped)
+                } else {
+                    let completed = self.nand.charge_dummy_read(lba.as_u64());
+                    Ok(ReadOutcome::SlowUnmapped { completed })
+                }
+            }
+            Some(ppn) if ppn.as_u64() >= self.nand.geometry().total_pages() => {
+                buf.fill(0);
+                Ok(ReadOutcome::Wild {
+                    entry: ppn.as_u64(),
+                })
+            }
+            Some(ppn) => {
+                let (data, completed) = self.nand.read_page(ppn)?;
+                if self.config.dif {
+                    let oob = self.nand.read_oob(ppn)?;
+                    let (_, _, stored_guard) = decode_oob(&oob);
+                    if stored_guard != dif_guard(lba, &data) {
+                        // The page's guard was computed for a different
+                        // (LBA, data) pair: a misdirected mapping (or
+                        // corrupted data). Fail loudly, leak nothing.
+                        buf.fill(0);
+                        return Ok(ReadOutcome::GuardMismatch { ppn });
+                    }
+                }
+                buf.copy_from_slice(&data);
+                // Stay ahead of read disturb: relocate heavily-read blocks.
+                if let Some(threshold) = self.config.read_refresh_threshold {
+                    let block = self.nand.geometry().block_of(ppn);
+                    if self.nand.reads_since_erase(block)? >= threshold {
+                        // A hot page may sit in the active block; seal it so
+                        // relocation targets a fresh one.
+                        if self.active_block == Some(block) {
+                            self.active_block = None;
+                        }
+                        self.relocate_and_reclaim(block)?;
+                        self.telemetry.read_refreshes += 1;
+                    }
+                }
+                Ok(ReadOutcome::Mapped { ppn, completed })
+            }
+        }
+    }
+
+    /// Writes one block out-of-place and updates the mapping.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range LBAs, bad buffer sizes, [`FtlError::DeviceFull`], or
+    /// substrate errors.
+    pub fn write(&mut self, lba: Lba, data: &[u8]) -> Result<SimTime, FtlError> {
+        self.check_lba(lba)?;
+        if data.len() != BLOCK_SIZE {
+            return Err(FtlError::BadBufferLen { got: data.len() });
+        }
+        self.telemetry.host_writes += 1;
+        let old = self.amplified_get(lba)?;
+        let ppn = self.allocate_ppn()?;
+        let seq = self.write_seq;
+        self.write_seq += 1;
+        let guard = if self.config.dif { dif_guard(lba, data) } else { 0 };
+        let completed = self
+            .nand
+            .program_page(ppn, data, &encode_oob(lba, seq, guard))?;
+        self.table.set(&mut self.dram, lba, Some(ppn))?;
+        self.mark_valid(ppn);
+        if let Some(old_ppn) = old {
+            self.mark_invalid(old_ppn);
+        }
+        self.maybe_gc()?;
+        Ok(completed)
+    }
+
+    /// Unmaps one block (NVMe deallocate / TRIM).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range LBAs or substrate errors.
+    pub fn trim(&mut self, lba: Lba) -> Result<(), FtlError> {
+        self.check_lba(lba)?;
+        self.telemetry.host_trims += 1;
+        let old = self.amplified_get(lba)?;
+        self.table.set(&mut self.dram, lba, None)?;
+        if let Some(old_ppn) = old {
+            self.mark_invalid(old_ppn);
+        }
+        Ok(())
+    }
+
+    /// Issues `requests` read requests round-robin over `lbas` at
+    /// `request_rate` requests/second, aggregated directly into DRAM row
+    /// activations (the fast path for attack workloads spanning simulated
+    /// minutes to hours).
+    ///
+    /// Each request activates its entry's DRAM row `hammer_amplification`
+    /// times, exactly like the per-request path.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range LBAs or DRAM errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lbas` is empty or the rate is not positive.
+    pub fn hammer_reads(
+        &mut self,
+        lbas: &[Lba],
+        requests: u64,
+        request_rate: f64,
+    ) -> Result<HammerReport, FtlError> {
+        assert!(!lbas.is_empty(), "need at least one LBA");
+        for &lba in lbas {
+            self.check_lba(lba)?;
+        }
+        let addrs: Vec<DramAddr> = lbas.iter().map(|&l| self.table.entry_addr(l)).collect();
+        let amp = u64::from(self.config.hammer_amplification);
+        self.telemetry.host_reads += requests;
+        let report = self
+            .dram
+            .run_hammer(&addrs, requests * amp, request_rate * amp as f64)?;
+        Ok(report)
+    }
+
+    /// Reads `lba`'s L2P entry through the device path: the DRAM row is
+    /// activated and ECC (when configured) is applied — including
+    /// correction-with-scrub and uncorrectable-error reporting. This is what
+    /// the firmware itself sees.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range LBAs; [`FtlError::Dram`] on ECC-uncorrectable entries.
+    pub fn entry_read(&mut self, lba: Lba) -> Result<Option<Ppn>, FtlError> {
+        self.check_lba(lba)?;
+        Ok(self.table.get(&mut self.dram, lba)?)
+    }
+
+    /// Ground-truth mapping lookup that does not disturb the device (no
+    /// activation, no ECC, no time). For experiments and tests.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range LBAs or DRAM errors.
+    pub fn peek_mapping(&self, lba: Lba) -> Result<Option<Ppn>, FtlError> {
+        self.check_lba(lba)?;
+        let mut buf = [0u8; 4];
+        self.dram.peek(self.table.entry_addr(lba), &mut buf)?;
+        let raw = u32::from_le_bytes(buf);
+        Ok((raw != crate::l2p::INVALID_ENTRY).then(|| Ppn(u64::from(raw))))
+    }
+
+    /// Current number of free blocks (diagnostics).
+    #[must_use]
+    pub fn free_block_count(&self) -> usize {
+        self.free_blocks.len()
+    }
+
+    /// Write amplification so far: flash programs per host write.
+    #[must_use]
+    pub fn write_amplification(&self) -> f64 {
+        if self.telemetry.host_writes == 0 {
+            0.0
+        } else {
+            self.nand.telemetry().programs as f64 / self.telemetry.host_writes as f64
+        }
+    }
+
+    // ---- internals ---------------------------------------------------------
+
+    fn mark_valid(&mut self, ppn: Ppn) {
+        let block = self.nand.geometry().block_of(ppn);
+        if !self.valid[ppn.as_u64() as usize] {
+            self.valid[ppn.as_u64() as usize] = true;
+            self.valid_count[block.as_u64() as usize] += 1;
+        }
+    }
+
+    fn mark_invalid(&mut self, ppn: Ppn) {
+        // A corrupted mapping may point anywhere; only unmark real pages.
+        if ppn.as_u64() >= self.nand.geometry().total_pages() {
+            return;
+        }
+        let block = self.nand.geometry().block_of(ppn);
+        if self.valid[ppn.as_u64() as usize] {
+            self.valid[ppn.as_u64() as usize] = false;
+            self.valid_count[block.as_u64() as usize] -= 1;
+        }
+    }
+
+    /// Next append-point page, opening a fresh minimum-wear block as needed.
+    fn allocate_ppn(&mut self) -> Result<Ppn, FtlError> {
+        loop {
+            if let Some(block) = self.active_block {
+                let next = self.nand.next_page(block)?;
+                if next < self.nand.geometry().pages_per_block {
+                    return Ok(Ppn(
+                        self.nand.geometry().first_page(block).as_u64() + u64::from(next)
+                    ));
+                }
+                self.sealed_blocks.push(block);
+                self.active_block = None;
+            }
+            if self.free_blocks.is_empty() {
+                return Err(FtlError::DeviceFull);
+            }
+            // Wear leveling: lowest-P/E free block (ties by id).
+            let mut best = 0usize;
+            let mut best_key = (u32::MAX, u64::MAX);
+            for (i, &b) in self.free_blocks.iter().enumerate() {
+                let key = (self.nand.pe_cycles(b)?, b.as_u64());
+                if key < best_key {
+                    best_key = key;
+                    best = i;
+                }
+            }
+            self.active_block = Some(self.free_blocks.swap_remove(best));
+        }
+    }
+
+    /// Greedy garbage collection: reclaim lowest-valid sealed blocks until
+    /// the free pool is above the threshold (or no further progress is
+    /// possible).
+    fn maybe_gc(&mut self) -> Result<(), FtlError> {
+        while (self.free_blocks.len() as u32) <= self.config.gc_free_threshold {
+            // Victim: sealed block with fewest valid pages.
+            let Some((idx, &victim)) = self
+                .sealed_blocks
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &b)| {
+                    (
+                        self.valid_count[b.as_u64() as usize],
+                        // Tie-break by wear so equally-empty victims rotate
+                        // instead of the lowest id being erased repeatedly.
+                        self.nand.pe_cycles(b).unwrap_or(u32::MAX),
+                        b.as_u64(),
+                    )
+                })
+            else {
+                break;
+            };
+            if self.valid_count[victim.as_u64() as usize]
+                >= self.nand.geometry().pages_per_block
+            {
+                break; // fully valid: no space to gain
+            }
+            self.sealed_blocks.swap_remove(idx);
+            self.telemetry.gc_runs += 1;
+            self.relocate_and_reclaim(victim)?;
+        }
+        Ok(())
+    }
+
+    /// Moves every valid page out of `victim`, erases it, and returns it to
+    /// the free pool (shared by GC and read-refresh).
+    fn relocate_and_reclaim(&mut self, victim: BlockId) -> Result<(), FtlError> {
+        if let Some(idx) = self.sealed_blocks.iter().position(|&b| b == victim) {
+            self.sealed_blocks.swap_remove(idx);
+        }
+        let first = self.nand.geometry().first_page(victim).as_u64();
+        for p in first..first + u64::from(self.nand.geometry().pages_per_block) {
+            if !self.valid[p as usize] {
+                continue;
+            }
+            let src = Ppn(p);
+            let (data, _) = self.nand.read_page(src)?;
+            let oob = self.nand.read_oob(src)?;
+            let (lba, _, guard) = decode_oob(&oob);
+            let dst = self.allocate_ppn()?;
+            let seq = self.write_seq;
+            self.write_seq += 1;
+            self.nand
+                .program_page(dst, &data, &encode_oob(lba, seq, guard))?;
+            // Relocation updates the mapping through DRAM like any other
+            // path.
+            self.table.set(&mut self.dram, lba, Some(dst))?;
+            self.mark_invalid(src);
+            self.mark_valid(dst);
+            self.telemetry.gc_relocated += 1;
+        }
+        match self.nand.erase_block(victim) {
+            Ok(_) => self.free_blocks.push(victim),
+            Err(FlashError::BadBlock { .. }) => { /* retire worn block */ }
+            Err(e) => return Err(e.into()),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssdhammer_dram::{DramGeometry, MappingKind, ModuleProfile};
+    use ssdhammer_flash::FlashGeometry;
+
+    fn block(fill: u8) -> Vec<u8> {
+        vec![fill; BLOCK_SIZE]
+    }
+
+    /// FTL over mid-size flash and an eagerly vulnerable DRAM for attack
+    /// tests.
+    fn vulnerable_ftl(amplification: u32) -> Ftl {
+        let mut profile =
+            ModuleProfile::from_min_rate("eager", ssdhammer_dram::DramGeneration::Ddr3, 2021, 1);
+        profile.hc_first = 1000;
+        profile.threshold_spread = 0.0;
+        profile.row_vulnerable_prob = 1.0;
+        profile.weak_cells_per_row = 8.0;
+        let clock = SimClock::new();
+        let dram = DramModule::builder(DramGeometry::tiny_test())
+            .profile(profile)
+            .mapping(MappingKind::Linear)
+            .seed(5)
+            .without_timing()
+            .build(clock.clone());
+        let nand = FlashArray::new(FlashGeometry::mib64(), clock, 1);
+        Ftl::new(
+            dram,
+            nand,
+            FtlConfig {
+                hammer_amplification: amplification,
+                ..FtlConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut ftl = Ftl::tiny_for_tests(1);
+        ftl.write(Lba(5), &block(0xAA)).unwrap();
+        let mut out = block(0);
+        let outcome = ftl.read(Lba(5), &mut out).unwrap();
+        assert!(matches!(outcome, ReadOutcome::Mapped { .. }));
+        assert_eq!(out, block(0xAA));
+    }
+
+    #[test]
+    fn unmapped_reads_zero_without_flash() {
+        let mut ftl = Ftl::tiny_for_tests(1);
+        let mut out = block(7);
+        let outcome = ftl.read(Lba(100), &mut out).unwrap();
+        assert_eq!(outcome, ReadOutcome::Unmapped);
+        assert_eq!(out, block(0));
+        assert_eq!(ftl.nand().telemetry().reads, 0);
+    }
+
+    #[test]
+    fn overwrite_moves_to_new_page() {
+        let mut ftl = Ftl::tiny_for_tests(1);
+        ftl.write(Lba(3), &block(1)).unwrap();
+        let p1 = ftl.peek_mapping(Lba(3)).unwrap().unwrap();
+        ftl.write(Lba(3), &block(2)).unwrap();
+        let p2 = ftl.peek_mapping(Lba(3)).unwrap().unwrap();
+        assert_ne!(p1, p2, "out-of-place write must relocate");
+        let mut out = block(0);
+        ftl.read(Lba(3), &mut out).unwrap();
+        assert_eq!(out, block(2));
+    }
+
+    #[test]
+    fn trim_unmaps() {
+        let mut ftl = Ftl::tiny_for_tests(1);
+        ftl.write(Lba(9), &block(3)).unwrap();
+        ftl.trim(Lba(9)).unwrap();
+        assert_eq!(ftl.peek_mapping(Lba(9)).unwrap(), None);
+        let mut out = block(9);
+        assert_eq!(ftl.read(Lba(9), &mut out).unwrap(), ReadOutcome::Unmapped);
+        assert_eq!(out, block(0));
+    }
+
+    #[test]
+    fn out_of_range_lba_rejected() {
+        let mut ftl = Ftl::tiny_for_tests(1);
+        let cap = ftl.capacity_lbas();
+        assert_eq!(
+            ftl.write(Lba(cap), &block(0)),
+            Err(FtlError::OutOfRange { lba: Lba(cap) })
+        );
+        let mut out = block(0);
+        assert!(ftl.read(Lba(cap), &mut out).is_err());
+        assert!(ftl.trim(Lba(cap)).is_err());
+    }
+
+    #[test]
+    fn bad_buffer_len_rejected() {
+        let mut ftl = Ftl::tiny_for_tests(1);
+        assert_eq!(
+            ftl.write(Lba(0), &[0u8; 100]),
+            Err(FtlError::BadBufferLen { got: 100 })
+        );
+    }
+
+    #[test]
+    fn capacity_reflects_overprovisioning() {
+        let ftl = Ftl::tiny_for_tests(1);
+        // tiny flash: 16 blocks × 64 pages = 1024 pages; auto OP = 2 blocks.
+        assert_eq!(ftl.capacity_lbas(), 896);
+    }
+
+    #[test]
+    fn gc_reclaims_space_under_churn() {
+        let mut ftl = Ftl::tiny_for_tests(1);
+        let cap = ftl.capacity_lbas();
+        // Overwrite a small working set far more times than raw capacity:
+        // survives only if GC reclaims invalidated pages.
+        for round in 0..20u64 {
+            for lba in 0..cap / 4 {
+                ftl.write(Lba(lba), &block((round % 251) as u8)).unwrap();
+            }
+        }
+        assert!(ftl.telemetry().gc_runs > 0, "GC must have run");
+        // All data still correct.
+        let mut out = block(0);
+        for lba in 0..cap / 4 {
+            ftl.read(Lba(lba), &mut out).unwrap();
+            assert_eq!(out[0], 19);
+        }
+        assert!(ftl.write_amplification() >= 1.0);
+    }
+
+    #[test]
+    fn filling_every_lba_succeeds_and_persists() {
+        let mut ftl = Ftl::tiny_for_tests(1);
+        let cap = ftl.capacity_lbas();
+        for lba in 0..cap {
+            ftl.write(Lba(lba), &block((lba % 255) as u8)).unwrap();
+        }
+        let mut out = block(0);
+        for lba in (0..cap).step_by(37) {
+            ftl.read(Lba(lba), &mut out).unwrap();
+            assert_eq!(out[0], (lba % 255) as u8);
+        }
+    }
+
+    #[test]
+    fn wear_leveling_prefers_low_pe_blocks() {
+        let mut ftl = Ftl::tiny_for_tests(1);
+        let cap = ftl.capacity_lbas();
+        for round in 0..30u64 {
+            for lba in 0..cap / 8 {
+                ftl.write(Lba(lba), &block((round & 0xFF) as u8)).unwrap();
+            }
+        }
+        // Wear spread: max - min P/E among good blocks stays small under
+        // min-wear allocation.
+        let pes: Vec<u32> = ftl
+            .nand()
+            .good_blocks()
+            .iter()
+            .map(|&b| ftl.nand().pe_cycles(b).unwrap())
+            .collect();
+        let (min, max) = (pes.iter().min().unwrap(), pes.iter().max().unwrap());
+        assert!(max - min <= 3, "wear spread too large: {pes:?}");
+    }
+
+    #[test]
+    fn amplification_multiplies_activations() {
+        let mut ftl1 = vulnerable_ftl(1);
+        let mut ftl5 = vulnerable_ftl(5);
+        let mut out = block(0);
+        // Alternate two LBAs whose entries live in different rows.
+        let lbas = [Lba(0), Lba(512)];
+        for _ in 0..100 {
+            for &l in &lbas {
+                ftl1.read(l, &mut out).unwrap();
+                ftl5.read(l, &mut out).unwrap();
+            }
+        }
+        let a1 = ftl1.dram().telemetry().activations;
+        let a5 = ftl5.dram().telemetry().activations;
+        assert!(
+            a5 > a1 * 4,
+            "5x amplification should ~5x activations: {a1} vs {a5}"
+        );
+    }
+
+    #[test]
+    fn hammer_reads_flips_l2p_entries_and_redirects() {
+        let mut ftl = vulnerable_ftl(1);
+        // Locate a victim DRAM row holding L2P entries, with both neighbors
+        // also holding entries.
+        let table = *ftl.table();
+        let victim_bank = 0u32;
+        let victim_row = 5u32;
+        let victim_lbas = table.lbas_in_row(ftl.dram(), victim_bank, victim_row);
+        let above = table.lbas_in_row(ftl.dram(), victim_bank, victim_row - 1);
+        let below = table.lbas_in_row(ftl.dram(), victim_bank, victim_row + 1);
+        assert!(!victim_lbas.is_empty() && !above.is_empty() && !below.is_empty());
+
+        // Materialize mappings for the victim row's LBAs.
+        for &lba in &victim_lbas {
+            ftl.write(lba, &block(0x11)).unwrap();
+        }
+        let before: Vec<_> = victim_lbas
+            .iter()
+            .map(|&l| ftl.peek_mapping(l).unwrap())
+            .collect();
+
+        // §3.1: alternating reads whose entries live in the two aggressor
+        // rows. One representative LBA per row suffices to activate it.
+        let pattern = [above[0], below[0]];
+        let report = ftl.hammer_reads(&pattern, 300_000, 5_000_000.0).unwrap();
+        assert!(!report.flips.is_empty(), "hammering should flip L2P bits");
+
+        let after: Vec<_> = victim_lbas
+            .iter()
+            .map(|&l| ftl.peek_mapping(l).unwrap())
+            .collect();
+        assert_ne!(before, after, "some victim mapping must have changed");
+    }
+
+    #[test]
+    fn wild_mapping_reads_zeroes() {
+        let mut ftl = Ftl::tiny_for_tests(1);
+        ftl.write(Lba(0), &block(0xAB)).unwrap();
+        // Corrupt the entry to an out-of-range page via the DRAM backdoor.
+        let addr = ftl.table().entry_addr(Lba(0));
+        ftl.dram_mut().write_u32(addr, 0x00FF_FFFF).unwrap();
+        let mut out = block(1);
+        let outcome = ftl.read(Lba(0), &mut out).unwrap();
+        assert!(matches!(outcome, ReadOutcome::Wild { .. }));
+        assert_eq!(out, block(0));
+    }
+
+    #[test]
+    fn redirected_mapping_serves_other_users_data() {
+        // The information-leak primitive (§3.2): entry of LBA A redirected
+        // to the PPN backing LBA B returns B's data to a read of A.
+        let mut ftl = Ftl::tiny_for_tests(1);
+        ftl.write(Lba(1), &block(0x01)).unwrap();
+        ftl.write(Lba(2), &block(0x02)).unwrap();
+        let ppn_b = ftl.peek_mapping(Lba(2)).unwrap().unwrap();
+        let addr_a = ftl.table().entry_addr(Lba(1));
+        ftl.dram_mut()
+            .write_u32(addr_a, u32::try_from(ppn_b.as_u64()).unwrap())
+            .unwrap();
+        let mut out = block(0);
+        ftl.read(Lba(1), &mut out).unwrap();
+        assert_eq!(out, block(0x02), "read of A must now leak B's data");
+    }
+
+    #[test]
+    fn hashed_layout_round_trips_through_ftl() {
+        use ssdhammer_dram::{DramGeometry, MappingKind, ModuleProfile};
+        use ssdhammer_flash::FlashGeometry;
+        let clock = SimClock::new();
+        let dram = DramModule::builder(DramGeometry::tiny_test())
+            .profile(ModuleProfile::invulnerable())
+            .mapping(MappingKind::Linear)
+            .without_timing()
+            .build(clock.clone());
+        let nand = FlashArray::new(FlashGeometry::tiny_test(), clock, 1);
+        let mut ftl = Ftl::new(
+            dram,
+            nand,
+            FtlConfig {
+                l2p_layout: L2pLayout::Hashed { key: 0xC0FFEE },
+                ..FtlConfig::default()
+            },
+        )
+        .unwrap();
+        for lba in 0..64u64 {
+            ftl.write(Lba(lba), &block(lba as u8)).unwrap();
+        }
+        let mut out = block(0);
+        for lba in 0..64u64 {
+            ftl.read(Lba(lba), &mut out).unwrap();
+            assert_eq!(out[0], lba as u8);
+        }
+    }
+
+    #[test]
+    fn gc_itself_activates_dram_rows() {
+        let mut ftl = Ftl::tiny_for_tests(1);
+        let before = ftl.dram().telemetry().activations;
+        let cap = ftl.capacity_lbas();
+        // Fill the device, then keep overwriting half of it: GC victims then
+        // carry live data from the cold half interleaved by allocation order,
+        // forcing relocations.
+        for lba in 0..cap {
+            ftl.write(Lba(lba), &block(1)).unwrap();
+        }
+        for round in 0..6u64 {
+            for lba in (0..cap).step_by(2) {
+                ftl.write(Lba(lba), &block(round as u8)).unwrap();
+            }
+        }
+        assert!(ftl.telemetry().gc_relocated > 0);
+        assert!(ftl.dram().telemetry().activations > before);
+    }
+
+    #[test]
+    fn device_full_when_working_set_exceeds_capacity() {
+        let mut ftl = Ftl::tiny_for_tests(1);
+        let cap = ftl.capacity_lbas();
+        let mut result = Ok(SimTime::ZERO);
+        // Writing unique data to every LBA repeatedly is fine; but raw
+        // capacity (including OP) cannot be exceeded in *valid* data. Filling
+        // every exported LBA must succeed; the device is full only if we
+        // somehow exceed physical valid capacity, which exporting prevents.
+        for lba in 0..cap {
+            result = ftl.write(Lba(lba), &block(1));
+            if result.is_err() {
+                break;
+            }
+        }
+        assert!(result.is_ok(), "exported capacity is always writable");
+    }
+
+    fn dif_ftl() -> Ftl {
+        use ssdhammer_dram::{DramGeometry, MappingKind, ModuleProfile};
+        use ssdhammer_flash::FlashGeometry;
+        let clock = SimClock::new();
+        let dram = DramModule::builder(DramGeometry::tiny_test())
+            .profile(ModuleProfile::invulnerable())
+            .mapping(MappingKind::Linear)
+            .without_timing()
+            .build(clock.clone());
+        let nand = FlashArray::new(FlashGeometry::tiny_test(), clock, 1);
+        Ftl::new(
+            dram,
+            nand,
+            FtlConfig {
+                dif: true,
+                ..FtlConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dif_guard_blocks_misdirected_reads() {
+        let mut ftl = dif_ftl();
+        ftl.write(Lba(1), &block(0x01)).unwrap();
+        ftl.write(Lba(2), &block(0x02)).unwrap();
+        // Normal reads verify cleanly.
+        let mut out = block(0);
+        assert!(matches!(
+            ftl.read(Lba(1), &mut out).unwrap(),
+            ReadOutcome::Mapped { .. }
+        ));
+        assert_eq!(out, block(0x01));
+        // Redirect LBA 1's entry to LBA 2's page (the attack's useful flip):
+        // the guard was computed for LBA 2, so the read fails instead of
+        // leaking LBA 2's data.
+        let ppn2 = ftl.peek_mapping(Lba(2)).unwrap().unwrap();
+        let addr1 = ftl.table().entry_addr(Lba(1));
+        ftl.dram_mut()
+            .write_u32(addr1, u32::try_from(ppn2.as_u64()).unwrap())
+            .unwrap();
+        let mut out = block(9);
+        let outcome = ftl.read(Lba(1), &mut out).unwrap();
+        assert!(
+            matches!(outcome, ReadOutcome::GuardMismatch { .. }),
+            "{outcome:?}"
+        );
+        assert_eq!(out, block(0), "nothing leaks");
+        // The legitimate owner still reads its data fine.
+        ftl.read(Lba(2), &mut out).unwrap();
+        assert_eq!(out, block(0x02));
+    }
+
+    #[test]
+    fn dif_guards_survive_gc_relocation() {
+        let mut ftl = dif_ftl();
+        let cap = ftl.capacity_lbas();
+        // Fill once, then churn half the LBAs so GC victims carry live data
+        // (the cold half) and must relocate it.
+        for lba in 0..cap {
+            ftl.write(Lba(lba), &block(7)).unwrap();
+        }
+        for round in 0..6u64 {
+            for lba in (0..cap).step_by(2) {
+                ftl.write(Lba(lba), &block((round % 251) as u8)).unwrap();
+            }
+        }
+        assert!(ftl.telemetry().gc_relocated > 0, "GC must have moved pages");
+        let mut out = block(0);
+        for lba in (1..cap).step_by(16) {
+            let outcome = ftl.read(Lba(lba), &mut out).unwrap();
+            assert!(
+                matches!(outcome, ReadOutcome::Mapped { .. }),
+                "guards must verify after relocation: {outcome:?}"
+            );
+            assert_eq!(out[0], 7, "cold data intact at {lba}");
+        }
+    }
+
+    #[test]
+    fn recover_rebuilds_mapping_from_oob() {
+        use ssdhammer_dram::{DramGeometry, MappingKind, ModuleProfile};
+        let mut ftl = Ftl::tiny_for_tests(1);
+        // Writes including overwrites: recovery must pick the latest version.
+        for lba in 0..100u64 {
+            ftl.write(Lba(lba), &block((lba % 251) as u8)).unwrap();
+        }
+        for lba in (0..100u64).step_by(3) {
+            ftl.write(Lba(lba), &block(0xEE)).unwrap();
+        }
+        let expected: Vec<_> = (0..100u64)
+            .map(|l| if l % 3 == 0 { 0xEE } else { (l % 251) as u8 })
+            .collect();
+        // Power loss: DRAM contents (and the L2P table with them) are gone;
+        // only flash survives.
+        let (_lost_dram, nand) = ftl.into_parts();
+        let clock = SimClock::new();
+        let fresh_dram = DramModule::builder(DramGeometry::tiny_test())
+            .profile(ModuleProfile::invulnerable())
+            .mapping(MappingKind::Linear)
+            .without_timing()
+            .build(clock);
+        let mut recovered = Ftl::recover(fresh_dram, nand, FtlConfig::default()).unwrap();
+        let mut out = block(0);
+        for lba in 0..100u64 {
+            recovered.read(Lba(lba), &mut out).unwrap();
+            assert_eq!(out[0], expected[lba as usize], "lba {lba}");
+        }
+        // And the recovered device keeps working (writes allocate fresh
+        // pages with higher sequence numbers).
+        recovered.write(Lba(5), &block(0x77)).unwrap();
+        recovered.read(Lba(5), &mut out).unwrap();
+        assert_eq!(out[0], 0x77);
+    }
+
+    #[test]
+    fn read_refresh_outruns_read_disturb() {
+        use ssdhammer_dram::{DramGeometry, MappingKind, ModuleProfile};
+        use ssdhammer_flash::FlashGeometry;
+        let build = |threshold: Option<u64>| {
+            let clock = SimClock::new();
+            let dram = DramModule::builder(DramGeometry::tiny_test())
+                .profile(ModuleProfile::invulnerable())
+                .mapping(MappingKind::Linear)
+                .without_timing()
+                .build(clock.clone());
+            let mut nand = FlashArray::new(FlashGeometry::tiny_test(), clock, 1);
+            nand.set_read_disturb_limit(500);
+            Ftl::new(
+                dram,
+                nand,
+                FtlConfig {
+                    read_refresh_threshold: threshold,
+                    ..FtlConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        // Without read-refresh, hot reads eventually return corrupted data.
+        let mut unprotected = build(None);
+        unprotected.write(Lba(0), &block(0x42)).unwrap();
+        let mut saw_corruption = false;
+        let mut out = block(0);
+        for _ in 0..2_000 {
+            unprotected.read(Lba(0), &mut out).unwrap();
+            saw_corruption |= out.iter().any(|&b| b != 0x42);
+        }
+        assert!(saw_corruption, "read disturb should corrupt unprotected data");
+
+        // With read-refresh below the flash tolerance, data stays clean.
+        let mut protected = build(Some(400));
+        protected.write(Lba(0), &block(0x42)).unwrap();
+        for _ in 0..2_000 {
+            protected.read(Lba(0), &mut out).unwrap();
+            assert!(out.iter().all(|&b| b == 0x42), "refresh must keep data clean");
+        }
+        assert!(protected.telemetry().read_refreshes > 0);
+    }
+
+    #[test]
+    fn vulnerable_row_lbas_exist_for_row5() {
+        // Sanity for the attack tests: rows 4..6 of bank 0 hold L2P entries
+        // in the mid-size config.
+        let ftl = vulnerable_ftl(1);
+        for row in 4..=6 {
+            assert!(
+                !ftl.table().lbas_in_row(ftl.dram(), 0, row).is_empty(),
+                "row {row} holds no entries"
+            );
+        }
+    }
+}

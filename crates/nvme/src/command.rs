@@ -1,0 +1,293 @@
+//! NVMe-ish command set, completions, and controller configuration.
+
+use serde::{Deserialize, Serialize};
+use ssdhammer_simkit::{Lba, SimDuration, SimTime};
+use ssdhammer_ftl::FtlError;
+
+/// Identifies a namespace (1-based, like NVMe NSIDs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NsId(pub u32);
+
+impl core::fmt::Display for NsId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "ns{}", self.0)
+    }
+}
+
+/// Identifies a queue pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QpId(pub u32);
+
+/// Host-visible commands. LBAs are namespace-relative.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Read one 4 KiB block.
+    Read {
+        /// Target namespace.
+        ns: NsId,
+        /// Namespace-relative block address.
+        lba: Lba,
+    },
+    /// Write one 4 KiB block.
+    Write {
+        /// Target namespace.
+        ns: NsId,
+        /// Namespace-relative block address.
+        lba: Lba,
+        /// Block payload (must be 4 KiB).
+        data: Box<[u8]>,
+    },
+    /// Deallocate (TRIM) one block.
+    Trim {
+        /// Target namespace.
+        ns: NsId,
+        /// Namespace-relative block address.
+        lba: Lba,
+    },
+    /// Flush (no-op for the simulated device; completes in order).
+    Flush {
+        /// Target namespace.
+        ns: NsId,
+    },
+    /// Identify-controller: returns capacity and model information.
+    Identify,
+}
+
+/// Errors surfaced on the NVMe surface.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NvmeError {
+    /// Unknown namespace.
+    InvalidNamespace {
+        /// The offending id.
+        ns: NsId,
+    },
+    /// Unknown queue pair.
+    InvalidQueue {
+        /// The offending id.
+        qp: QpId,
+    },
+    /// Namespace-relative address beyond the namespace size.
+    OutOfRange {
+        /// The namespace.
+        ns: NsId,
+        /// The offending address.
+        lba: Lba,
+    },
+    /// The submission queue is full (depth exhausted).
+    QueueFull,
+    /// Capacity exhausted while creating a namespace.
+    InsufficientCapacity,
+    /// T10-DIF-style verification failed: the mapped physical page does not
+    /// belong to this LBA (a misdirected mapping was caught).
+    Integrity {
+        /// The namespace.
+        ns: NsId,
+        /// The failing (namespace-relative) address.
+        lba: Lba,
+    },
+    /// The FTL failed the operation.
+    Ftl(FtlError),
+}
+
+impl From<FtlError> for NvmeError {
+    fn from(e: FtlError) -> Self {
+        NvmeError::Ftl(e)
+    }
+}
+
+impl core::fmt::Display for NvmeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NvmeError::InvalidNamespace { ns } => write!(f, "invalid namespace {ns}"),
+            NvmeError::InvalidQueue { qp } => write!(f, "invalid queue pair {}", qp.0),
+            NvmeError::OutOfRange { ns, lba } => write!(f, "{lba} out of range for {ns}"),
+            NvmeError::QueueFull => write!(f, "submission queue full"),
+            NvmeError::InsufficientCapacity => write!(f, "insufficient capacity"),
+            NvmeError::Integrity { ns, lba } => {
+                write!(f, "integrity (DIF) failure at {lba} of {ns}")
+            }
+            NvmeError::Ftl(e) => write!(f, "ftl: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NvmeError {}
+
+/// Controller-model data returned by [`Command::Identify`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IdentifyData {
+    /// Device model string.
+    pub model: String,
+    /// Total exported capacity in blocks (across namespaces and free space).
+    pub capacity_blocks: u64,
+    /// Logical block size in bytes.
+    pub block_size: u32,
+}
+
+/// Result payload of a completed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CmdResult {
+    /// Read completed; the data and whether the mapping was live.
+    Read {
+        /// The block contents.
+        data: Box<[u8]>,
+        /// True when the read hit a mapped physical page (vs unmapped/wild).
+        mapped: bool,
+    },
+    /// Write completed.
+    Write,
+    /// Trim completed.
+    Trim,
+    /// Flush completed.
+    Flush,
+    /// Identify payload.
+    Identify(IdentifyData),
+    /// Command failed.
+    Error(NvmeError),
+}
+
+/// A completion queue entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// Command id assigned at submission.
+    pub cid: u64,
+    /// Submission time.
+    pub submitted: SimTime,
+    /// Completion time.
+    pub completed: SimTime,
+    /// The command outcome.
+    pub result: CmdResult,
+}
+
+impl Completion {
+    /// Submission-to-completion latency.
+    #[must_use]
+    pub fn latency(&self) -> SimDuration {
+        self.completed.saturating_since(self.submitted)
+    }
+
+    /// True when the command succeeded.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        !matches!(self.result, CmdResult::Error(_))
+    }
+}
+
+/// Host-interface performance class of the device — determines the
+/// per-command controller overhead and therefore the achievable IOPS
+/// (§3.1 cites ~1.5M IOPS on PCIe 4.0 and >2M expected on PCIe 5.0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InterfaceGen {
+    /// PCIe 3.0-era controller: ~0.5 M IOPS.
+    Pcie3,
+    /// PCIe 4.0-era controller: ~1.5 M IOPS.
+    Pcie4,
+    /// PCIe 5.0-era controller: >2 M IOPS.
+    Pcie5,
+}
+
+impl InterfaceGen {
+    /// Fixed controller overhead charged per command (excludes FTL DRAM
+    /// time, which the FTL itself accounts).
+    #[must_use]
+    pub fn command_overhead(self) -> SimDuration {
+        match self {
+            InterfaceGen::Pcie3 => SimDuration::from_nanos(1900),
+            InterfaceGen::Pcie4 => SimDuration::from_nanos(580),
+            InterfaceGen::Pcie5 => SimDuration::from_nanos(390),
+        }
+    }
+}
+
+impl core::fmt::Display for InterfaceGen {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            InterfaceGen::Pcie3 => "PCIe 3.0",
+            InterfaceGen::Pcie4 => "PCIe 4.0",
+            InterfaceGen::Pcie5 => "PCIe 5.0",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Controller behaviour configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Interface generation (sets per-command overhead).
+    pub interface: InterfaceGen,
+    /// Optional I/O rate limit in commands/second — §5's "rate-limiting user
+    /// IOs below the rowhammering access rate" mitigation. Commands are
+    /// delayed, not rejected.
+    pub rate_limit_iops: Option<f64>,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            interface: InterfaceGen::Pcie4,
+            rate_limit_iops: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_latency() {
+        let c = Completion {
+            cid: 1,
+            submitted: SimTime::from_nanos(100),
+            completed: SimTime::from_nanos(350),
+            result: CmdResult::Write,
+        };
+        assert_eq!(c.latency(), SimDuration::from_nanos(250));
+        assert!(c.is_ok());
+    }
+
+    #[test]
+    fn error_completions_are_not_ok() {
+        let c = Completion {
+            cid: 2,
+            submitted: SimTime::ZERO,
+            completed: SimTime::ZERO,
+            result: CmdResult::Error(NvmeError::QueueFull),
+        };
+        assert!(!c.is_ok());
+    }
+
+    #[test]
+    fn newer_interfaces_have_lower_overhead() {
+        assert!(
+            InterfaceGen::Pcie5.command_overhead() < InterfaceGen::Pcie4.command_overhead()
+        );
+        assert!(
+            InterfaceGen::Pcie4.command_overhead() < InterfaceGen::Pcie3.command_overhead()
+        );
+    }
+
+    #[test]
+    fn interface_iops_match_paper_claims() {
+        // 1/overhead approximates peak IOPS (FTL adds ~tens of ns more).
+        let iops4 = InterfaceGen::Pcie4.command_overhead().rate_per_sec();
+        let iops5 = InterfaceGen::Pcie5.command_overhead().rate_per_sec();
+        assert!(iops4 > 1_500_000.0 && iops4 < 2_000_000.0);
+        assert!(iops5 > 2_000_000.0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NsId(3).to_string(), "ns3");
+        assert_eq!(InterfaceGen::Pcie4.to_string(), "PCIe 4.0");
+        assert_eq!(
+            NvmeError::OutOfRange {
+                ns: NsId(1),
+                lba: Lba(9)
+            }
+            .to_string(),
+            "LBA#9 out of range for ns1"
+        );
+    }
+}

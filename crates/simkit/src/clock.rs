@@ -1,0 +1,115 @@
+//! The shared simulated clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A cloneable handle to the simulation's single timeline.
+///
+/// Every component that models latency holds a clone of the same `SimClock`
+/// and calls [`SimClock::advance`] with its modeled cost. Handles are cheap to
+/// clone (an `Arc` internally) and the clock is `Send + Sync`, though the
+/// simulation itself is single-threaded and deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use ssdhammer_simkit::{SimClock, SimDuration};
+///
+/// let clock = SimClock::new();
+/// let view = clock.clone();
+/// clock.advance(SimDuration::from_micros(50));
+/// assert_eq!(view.now().as_nanos(), 50_000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now_ns: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// Creates a clock at [`SimTime::ZERO`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current simulated instant.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.now_ns.load(Ordering::Relaxed))
+    }
+
+    /// Moves the timeline forward by `d` and returns the new instant.
+    pub fn advance(&self, d: SimDuration) -> SimTime {
+        let new = self.now_ns.fetch_add(d.as_nanos(), Ordering::Relaxed) + d.as_nanos();
+        SimTime::from_nanos(new)
+    }
+
+    /// Moves the timeline forward to `t` if `t` is in the future; otherwise
+    /// leaves it unchanged. Returns the (possibly unchanged) current instant.
+    ///
+    /// Useful for host-side rate shaping: "the next request may not be issued
+    /// before `t`".
+    pub fn advance_to(&self, t: SimTime) -> SimTime {
+        let target = t.as_nanos();
+        let mut cur = self.now_ns.load(Ordering::Relaxed);
+        while cur < target {
+            match self.now_ns.compare_exchange(
+                cur,
+                target,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return t,
+                Err(actual) => cur = actual,
+            }
+        }
+        SimTime::from_nanos(cur)
+    }
+
+    /// Elapsed simulated time since `start`.
+    #[must_use]
+    pub fn elapsed_since(&self, start: SimTime) -> SimDuration {
+        self.now().saturating_since(start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_accumulates() {
+        let c = SimClock::new();
+        c.advance(SimDuration::from_nanos(5));
+        c.advance(SimDuration::from_nanos(7));
+        assert_eq!(c.now(), SimTime::from_nanos(12));
+    }
+
+    #[test]
+    fn clones_share_timeline() {
+        let c = SimClock::new();
+        let c2 = c.clone();
+        c2.advance(SimDuration::from_secs(1));
+        assert_eq!(c.now().as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    fn advance_to_never_rewinds() {
+        let c = SimClock::new();
+        c.advance(SimDuration::from_nanos(100));
+        c.advance_to(SimTime::from_nanos(50));
+        assert_eq!(c.now(), SimTime::from_nanos(100));
+        c.advance_to(SimTime::from_nanos(150));
+        assert_eq!(c.now(), SimTime::from_nanos(150));
+    }
+
+    #[test]
+    fn elapsed_since_measures() {
+        let c = SimClock::new();
+        let t0 = c.now();
+        c.advance(SimDuration::from_micros(3));
+        assert_eq!(c.elapsed_since(t0), SimDuration::from_micros(3));
+    }
+}

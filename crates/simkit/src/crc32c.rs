@@ -1,0 +1,87 @@
+//! CRC-32C (Castagnoli), the checksum ext4 uses for metadata such as extent
+//! tree blocks. Table-driven, reflected, polynomial `0x1EDC6F41`.
+
+/// The reflected CRC-32C polynomial.
+const POLY: u32 = 0x82F6_3B78;
+
+/// 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Computes the CRC-32C of `data` with the conventional `!0` init/finalize.
+///
+/// # Examples
+///
+/// ```
+/// // Standard test vector: "123456789" -> 0xE3069283.
+/// assert_eq!(ssdhammer_simkit::crc32c(b"123456789"), 0xE306_9283);
+/// ```
+#[must_use]
+pub fn crc32c(data: &[u8]) -> u32 {
+    !update(!0, data)
+}
+
+/// Continues a CRC computation over an additional chunk; `state` is the raw
+/// (non-finalized) register. Start from `!0` and complement the final value,
+/// or just use [`crc32c`] for one-shot input.
+#[must_use]
+pub fn update(state: u32, data: &[u8]) -> u32 {
+    let mut crc = state;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_vector() {
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32c(b""), 0);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"hello ext4 extent tree";
+        let oneshot = crc32c(data);
+        let mut st = !0u32;
+        st = update(st, &data[..7]);
+        st = update(st, &data[7..]);
+        assert_eq!(!st, oneshot);
+    }
+
+    #[test]
+    fn single_bit_change_changes_crc() {
+        let a = crc32c(&[0u8; 64]);
+        let mut buf = [0u8; 64];
+        buf[17] ^= 0x10;
+        assert_ne!(crc32c(&buf), a);
+    }
+
+    #[test]
+    fn all_zeros_vs_all_ones() {
+        assert_ne!(crc32c(&[0u8; 32]), crc32c(&[0xFFu8; 32]));
+    }
+}

@@ -1,0 +1,49 @@
+//! # ssdhammer-simkit
+//!
+//! The deterministic simulation substrate underneath the `ssdhammer`
+//! workspace, a reproduction of *Rowhammering Storage Devices* (HotStorage
+//! '21). This crate provides the shared vocabulary every other crate builds
+//! on:
+//!
+//! * [`SimClock`] / [`SimTime`] / [`SimDuration`] — the simulated timeline.
+//!   All rates reported by experiments (IOPS, DRAM activations per second)
+//!   are measured against this clock, never the host wall clock.
+//! * [`ByteSize`], [`Lba`], [`DramAddr`], [`BLOCK_SIZE`] — units and address
+//!   newtypes that keep logical, physical, and DRAM address spaces apart in
+//!   the type system.
+//! * [`BlockStorage`] and the in-memory [`RamDisk`] — the 4 KiB block-device
+//!   contract implemented by NVMe namespaces and partition views.
+//! * [`rng`] — seed-derivation helpers making every stochastic component
+//!   reproducible.
+//! * [`crc32c`] — the checksum ext4 applies to extent-tree metadata (and
+//!   pointedly does *not* apply to legacy indirect blocks, which is what the
+//!   paper's end-to-end exploit rides on).
+//! * [`stats`] — counters, simulated-time rate meters, latency histograms.
+//!
+//! # Examples
+//!
+//! ```
+//! use ssdhammer_simkit::{SimClock, SimDuration, ByteSize};
+//!
+//! let clock = SimClock::new();
+//! clock.advance(SimDuration::from_micros(100));
+//! assert_eq!(clock.now().as_secs_f64(), 1e-4);
+//! assert_eq!(ByteSize::gib(1) / ByteSize::mib(1), 1024);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blockdev;
+mod clock;
+mod crc32c;
+pub mod rng;
+pub mod stats;
+mod time;
+mod units;
+
+pub use blockdev::{BlockStorage, RamDisk, StorageError, StorageResult};
+pub use clock::SimClock;
+pub use crc32c::{crc32c, update as crc32c_update};
+pub use time::{SimDuration, SimTime};
+pub use units::{ByteSize, DramAddr, Lba, BLOCK_SIZE};

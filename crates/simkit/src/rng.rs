@@ -1,0 +1,100 @@
+//! Deterministic randomness plumbing.
+//!
+//! Every stochastic decision in the workspace (weak-cell placement, flip
+//! thresholds, workload randomization, Monte-Carlo trials) flows from an
+//! explicit `u64` seed through these helpers, so a given seed reproduces a
+//! given experiment bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a [`StdRng`] from a bare `u64` seed.
+///
+/// # Examples
+///
+/// ```
+/// use rand::Rng;
+///
+/// let mut a = ssdhammer_simkit::rng::seeded(42);
+/// let mut b = ssdhammer_simkit::rng::seeded(42);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+#[must_use]
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// SplitMix64 step: a fast, high-quality mixing function used to derive
+/// independent sub-seeds from a root seed plus a domain tag.
+///
+/// This is the reference SplitMix64 finalizer (Vigna, 2015); it is a bijection
+/// on `u64`, so distinct inputs never collide.
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives a sub-seed for a named domain (`tag`) and index from a root seed.
+///
+/// Components use this to give each DRAM row, each Monte-Carlo trial, etc. an
+/// independent but reproducible random stream.
+///
+/// # Examples
+///
+/// ```
+/// use ssdhammer_simkit::rng::derive_seed;
+///
+/// let row0 = derive_seed(7, "weak-cells", 0);
+/// let row1 = derive_seed(7, "weak-cells", 1);
+/// assert_ne!(row0, row1);
+/// assert_eq!(row0, derive_seed(7, "weak-cells", 0));
+/// ```
+#[must_use]
+pub fn derive_seed(root: u64, tag: &str, index: u64) -> u64 {
+    let mut h = splitmix64(root);
+    for &b in tag.as_bytes() {
+        h = splitmix64(h ^ u64::from(b));
+    }
+    splitmix64(h ^ index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let xs: Vec<u32> = (0..8).map(|_| seeded(1).gen()).collect();
+        assert!(xs.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn splitmix_is_bijective_on_sample() {
+        // Spot-check injectivity over a small dense range.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(splitmix64(i)));
+        }
+    }
+
+    #[test]
+    fn derived_seeds_differ_by_tag_and_index() {
+        let a = derive_seed(1, "a", 0);
+        let b = derive_seed(1, "b", 0);
+        let c = derive_seed(1, "a", 1);
+        let d = derive_seed(2, "a", 0);
+        assert!(a != b && a != c && a != d && b != c);
+    }
+
+    #[test]
+    fn known_splitmix_vector() {
+        // First output of SplitMix64 seeded with 0, from the reference
+        // implementation.
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+    }
+}

@@ -1,0 +1,285 @@
+//! Lightweight measurement helpers: counters, rate meters over simulated
+//! time, and log-bucketed latency histograms.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A counter at zero.
+    #[must_use]
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one event.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n` events.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// The current count.
+    #[must_use]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Counts events against the simulated clock and reports a rate.
+///
+/// # Examples
+///
+/// ```
+/// use ssdhammer_simkit::{stats::RateMeter, SimDuration, SimTime};
+///
+/// let mut m = RateMeter::started_at(SimTime::ZERO);
+/// m.record(1000);
+/// let rate = m.rate_per_sec(SimTime::ZERO + SimDuration::from_millis(1));
+/// assert!((rate - 1_000_000.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateMeter {
+    started: SimTime,
+    events: u64,
+}
+
+impl RateMeter {
+    /// Creates a meter anchored at `start`.
+    #[must_use]
+    pub fn started_at(start: SimTime) -> Self {
+        RateMeter {
+            started: start,
+            events: 0,
+        }
+    }
+
+    /// Records `n` events.
+    pub fn record(&mut self, n: u64) {
+        self.events += n;
+    }
+
+    /// Total events recorded.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Events per simulated second as of `now`. Returns 0.0 before any time
+    /// has elapsed.
+    #[must_use]
+    pub fn rate_per_sec(&self, now: SimTime) -> f64 {
+        let dt = now.saturating_since(self.started);
+        if dt.is_zero() {
+            0.0
+        } else {
+            self.events as f64 / dt.as_secs_f64()
+        }
+    }
+
+    /// Resets the meter to start counting from `now`.
+    pub fn reset(&mut self, now: SimTime) {
+        self.started = now;
+        self.events = 0;
+    }
+}
+
+/// A power-of-two-bucketed histogram of durations, good for latency
+/// distributions across six orders of magnitude without allocation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// bucket `i` counts samples in `[2^i, 2^(i+1))` nanoseconds.
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ns: u128,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Number of power-of-two buckets (covers up to ~2^48 ns ≈ 3 days).
+    const BUCKETS: usize = 48;
+
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; Self::BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one duration sample.
+    pub fn record(&mut self, d: SimDuration) {
+        let ns = d.as_nanos();
+        let idx = (64 - ns.max(1).leading_zeros() as usize - 1).min(Self::BUCKETS - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_ns += u128::from(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample, or zero when empty.
+    #[must_use]
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos((self.sum_ns / u128::from(self.count)) as u64)
+        }
+    }
+
+    /// Largest sample seen.
+    #[must_use]
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_nanos(self.max_ns)
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`) using the bucket upper bound;
+    /// returns zero when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> SimDuration {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of [0,1]");
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return SimDuration::from_nanos(1u64 << (i + 1));
+            }
+        }
+        self.max()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+impl fmt::Display for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={} p50={} p99={} max={}",
+            self.count,
+            self.mean(),
+            self.quantile(0.5),
+            self.quantile(0.99),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn rate_meter_computes_rate() {
+        let mut m = RateMeter::started_at(SimTime::from_nanos(1_000));
+        m.record(500);
+        let now = SimTime::from_nanos(1_000) + SimDuration::from_millis(1);
+        assert!((m.rate_per_sec(now) - 500_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn rate_meter_zero_elapsed_is_zero() {
+        let m = RateMeter::started_at(SimTime::ZERO);
+        assert_eq!(m.rate_per_sec(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn rate_meter_reset() {
+        let mut m = RateMeter::started_at(SimTime::ZERO);
+        m.record(10);
+        m.reset(SimTime::from_nanos(100));
+        assert_eq!(m.events(), 0);
+    }
+
+    #[test]
+    fn histogram_tracks_mean_and_max() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::from_nanos(100));
+        h.record(SimDuration::from_nanos(300));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean(), SimDuration::from_nanos(200));
+        assert_eq!(h.max(), SimDuration::from_nanos(300));
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(SimDuration::from_nanos(i * 10));
+        }
+        assert!(h.quantile(0.5) <= h.quantile(0.9));
+        assert!(h.quantile(0.9) <= h.quantile(0.999));
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(SimDuration::from_nanos(10));
+        b.record(SimDuration::from_micros(10));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.quantile(0.99), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,25 @@
+//! # ssdhammer-workload
+//!
+//! Host access-pattern generators for the `ssdhammer` experiments: the
+//! attack's hammer request sets (double-sided, single-sided, one-location,
+//! many-sided) plus ordinary sequential/random/skewed workloads used to
+//! exercise the FTL and as background noise in mitigation ablations.
+//!
+//! # Examples
+//!
+//! ```
+//! use ssdhammer_workload::{hammer_request_set, HammerStyle};
+//! use ssdhammer_simkit::Lba;
+//!
+//! // Figure 1's read workload: alternate between LBAs whose L2P entries sit
+//! // in the two aggressor rows.
+//! let set = hammer_request_set(HammerStyle::DoubleSided, Lba(0), Lba(512), Lba(9000), &[]);
+//! assert_eq!(set.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod patterns;
+
+pub use patterns::{hammer_request_set, hot_cold, random_uniform, sequential, HammerStyle};

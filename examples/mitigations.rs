@@ -1,0 +1,122 @@
+//! §5's mitigations, switched on one at a time against the same attack.
+//!
+//! Each run repeats the Figure 1 primitive (double-sided L2P hammering)
+//! on a device with one defense enabled and reports whether any
+//! host-visible L2P redirection still occurs. The many-sided row shows why
+//! TRR alone is not the end of the story (TRRespass).
+//!
+//! Run with: `cargo run --release --example mitigations`
+
+use ssdhammer::core::{
+    find_attack_sites, run_many_sided, run_primitive, setup_entries, sites_sharing_a_bank,
+};
+use ssdhammer::dram::{DramGeneration, EccConfig, ModuleProfile, TrrConfig};
+use ssdhammer::ftl::L2pLayout;
+use ssdhammer::nvme::{Ssd, SsdConfig};
+use ssdhammer::simkit::SimDuration;
+use ssdhammer::workload::HammerStyle;
+
+fn vulnerable_profile() -> ModuleProfile {
+    let mut p = ModuleProfile::from_min_rate("demo DDR4", DramGeneration::Ddr4, 2020, 100);
+    p.row_vulnerable_prob = 1.0;
+    p.weak_cells_per_row = 8.0;
+    p
+}
+
+/// Double-sided (or single/one-location) attack; returns (flips, host-visible
+/// redirections).
+fn attack(config: SsdConfig, style: HammerStyle) -> (u64, usize) {
+    let mut ssd = Ssd::build(config);
+    let sites = find_attack_sites(ssd.ftl(), 4);
+    let Some(site) = sites.first().cloned() else {
+        return (0, 0);
+    };
+    setup_entries(ssd.ftl_mut(), &site.victim_lbas).expect("setup");
+    setup_entries(ssd.ftl_mut(), &[site.above_lbas[0], site.below_lbas[0]]).expect("setup");
+    let outcome = run_primitive(
+        &mut ssd,
+        &site,
+        style,
+        1_000_000.0,
+        SimDuration::from_millis(500),
+    )
+    .expect("hammer");
+    (outcome.report.flips.len() as u64, outcome.redirections.len())
+}
+
+/// TRRespass-style many-sided attack over several same-bank sites.
+fn attack_many_sided(config: SsdConfig) -> (u64, usize) {
+    let mut ssd = Ssd::build(config);
+    let sites = find_attack_sites(ssd.ftl(), 256);
+    let group = sites_sharing_a_bank(&sites, 6);
+    if group.is_empty() {
+        return (0, 0);
+    }
+    for s in &group {
+        setup_entries(ssd.ftl_mut(), &s.victim_lbas).expect("setup");
+    }
+    let outcome = run_many_sided(&mut ssd, &group, 2_000_000.0, SimDuration::from_millis(500))
+        .expect("hammer");
+    (outcome.report.flips.len() as u64, outcome.redirections.len())
+}
+
+fn main() {
+    let base = || {
+        let mut c = SsdConfig::test_small(42);
+        c.dram_profile = vulnerable_profile();
+        c
+    };
+
+    println!("{:<36} {:>6} {:>12}", "configuration", "flips", "redirections");
+    let report = |name: &str, (flips, redirs): (u64, usize)| {
+        println!("{name:<36} {flips:>6} {redirs:>12}");
+    };
+
+    report("baseline (no mitigation)", attack(base(), HammerStyle::DoubleSided));
+
+    let mut ecc = base();
+    ecc.ecc = Some(EccConfig::default());
+    report("SEC-DED ECC", attack(ecc, HammerStyle::DoubleSided));
+
+    let mut trr = base();
+    trr.trr = Some(TrrConfig::default());
+    report("TRR vs double-sided", attack(trr.clone(), HammerStyle::DoubleSided));
+    report("TRR vs many-sided (6 pairs)", attack_many_sided(trr));
+
+    let mut fast_refresh = base();
+    fast_refresh.dram_profile = vulnerable_profile().with_refresh_multiplier(16);
+    report("16x refresh rate", attack(fast_refresh, HammerStyle::DoubleSided));
+
+    let mut limited = base();
+    limited.controller.rate_limit_iops = Some(50_000.0);
+    report("IOPS rate limit (50K/s)", attack(limited, HammerStyle::DoubleSided));
+
+    let mut hashed = base();
+    hashed.ftl.l2p_layout = L2pLayout::Hashed { key: 0x5EC6_E7B1 };
+    report("keyed-hash L2P (blinded recon)", attack_blind(hashed));
+
+    report("one-location (open-page controller)", attack(base(), HammerStyle::OneLocation));
+}
+
+/// Attack against a hashed-L2P device where the attacker's recon wrongly
+/// assumes a linear layout: it hammers the LBAs that *would* be aggressors
+/// under the linear layout and checks redirection on the LBAs that *would*
+/// be the victims.
+fn attack_blind(config: SsdConfig) -> (u64, usize) {
+    use ssdhammer::core::{diff_mappings, snapshot_host_mappings};
+    use ssdhammer::simkit::Lba;
+
+    let mut ssd = Ssd::build(config);
+    // Attacker's (wrong) linear-layout model: entries of LBA n..n+255 share
+    // a row; pick the guessed victim chunk and its neighbors.
+    let guessed_victim: Vec<Lba> = (512..768).map(Lba).collect();
+    let guessed_aggressors = [Lba(256), Lba(768)];
+    setup_entries(ssd.ftl_mut(), &guessed_victim).expect("setup");
+    let before = snapshot_host_mappings(ssd.ftl_mut(), &guessed_victim).expect("snapshot");
+    let report = ssd
+        .hammer_device_reads(&guessed_aggressors, 500_000, 1_000_000.0)
+        .expect("hammer");
+    let after = snapshot_host_mappings(ssd.ftl_mut(), &guessed_victim).expect("snapshot");
+    let redirs = diff_mappings(&guessed_victim, &before, &after);
+    (report.flips.len() as u64, redirs.len())
+}

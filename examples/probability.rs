@@ -1,0 +1,53 @@
+//! Explores the §4.3 success-probability model: per-cycle probability,
+//! cumulative success over repeated cycles, Monte-Carlo agreement, and how
+//! spraying effort changes the outcome.
+//!
+//! Run with: `cargo run --example probability`
+
+use ssdhammer::core::AttackParams;
+
+fn main() {
+    // A 1 GiB SSD in 4 KiB blocks.
+    let pb = 1u64 << 18;
+    let params = AttackParams::paper_example(pb);
+
+    println!("paper example (C_a = C_v = PB/2, F_v = C_v/4, F_a = C_a):");
+    let p = params.useful_flip_probability();
+    println!("  per-cycle useful-flip probability : {:.4} (~7%)", p);
+    println!(
+        "  Monte-Carlo (500K trials)          : {:.4}",
+        params.monte_carlo_useful_flip(500_000, 42)
+    );
+    println!(
+        "  cycles to 50% cumulative success   : {}",
+        params.cycles_for_success(0.5)
+    );
+
+    println!("\ncumulative success by cycle:");
+    for n in [1u32, 2, 5, 10, 20, 40] {
+        println!("  after {:>2} cycles: {:>5.1}%", n, params.cumulative_success(n) * 100.0);
+    }
+
+    println!("\nspray-effort sweep (F_v as a fraction of C_v, F_a = C_a):");
+    println!("  F_v/C_v   P(useful)   cycles-to-50%");
+    for frac_pct in [5u64, 10, 25, 50, 75, 100] {
+        let mut q = AttackParams::paper_example(pb);
+        q.f_v = q.c_v * frac_pct / 100;
+        let p = q.useful_flip_probability();
+        println!(
+            "  {:>6}%   {:>8.4}   {:>6}",
+            frac_pct,
+            p,
+            q.cycles_for_success(0.5)
+        );
+    }
+
+    println!("\nno helper partition (F_a = 0) — victim-side spraying only:");
+    let mut solo = AttackParams::paper_example(pb);
+    solo.f_a = 0;
+    println!(
+        "  P(useful) drops to {:.4}; {} cycles to 50%",
+        solo.useful_flip_probability(),
+        solo.cycles_for_success(0.5)
+    );
+}

@@ -1,0 +1,83 @@
+//! Quickstart: the Figure 1 mechanism in one sitting.
+//!
+//! Builds a small simulated SSD with vulnerable DRAM, prepares L2P entries
+//! by writing contiguous LBAs, then issues the alternating read workload
+//! that activates the two aggressor rows around a victim row of the L2P
+//! table — and watches a logical block silently change its physical
+//! mapping.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ssdhammer::core::{find_attack_sites, run_primitive, setup_entries};
+use ssdhammer::dram::{DramGeneration, ModuleProfile};
+use ssdhammer::nvme::{Ssd, SsdConfig};
+use ssdhammer::simkit::SimDuration;
+use ssdhammer::workload::HammerStyle;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small SSD whose on-board DRAM flips at ≥200K accesses/s — in the
+    // range Table 1 reports for modern modules.
+    let mut config = SsdConfig::test_small(42);
+    let mut profile = ModuleProfile::from_min_rate(
+        "demo DDR4 (vulnerable)",
+        DramGeneration::Ddr4,
+        2020,
+        200,
+    );
+    profile.row_vulnerable_prob = 1.0;
+    profile.weak_cells_per_row = 8.0;
+    config.dram_profile = profile;
+    let mut ssd = Ssd::build(config);
+    println!(
+        "device: {} LBAs exported, L2P table {} bytes in on-board DRAM",
+        ssd.ftl().capacity_lbas(),
+        ssd.ftl().table().size_bytes(),
+    );
+
+    // Offline recon: which DRAM-row triples of the L2P table are hammerable?
+    let sites = find_attack_sites(ssd.ftl(), 8);
+    let site = sites.first().expect("a hammerable site").clone();
+    println!(
+        "attack site: victim row (bank {}, row {}), {} victim LBAs, weakest cell threshold {} ACTs/window",
+        site.victim.bank,
+        site.victim.row,
+        site.victim_lbas.len(),
+        site.weakest_threshold,
+    );
+
+    // Setup phase (§3.1): sequential writes materialize L2P entries in the
+    // aggressor and victim rows.
+    setup_entries(ssd.ftl_mut(), &site.victim_lbas)?;
+    setup_entries(ssd.ftl_mut(), &[site.above_lbas[0], site.below_lbas[0]])?;
+
+    // Hammering phase: plain reads, alternating between two LBAs whose
+    // entries live in the aggressor rows. 1M requests/s for 500 ms.
+    let outcome = run_primitive(
+        &mut ssd,
+        &site,
+        HammerStyle::DoubleSided,
+        1_000_000.0,
+        SimDuration::from_millis(500),
+    )?;
+    println!(
+        "hammered: {} activations at {:.0}/s over {} refresh windows -> {} bitflips",
+        outcome.report.activations,
+        outcome.report.achieved_rate,
+        outcome.report.windows,
+        outcome.report.flips.len(),
+    );
+
+    // The payoff: logical blocks now point at different physical pages.
+    for r in &outcome.redirections {
+        println!("  {} redirected: {:?} -> {:?}", r.lba, r.from, r.to);
+    }
+    assert!(
+        !outcome.redirections.is_empty(),
+        "expected at least one L2P redirection"
+    );
+    println!(
+        "\n{} logical block(s) silently remapped using nothing but reads.",
+        outcome.redirections.len()
+    );
+    Ok(())
+}
