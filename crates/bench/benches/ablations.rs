@@ -1,19 +1,12 @@
 //! Design-choice ablations (see DESIGN.md §5): prints the ablation report,
 //! then benchmarks the amplification sweep.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use ssdhammer_bench::ablations;
+use ssdhammer_bench::{ablations, harness};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("\n{}", ablations::render(5));
 
-    let mut group = c.benchmark_group("ablations");
-    group.sample_size(10);
-    group.bench_function("amplification_sweep", |b| {
-        b.iter(|| ablations::amplification_sweep(5));
+    harness::bench("ablations", "amplification_sweep", 10, || {
+        ablations::amplification_sweep(5)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

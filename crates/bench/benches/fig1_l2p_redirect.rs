@@ -1,21 +1,12 @@
 //! E2 / Figure 1: prints the reproduced mechanism run, then benchmarks one
 //! full primitive execution (setup + hammer burst + detection).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use ssdhammer_bench::fig1;
+use ssdhammer_bench::{fig1, harness};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let r = fig1::run(9);
     println!("\n{}", fig1::render(&r));
     assert!(!r.redirections.is_empty(), "figure 1 must reproduce");
 
-    let mut group = c.benchmark_group("fig1");
-    group.sample_size(10);
-    group.bench_function("two_sided_primitive", |b| {
-        b.iter(|| fig1::run(9));
-    });
-    group.finish();
+    harness::bench("fig1", "two_sided_primitive", 10, || fig1::run(9));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,19 +1,10 @@
 //! E3 / Figure 2: prints the setup sweep, then benchmarks one sweep point.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use ssdhammer_bench::fig2;
+use ssdhammer_bench::{fig2, harness};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let rows = fig2::run(5);
     println!("\n{}", fig2::render(&rows));
 
-    let mut group = c.benchmark_group("fig2");
-    group.sample_size(10);
-    group.bench_function("setup_sweep", |b| {
-        b.iter(|| fig2::run(5));
-    });
-    group.finish();
+    harness::bench("fig2", "setup_sweep", 10, || fig2::run(5));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,22 +1,13 @@
 //! E4 / Figure 3: prints the end-to-end exploit result and the spray-limit
 //! ablation, then benchmarks one attack cycle's worth of work.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use ssdhammer_bench::fig3;
+use ssdhammer_bench::{fig3, harness};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let r = fig3::run(7);
     println!("\n{}", fig3::render(&r));
     let ablation = fig3::spray_ablation(7);
     println!("{}", fig3::render_ablation(&ablation));
 
-    let mut group = c.benchmark_group("fig3");
-    group.sample_size(10);
-    group.bench_function("end_to_end_demo", |b| {
-        b.iter(|| fig3::run(7));
-    });
-    group.finish();
+    harness::bench("fig3", "end_to_end_demo", 10, || fig3::run(7));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

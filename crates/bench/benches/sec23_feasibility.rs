@@ -1,20 +1,11 @@
 //! E7 / §2.3: prints the feasibility table, then benchmarks the DRAM
 //! activation-rate measurement across interface generations.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use ssdhammer_bench::sec23;
+use ssdhammer_bench::{harness, sec23};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let rows = sec23::run(1);
     println!("\n{}", sec23::render(&rows));
 
-    let mut group = c.benchmark_group("sec23");
-    group.sample_size(10);
-    group.bench_function("feasibility_sweep", |b| {
-        b.iter(|| sec23::run(1));
-    });
-    group.finish();
+    harness::bench("sec23", "feasibility_sweep", 10, || sec23::run(1));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,24 +1,18 @@
 //! E5 / §4.3: prints the probability reproduction, then benchmarks the
 //! Monte-Carlo estimator.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use ssdhammer_bench::sec43;
+use ssdhammer_bench::{harness, sec43};
 use ssdhammer_core::AttackParams;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let r = sec43::run(11);
     println!("\n{}", sec43::render(&r));
 
     let params = AttackParams::paper_example(1 << 18);
-    let mut group = c.benchmark_group("sec43");
-    group.bench_function("monte_carlo_100k", |b| {
-        b.iter(|| params.monte_carlo_useful_flip(100_000, 11));
+    harness::bench("sec43", "monte_carlo_100k", 20, || {
+        params.monte_carlo_useful_flip(100_000, 11)
     });
-    group.bench_function("closed_form", |b| {
-        b.iter(|| params.useful_flip_probability());
+    harness::bench("sec43", "closed_form", 100, || {
+        params.useful_flip_probability()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,20 +1,11 @@
 //! E6 / §5: prints the mitigation matrix, then benchmarks the
 //! baseline-vs-ECC attack runs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use ssdhammer_bench::sec5;
+use ssdhammer_bench::{harness, sec5};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let rows = sec5::run(42);
     println!("\n{}", sec5::render(&rows));
 
-    let mut group = c.benchmark_group("sec5");
-    group.sample_size(10);
-    group.bench_function("mitigation_matrix", |b| {
-        b.iter(|| sec5::run(42));
-    });
-    group.finish();
+    harness::bench("sec5", "mitigation_matrix", 10, || sec5::run(42));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,32 +1,25 @@
 //! E1 / Table 1: prints the reproduced table, then benchmarks the
 //! minimal-flip-rate search for one representative module.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use ssdhammer_bench::table1;
-use ssdhammer_dram::{hammer::measure_min_flip_rate, DramGeometry, DramModule, MappingKind, ModuleProfile};
+use ssdhammer_bench::{harness, table1};
+use ssdhammer_dram::{
+    hammer::measure_min_flip_rate, DramGeometry, DramModule, MappingKind, ModuleProfile,
+};
 use ssdhammer_simkit::SimClock;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let rows = table1::run(7);
     println!("\n{}", table1::render(&rows));
 
-    let mut group = c.benchmark_group("table1");
-    group.sample_size(10);
-    group.bench_function("min_rate_search_ddr4_new_2020", |b| {
-        b.iter(|| {
-            let factory = || {
-                DramModule::builder(DramGeometry::tiny_test())
-                    .profile(ModuleProfile::ddr4_new_2020())
-                    .mapping(MappingKind::Linear)
-                    .seed(7)
-                    .without_timing()
-                    .build(SimClock::new())
-            };
-            measure_min_flip_rate(&factory, 50_000.0, 20_000_000.0, 1, 0.05)
-        });
+    harness::bench("table1", "min_rate_search_ddr4_new_2020", 10, || {
+        let factory = || {
+            DramModule::builder(DramGeometry::tiny_test())
+                .profile(ModuleProfile::ddr4_new_2020())
+                .mapping(MappingKind::Linear)
+                .seed(7)
+                .without_timing()
+                .build(SimClock::new())
+        };
+        measure_min_flip_rate(&factory, 50_000.0, 20_000_000.0, 1, 0.05)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,7 +2,6 @@
 //! doc): per-I/O amplification, the unmapped-read fast path, controller
 //! mapping structure, and victim-activity as an accidental defense.
 
-use serde::{Deserialize, Serialize};
 use ssdhammer_core::{
     cross_partition_sites, find_attack_sites, run_primitive, setup_entries, LbaRange,
 };
@@ -32,7 +31,7 @@ fn base_config(seed: u64, profile: ModuleProfile) -> SsdConfig {
 // ---- amplification sweep ---------------------------------------------------
 
 /// One amplification sweep point.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AmplificationRow {
     /// L2P activations per host request.
     pub amplification: u32,
@@ -80,7 +79,7 @@ pub fn amplification_sweep(seed: u64) -> Vec<AmplificationRow> {
 // ---- unmapped fast path ----------------------------------------------------
 
 /// Latency comparison for the unmapped-read fast path.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FastPathRow {
     /// Configuration label.
     pub config: String,
@@ -130,7 +129,7 @@ pub fn fast_path_latency(seed: u64) -> Vec<FastPathRow> {
 // ---- controller mapping census ----------------------------------------------
 
 /// Site census per controller mapping.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MappingCensusRow {
     /// Mapping label.
     pub mapping: String,
@@ -176,7 +175,7 @@ pub fn mapping_census(seed: u64) -> Vec<MappingCensusRow> {
 // ---- victim activity as a defense -------------------------------------------
 
 /// Flip counts with an idle vs an active victim.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct VictimActivityRow {
     /// Scenario label.
     pub scenario: String,
@@ -206,11 +205,7 @@ pub fn victim_activity(seed: u64) -> Vec<VictimActivityRow> {
             let report = ssd
                 .hammer_device_reads(&pattern, 8_000, 1_500_000.0)
                 .expect("hammer");
-            flips += report
-                .flips
-                .iter()
-                .filter(|f| f.row == site.victim)
-                .count();
+            flips += report.flips.iter().filter(|f| f.row == site.victim).count();
             if active_victim {
                 let _ = ssd.ftl_mut().entry_read(site.victim_lbas[0]);
             }
@@ -245,7 +240,10 @@ pub fn render(seed: u64) -> String {
     }
     out.push_str("\nA2: unmapped-read fast path (per-command latency)\n");
     for r in fast_path_latency(seed) {
-        out.push_str(&format!("  {:<40} {:>8.1} us\n", r.config, r.mean_latency_us));
+        out.push_str(&format!(
+            "  {:<40} {:>8.1} us\n",
+            r.config, r.mean_latency_us
+        ));
     }
     out.push_str("\nA3: controller mapping census (two equal partitions)\n");
     out.push_str("  mapping       total sites  cross-partition\n");
@@ -257,7 +255,10 @@ pub fn render(seed: u64) -> String {
     }
     out.push_str("\nA4: victim activity as accidental defense\n");
     for r in victim_activity(seed) {
-        out.push_str(&format!("  {:<44} {:>4} victim-row flips\n", r.scenario, r.victim_row_flips));
+        out.push_str(&format!(
+            "  {:<44} {:>4} victim-row flips\n",
+            r.scenario, r.victim_row_flips
+        ));
     }
     out
 }

@@ -26,6 +26,7 @@
 //! ```
 
 use ssdhammer_bench::{ablations, fig1, fig2, fig3, sec23, sec43, sec5, table1};
+use ssdhammer_simkit::json::{Json, ToJson};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -78,23 +79,28 @@ fn run_experiment(name: &str, seed: u64, json: bool, full: bool) {
         "table1" => {
             let rows = table1::run(seed);
             if json {
-                println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+                println!("{}", rows.to_json().to_string_pretty());
             } else {
                 print!("{}", table1::render(&rows));
             }
         }
         "fig1" => {
-            let r = fig1::run(seed);
+            let (r, snapshot) = fig1::run_with_telemetry(seed);
             if json {
-                println!("{}", serde_json::to_string_pretty(&r).unwrap());
+                println!("{}", r.to_json().to_string_pretty());
             } else {
                 print!("{}", fig1::render(&r));
+            }
+            let path = "fig1-telemetry.json";
+            match std::fs::write(path, snapshot.to_json().to_string_pretty()) {
+                Ok(()) => eprintln!("telemetry snapshot written to {path}"),
+                Err(e) => eprintln!("repro: could not write {path}: {e}"),
             }
         }
         "fig2" => {
             let rows = fig2::run(seed);
             if json {
-                println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+                println!("{}", rows.to_json().to_string_pretty());
             } else {
                 print!("{}", fig2::render(&rows));
             }
@@ -105,7 +111,7 @@ fn run_experiment(name: &str, seed: u64, json: bool, full: bool) {
             } else {
                 let r = fig3::run(seed);
                 if json {
-                    println!("{}", serde_json::to_string_pretty(&r).unwrap());
+                    println!("{}", r.to_json().to_string_pretty());
                 } else {
                     print!("{}", fig3::render(&r));
                     let ablation = fig3::spray_ablation(seed);
@@ -116,7 +122,7 @@ fn run_experiment(name: &str, seed: u64, json: bool, full: bool) {
         "prob" => {
             let r = sec43::run(seed);
             if json {
-                println!("{}", serde_json::to_string_pretty(&r).unwrap());
+                println!("{}", r.to_json().to_string_pretty());
             } else {
                 print!("{}", sec43::render(&r));
             }
@@ -125,8 +131,8 @@ fn run_experiment(name: &str, seed: u64, json: bool, full: bool) {
             let rows = sec5::run(seed);
             let leak_rows = sec5::run_leak_matrix(seed);
             if json {
-                println!("{}", serde_json::to_string_pretty(&rows).unwrap());
-                println!("{}", serde_json::to_string_pretty(&leak_rows).unwrap());
+                println!("{}", rows.to_json().to_string_pretty());
+                println!("{}", leak_rows.to_json().to_string_pretty());
             } else {
                 print!("{}", sec5::render(&rows));
                 print!("{}", sec5::render_leak_matrix(&leak_rows));
@@ -135,7 +141,7 @@ fn run_experiment(name: &str, seed: u64, json: bool, full: bool) {
         "feasibility" => {
             let rows = sec23::run(seed);
             if json {
-                println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+                println!("{}", rows.to_json().to_string_pretty());
             } else {
                 print!("{}", sec23::render(&rows));
             }
@@ -145,10 +151,10 @@ fn run_experiment(name: &str, seed: u64, json: bool, full: bool) {
         }
         "escalation" => {
             use ssdhammer_cloud::{run_escalation, EscalationConfig};
-            let outcome = run_escalation(&EscalationConfig::fast_demo(seed))
-                .expect("escalation run");
+            let outcome =
+                run_escalation(&EscalationConfig::fast_demo(seed)).expect("escalation run");
             if json {
-                println!("{}", serde_json::to_string_pretty(&outcome.cycles).unwrap());
+                println!("{}", outcome.cycles.to_json().to_string_pretty());
             } else {
                 println!(
                     "§3.2 privilege escalation: escalated={} tag={:?} simulated_time={}",
@@ -173,23 +179,16 @@ fn run_fig3_full(seed: u64, json: bool) {
     let config = CaseStudyConfig::paper_prototype(seed);
     let outcome = run_case_study(&config).expect("case study");
     if json {
-        #[derive(serde::Serialize)]
-        struct Full<'a> {
-            success: bool,
-            cycles: &'a [ssdhammer_cloud::CycleReport],
-            total_time_secs: f64,
-            corruption_events: usize,
-        }
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&Full {
-                success: outcome.success,
-                cycles: &outcome.cycles,
-                total_time_secs: outcome.total_time.as_secs_f64(),
-                corruption_events: outcome.corruption_events,
-            })
-            .unwrap()
-        );
+        let doc = Json::obj([
+            ("success", Json::from(outcome.success)),
+            ("cycles", outcome.cycles.to_json()),
+            (
+                "total_time_secs",
+                Json::from(outcome.total_time.as_secs_f64()),
+            ),
+            ("corruption_events", Json::from(outcome.corruption_events)),
+        ]);
+        println!("{}", doc.to_string_pretty());
     } else {
         println!(
             "paper-prototype case study: success={} cycles={} corruption_events={} simulated_time={}",

@@ -7,16 +7,17 @@
 //! LBAs. Also verifies the negative control (sub-threshold rate ⇒ no
 //! redirection).
 
-use serde::{Deserialize, Serialize};
 use ssdhammer_core::{find_attack_sites, run_primitive, setup_entries, Redirection};
 use ssdhammer_dram::{DramGeneration, DramGeometry, MappingKind, ModuleProfile};
 use ssdhammer_flash::FlashGeometry;
 use ssdhammer_nvme::{Ssd, SsdConfig};
+use ssdhammer_simkit::json::{Json, ToJson};
+use ssdhammer_simkit::telemetry::TelemetrySnapshot;
 use ssdhammer_simkit::SimDuration;
 use ssdhammer_workload::HammerStyle;
 
 /// The reproduced Figure 1 run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig1Result {
     /// Victim row coordinates.
     pub victim_bank: u32,
@@ -34,9 +35,25 @@ pub struct Fig1Result {
     pub control_redirections: usize,
 }
 
+impl ToJson for Fig1Result {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("victim_bank", Json::from(self.victim_bank)),
+            ("victim_row", Json::from(self.victim_row)),
+            ("victim_lba_count", Json::from(self.victim_lba_count)),
+            ("achieved_rate", Json::from(self.achieved_rate)),
+            ("flips", Json::from(self.flips)),
+            ("redirections", self.redirections.to_json()),
+            (
+                "control_redirections",
+                Json::from(self.control_redirections),
+            ),
+        ])
+    }
+}
+
 fn build_ssd(seed: u64) -> Ssd {
-    let mut profile =
-        ModuleProfile::from_min_rate("fig1 DDR4", DramGeneration::Ddr4, 2020, 313);
+    let mut profile = ModuleProfile::from_min_rate("fig1 DDR4", DramGeneration::Ddr4, 2020, 313);
     profile.row_vulnerable_prob = 1.0;
     profile.weak_cells_per_row = 6.0;
     let mut config = SsdConfig::test_small(seed);
@@ -44,15 +61,21 @@ fn build_ssd(seed: u64) -> Ssd {
     config.dram_profile = profile;
     config.dram_mapping = MappingKind::Linear;
     config.flash_geometry = FlashGeometry::mib64();
-    config
-        .model
-        .clone_from(&"fig1 demo device".to_owned());
+    config.model.clone_from(&"fig1 demo device".to_owned());
     Ssd::build(config)
 }
 
 /// Runs the Figure 1 experiment.
 #[must_use]
 pub fn run(seed: u64) -> Fig1Result {
+    run_with_telemetry(seed).0
+}
+
+/// Runs Figure 1 and also returns the attacked device's telemetry snapshot
+/// (every layer's counters from the single shared registry, plus the event
+/// trace with the flip and redirection records).
+#[must_use]
+pub fn run_with_telemetry(seed: u64) -> (Fig1Result, TelemetrySnapshot) {
     // The attack proper.
     let mut ssd = build_ssd(seed);
     let site = find_attack_sites(ssd.ftl(), 1).pop().expect("site");
@@ -80,15 +103,19 @@ pub fn run(seed: u64) -> Fig1Result {
     )
     .expect("control hammer");
 
-    Fig1Result {
-        victim_bank: site.victim.bank,
-        victim_row: site.victim.row,
-        victim_lba_count: site.victim_lbas.len(),
-        achieved_rate: outcome.report.achieved_rate,
-        flips: outcome.report.flips.len(),
-        redirections: outcome.redirections,
-        control_redirections: control.redirections.len(),
-    }
+    let snapshot = ssd.snapshot_telemetry();
+    (
+        Fig1Result {
+            victim_bank: site.victim.bank,
+            victim_row: site.victim.row,
+            victim_lba_count: site.victim_lbas.len(),
+            achieved_rate: outcome.report.achieved_rate,
+            flips: outcome.report.flips.len(),
+            redirections: outcome.redirections,
+            control_redirections: control.redirections.len(),
+        },
+        snapshot,
+    )
 }
 
 /// Renders the result in the spirit of the figure's caption.
@@ -125,7 +152,10 @@ mod tests {
     fn figure1_redirects_and_control_does_not() {
         let r = run(9);
         assert!(r.flips > 0);
-        assert!(!r.redirections.is_empty(), "the depicted redirection occurs");
+        assert!(
+            !r.redirections.is_empty(),
+            "the depicted redirection occurs"
+        );
         assert_eq!(r.control_redirections, 0, "sub-threshold control is clean");
     }
 }

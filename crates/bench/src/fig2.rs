@@ -9,16 +9,16 @@
 //! 5× amplification) and a modern module (DDR4-new 2020, 313 K acc/s —
 //! reachable directly).
 
-use serde::{Deserialize, Serialize};
 use ssdhammer_core::{find_attack_sites, run_primitive, setup_entries};
 use ssdhammer_dram::{DramGeometry, MappingKind, ModuleProfile};
 use ssdhammer_flash::FlashGeometry;
 use ssdhammer_nvme::{Ssd, SsdConfig};
+use ssdhammer_simkit::json::{Json, ToJson};
 use ssdhammer_simkit::SimDuration;
 use ssdhammer_workload::HammerStyle;
 
 /// One sweep point.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig2Row {
     /// "direct (a)" or "helper VM (b)".
     pub setup: String,
@@ -34,6 +34,20 @@ pub struct Fig2Row {
     pub flips: usize,
     /// Host-visible redirections observed.
     pub redirections: usize,
+}
+
+impl ToJson for Fig2Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("setup", Json::str(&*self.setup)),
+            ("module", Json::str(&*self.module)),
+            ("amplification", Json::from(self.amplification)),
+            ("act_rate", Json::from(self.act_rate)),
+            ("needed_rate", Json::from(self.needed_rate)),
+            ("flips", Json::from(self.flips)),
+            ("redirections", Json::from(self.redirections)),
+        ])
+    }
 }
 
 fn sweep_point(profile: ModuleProfile, amplification: u32, seed: u64) -> (f64, usize, usize) {

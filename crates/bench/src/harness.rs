@@ -1,0 +1,69 @@
+//! A minimal wall-clock bench harness.
+//!
+//! The benches under `benches/` use `harness = false`, so each is a plain
+//! binary with a `main`. This module provides the shared timing loop:
+//! a short warmup, a fixed number of measured samples, and a one-line
+//! min/mean/max report. It is intentionally tiny — no statistics beyond
+//! what a human needs to spot a regression — because the workspace builds
+//! without external crates.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Times `f` over `samples` measured runs (after one warmup run) and prints
+/// a `group/name: min/mean/max` line. Returns the mean seconds per run.
+pub fn bench<T>(group: &str, name: &str, samples: usize, mut f: impl FnMut() -> T) -> f64 {
+    assert!(samples > 0, "need at least one sample");
+    black_box(f());
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        black_box(f());
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = times.iter().copied().fold(0.0, f64::max);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    println!(
+        "{group}/{name}: {} samples, min {} mean {} max {}",
+        samples,
+        human(min),
+        human(mean),
+        human(max)
+    );
+    mean
+}
+
+/// Renders seconds with a unit matched to the magnitude.
+fn human(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3}s")
+    } else if secs >= 1e-3 {
+        format!("{:.3}ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3}us", secs * 1e6)
+    } else {
+        format!("{:.1}ns", secs * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports_mean() {
+        let mut calls = 0u32;
+        let mean = bench("t", "noop", 3, || calls += 1);
+        assert_eq!(calls, 4, "one warmup + three samples");
+        assert!(mean >= 0.0);
+    }
+
+    #[test]
+    fn human_units() {
+        assert_eq!(human(2.5), "2.500s");
+        assert_eq!(human(0.002), "2.000ms");
+        assert_eq!(human(3e-6), "3.000us");
+        assert_eq!(human(5e-9), "5.0ns");
+    }
+}

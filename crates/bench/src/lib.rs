@@ -28,6 +28,7 @@ pub mod ablations;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
+pub mod harness;
 pub mod sec23;
 pub mod sec43;
 pub mod sec5;

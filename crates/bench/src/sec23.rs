@@ -7,14 +7,14 @@
 //! We measure the DRAM activation rate each controller generation can drive
 //! through the FTL and count how many Table 1 module classes fall below it.
 
-use serde::{Deserialize, Serialize};
 use ssdhammer_dram::{DramGeometry, MappingKind, ModuleProfile};
 use ssdhammer_flash::FlashGeometry;
 use ssdhammer_nvme::{InterfaceGen, Ssd, SsdConfig};
+use ssdhammer_simkit::json::{Json, ToJson};
 use ssdhammer_simkit::Lba;
 
 /// One feasibility sweep point.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Sec23Row {
     /// Controller generation.
     pub interface: String,
@@ -26,6 +26,18 @@ pub struct Sec23Row {
     pub attackable_modules: usize,
     /// Whether the §2.3 reference threshold (~780 K acc/s) is exceeded.
     pub exceeds_reference: bool,
+}
+
+impl ToJson for Sec23Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("interface", Json::str(&*self.interface)),
+            ("max_iops", Json::from(self.max_iops)),
+            ("act_rate", Json::from(self.act_rate)),
+            ("attackable_modules", Json::from(self.attackable_modules)),
+            ("exceeds_reference", Json::from(self.exceeds_reference)),
+        ])
+    }
 }
 
 /// The §2.3 reference rate: ~50 K accesses per 64 ms window.
@@ -52,19 +64,23 @@ pub fn run(seed: u64) -> Vec<Sec23Row> {
         .into_iter()
         .map(|(_, _, p)| f64::from(p.min_flip_rate_kaps) * 1000.0)
         .collect();
-    [InterfaceGen::Pcie3, InterfaceGen::Pcie4, InterfaceGen::Pcie5]
-        .into_iter()
-        .map(|interface| {
-            let (max_iops, act_rate) = measure_act_rate(interface, seed);
-            Sec23Row {
-                interface: interface.to_string(),
-                max_iops,
-                act_rate,
-                attackable_modules: rates.iter().filter(|&&r| r <= act_rate).count(),
-                exceeds_reference: act_rate >= REFERENCE_RATE,
-            }
-        })
-        .collect()
+    [
+        InterfaceGen::Pcie3,
+        InterfaceGen::Pcie4,
+        InterfaceGen::Pcie5,
+    ]
+    .into_iter()
+    .map(|interface| {
+        let (max_iops, act_rate) = measure_act_rate(interface, seed);
+        Sec23Row {
+            interface: interface.to_string(),
+            max_iops,
+            act_rate,
+            attackable_modules: rates.iter().filter(|&&r| r <= act_rate).count(),
+            exceeds_reference: act_rate >= REFERENCE_RATE,
+        }
+    })
+    .collect()
 }
 
 /// Renders the sweep.

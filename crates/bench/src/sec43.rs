@@ -2,11 +2,11 @@
 //! Monte-Carlo cross-check, and the cumulative-success curve (7 % per
 //! cycle, >50 % after 10 cycles with the paper's parameters).
 
-use serde::{Deserialize, Serialize};
 use ssdhammer_core::AttackParams;
+use ssdhammer_simkit::json::{Json, ToJson};
 
 /// The reproduced §4.3 numbers.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Sec43Result {
     /// Closed-form per-cycle probability.
     pub analytic: f64,
@@ -16,6 +16,17 @@ pub struct Sec43Result {
     pub cumulative: Vec<f64>,
     /// Cycles needed to exceed 50 %.
     pub cycles_to_half: u32,
+}
+
+impl ToJson for Sec43Result {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("analytic", Json::from(self.analytic)),
+            ("monte_carlo", Json::from(self.monte_carlo)),
+            ("cumulative", self.cumulative.to_json()),
+            ("cycles_to_half", Json::from(self.cycles_to_half)),
+        ])
+    }
 }
 
 /// Runs the §4.3 reproduction with the paper's illustration parameters on a
@@ -56,7 +67,11 @@ mod tests {
     #[test]
     fn paper_numbers_reproduce() {
         let r = run(11);
-        assert!((r.analytic - 0.0703).abs() < 0.001, "analytic {}", r.analytic);
+        assert!(
+            (r.analytic - 0.0703).abs() < 0.001,
+            "analytic {}",
+            r.analytic
+        );
         assert!((r.monte_carlo - r.analytic).abs() < 0.003);
         assert_eq!(r.cycles_to_half, 10);
         assert!(r.cumulative[9] > 0.5, "10 cycles: {}", r.cumulative[9]);

@@ -7,14 +7,14 @@
 //! policy, address mapping) by binary search. The measured column should
 //! match the paper's reported rate in ordering and rough magnitude.
 
-use serde::{Deserialize, Serialize};
 use ssdhammer_dram::{
     hammer::measure_min_flip_rate, DramGeometry, DramModule, MappingKind, ModuleProfile,
 };
+use ssdhammer_simkit::json::{Json, ToJson};
 use ssdhammer_simkit::SimClock;
 
 /// One reproduced row of Table 1.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     /// Publication year.
     pub year: u16,
@@ -27,6 +27,18 @@ pub struct Table1Row {
     /// Our measured minimal rate, K accesses/s (`None` if no flip below the
     /// search ceiling).
     pub measured_kaps: Option<f64>,
+}
+
+impl ToJson for Table1Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("year", Json::from(self.year)),
+            ("refs", Json::str(&*self.refs)),
+            ("module", Json::str(&*self.module)),
+            ("paper_kaps", Json::from(self.paper_kaps)),
+            ("measured_kaps", self.measured_kaps.to_json()),
+        ])
+    }
 }
 
 /// Runs the full Table 1 reproduction.
@@ -47,13 +59,7 @@ pub fn run(seed: u64) -> Vec<Table1Row> {
                         .build(SimClock::new())
                 }
             };
-            let measured = measure_min_flip_rate(
-                &factory,
-                50_000.0,
-                20_000_000.0,
-                1,
-                0.02,
-            );
+            let measured = measure_min_flip_rate(&factory, 50_000.0, 20_000_000.0, 1, 0.02);
             Table1Row {
                 year,
                 refs: refs.to_owned(),
@@ -74,7 +80,10 @@ pub fn render(rows: &[Table1Row]) -> String {
     );
     for r in rows {
         let (measured, ratio) = match r.measured_kaps {
-            Some(m) => (format!("{m:.0}"), format!("{:.2}", m / f64::from(r.paper_kaps))),
+            Some(m) => (
+                format!("{m:.0}"),
+                format!("{:.2}", m / f64::from(r.paper_kaps)),
+            ),
             None => ("no flip".into(), "-".into()),
         };
         out.push_str(&format!(

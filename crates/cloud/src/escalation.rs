@@ -10,7 +10,6 @@
 //! has setuid permission (e.g. sudo) can result in executing malicious code
 //! as root."
 
-use serde::{Deserialize, Serialize};
 use ssdhammer_core::{find_attack_sites, polyglot_block, AttackSite};
 use ssdhammer_fs::Ino;
 use ssdhammer_nvme::Ssd;
@@ -52,7 +51,7 @@ impl EscalationConfig {
 }
 
 /// Per-cycle escalation statistics.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EscalationCycle {
     /// Cycle index.
     pub cycle: u32,
@@ -66,8 +65,21 @@ pub struct EscalationCycle {
     pub escalated: u32,
 }
 
+impl ssdhammer_simkit::json::ToJson for EscalationCycle {
+    fn to_json(&self) -> ssdhammer_simkit::json::Json {
+        use ssdhammer_simkit::json::Json;
+        Json::obj([
+            ("cycle", Json::from(self.cycle)),
+            ("flips", Json::from(self.flips)),
+            ("legitimate", Json::from(self.legitimate)),
+            ("crashed", Json::from(self.crashed)),
+            ("escalated", Json::from(self.escalated)),
+        ])
+    }
+}
+
 /// Result of an escalation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EscalationOutcome {
     /// True when some root-executed binary ran attacker code.
     pub escalated: bool,
@@ -144,15 +156,12 @@ pub fn run_escalation(config: &EscalationConfig) -> Result<EscalationOutcome, Cl
     for cycle in 0..base.max_cycles {
         let mut flips = 0u64;
         for (a, b) in targeted.iter().take(base.sites_per_cycle) {
-            let requests =
-                (base.request_rate * base.hammer_per_site.as_secs_f64()).ceil() as u64;
+            let requests = (base.request_rate * base.hammer_per_site.as_secs_f64()).ceil() as u64;
             let rel = [victim_range.to_relative(*a), victim_range.to_relative(*b)];
-            let report = shared.borrow_mut().hammer_reads(
-                victim.ns(),
-                &rel,
-                requests,
-                base.request_rate,
-            )?;
+            let report =
+                shared
+                    .borrow_mut()
+                    .hammer_reads(victim.ns(), &rel, requests, base.request_rate)?;
             flips += report.flips.len() as u64;
         }
         // The victim goes about its day: runs its tooling as root.

@@ -34,10 +34,8 @@ mod tenants;
 
 pub use escalation::{run_escalation, EscalationConfig, EscalationCycle, EscalationOutcome};
 pub use partition::{PartitionView, SharedSsd};
-pub use study::{
-    run_case_study, AttackSetup, CaseStudyConfig, CaseStudyOutcome, CycleReport,
-};
+pub use study::{run_case_study, AttackSetup, CaseStudyConfig, CaseStudyOutcome, CycleReport};
 pub use tenants::{
-    AttackerVm, CloudError, ExecResult, VictimVm, VictimVmOptions, ATTACKER_UID, LEGIT_BINARY_MARKER,
-    SECRET_MARKER,
+    AttackerVm, CloudError, ExecResult, VictimVm, VictimVmOptions, ATTACKER_UID,
+    LEGIT_BINARY_MARKER, SECRET_MARKER,
 };

@@ -9,9 +9,9 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use ssdhammer_core::LbaRange;
 use ssdhammer_nvme::{NsId, Ssd};
 use ssdhammer_simkit::{BlockStorage, Lba, StorageError, StorageResult};
-use ssdhammer_core::LbaRange;
 
 /// A shared handle to the one physical SSD of the host.
 #[derive(Debug, Clone)]
@@ -50,7 +50,10 @@ impl SharedSsd {
     /// # Errors
     ///
     /// Propagates capacity errors.
-    pub fn create_partition(&self, blocks: u64) -> Result<(NsId, LbaRange), ssdhammer_nvme::NvmeError> {
+    pub fn create_partition(
+        &self,
+        blocks: u64,
+    ) -> Result<(NsId, LbaRange), ssdhammer_nvme::NvmeError> {
         let mut ssd = self.borrow_mut();
         let ns = ssd.create_namespace(blocks)?;
         let start = ssd.translate(ns, Lba(0))?;

@@ -5,7 +5,9 @@
 
 use ssdhammer_core::LbaRange;
 use ssdhammer_dram::HammerReport;
-use ssdhammer_fs::{AddressingMode, Credentials, FileSystem, FsBlock, FsError, FsResult, Ino, InodeMap};
+use ssdhammer_fs::{
+    AddressingMode, Credentials, FileSystem, FsBlock, FsError, FsResult, Ino, InodeMap,
+};
 use ssdhammer_nvme::{NsId, NvmeError};
 use ssdhammer_simkit::{BlockStorage, Lba, StorageError, BLOCK_SIZE};
 
@@ -171,7 +173,12 @@ impl VictimVm {
 
         // Ordinary data.
         for f in 0..filler_blocks.div_ceil(8) {
-            let ino = fs.create(&format!("/srv/data-{f}"), root, 0o644, AddressingMode::Extents)?;
+            let ino = fs.create(
+                &format!("/srv/data-{f}"),
+                root,
+                0o644,
+                AddressingMode::Extents,
+            )?;
             for b in 0..8u32.min(filler_blocks - f * 8) {
                 fs.write_file_block(ino, root, b, &[(f % 251) as u8; BLOCK_SIZE])?;
             }

@@ -8,7 +8,6 @@
 //! ECC-uncorrectable failures) are visible the way the firmware would see
 //! them.
 
-use serde::{Deserialize, Serialize};
 use ssdhammer_dram::HammerReport;
 use ssdhammer_flash::Ppn;
 use ssdhammer_ftl::{Ftl, FtlError};
@@ -17,9 +16,10 @@ use ssdhammer_simkit::{Lba, SimDuration, BLOCK_SIZE};
 use ssdhammer_workload::HammerStyle;
 
 use crate::recon::AttackSite;
+use ssdhammer_simkit::json::{Json, ToJson};
 
 /// The host-visible state of one L2P entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MappingState {
     /// Maps to a physical page.
     Mapped(Ppn),
@@ -30,7 +30,7 @@ pub enum MappingState {
 }
 
 /// One observed L2P redirection (the attack's payoff).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Redirection {
     /// The victim device LBA whose mapping changed.
     pub lba: Lba,
@@ -41,12 +41,32 @@ pub struct Redirection {
 }
 
 /// Result of one [`run_primitive`] execution.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PrimitiveOutcome {
     /// DRAM-level hammer statistics.
     pub report: HammerReport,
     /// Every victim LBA whose host-visible mapping changed.
     pub redirections: Vec<Redirection>,
+}
+
+impl ToJson for MappingState {
+    fn to_json(&self) -> Json {
+        match self {
+            MappingState::Mapped(ppn) => Json::obj([("mapped", Json::from(ppn.0))]),
+            MappingState::Unmapped => Json::str("unmapped"),
+            MappingState::Unreadable => Json::str("unreadable"),
+        }
+    }
+}
+
+impl ToJson for Redirection {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("lba", Json::from(self.lba.as_u64())),
+            ("from", self.from.to_json()),
+            ("to", self.to.to_json()),
+        ])
+    }
 }
 
 /// Snapshots ground-truth mappings of `lbas` without disturbing the device
@@ -66,10 +86,7 @@ pub fn snapshot_mappings(ftl: &Ftl, lbas: &[Lba]) -> Result<Vec<Option<Ppn>>, Ft
 ///
 /// Propagates only addressing errors; per-entry ECC failures become
 /// [`MappingState::Unreadable`].
-pub fn snapshot_host_mappings(
-    ftl: &mut Ftl,
-    lbas: &[Lba],
-) -> Result<Vec<MappingState>, FtlError> {
+pub fn snapshot_host_mappings(ftl: &mut Ftl, lbas: &[Lba]) -> Result<Vec<MappingState>, FtlError> {
     lbas.iter()
         .map(|&l| match ftl.entry_read(l) {
             Ok(Some(ppn)) => Ok(MappingState::Mapped(ppn)),
@@ -216,13 +233,29 @@ fn run_pattern(
     request_rate: f64,
     duration: SimDuration,
 ) -> Result<PrimitiveOutcome, NvmeError> {
+    let tel = ssd.telemetry();
+    tel.counter("attack.cycles").incr();
+    // Each aggressor pair contributes two rows to the request pattern.
+    tel.counter("attack.aggressor_pairs")
+        .add((pattern.len() / 2).max(1) as u64);
     let before = snapshot_host_mappings(ssd.ftl_mut(), victims)?;
     let requests = (request_rate * duration.as_secs_f64()).ceil() as u64;
     let report = ssd.hammer_device_reads(pattern, requests, request_rate)?;
     let after = snapshot_host_mappings(ssd.ftl_mut(), victims)?;
+    let redirections = diff_mappings(victims, &before, &after);
+    tel.counter("attack.useful_flips")
+        .add(redirections.len() as u64);
+    let now = ssd.clock().now();
+    for r in &redirections {
+        tel.trace(
+            now,
+            "attack.redirection",
+            format!("lba {} {:?} -> {:?}", r.lba.as_u64(), r.from, r.to),
+        );
+    }
     Ok(PrimitiveOutcome {
         report,
-        redirections: diff_mappings(victims, &before, &after),
+        redirections,
     })
 }
 
@@ -430,8 +463,13 @@ mod tests {
         for s in &group {
             setup_entries(ssd.ftl_mut(), &s.victim_lbas).unwrap();
         }
-        let ms = run_many_sided(&mut ssd, &group, 20_000_000.0, SimDuration::from_millis(400))
-            .unwrap();
+        let ms = run_many_sided(
+            &mut ssd,
+            &group,
+            20_000_000.0,
+            SimDuration::from_millis(400),
+        )
+        .unwrap();
         assert!(
             !ms.redirections.is_empty(),
             "many-sided should escape the sampler: {:?}",

@@ -49,14 +49,16 @@ pub mod recon;
 pub mod spray;
 
 pub use attack::{
-    diff_mappings, expected_time_to_success, many_sided_request_set, request_set_for_site,
-    probe_sites, run_many_sided, run_primitive, setup_entries, sites_sharing_a_bank,
+    diff_mappings, expected_time_to_success, many_sided_request_set, probe_sites,
+    request_set_for_site, run_many_sided, run_primitive, setup_entries, sites_sharing_a_bank,
     snapshot_host_mappings, snapshot_mappings, MappingState, PrimitiveOutcome, Redirection,
 };
 pub use polyglot::{executable_payload, is_valid_executable, polyglot_block};
 pub use probability::AttackParams;
-pub use recon::{cross_partition_sites, find_attack_sites, AttackSite, CrossPartitionSite, LbaRange};
+pub use recon::{
+    cross_partition_sites, find_attack_sites, AttackSite, CrossPartitionSite, LbaRange,
+};
 pub use spray::{
-    clear_spray, dump_through_hit, malicious_indirect_payload, scan_for_leaks,
-    spray_filesystem, LeakHit, SprayPlan, SprayReport, SprayedFile, SPRAY_BLOCK_INDEX,
+    clear_spray, dump_through_hit, malicious_indirect_payload, scan_for_leaks, spray_filesystem,
+    LeakHit, SprayPlan, SprayReport, SprayedFile, SPRAY_BLOCK_INDEX,
 };

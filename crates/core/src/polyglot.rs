@@ -52,8 +52,7 @@ pub fn polyglot_block(targets: &[u32], payload_tag: u64) -> [u8; BLOCK_SIZE] {
 /// The simulated loader's validity check: does this block "execute"?
 #[must_use]
 pub fn is_valid_executable(block: &[u8]) -> bool {
-    block.len() == BLOCK_SIZE
-        && &block[EXEC_MAGIC_OFFSET..EXEC_MAGIC_OFFSET + 8] == EXEC_MAGIC
+    block.len() == BLOCK_SIZE && &block[EXEC_MAGIC_OFFSET..EXEC_MAGIC_OFFSET + 8] == EXEC_MAGIC
 }
 
 /// Extracts the payload tag from a valid executable block.

@@ -17,12 +17,10 @@
 //! P(useful) = (F_v/2)/C_v · (F_v/2 + F_a)/PB = F_v(F_v + 2F_a) / (4·C_v·PB)
 //! ```
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
-use ssdhammer_simkit::rng::seeded;
+use ssdhammer_simkit::rng::{seeded, Rng};
 
 /// The parameters of one attack configuration (all in 4 KiB blocks).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AttackParams {
     /// Total physical blocks of the SSD (`PB`).
     pub pb: u64,
@@ -186,8 +184,8 @@ mod tests {
             f_v: 1_000,
             f_a: 3_000,
         };
-        let expanded =
-            (p.f_v as f64 * (p.f_v as f64 + 2.0 * p.f_a as f64)) / (4.0 * p.c_v as f64 * p.pb as f64);
+        let expanded = (p.f_v as f64 * (p.f_v as f64 + 2.0 * p.f_a as f64))
+            / (4.0 * p.c_v as f64 * p.pb as f64);
         assert!((p.useful_flip_probability() - expanded).abs() < 1e-12);
     }
 

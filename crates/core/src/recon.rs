@@ -10,13 +10,12 @@
 //! which triples place the victim row's entries in the *victim* partition
 //! while both aggressor rows are reachable from the *attacker* partition.
 
-use serde::{Deserialize, Serialize};
 use ssdhammer_dram::RowKey;
 use ssdhammer_ftl::Ftl;
 use ssdhammer_simkit::Lba;
 
 /// A device-LBA range (a partition's slice of the shared FTL).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LbaRange {
     /// First device LBA.
     pub start: Lba,
@@ -44,7 +43,7 @@ impl LbaRange {
 }
 
 /// One double-sided hammering opportunity on the L2P table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AttackSite {
     /// The victim DRAM row (its L2P entries get corrupted).
     pub victim: RowKey,
@@ -84,11 +83,7 @@ pub fn find_attack_sites(ftl: &Ftl, max_sites: usize) -> Vec<AttackSite> {
     let end = base + table.size_bytes();
     let mut addr = first_row_addr;
     while addr < end {
-        occupied.insert(
-            mapping
-                .decode(ssdhammer_simkit::DramAddr(addr))
-                .row_key(),
-        );
+        occupied.insert(mapping.decode(ssdhammer_simkit::DramAddr(addr)).row_key());
         addr += row_bytes;
     }
     let mut sites = Vec::new();
@@ -137,7 +132,7 @@ pub fn find_attack_sites(ftl: &Ftl, max_sites: usize) -> Vec<AttackSite> {
 /// entries of the victim's partition — §4.2's observation that swizzled
 /// controller mappings yield such "sets of three vulnerable rows" (32 on the
 /// paper's example system).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CrossPartitionSite {
     /// The underlying site.
     pub site: AttackSite,
@@ -159,8 +154,16 @@ pub fn cross_partition_sites(
     sites
         .iter()
         .filter_map(|site| {
-            let aggressor_above = site.above_lbas.iter().copied().find(|&l| attacker.contains(l))?;
-            let aggressor_below = site.below_lbas.iter().copied().find(|&l| attacker.contains(l))?;
+            let aggressor_above = site
+                .above_lbas
+                .iter()
+                .copied()
+                .find(|&l| attacker.contains(l))?;
+            let aggressor_below = site
+                .below_lbas
+                .iter()
+                .copied()
+                .find(|&l| attacker.contains(l))?;
             let exposed: Vec<Lba> = site
                 .victim_lbas
                 .iter()
@@ -197,7 +200,9 @@ mod tests {
         let dram = DramModule::builder(DramGeometry::tiny_test())
             .profile(profile)
             .mapping(mapping)
-            .seed(5)
+            // Seed picked so the 50%-vulnerable draw leaves cross-partition
+            // triples intact under both mappings.
+            .seed(2)
             .without_timing()
             .build(clock.clone());
         let nand = FlashArray::new(FlashGeometry::mib64(), clock, 1);

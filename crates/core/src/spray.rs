@@ -7,7 +7,6 @@
 //! indirect block* pointing at target LBAs of potentially privileged
 //! content."
 
-use serde::{Deserialize, Serialize};
 use ssdhammer_fs::{AddressingMode, Credentials, FileSystem, FsBlock, FsError, FsResult, Ino};
 use ssdhammer_simkit::{BlockStorage, BLOCK_SIZE};
 
@@ -30,7 +29,7 @@ pub fn malicious_indirect_payload(targets: &[FsBlock]) -> [u8; BLOCK_SIZE] {
 }
 
 /// Plan for one spraying pass.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SprayPlan {
     /// Directory to spray into (must exist and be writable by the actor).
     pub dir: String,
@@ -44,7 +43,7 @@ pub struct SprayPlan {
 }
 
 /// One sprayed file.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SprayedFile {
     /// Absolute path.
     pub path: String,
@@ -270,7 +269,9 @@ mod tests {
             targets: vec![7],
         };
         let report = spray_filesystem(&mut fs, ATTACKER, &plan).unwrap();
-        assert!(scan_for_leaks(&mut fs, ATTACKER, &report).unwrap().is_empty());
+        assert!(scan_for_leaks(&mut fs, ATTACKER, &report)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -283,7 +284,8 @@ mod tests {
         let secret = fs
             .create("/secret", ROOT, 0o600, AddressingMode::Extents)
             .unwrap();
-        fs.write_file_block(secret, ROOT, 0, &[0x5E; BLOCK_SIZE]).unwrap();
+        fs.write_file_block(secret, ROOT, 0, &[0x5E; BLOCK_SIZE])
+            .unwrap();
         assert_eq!(
             fs.read_file_block(secret, ATTACKER, 0).unwrap_err(),
             FsError::PermissionDenied

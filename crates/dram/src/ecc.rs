@@ -5,14 +5,12 @@
 //! support ECC (§4.1); the Samsung PM1733's on-board-DRAM ECC status is
 //! "unknown".
 
-use serde::{Deserialize, Serialize};
-
 /// Width of one ECC codeword in bits (a 64-bit data word, the usual SEC-DED
 /// granularity).
 pub const ECC_WORD_BITS: u64 = 64;
 
 /// ECC behaviour configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EccConfig {
     /// Whether a corrected (single-bit) error is also written back to the
     /// array, healing the cell until it is hammered again. Controllers that
@@ -31,7 +29,7 @@ impl Default for EccConfig {
 
 /// Outcome of applying SEC-DED to one 64-bit word with a known set of
 /// flipped bits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EccOutcome {
     /// No flipped bits: data returned as stored.
     Clean,

@@ -1,6 +1,5 @@
 //! DRAM organization: channels, DIMMs, ranks, banks, rows.
 
-use serde::{Deserialize, Serialize};
 use ssdhammer_simkit::ByteSize;
 
 /// Physical organization of a DRAM subsystem.
@@ -17,7 +16,7 @@ use ssdhammer_simkit::ByteSize;
 /// assert_eq!(g.total_banks(), 64);
 /// assert_eq!(g.total_bytes().as_u64(), 16 << 30);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DramGeometry {
     /// Memory channels.
     pub channels: u32,
@@ -88,7 +87,8 @@ impl DramGeometry {
     #[must_use]
     pub fn total_bytes(&self) -> ByteSize {
         ByteSize::bytes(
-            u64::from(self.total_banks()) * u64::from(self.rows_per_bank)
+            u64::from(self.total_banks())
+                * u64::from(self.rows_per_bank)
                 * u64::from(self.row_bytes),
         )
     }
@@ -136,7 +136,7 @@ impl DramGeometry {
 
 /// A decoded DRAM location: global bank index, row within the bank, byte
 /// offset (column) within the row.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Location {
     /// Global bank index in `0..geometry.total_banks()`.
     pub bank: u32,
@@ -159,7 +159,7 @@ impl Location {
 }
 
 /// Identifies one physical row of one bank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RowKey {
     /// Global bank index.
     pub bank: u32,

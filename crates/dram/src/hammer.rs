@@ -97,9 +97,8 @@ pub fn measure_min_flip_rate(
 ) -> Option<MinRateResult> {
     assert!(lo_rate > 0.0 && hi_rate > lo_rate, "bad rate bounds");
     let probe = factory();
-    let candidate =
-        find_weakest_victim(&probe, probe.mapping().geometry().total_banks(), 4096)
-            .expect("no hammerable row found on this module");
+    let candidate = find_weakest_victim(&probe, probe.mapping().geometry().total_banks(), 4096)
+        .expect("no hammerable row found on this module");
     drop(probe);
 
     let flips_at = |rate: f64| -> bool {
@@ -116,9 +115,7 @@ pub fn measure_min_flip_rate(
         let window = m.profile().refresh_interval;
         let total = (rate * window.as_secs_f64() * windows as f64).ceil() as u64;
         let aggressors = [candidate.triple[0], candidate.triple[2]];
-        let report = m
-            .run_hammer(&aggressors, total, rate)
-            .expect("hammer run");
+        let report = m.run_hammer(&aggressors, total, rate).expect("hammer run");
         report.flips.iter().any(|f| f.row == candidate.row)
     };
 

@@ -68,8 +68,7 @@ pub use ecc::{EccConfig, EccOutcome, ECC_WORD_BITS};
 pub use geometry::{DramGeometry, Location, RowKey};
 pub use mapping::{AddressMapping, MappingKind};
 pub use module::{
-    DramError, DramModule, DramModuleBuilder, DramTelemetry, FlipDirection, FlipEvent,
-    HammerReport,
+    DramError, DramModule, DramModuleBuilder, DramTelemetry, FlipDirection, FlipEvent, HammerReport,
 };
 pub use profile::{DramGeneration, ModuleProfile, RowPolicy};
 pub use trr::TrrConfig;

@@ -9,13 +9,12 @@
 //! addresses straddle the attacker/victim partition boundary. We provide both
 //! a trivially linear mapping and an XOR+affine-swizzled family.
 
-use serde::{Deserialize, Serialize};
 use ssdhammer_simkit::DramAddr;
 
 use crate::geometry::{DramGeometry, Location};
 
 /// How the controller scatters physical addresses over DRAM resources.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MappingKind {
     /// `addr = [row | bank | col]`: consecutive addresses fill a row, then
     /// move to the next bank, then the next row. Rows are monotone in the
@@ -52,7 +51,7 @@ pub enum MappingKind {
 /// let loc = m.decode(DramAddr(0x12345));
 /// assert_eq!(m.encode(loc), DramAddr(0x12345));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AddressMapping {
     geometry: DramGeometry,
     kind: MappingKind,
@@ -115,8 +114,8 @@ impl AddressMapping {
         );
         let col = (a & (u64::from(g.row_bytes) - 1)) as u32;
         let bank_field = ((a >> g.col_bits()) & (u64::from(g.total_banks()) - 1)) as u32;
-        let row_field = ((a >> (g.col_bits() + g.bank_bits())) & (u64::from(g.rows_per_bank) - 1))
-            as u32;
+        let row_field =
+            ((a >> (g.col_bits() + g.bank_bits())) & (u64::from(g.rows_per_bank) - 1)) as u32;
         match self.kind {
             MappingKind::Linear => Location {
                 bank: bank_field,
@@ -189,7 +188,13 @@ impl AddressMapping {
         if row == 0 || row + 1 >= self.geometry.rows_per_bank {
             return None;
         }
-        let enc = |r: u32| self.encode(Location { bank, row: r, col: 0 });
+        let enc = |r: u32| {
+            self.encode(Location {
+                bank,
+                row: r,
+                col: 0,
+            })
+        };
         Some([enc(row - 1), enc(row), enc(row + 1)])
     }
 }

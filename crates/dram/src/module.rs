@@ -29,7 +29,7 @@
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 
-use serde::{Deserialize, Serialize};
+use ssdhammer_simkit::telemetry::{CounterHandle, Telemetry};
 use ssdhammer_simkit::{DramAddr, SimClock, SimDuration, SimTime};
 
 use crate::ecc::{EccConfig, EccOutcome, ECC_WORD_BITS};
@@ -69,7 +69,7 @@ impl core::fmt::Display for DramError {
 impl std::error::Error for DramError {}
 
 /// Direction of an observed bitflip.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FlipDirection {
     /// A charged true-cell leaked: 1 → 0.
     OneToZero,
@@ -78,7 +78,7 @@ pub enum FlipDirection {
 }
 
 /// One disturbance error that corrupted stored data.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlipEvent {
     /// Simulated time of the flip.
     pub time: SimTime,
@@ -92,8 +92,9 @@ pub struct FlipEvent {
     pub addr: DramAddr,
 }
 
-/// Aggregate counters exposed by the module.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+/// Point-in-time view of the module's counters in the shared
+/// [`Telemetry`] registry (metric names `dram.*`).
+#[derive(Debug, Default, Clone)]
 pub struct DramTelemetry {
     /// Row activations issued.
     pub activations: u64,
@@ -113,8 +114,47 @@ pub struct DramTelemetry {
     pub ecc_silent: u64,
 }
 
+/// Handles into the shared registry, resolved once so the hot path is a
+/// single atomic add per metric.
+#[derive(Debug, Clone)]
+struct DramHandles {
+    registry: Telemetry,
+    activations: CounterHandle,
+    row_hits: CounterHandle,
+    reads: CounterHandle,
+    writes: CounterHandle,
+    flips: CounterHandle,
+    flips_one_to_zero: CounterHandle,
+    flips_zero_to_one: CounterHandle,
+    ecc_corrected: CounterHandle,
+    ecc_uncorrectable: CounterHandle,
+    ecc_silent: CounterHandle,
+    refresh_windows: CounterHandle,
+    trr_suppressions: CounterHandle,
+}
+
+impl DramHandles {
+    fn bind(registry: Telemetry) -> Self {
+        DramHandles {
+            activations: registry.counter("dram.activations"),
+            row_hits: registry.counter("dram.row_hits"),
+            reads: registry.counter("dram.reads"),
+            writes: registry.counter("dram.writes"),
+            flips: registry.counter("dram.flips"),
+            flips_one_to_zero: registry.counter("dram.flips.one_to_zero"),
+            flips_zero_to_one: registry.counter("dram.flips.zero_to_one"),
+            ecc_corrected: registry.counter("dram.ecc.corrected"),
+            ecc_uncorrectable: registry.counter("dram.ecc.uncorrectable"),
+            ecc_silent: registry.counter("dram.ecc.silent"),
+            refresh_windows: registry.counter("dram.refresh_windows"),
+            trr_suppressions: registry.counter("dram.trr_suppressions"),
+            registry,
+        }
+    }
+}
+
 /// Result of a bulk hammering run (see [`DramModule::run_hammer`]).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HammerReport {
     /// Activations actually issued across all aggressors.
     pub activations: u64,
@@ -168,7 +208,7 @@ pub struct DramModule {
     /// Pressure already "spent" on a row at its last self-refresh (ACT).
     discount: HashMap<RowKey, f64>,
     open_rows: HashMap<u32, u32>,
-    telemetry: DramTelemetry,
+    tel: DramHandles,
     flip_log: Vec<FlipEvent>,
 }
 
@@ -182,6 +222,7 @@ pub struct DramModuleBuilder {
     ecc: Option<EccConfig>,
     trr: Option<TrrConfig>,
     timing_enabled: bool,
+    telemetry: Option<Telemetry>,
 }
 
 impl DramModuleBuilder {
@@ -228,6 +269,14 @@ impl DramModuleBuilder {
         self
     }
 
+    /// Records metrics and trace events into `telemetry` (default: a fresh
+    /// private registry).
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
     /// Finalizes the module on the given clock.
     #[must_use]
     pub fn build(self, clock: SimClock) -> DramModule {
@@ -246,7 +295,7 @@ impl DramModuleBuilder {
             acts: HashMap::new(),
             discount: HashMap::new(),
             open_rows: HashMap::new(),
-            telemetry: DramTelemetry::default(),
+            tel: DramHandles::bind(self.telemetry.unwrap_or_default()),
             flip_log: Vec::new(),
         }
     }
@@ -264,6 +313,7 @@ impl DramModule {
             ecc: None,
             trr: None,
             timing_enabled: true,
+            telemetry: None,
         }
     }
 
@@ -285,10 +335,34 @@ impl DramModule {
         &self.clock
     }
 
-    /// Aggregate counters.
+    /// Point-in-time view of this module's counters.
     #[must_use]
-    pub fn telemetry(&self) -> &DramTelemetry {
-        &self.telemetry
+    pub fn telemetry(&self) -> DramTelemetry {
+        DramTelemetry {
+            activations: self.tel.activations.get(),
+            row_hits: self.tel.row_hits.get(),
+            reads: self.tel.reads.get(),
+            writes: self.tel.writes.get(),
+            flips: self.tel.flips.get(),
+            ecc_corrected: self.tel.ecc_corrected.get(),
+            ecc_uncorrectable: self.tel.ecc_uncorrectable.get(),
+            ecc_silent: self.tel.ecc_silent.get(),
+        }
+    }
+
+    /// The shared registry this module records into.
+    #[must_use]
+    pub fn shared_telemetry(&self) -> Telemetry {
+        self.tel.registry.clone()
+    }
+
+    /// Rebinds this module's metrics onto `telemetry` (e.g. the one shared
+    /// registry of a full-stack [`Ssd`]). Counts recorded before the switch
+    /// stay in the old registry, so attach before use.
+    ///
+    /// [`Ssd`]: https://docs.rs/ssdhammer-nvme
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.tel = DramHandles::bind(telemetry.clone());
     }
 
     /// All flips recorded so far (also see [`DramModule::drain_flips`]).
@@ -351,7 +425,7 @@ impl DramModule {
         self.evaluate_victim(key);
         let hit = self.activate(key);
         self.charge_access_time(hit);
-        self.telemetry.reads += 1;
+        self.tel.reads.incr();
         let start_bit = u64::from(loc.col) * 8;
         let end_bit = start_bit + buf.len() as u64 * 8;
         // Serve data. Unwritten rows read as zero.
@@ -383,7 +457,7 @@ impl DramModule {
         self.evaluate_victim(key);
         let hit = self.activate(key);
         self.charge_access_time(hit);
-        self.telemetry.writes += 1;
+        self.tel.writes.incr();
         let row_bytes = self.mapping.geometry().row_bytes as usize;
         let row_data = self.rows.entry(key).or_insert_with(|| RowData {
             bytes: vec![0u8; row_bytes].into_boxed_slice(),
@@ -494,7 +568,8 @@ impl DramModule {
             let used = SimDuration::from_secs_f64(span_accesses as f64 / rate_per_sec);
             // Settle this window's flips before the boundary clears counters.
             self.settle_window();
-            self.clock.advance(used.min(span).max(SimDuration::from_nanos(1)));
+            self.clock
+                .advance(used.min(span).max(SimDuration::from_nanos(1)));
             if self.clock.now() >= window_end {
                 self.clock.advance_to(window_end);
             }
@@ -541,7 +616,7 @@ impl DramModule {
                 continue;
             }
             *self.acts.entry(key).or_insert(0) += acts;
-            self.telemetry.activations += acts;
+            self.tel.activations.add(acts);
             *activations += acts;
             // The aggressor itself is refreshed by its own activations.
             self.discount.insert(key, self.raw_pressure(key));
@@ -564,9 +639,9 @@ impl DramModule {
     pub fn peek(&self, addr: DramAddr, buf: &mut [u8]) -> Result<(), DramError> {
         let loc = self.checked_decode(addr, buf.len())?;
         match self.rows.get(&loc.row_key()) {
-            Some(row) => buf.copy_from_slice(
-                &row.bytes[loc.col as usize..loc.col as usize + buf.len()],
-            ),
+            Some(row) => {
+                buf.copy_from_slice(&row.bytes[loc.col as usize..loc.col as usize + buf.len()])
+            }
             None => buf.fill(0),
         }
         Ok(())
@@ -589,7 +664,7 @@ impl DramModule {
         let key = loc.row_key();
         self.evaluate_victim(key);
         *self.acts.entry(key).or_insert(0) += n;
-        self.telemetry.activations += n;
+        self.tel.activations.add(n);
         self.discount.insert(key, self.raw_pressure(key));
         self.open_rows.insert(key.bank, key.row);
         if self.timing_enabled {
@@ -621,15 +696,13 @@ impl DramModule {
     /// Rolls the refresh window forward if the clock has crossed a boundary,
     /// settling outstanding disturbance first.
     fn tick_window(&mut self) {
-        let idx = self
-            .clock
-            .now()
-            .window_index(self.profile.refresh_interval);
+        let idx = self.clock.now().window_index(self.profile.refresh_interval);
         if idx != self.window_idx {
             self.settle_window();
             self.acts.clear();
             self.discount.clear();
             self.window_idx = idx;
+            self.tel.refresh_windows.incr();
         }
     }
 
@@ -639,12 +712,12 @@ impl DramModule {
         let open = self.open_rows.get(&key.bank).copied();
         let hit = self.profile.row_policy == RowPolicy::OpenPage && open == Some(key.row);
         if hit {
-            self.telemetry.row_hits += 1;
+            self.tel.row_hits.incr();
             return true;
         }
         self.open_rows.insert(key.bank, key.row);
         *self.acts.entry(key).or_insert(0) += 1;
-        self.telemetry.activations += 1;
+        self.tel.activations.incr();
         // Activation refreshes this row: remember the pressure it has
         // already absorbed so only *future* pressure counts.
         let p = self.raw_pressure(key);
@@ -677,12 +750,16 @@ impl DramModule {
                 .collect();
             trr.tracked_rows(&bank_acts)
         });
+        let trr_suppressions = self.tel.trr_suppressions.clone();
         let contribution = |key: RowKey| -> f64 {
             let Some(&n) = self.acts.get(&key) else {
                 return 0.0;
             };
             match (&self.trr, &tracked) {
                 (Some(trr), Some(t)) if t.contains(&key.row) => {
+                    if n > trr.detection_threshold {
+                        trr_suppressions.incr();
+                    }
                     n.min(trr.detection_threshold) as f64
                 }
                 _ => n as f64,
@@ -760,6 +837,24 @@ impl DramModule {
                     row: victim.row,
                     col: (cell.bit / 8) as u32,
                 });
+                match direction {
+                    FlipDirection::OneToZero => self.tel.flips_one_to_zero.incr(),
+                    FlipDirection::ZeroToOne => self.tel.flips_zero_to_one.incr(),
+                }
+                self.tel.registry.trace(
+                    now,
+                    "dram.flip",
+                    format!(
+                        "bank {} row {} bit {} {} at {addr}",
+                        victim.bank,
+                        victim.row,
+                        cell.bit,
+                        match direction {
+                            FlipDirection::OneToZero => "1->0",
+                            FlipDirection::ZeroToOne => "0->1",
+                        }
+                    ),
+                );
                 self.flip_log.push(FlipEvent {
                     time: now,
                     row: victim,
@@ -769,7 +864,7 @@ impl DramModule {
                 });
             }
         }
-        self.telemetry.flips += flipped_indices.len() as u64;
+        self.tel.flips.add(flipped_indices.len() as u64);
         // Remove flipped cells (they have discharged; rewriting recharges the
         // row but these specific cells remain weak — modeled by regenerating
         // on rewrite being unnecessary: a flipped cell that is rewritten can
@@ -788,7 +883,11 @@ impl DramModule {
             return;
         }
         let rows = self.mapping.geometry().rows_per_bank;
-        let reach = if self.profile.distance2_factor > 0.0 { 2 } else { 1 };
+        let reach = if self.profile.distance2_factor > 0.0 {
+            2
+        } else {
+            1
+        };
         let mut victims = HashSet::new();
         for key in self.acts.keys() {
             for delta in 1..=reach {
@@ -851,8 +950,8 @@ impl DramModule {
                     }
                 }
                 EccOutcome::DetectedUncorrectable => {
-                    self.telemetry.ecc_corrected += corrected;
-                    self.telemetry.ecc_uncorrectable += 1;
+                    self.tel.ecc_corrected.add(corrected);
+                    self.tel.ecc_uncorrectable.incr();
                     return Err(DramError::Uncorrectable { addr });
                 }
                 EccOutcome::SilentCorruption => {
@@ -860,8 +959,8 @@ impl DramModule {
                 }
             }
         }
-        self.telemetry.ecc_corrected += corrected;
-        self.telemetry.ecc_silent += silent;
+        self.tel.ecc_corrected.add(corrected);
+        self.tel.ecc_silent.add(silent);
         Ok(())
     }
 }
@@ -892,7 +991,8 @@ mod tests {
 
     /// Address of column 0 of (bank, row) under the module's mapping.
     fn row_addr(m: &DramModule, bank: u32, row: u32) -> DramAddr {
-        m.mapping().encode(crate::geometry::Location { bank, row, col: 0 })
+        m.mapping()
+            .encode(crate::geometry::Location { bank, row, col: 0 })
     }
 
     #[test]
@@ -965,11 +1065,12 @@ mod tests {
         let victim = row_addr(&m, 0, 5);
         m.write(victim, &[0xFFu8; 64]).unwrap();
         let aggr = [row_addr(&m, 0, 4), row_addr(&m, 0, 6)];
-        let report = m
-            .run_hammer(&aggr, 200_000, 10_000_000.0)
-            .unwrap();
+        let report = m.run_hammer(&aggr, 200_000, 10_000_000.0).unwrap();
         assert!(
-            report.flips.iter().any(|f| f.row == RowKey { bank: 0, row: 5 }),
+            report
+                .flips
+                .iter()
+                .any(|f| f.row == RowKey { bank: 0, row: 5 }),
             "expected a flip on the victim row; report: {report:?}"
         );
         assert!(m.telemetry().flips > 0);
@@ -1005,7 +1106,10 @@ mod tests {
         m.write(victim, &[0xFFu8; 64]).unwrap();
         let aggr = [row_addr(&m, 0, 4)];
         let report = m.run_hammer(&aggr, 500_000, 10_000_000.0).unwrap();
-        assert!(!report.flips.is_empty(), "closed-page one-location should flip");
+        assert!(
+            !report.flips.is_empty(),
+            "closed-page one-location should flip"
+        );
     }
 
     #[test]
@@ -1028,7 +1132,13 @@ mod tests {
 
     #[test]
     fn flips_persist_across_windows_until_rewrite() {
-        let mut m = tiny(eager_profile());
+        // Seed chosen so the victim row carries a weak cell matching the
+        // stored pattern's orientation.
+        let mut m = DramModule::builder(DramGeometry::tiny_test())
+            .profile(eager_profile())
+            .mapping(MappingKind::Linear)
+            .seed(1)
+            .build(SimClock::new());
         let victim = row_addr(&m, 0, 5);
         m.write(victim, &[0xFFu8; 1024]).unwrap();
         let aggr = [row_addr(&m, 0, 4), row_addr(&m, 0, 6)];
@@ -1119,14 +1229,17 @@ mod tests {
         let mut m = DramModule::builder(DramGeometry::tiny_test())
             .profile(eager_profile())
             .mapping(MappingKind::Linear)
-            .seed(7)
+            .seed(1)
             .ecc(EccConfig::default())
             .build(SimClock::new());
         let victim = row_addr(&m, 0, 5);
         m.write(victim, &[0xFFu8; 1024]).unwrap();
         let aggr = [row_addr(&m, 0, 4), row_addr(&m, 0, 6)];
         m.run_hammer(&aggr, 200_000, 10_000_000.0).unwrap();
-        assert!(m.telemetry().flips > 0, "cells should still flip physically");
+        assert!(
+            m.telemetry().flips > 0,
+            "cells should still flip physically"
+        );
         // Reads see corrected data (flips on this seed land in distinct words).
         let mut buf = vec![0u8; 1024];
         m.read(victim, &mut buf).unwrap();

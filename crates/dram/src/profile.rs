@@ -9,11 +9,10 @@
 //! row-buffer policy, address mapping), which validates the machinery and
 //! reproduces the table's shape.
 
-use serde::{Deserialize, Serialize};
 use ssdhammer_simkit::SimDuration;
 
 /// DRAM technology generation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DramGeneration {
     /// DDR3 SDRAM.
     Ddr3,
@@ -38,7 +37,7 @@ impl core::fmt::Display for DramGeneration {
 }
 
 /// Row-buffer management policy of the memory controller.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RowPolicy {
     /// Keep the row open until a different row is accessed; consecutive
     /// accesses to the open row do not re-activate it.
@@ -60,7 +59,7 @@ pub enum RowPolicy {
 /// // 150 K accesses/s over a 64 ms window:
 /// assert_eq!(m.hc_first, 150 * 64);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModuleProfile {
     /// Human-readable module label as it appears in Table 1.
     pub name: String,
@@ -143,6 +142,42 @@ impl ModuleProfile {
     #[must_use]
     pub fn with_row_policy(mut self, policy: RowPolicy) -> Self {
         self.row_policy = policy;
+        self
+    }
+
+    /// Replaces the weakest-cell hammer-count threshold.
+    #[must_use]
+    pub fn with_hc_first(mut self, hc_first: u64) -> Self {
+        self.hc_first = hc_first;
+        self
+    }
+
+    /// Replaces the per-cell threshold spread (0 = every weak cell flips
+    /// exactly at `hc_first`).
+    #[must_use]
+    pub fn with_threshold_spread(mut self, spread: f64) -> Self {
+        self.threshold_spread = spread;
+        self
+    }
+
+    /// Replaces the probability that a row contains any weak cells.
+    #[must_use]
+    pub fn with_row_vulnerable_prob(mut self, prob: f64) -> Self {
+        self.row_vulnerable_prob = prob;
+        self
+    }
+
+    /// Replaces the expected number of weak cells per vulnerable row.
+    #[must_use]
+    pub fn with_weak_cells_per_row(mut self, cells: f64) -> Self {
+        self.weak_cells_per_row = cells;
+        self
+    }
+
+    /// Replaces the distance-2 (half-double) coupling factor (0 disables).
+    #[must_use]
+    pub fn with_distance2_factor(mut self, factor: f64) -> Self {
+        self.distance2_factor = factor;
         self
     }
 
@@ -270,13 +305,33 @@ impl ModuleProfile {
     /// at a rate of 3M per second" (§4.1).
     #[must_use]
     pub fn testbed_ddr3() -> Self {
-        Self::from_min_rate("testbed DDR3 (Samsung, §4.1)", DramGeneration::Ddr3, 2021, 3000)
+        Self::from_min_rate(
+            "testbed DDR3 (Samsung, §4.1)",
+            DramGeneration::Ddr3,
+            2021,
+            3000,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn builder_setters_override_preset_fields() {
+        let p = ModuleProfile::invulnerable()
+            .with_hc_first(1000)
+            .with_threshold_spread(0.25)
+            .with_row_vulnerable_prob(0.5)
+            .with_weak_cells_per_row(8.0)
+            .with_distance2_factor(0.6);
+        assert_eq!(p.hc_first, 1000);
+        assert_eq!(p.threshold_spread, 0.25);
+        assert_eq!(p.row_vulnerable_prob, 0.5);
+        assert_eq!(p.weak_cells_per_row, 8.0);
+        assert_eq!(p.distance2_factor, 0.6);
+    }
 
     #[test]
     fn hc_first_is_rate_times_window() {
@@ -300,15 +355,10 @@ mod tests {
     fn newer_modules_are_more_vulnerable() {
         // §2.3: "the smaller technology node in newer DRAM modules makes them
         // even more vulnerable" — old vs new pairs within the 2020 study.
+        assert!(ModuleProfile::ddr3_new_2020().hc_first < ModuleProfile::ddr3_old_2020().hc_first);
+        assert!(ModuleProfile::ddr4_new_2020().hc_first < ModuleProfile::ddr4_old_2020().hc_first);
         assert!(
-            ModuleProfile::ddr3_new_2020().hc_first < ModuleProfile::ddr3_old_2020().hc_first
-        );
-        assert!(
-            ModuleProfile::ddr4_new_2020().hc_first < ModuleProfile::ddr4_old_2020().hc_first
-        );
-        assert!(
-            ModuleProfile::lpddr4_new_2020().hc_first
-                < ModuleProfile::lpddr4_old_2020().hc_first
+            ModuleProfile::lpddr4_new_2020().hc_first < ModuleProfile::lpddr4_old_2020().hc_first
         );
     }
 

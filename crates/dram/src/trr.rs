@@ -9,10 +9,8 @@
 //! exactly why *many-sided* patterns defeat TRR while double-sided ones do
 //! not.
 
-use serde::{Deserialize, Serialize};
-
 /// Configuration of the sampler-based TRR model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TrrConfig {
     /// How many distinct aggressor rows per bank the sampler can track within
     /// one refresh window.

@@ -7,9 +7,7 @@
 //! cells (an attacker can profile it once, like a real device), while
 //! different seeds produce different modules of the same class.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
-use ssdhammer_simkit::rng::{derive_seed, seeded};
+use ssdhammer_simkit::rng::{derive_seed, seeded, Rng};
 
 use crate::geometry::RowKey;
 use crate::profile::ModuleProfile;
@@ -17,7 +15,7 @@ use crate::profile::ModuleProfile;
 /// Charge convention of a DRAM cell, which determines the only direction it
 /// can flip: a *true-cell* stores logical 1 as charged and leaks toward 0; an
 /// *anti-cell* is the opposite.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CellOrientation {
     /// Flips 1 → 0.
     TrueCell,
@@ -34,7 +32,7 @@ impl CellOrientation {
 }
 
 /// One disturbance-susceptible cell within a row.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WeakCell {
     /// Bit index within the row (`0..row_bytes*8`).
     pub bit: u64,
@@ -73,7 +71,11 @@ pub fn weak_cells_for_row(
     if profile.row_vulnerable_prob <= 0.0 {
         return Vec::new();
     }
-    let sub = derive_seed(seed, "weak-cells", (u64::from(row.bank) << 32) | u64::from(row.row));
+    let sub = derive_seed(
+        seed,
+        "weak-cells",
+        (u64::from(row.bank) << 32) | u64::from(row.row),
+    );
     let mut rng = seeded(sub);
     if rng.gen::<f64>() >= profile.row_vulnerable_prob {
         return Vec::new();
@@ -146,7 +148,10 @@ mod tests {
             })
             .count();
         let frac = vulnerable as f64 / 2000.0;
-        assert!((frac - p.row_vulnerable_prob).abs() < 0.05, "fraction {frac}");
+        assert!(
+            (frac - p.row_vulnerable_prob).abs() < 0.05,
+            "fraction {frac}"
+        );
     }
 
     #[test]
@@ -186,7 +191,11 @@ mod tests {
         let cells: Vec<WeakCell> = (0..500u32)
             .flat_map(|r| weak_cells_for_row(3, &p, 8192 * 8, RowKey { bank: 0, row: r }))
             .collect();
-        assert!(cells.iter().any(|c| c.orientation == CellOrientation::TrueCell));
-        assert!(cells.iter().any(|c| c.orientation == CellOrientation::AntiCell));
+        assert!(cells
+            .iter()
+            .any(|c| c.orientation == CellOrientation::TrueCell));
+        assert!(cells
+            .iter()
+            .any(|c| c.orientation == CellOrientation::AntiCell));
     }
 }

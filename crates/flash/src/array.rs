@@ -3,9 +3,8 @@
 
 use std::collections::HashMap;
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
-use ssdhammer_simkit::rng::{derive_seed, seeded};
+use ssdhammer_simkit::rng::{derive_seed, seeded, Rng};
+use ssdhammer_simkit::telemetry::{CounterHandle, Telemetry};
 use ssdhammer_simkit::{SimClock, SimDuration, SimTime};
 
 use crate::geometry::{BlockId, FlashGeometry, FlashTiming, Ppn};
@@ -50,7 +49,10 @@ impl core::fmt::Display for FlashError {
             FlashError::OutOfRange => write!(f, "flash address out of range"),
             FlashError::NotErased { ppn } => write!(f, "{ppn} is not erased"),
             FlashError::OutOfOrderProgram { ppn, expected } => {
-                write!(f, "{ppn} programmed out of order (expected page {expected})")
+                write!(
+                    f,
+                    "{ppn} programmed out of order (expected page {expected})"
+                )
             }
             FlashError::BadBlock { block } => write!(f, "{block} is bad"),
             FlashError::BadBufferLen { got, expected } => {
@@ -62,8 +64,9 @@ impl core::fmt::Display for FlashError {
 
 impl std::error::Error for FlashError {}
 
-/// Aggregate flash counters.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+/// Point-in-time view of the array's counters in the shared
+/// [`Telemetry`] registry (metric names `flash.*`).
+#[derive(Debug, Default, Clone)]
 pub struct FlashTelemetry {
     /// Page reads.
     pub reads: u64,
@@ -75,6 +78,30 @@ pub struct FlashTelemetry {
     pub wear_failures: u64,
     /// Bits corrupted in returned data due to read disturb.
     pub read_disturb_errors: u64,
+}
+
+/// Handles into the shared registry, resolved once at bind time.
+#[derive(Debug, Clone)]
+struct FlashHandles {
+    registry: Telemetry,
+    reads: CounterHandle,
+    programs: CounterHandle,
+    erases: CounterHandle,
+    wear_failures: CounterHandle,
+    read_disturb_errors: CounterHandle,
+}
+
+impl FlashHandles {
+    fn bind(registry: Telemetry) -> Self {
+        FlashHandles {
+            reads: registry.counter("flash.reads"),
+            programs: registry.counter("flash.programs"),
+            erases: registry.counter("flash.erases"),
+            wear_failures: registry.counter("flash.wear_failures"),
+            read_disturb_errors: registry.counter("flash.read_disturb_errors"),
+            registry,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -121,7 +148,7 @@ pub struct FlashArray {
     pages: HashMap<u64, PageData>,
     blocks: Vec<BlockState>,
     channel_busy_until: Vec<SimTime>,
-    telemetry: FlashTelemetry,
+    tel: FlashHandles,
     /// Program/erase cycles a block survives before wearing out.
     max_pe_cycles: u32,
     /// Reads a block tolerates between erases before read disturb starts
@@ -170,7 +197,7 @@ impl FlashArray {
             clock,
             pages: HashMap::new(),
             blocks,
-            telemetry: FlashTelemetry::default(),
+            tel: FlashHandles::bind(Telemetry::new()),
             max_pe_cycles: 3000,
             read_disturb_limit: 100_000,
             seed,
@@ -183,10 +210,31 @@ impl FlashArray {
         &self.geometry
     }
 
-    /// Aggregate counters.
+    /// Point-in-time view of this array's counters.
     #[must_use]
-    pub fn telemetry(&self) -> &FlashTelemetry {
-        &self.telemetry
+    pub fn telemetry(&self) -> FlashTelemetry {
+        FlashTelemetry {
+            reads: self.tel.reads.get(),
+            programs: self.tel.programs.get(),
+            erases: self.tel.erases.get(),
+            wear_failures: self.tel.wear_failures.get(),
+            read_disturb_errors: self.tel.read_disturb_errors.get(),
+        }
+    }
+
+    /// The shared registry this array records into.
+    #[must_use]
+    pub fn shared_telemetry(&self) -> Telemetry {
+        self.tel.registry.clone()
+    }
+
+    /// Rebinds this array's metrics onto `telemetry` (e.g. an [`Ssd`]'s one
+    /// shared registry). Counts recorded before the switch stay in the old
+    /// registry, so attach before use.
+    ///
+    /// [`Ssd`]: https://docs.rs/ssdhammer-nvme
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.tel = FlashHandles::bind(telemetry.clone());
     }
 
     /// Program/erase endurance per block.
@@ -283,10 +331,12 @@ impl FlashArray {
             self.geometry.channel_of(block),
             SimDuration::from_nanos(self.timing.t_read_ns + self.timing.t_xfer_ns),
         );
-        self.telemetry.reads += 1;
+        self.tel.reads.incr();
         let state = &mut self.blocks[block.as_u64() as usize];
         state.reads_since_erase += 1;
-        let excess = state.reads_since_erase.saturating_sub(self.read_disturb_limit);
+        let excess = state
+            .reads_since_erase
+            .saturating_sub(self.read_disturb_limit);
         let mut data = match self.pages.get(&ppn.as_u64()) {
             Some(p) => p.data.clone(),
             None => vec![0xFFu8; self.geometry.page_bytes as usize].into_boxed_slice(),
@@ -299,7 +349,7 @@ impl FlashArray {
                 let bit = derive_seed(self.seed, "read-disturb", ppn.as_u64() ^ (e << 48)) % bits;
                 data[(bit / 8) as usize] ^= 1 << (bit % 8);
             }
-            self.telemetry.read_disturb_errors += errors;
+            self.tel.read_disturb_errors.add(errors);
         }
         Ok((data, done))
     }
@@ -371,7 +421,7 @@ impl FlashArray {
             self.geometry.channel_of(block),
             SimDuration::from_nanos(self.timing.t_program_ns + self.timing.t_xfer_ns),
         );
-        self.telemetry.programs += 1;
+        self.tel.programs.incr();
         Ok(done)
     }
 
@@ -381,7 +431,7 @@ impl FlashArray {
     /// avoids by reading trimmed blocks).
     pub fn charge_dummy_read(&mut self, hint: u64) -> SimTime {
         let channel = (hint % u64::from(self.geometry.channels)) as u32;
-        self.telemetry.reads += 1;
+        self.tel.reads.incr();
         self.schedule(
             channel,
             SimDuration::from_nanos(self.timing.t_read_ns + self.timing.t_xfer_ns),
@@ -406,7 +456,7 @@ impl FlashArray {
         state.pe_cycles += 1;
         if state.pe_cycles > max_pe {
             state.bad = true;
-            self.telemetry.wear_failures += 1;
+            self.tel.wear_failures.incr();
             return Err(FlashError::BadBlock { block });
         }
         state.next_page = 0;
@@ -419,7 +469,7 @@ impl FlashArray {
             self.geometry.channel_of(block),
             SimDuration::from_nanos(self.timing.t_erase_ns),
         );
-        self.telemetry.erases += 1;
+        self.tel.erases.incr();
         Ok(done)
     }
 

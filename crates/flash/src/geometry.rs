@@ -2,16 +2,13 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
 use ssdhammer_simkit::ByteSize;
 
 /// A global physical page number across the whole flash array.
 ///
 /// Distinct from [`ssdhammer_simkit::Lba`]: the FTL's entire job — and the
 /// attack's entire leverage — is the mapping between the two.
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Ppn(pub u64);
 
 impl Ppn {
@@ -35,9 +32,7 @@ impl From<u64> for Ppn {
 }
 
 /// A global erase-block index.
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BlockId(pub u64);
 
 impl BlockId {
@@ -55,7 +50,7 @@ impl fmt::Display for BlockId {
 }
 
 /// Physical organization of the NAND array.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FlashGeometry {
     /// Independent channels (parallel buses).
     pub channels: u32,
@@ -190,7 +185,7 @@ impl FlashGeometry {
 }
 
 /// NAND operation latencies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlashTiming {
     /// Page read (tR) in nanoseconds.
     pub t_read_ns: u64,

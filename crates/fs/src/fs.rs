@@ -13,13 +13,14 @@
 //!   per-inode between checksummed extents and unchecksummed indirect
 //!   blocks, as in ext4.
 
+use ssdhammer_simkit::telemetry::{CounterHandle, Telemetry};
 use ssdhammer_simkit::{BlockStorage, Lba, BLOCK_SIZE};
 
 use crate::error::{FsError, FsResult};
 use crate::layout::{
     AddressingMode, Dirent, Extent, FileType, FsBlock, Ino, Inode, InodeMap, SuperBlock,
-    DIRECT_PTRS, DIRENT_SIZE, EXTENT_MAGIC, INODES_PER_BLOCK, INODE_SIZE, INLINE_EXTENTS,
-    MAX_NAME, PTRS_PER_BLOCK, ROOT_INO,
+    DIRECT_PTRS, DIRENT_SIZE, EXTENT_MAGIC, INLINE_EXTENTS, INODES_PER_BLOCK, INODE_SIZE, MAX_NAME,
+    PTRS_PER_BLOCK, ROOT_INO,
 };
 
 /// Extents per depth-1 leaf block: header(12) + n·12 + crc(4) ≤ 4096.
@@ -91,6 +92,29 @@ pub struct Stat {
 pub struct FileSystem<S: BlockStorage> {
     dev: S,
     sb: SuperBlock,
+    pub(crate) tel: FsHandles,
+}
+
+/// Handles into the shared [`Telemetry`] registry (metric names `fs.*`).
+#[derive(Debug, Clone)]
+pub(crate) struct FsHandles {
+    pub(crate) registry: Telemetry,
+    pub(crate) block_reads: CounterHandle,
+    pub(crate) block_writes: CounterHandle,
+    pub(crate) fsck_runs: CounterHandle,
+    pub(crate) fsck_findings: CounterHandle,
+}
+
+impl FsHandles {
+    pub(crate) fn bind(registry: Telemetry) -> Self {
+        FsHandles {
+            block_reads: registry.counter("fs.block_reads"),
+            block_writes: registry.counter("fs.block_writes"),
+            fsck_runs: registry.counter("fs.fsck_runs"),
+            fsck_findings: registry.counter("fs.fsck_findings"),
+            registry,
+        }
+    }
 }
 
 impl<S: BlockStorage> FileSystem<S> {
@@ -111,7 +135,11 @@ impl<S: BlockStorage> FileSystem<S> {
         for b in sb.block_bitmap_start..sb.data_start {
             dev.write_block(Lba(u64::from(b)), &zero)?;
         }
-        let mut fs = FileSystem { dev, sb };
+        let mut fs = FileSystem {
+            dev,
+            sb,
+            tel: FsHandles::bind(Telemetry::new()),
+        };
         // Reserve the metadata blocks in the block bitmap.
         for b in 0..sb.data_start {
             fs.bitmap_set(sb.block_bitmap_start, b, true)?;
@@ -140,7 +168,24 @@ impl<S: BlockStorage> FileSystem<S> {
                 "superblock size does not match device".into(),
             ));
         }
-        Ok(FileSystem { dev, sb })
+        Ok(FileSystem {
+            dev,
+            sb,
+            tel: FsHandles::bind(Telemetry::new()),
+        })
+    }
+
+    /// The shared registry this filesystem records into.
+    #[must_use]
+    pub fn shared_telemetry(&self) -> Telemetry {
+        self.tel.registry.clone()
+    }
+
+    /// Rebinds this filesystem's metrics onto `telemetry` (e.g. the shared
+    /// registry of the `Ssd` it is mounted on). Counts recorded before the
+    /// switch stay in the old registry, so attach right after mount.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.tel = FsHandles::bind(telemetry.clone());
     }
 
     /// Consumes the filesystem, returning the device.
@@ -176,11 +221,13 @@ impl<S: BlockStorage> FileSystem<S> {
 
     fn read_raw(&mut self, block: FsBlock) -> FsResult<[u8; BLOCK_SIZE]> {
         let mut buf = [0u8; BLOCK_SIZE];
+        self.tel.block_reads.incr();
         self.dev.read_block(Lba(u64::from(block)), &mut buf)?;
         Ok(buf)
     }
 
     fn write_raw(&mut self, block: FsBlock, buf: &[u8; BLOCK_SIZE]) -> FsResult<()> {
+        self.tel.block_writes.incr();
         self.dev.write_block(Lba(u64::from(block)), buf)?;
         Ok(())
     }
@@ -549,10 +596,7 @@ impl<S: BlockStorage> FileSystem<S> {
     }
 
     fn dir_lookup(&mut self, dir: &Inode, name: &str) -> FsResult<Option<Dirent>> {
-        Ok(self
-            .dir_entries(dir)?
-            .into_iter()
-            .find(|d| d.name == name))
+        Ok(self.dir_entries(dir)?.into_iter().find(|d| d.name == name))
     }
 
     fn dir_insert(&mut self, dir_ino: Ino, dir: &mut Inode, entry: &Dirent) -> FsResult<()> {
@@ -731,7 +775,12 @@ impl<S: BlockStorage> FileSystem<S> {
             return Err(FsError::Exists);
         }
         let ino = self.alloc_ino()?;
-        let inode = Inode::new(FileType::Directory, perms, cred.uid, AddressingMode::Extents);
+        let inode = Inode::new(
+            FileType::Directory,
+            perms,
+            cred.uid,
+            AddressingMode::Extents,
+        );
         self.write_inode(ino, &inode)?;
         self.dir_insert(
             parent_ino,
@@ -1216,9 +1265,12 @@ mod tests {
     #[test]
     fn create_write_read_extents() {
         let mut f = fs();
-        let ino = f.create("/a", ROOT, 0o644, AddressingMode::Extents).unwrap();
+        let ino = f
+            .create("/a", ROOT, 0o644, AddressingMode::Extents)
+            .unwrap();
         for i in 0..20u32 {
-            f.write_file_block(ino, ROOT, i, &block_of(i as u8)).unwrap();
+            f.write_file_block(ino, ROOT, i, &block_of(i as u8))
+                .unwrap();
         }
         for i in 0..20u32 {
             assert_eq!(f.read_file_block(ino, ROOT, i).unwrap()[0], i as u8);
@@ -1240,10 +1292,7 @@ mod tests {
                 .unwrap();
         }
         for i in [0u32, 11, 12, 13, 100] {
-            assert_eq!(
-                f.read_file_block(ino, ROOT, i).unwrap()[0],
-                (i % 251) as u8
-            );
+            assert_eq!(f.read_file_block(ino, ROOT, i).unwrap()[0], (i % 251) as u8);
         }
     }
 
@@ -1254,7 +1303,8 @@ mod tests {
             .create("/big", ROOT, 0o644, AddressingMode::Indirect)
             .unwrap();
         let logical = (DIRECT_PTRS + PTRS_PER_BLOCK + 5) as u32;
-        f.write_file_block(ino, ROOT, logical, &block_of(0xEE)).unwrap();
+        f.write_file_block(ino, ROOT, logical, &block_of(0xEE))
+            .unwrap();
         assert_eq!(f.read_file_block(ino, ROOT, logical).unwrap()[0], 0xEE);
         // Neighboring unwritten block is a hole.
         assert_eq!(f.read_file_block(ino, ROOT, logical + 1).unwrap()[0], 0);
@@ -1287,7 +1337,12 @@ mod tests {
             .unwrap();
         f.write_file_block(ino, ROOT, 12, &block_of(1)).unwrap();
         let inode = f.read_inode(ino).unwrap();
-        let InodeMap::Indirect { direct, single, double } = inode.map else {
+        let InodeMap::Indirect {
+            direct,
+            single,
+            double,
+        } = inode.map
+        else {
             panic!("expected indirect map");
         };
         assert!(direct.iter().all(|&d| d == 0), "12-block hole");
@@ -1358,14 +1413,18 @@ mod tests {
     #[test]
     fn unlink_frees_space() {
         let mut f = fs();
-        let ino = f.create("/t", ROOT, 0o644, AddressingMode::Extents).unwrap();
+        let ino = f
+            .create("/t", ROOT, 0o644, AddressingMode::Extents)
+            .unwrap();
         for i in 0..50u32 {
             f.write_file_block(ino, ROOT, i, &block_of(1)).unwrap();
         }
         f.unlink("/t", ROOT).unwrap();
         assert_eq!(f.lookup("/t").unwrap_err(), FsError::NotFound);
         // Space is reusable: create a file of the same size again.
-        let ino2 = f.create("/t2", ROOT, 0o644, AddressingMode::Extents).unwrap();
+        let ino2 = f
+            .create("/t2", ROOT, 0o644, AddressingMode::Extents)
+            .unwrap();
         for i in 0..50u32 {
             f.write_file_block(ino2, ROOT, i, &block_of(2)).unwrap();
         }
@@ -1375,7 +1434,8 @@ mod tests {
     fn rmdir_requires_empty() {
         let mut f = fs();
         f.mkdir("/d", ROOT, 0o755).unwrap();
-        f.create("/d/x", ROOT, 0o644, AddressingMode::Extents).unwrap();
+        f.create("/d/x", ROOT, 0o644, AddressingMode::Extents)
+            .unwrap();
         assert_eq!(f.rmdir("/d", ROOT).unwrap_err(), FsError::DirectoryNotEmpty);
         f.unlink("/d/x", ROOT).unwrap();
         f.rmdir("/d", ROOT).unwrap();
@@ -1401,10 +1461,14 @@ mod tests {
     #[test]
     fn extent_spill_to_leaf_and_checksum_protection() {
         let mut f = FileSystem::format(RamDisk::new(8192)).unwrap();
-        let ino = f.create("/frag", ROOT, 0o644, AddressingMode::Extents).unwrap();
+        let ino = f
+            .create("/frag", ROOT, 0o644, AddressingMode::Extents)
+            .unwrap();
         // Force fragmentation: interleave writes to two files so extents
         // cannot merge, spilling past the 4 inline slots.
-        let other = f.create("/other", ROOT, 0o644, AddressingMode::Extents).unwrap();
+        let other = f
+            .create("/other", ROOT, 0o644, AddressingMode::Extents)
+            .unwrap();
         for i in 0..40u32 {
             f.write_file_block(ino, ROOT, i, &block_of(3)).unwrap();
             f.write_file_block(other, ROOT, i, &block_of(4)).unwrap();
@@ -1433,11 +1497,13 @@ mod tests {
         let victim = f
             .create("/v", ROOT, 0o666, AddressingMode::Indirect)
             .unwrap();
-        f.write_file_block(victim, ROOT, 12, &block_of(0xAA)).unwrap();
+        f.write_file_block(victim, ROOT, 12, &block_of(0xAA))
+            .unwrap();
         let secret = f
             .create("/s", ROOT, 0o600, AddressingMode::Extents)
             .unwrap();
-        f.write_file_block(secret, ROOT, 0, &block_of(0x5E)).unwrap();
+        f.write_file_block(secret, ROOT, 0, &block_of(0x5E))
+            .unwrap();
         // Find the secret's data block and the victim's indirect block.
         let s_inode = f.read_inode(secret).unwrap();
         let secret_block = f.map_block(&s_inode, 0).unwrap().unwrap();
@@ -1479,7 +1545,8 @@ mod tests {
     #[test]
     fn duplicate_create_rejected() {
         let mut f = fs();
-        f.create("/dup", ROOT, 0o644, AddressingMode::Extents).unwrap();
+        f.create("/dup", ROOT, 0o644, AddressingMode::Extents)
+            .unwrap();
         assert_eq!(
             f.create("/dup", ROOT, 0o644, AddressingMode::Extents)
                 .unwrap_err(),
@@ -1490,7 +1557,9 @@ mod tests {
     #[test]
     fn no_space_is_reported() {
         let mut f = FileSystem::format(RamDisk::new(32)).unwrap();
-        let ino = f.create("/fill", ROOT, 0o644, AddressingMode::Extents).unwrap();
+        let ino = f
+            .create("/fill", ROOT, 0o644, AddressingMode::Extents)
+            .unwrap();
         let mut result = Ok(());
         for i in 0..64u32 {
             result = f.write_file_block(ino, ROOT, i, &block_of(1));
@@ -1506,7 +1575,9 @@ mod tests {
         let mut f = fs();
         f.mkdir("/a", ROOT, 0o755).unwrap();
         f.mkdir("/b", ROOT, 0o755).unwrap();
-        let ino = f.create("/a/x", ROOT, 0o644, AddressingMode::Extents).unwrap();
+        let ino = f
+            .create("/a/x", ROOT, 0o644, AddressingMode::Extents)
+            .unwrap();
         f.write_file_block(ino, ROOT, 0, &block_of(9)).unwrap();
         f.rename("/a/x", "/b/y", ROOT).unwrap();
         assert_eq!(f.lookup("/a/x").unwrap_err(), FsError::NotFound);
@@ -1517,7 +1588,8 @@ mod tests {
         f.rename("/b/y", "/b/z", ROOT).unwrap();
         assert!(f.lookup("/b/z").is_ok());
         // Destination collision rejected.
-        f.create("/b/w", ROOT, 0o644, AddressingMode::Extents).unwrap();
+        f.create("/b/w", ROOT, 0o644, AddressingMode::Extents)
+            .unwrap();
         assert_eq!(f.rename("/b/z", "/b/w", ROOT).unwrap_err(), FsError::Exists);
         // Unprivileged rename out of a protected dir fails.
         assert_eq!(
@@ -1530,7 +1602,9 @@ mod tests {
     fn chmod_and_chown_enforce_ownership() {
         let mut f = fs();
         f.mkdir("/home", ROOT, 0o777).unwrap();
-        let ino = f.create("/home/a", ALICE, 0o600, AddressingMode::Extents).unwrap();
+        let ino = f
+            .create("/home/a", ALICE, 0o600, AddressingMode::Extents)
+            .unwrap();
         f.write_file_block(ino, ALICE, 0, &block_of(1)).unwrap();
         // Bob can't chmod Alice's file; Alice can.
         assert_eq!(
@@ -1551,7 +1625,9 @@ mod tests {
     #[test]
     fn truncate_extents_frees_tail() {
         let mut f = fs();
-        let ino = f.create("/t", ROOT, 0o644, AddressingMode::Extents).unwrap();
+        let ino = f
+            .create("/t", ROOT, 0o644, AddressingMode::Extents)
+            .unwrap();
         for i in 0..30u32 {
             f.write_file_block(ino, ROOT, i, &block_of(7)).unwrap();
         }
@@ -1569,7 +1645,9 @@ mod tests {
     #[test]
     fn truncate_indirect_frees_pointer_blocks() {
         let mut f = FileSystem::format(RamDisk::new(8192)).unwrap();
-        let ino = f.create("/t", ROOT, 0o644, AddressingMode::Indirect).unwrap();
+        let ino = f
+            .create("/t", ROOT, 0o644, AddressingMode::Indirect)
+            .unwrap();
         // Spans direct + single + double indirect ranges.
         for i in [0u32, 5, 12, 100, (DIRECT_PTRS + PTRS_PER_BLOCK + 3) as u32] {
             f.write_file_block(ino, ROOT, i, &block_of(3)).unwrap();
@@ -1595,8 +1673,12 @@ mod tests {
     #[test]
     fn truncate_spilled_extent_leaf() {
         let mut f = FileSystem::format(RamDisk::new(8192)).unwrap();
-        let ino = f.create("/frag", ROOT, 0o644, AddressingMode::Extents).unwrap();
-        let other = f.create("/other", ROOT, 0o644, AddressingMode::Extents).unwrap();
+        let ino = f
+            .create("/frag", ROOT, 0o644, AddressingMode::Extents)
+            .unwrap();
+        let other = f
+            .create("/other", ROOT, 0o644, AddressingMode::Extents)
+            .unwrap();
         for i in 0..40u32 {
             f.write_file_block(ino, ROOT, i, &block_of(3)).unwrap();
             f.write_file_block(other, ROOT, i, &block_of(4)).unwrap();
@@ -1615,7 +1697,9 @@ mod tests {
     #[test]
     fn freed_blocks_are_trimmed() {
         let mut f = fs();
-        let ino = f.create("/tr", ROOT, 0o644, AddressingMode::Extents).unwrap();
+        let ino = f
+            .create("/tr", ROOT, 0o644, AddressingMode::Extents)
+            .unwrap();
         f.write_file_block(ino, ROOT, 0, &block_of(1)).unwrap();
         let populated_before = f.device_mut().populated_blocks();
         f.unlink("/tr", ROOT).unwrap();

@@ -180,6 +180,15 @@ impl<S: BlockStorage> FileSystem<S> {
                 }
             }
         }
+        self.tel.fsck_runs.incr();
+        self.tel.fsck_findings.add(report.issues.len() as u64);
+        for issue in &report.issues {
+            self.tel.registry.trace(
+                ssdhammer_simkit::SimTime::ZERO,
+                "fs.fsck.finding",
+                issue.to_string(),
+            );
+        }
         Ok(report)
     }
 }
@@ -200,12 +209,14 @@ mod tests {
             let ino = f
                 .create(&format!("/home/f{i}"), ROOT, 0o644, AddressingMode::Extents)
                 .unwrap();
-            f.write_file_block(ino, ROOT, 0, &[i as u8; BLOCK_SIZE]).unwrap();
+            f.write_file_block(ino, ROOT, 0, &[i as u8; BLOCK_SIZE])
+                .unwrap();
         }
         let ind = f
             .create("/home/ind", ROOT, 0o644, AddressingMode::Indirect)
             .unwrap();
-        f.write_file_block(ind, ROOT, 12, &[9u8; BLOCK_SIZE]).unwrap();
+        f.write_file_block(ind, ROOT, 12, &[9u8; BLOCK_SIZE])
+            .unwrap();
         f
     }
 
@@ -229,7 +240,9 @@ mod tests {
         // high-bit L2P-style flip.
         let mut buf = [0u8; BLOCK_SIZE];
         let mut dev_view = f.into_device();
-        dev_view.read_block(Lba(u64::from(single)), &mut buf).unwrap();
+        dev_view
+            .read_block(Lba(u64::from(single)), &mut buf)
+            .unwrap();
         buf[0..4].copy_from_slice(&0xFFFF_FF00u32.to_le_bytes());
         dev_view.write_block(Lba(u64::from(single)), &buf).unwrap();
         let mut f = FileSystem::mount(dev_view).unwrap();
@@ -263,7 +276,8 @@ mod tests {
         let mut dev = f.into_device();
         dev.read_block(Lba(u64::from(single)), &mut buf).unwrap();
         buf[0..4].copy_from_slice(&stolen.to_le_bytes());
-        dev.write_block(Lba(u64::from(single)), &buf.clone()).unwrap();
+        dev.write_block(Lba(u64::from(single)), &buf.clone())
+            .unwrap();
         let mut f = FileSystem::mount(dev).unwrap();
         let report = f.fsck().unwrap();
         assert!(

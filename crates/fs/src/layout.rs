@@ -10,15 +10,12 @@
 //!   Our indirect blocks are raw arrays of block pointers with no integrity
 //!   protection whatsoever, faithfully reproducing the exploited weakness.
 
-use serde::{Deserialize, Serialize};
 use ssdhammer_simkit::{crc32c, BLOCK_SIZE};
 
 use crate::error::{FsError, FsResult};
 
 /// Inode number. `0` is invalid; the root directory is inode 1.
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Ino(pub u32);
 
 impl core::fmt::Display for Ino {
@@ -62,7 +59,7 @@ pub const DIRENT_SIZE: usize = 64;
 pub const MAX_NAME: usize = DIRENT_SIZE - 6;
 
 /// File type bits (stored in the inode mode's high nibble).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FileType {
     /// Regular file.
     Regular,
@@ -91,7 +88,7 @@ impl FileType {
 /// choice. "Users may also select the direct/indirect block mechanism on
 /// files they have write access to" (§4.2), which is exactly what the
 /// attacker's spray files do.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AddressingMode {
     /// Checksummed extent tree (ext4 default).
     Extents,
@@ -101,7 +98,7 @@ pub enum AddressingMode {
 
 /// One extent: `len` contiguous blocks of the file starting at file-logical
 /// `logical`, stored at filesystem block `start`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Extent {
     /// First file-logical block covered.
     pub logical: u32,
@@ -112,7 +109,7 @@ pub struct Extent {
 }
 
 /// The per-inode mapping state.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum InodeMap {
     /// Inline extent tree of depth 0 (up to [`INLINE_EXTENTS`] extents) or,
     /// when `leaf` is set, depth 1 with one checksummed leaf block.
@@ -162,7 +159,7 @@ impl InodeMap {
 }
 
 /// An in-memory inode.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Inode {
     /// File type.
     pub ftype: FileType,
@@ -268,9 +265,7 @@ impl Inode {
             1 => {
                 let magic = u16::from_le_bytes([area[0], area[1]]);
                 if magic != EXTENT_MAGIC {
-                    return Err(FsError::Corrupted(format!(
-                        "bad extent magic {magic:#06x}"
-                    )));
+                    return Err(FsError::Corrupted(format!("bad extent magic {magic:#06x}")));
                 }
                 let entries = u16::from_le_bytes([area[2], area[3]]) as usize;
                 if entries > INLINE_EXTENTS {
@@ -330,7 +325,7 @@ impl Inode {
 }
 
 /// The superblock (block 0).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SuperBlock {
     /// Total filesystem blocks (= device blocks).
     pub total_blocks: u32,
@@ -365,8 +360,7 @@ impl SuperBlock {
             return Err(FsError::NoSpace);
         }
         let block_bitmap_len = total_blocks.div_ceil((BLOCK_SIZE * 8) as u32);
-        let inode_count = (total_blocks / 4)
-            .clamp(16, (BLOCK_SIZE * 8) as u32);
+        let inode_count = (total_blocks / 4).clamp(16, (BLOCK_SIZE * 8) as u32);
         let inode_table_len = inode_count.div_ceil(INODES_PER_BLOCK as u32);
         let block_bitmap_start = 1;
         let inode_bitmap_start = block_bitmap_start + block_bitmap_len;
@@ -442,7 +436,7 @@ impl SuperBlock {
 }
 
 /// A directory entry (fixed [`DIRENT_SIZE`] bytes on disk).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Dirent {
     /// Target inode (0 = free slot).
     pub ino: Ino,

@@ -57,6 +57,6 @@ pub use fs::{Credentials, FileSystem, Stat, EXTENTS_PER_LEAF};
 pub use fsck::{FsckIssue, FsckReport};
 pub use layout::{
     AddressingMode, Dirent, Extent, FileType, FsBlock, Ino, Inode, InodeMap, SuperBlock,
-    DIRECT_PTRS, DIRENT_SIZE, INODES_PER_BLOCK, INODE_SIZE, INLINE_EXTENTS, MAX_NAME,
+    DIRECT_PTRS, DIRENT_SIZE, INLINE_EXTENTS, INODES_PER_BLOCK, INODE_SIZE, MAX_NAME,
     PTRS_PER_BLOCK, ROOT_INO,
 };

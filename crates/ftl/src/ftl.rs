@@ -6,10 +6,10 @@
 //! update is a real access to the simulated [`DramModule`], so host I/O
 //! produces DRAM row activations — the attack surface.
 
-use serde::{Deserialize, Serialize};
-use ssdhammer_simkit::{DramAddr, Lba, SimClock, SimTime, BLOCK_SIZE};
 use ssdhammer_dram::{DramError, DramModule, HammerReport};
 use ssdhammer_flash::{BlockId, FlashArray, FlashError, Ppn};
+use ssdhammer_simkit::telemetry::{CounterHandle, Telemetry};
+use ssdhammer_simkit::{DramAddr, Lba, SimClock, SimTime, BLOCK_SIZE};
 
 use crate::l2p::{L2pLayout, L2pTable};
 
@@ -64,7 +64,7 @@ impl core::fmt::Display for FtlError {
 impl std::error::Error for FtlError {}
 
 /// FTL construction parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FtlConfig {
     /// L2P placement policy.
     pub l2p_layout: L2pLayout,
@@ -113,6 +113,67 @@ impl Default for FtlConfig {
     }
 }
 
+impl FtlConfig {
+    // Builder-style setters over `Default`:
+    // `FtlConfig::default().with_l2p_layout(L2pLayout::hashed()).with_dif(true)`.
+
+    /// Replaces the L2P placement policy.
+    #[must_use]
+    pub fn with_l2p_layout(mut self, layout: L2pLayout) -> Self {
+        self.l2p_layout = layout;
+        self
+    }
+
+    /// Replaces the DRAM byte address where the L2P table starts.
+    #[must_use]
+    pub fn with_l2p_base(mut self, base: DramAddr) -> Self {
+        self.l2p_base = base;
+        self
+    }
+
+    /// Replaces the overprovisioning reservation (`0` = automatic 1/16).
+    #[must_use]
+    pub fn with_overprovision_blocks(mut self, blocks: u32) -> Self {
+        self.overprovision_blocks = blocks;
+        self
+    }
+
+    /// Replaces the garbage-collection trigger threshold.
+    #[must_use]
+    pub fn with_gc_free_threshold(mut self, threshold: u32) -> Self {
+        self.gc_free_threshold = threshold;
+        self
+    }
+
+    /// Replaces the per-I/O row-activation amplification factor.
+    #[must_use]
+    pub fn with_hammer_amplification(mut self, factor: u32) -> Self {
+        self.hammer_amplification = factor;
+        self
+    }
+
+    /// Enables or disables the unmapped-read fast path.
+    #[must_use]
+    pub fn with_unmapped_fast_path(mut self, enabled: bool) -> Self {
+        self.unmapped_fast_path = enabled;
+        self
+    }
+
+    /// Replaces the read-refresh relocation threshold (`None` disables).
+    #[must_use]
+    pub fn with_read_refresh_threshold(mut self, threshold: Option<u64>) -> Self {
+        self.read_refresh_threshold = threshold;
+        self
+    }
+
+    /// Enables or disables T10-DIF-style block integrity.
+    #[must_use]
+    pub fn with_dif(mut self, enabled: bool) -> Self {
+        self.dif = enabled;
+        self
+    }
+}
+
 /// What a read translated to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReadOutcome {
@@ -147,8 +208,9 @@ pub enum ReadOutcome {
     },
 }
 
-/// Aggregate FTL counters.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+/// Point-in-time view of the FTL's counters in the shared
+/// [`Telemetry`] registry (metric names `ftl.*`).
+#[derive(Debug, Default, Clone)]
 pub struct FtlTelemetry {
     /// Host reads served.
     pub host_reads: u64,
@@ -162,6 +224,45 @@ pub struct FtlTelemetry {
     pub gc_relocated: u64,
     /// Blocks relocated preemptively due to read disturb.
     pub read_refreshes: u64,
+    /// L2P table lookups issued through simulated DRAM.
+    pub l2p_reads: u64,
+    /// L2P table updates issued through simulated DRAM.
+    pub l2p_writes: u64,
+    /// Reads whose mapping resolved somewhere provably wrong (wild entries
+    /// and DIF guard mismatches).
+    pub redirections_detected: u64,
+}
+
+/// Handles into the shared registry, resolved once at bind time.
+#[derive(Debug, Clone)]
+struct FtlHandles {
+    registry: Telemetry,
+    host_reads: CounterHandle,
+    host_writes: CounterHandle,
+    host_trims: CounterHandle,
+    gc_runs: CounterHandle,
+    gc_relocated: CounterHandle,
+    read_refreshes: CounterHandle,
+    l2p_reads: CounterHandle,
+    l2p_writes: CounterHandle,
+    redirections_detected: CounterHandle,
+}
+
+impl FtlHandles {
+    fn bind(registry: Telemetry) -> Self {
+        FtlHandles {
+            host_reads: registry.counter("ftl.host_reads"),
+            host_writes: registry.counter("ftl.host_writes"),
+            host_trims: registry.counter("ftl.host_trims"),
+            gc_runs: registry.counter("ftl.gc_runs"),
+            gc_relocated: registry.counter("ftl.gc_relocated"),
+            read_refreshes: registry.counter("ftl.read_refreshes"),
+            l2p_reads: registry.counter("ftl.l2p_reads"),
+            l2p_writes: registry.counter("ftl.l2p_writes"),
+            redirections_detected: registry.counter("ftl.redirections_detected"),
+            registry,
+        }
+    }
 }
 
 /// The flash translation layer. See the module docs.
@@ -198,7 +299,7 @@ pub struct Ftl {
     /// Monotonic write sequence stamped into every page's OOB, so
     /// [`Ftl::recover`] can order versions of the same LBA.
     write_seq: u64,
-    telemetry: FtlTelemetry,
+    tel: FtlHandles,
 }
 
 /// OOB layout: little-endian LBA (8 bytes), write sequence (8 bytes), then
@@ -239,12 +340,11 @@ impl Ftl {
     ///
     /// Panics if `hammer_amplification` is zero or physical page numbers do
     /// not fit 32-bit entries.
-    pub fn new(
-        dram: DramModule,
-        nand: FlashArray,
-        config: FtlConfig,
-    ) -> Result<Self, FtlError> {
-        assert!(config.hammer_amplification >= 1, "amplification must be >= 1");
+    pub fn new(dram: DramModule, nand: FlashArray, config: FtlConfig) -> Result<Self, FtlError> {
+        assert!(
+            config.hammer_amplification >= 1,
+            "amplification must be >= 1"
+        );
         let mut dram = dram;
         let geometry = *nand.geometry();
         assert!(
@@ -271,6 +371,11 @@ impl Ftl {
             }));
         }
         table.init(&mut dram)?;
+        // One registry for the whole sub-stack: the DRAM module's registry
+        // becomes the FTL's, and the NAND array is rebound onto it.
+        let registry = dram.shared_telemetry();
+        let mut nand = nand;
+        nand.attach_telemetry(&registry);
         let clock = dram.clock().clone();
         let total_pages = geometry.total_pages() as usize;
         Ok(Ftl {
@@ -286,7 +391,7 @@ impl Ftl {
             valid: vec![false; total_pages],
             valid_count: vec![0; geometry.total_blocks() as usize],
             write_seq: 0,
-            telemetry: FtlTelemetry::default(),
+            tel: FtlHandles::bind(registry),
         })
     }
 
@@ -393,8 +498,33 @@ impl Ftl {
 
     /// Aggregate counters.
     #[must_use]
-    pub fn telemetry(&self) -> &FtlTelemetry {
-        &self.telemetry
+    pub fn telemetry(&self) -> FtlTelemetry {
+        FtlTelemetry {
+            host_reads: self.tel.host_reads.get(),
+            host_writes: self.tel.host_writes.get(),
+            host_trims: self.tel.host_trims.get(),
+            gc_runs: self.tel.gc_runs.get(),
+            gc_relocated: self.tel.gc_relocated.get(),
+            read_refreshes: self.tel.read_refreshes.get(),
+            l2p_reads: self.tel.l2p_reads.get(),
+            l2p_writes: self.tel.l2p_writes.get(),
+            redirections_detected: self.tel.redirections_detected.get(),
+        }
+    }
+
+    /// The shared registry this FTL (and its DRAM and NAND) records into.
+    #[must_use]
+    pub fn shared_telemetry(&self) -> Telemetry {
+        self.tel.registry.clone()
+    }
+
+    /// Rebinds the FTL and both substrates onto `telemetry` (e.g. an `Ssd`'s
+    /// one shared registry). Counts recorded before the switch stay in the
+    /// old registry, so attach before use.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.dram.attach_telemetry(telemetry);
+        self.nand.attach_telemetry(telemetry);
+        self.tel = FtlHandles::bind(telemetry.clone());
     }
 
     /// The DRAM module (experiments inspect flips and telemetry through it).
@@ -430,6 +560,7 @@ impl Ftl {
 
     /// L2P read on the host path, with configured activation amplification.
     fn amplified_get(&mut self, lba: Lba) -> Result<Option<Ppn>, FtlError> {
+        self.tel.l2p_reads.incr();
         let entry = self.table.get(&mut self.dram, lba)?;
         let amp = u64::from(self.config.hammer_amplification);
         if amp > 1 {
@@ -449,7 +580,7 @@ impl Ftl {
         if buf.len() != BLOCK_SIZE {
             return Err(FtlError::BadBufferLen { got: buf.len() });
         }
-        self.telemetry.host_reads += 1;
+        self.tel.host_reads.incr();
         match self.amplified_get(lba)? {
             None => {
                 buf.fill(0);
@@ -462,6 +593,16 @@ impl Ftl {
             }
             Some(ppn) if ppn.as_u64() >= self.nand.geometry().total_pages() => {
                 buf.fill(0);
+                self.tel.redirections_detected.incr();
+                self.tel.registry.trace(
+                    self.clock.now(),
+                    "ftl.redirection",
+                    format!(
+                        "lba {} resolved to wild entry {:#x}",
+                        lba.as_u64(),
+                        ppn.as_u64()
+                    ),
+                );
                 Ok(ReadOutcome::Wild {
                     entry: ppn.as_u64(),
                 })
@@ -476,6 +617,12 @@ impl Ftl {
                         // (LBA, data) pair: a misdirected mapping (or
                         // corrupted data). Fail loudly, leak nothing.
                         buf.fill(0);
+                        self.tel.redirections_detected.incr();
+                        self.tel.registry.trace(
+                            self.clock.now(),
+                            "ftl.redirection",
+                            format!("lba {} guard mismatch at {ppn}", lba.as_u64()),
+                        );
                         return Ok(ReadOutcome::GuardMismatch { ppn });
                     }
                 }
@@ -490,7 +637,7 @@ impl Ftl {
                             self.active_block = None;
                         }
                         self.relocate_and_reclaim(block)?;
-                        self.telemetry.read_refreshes += 1;
+                        self.tel.read_refreshes.incr();
                     }
                 }
                 Ok(ReadOutcome::Mapped { ppn, completed })
@@ -509,15 +656,20 @@ impl Ftl {
         if data.len() != BLOCK_SIZE {
             return Err(FtlError::BadBufferLen { got: data.len() });
         }
-        self.telemetry.host_writes += 1;
+        self.tel.host_writes.incr();
         let old = self.amplified_get(lba)?;
         let ppn = self.allocate_ppn()?;
         let seq = self.write_seq;
         self.write_seq += 1;
-        let guard = if self.config.dif { dif_guard(lba, data) } else { 0 };
+        let guard = if self.config.dif {
+            dif_guard(lba, data)
+        } else {
+            0
+        };
         let completed = self
             .nand
             .program_page(ppn, data, &encode_oob(lba, seq, guard))?;
+        self.tel.l2p_writes.incr();
         self.table.set(&mut self.dram, lba, Some(ppn))?;
         self.mark_valid(ppn);
         if let Some(old_ppn) = old {
@@ -534,8 +686,9 @@ impl Ftl {
     /// Out-of-range LBAs or substrate errors.
     pub fn trim(&mut self, lba: Lba) -> Result<(), FtlError> {
         self.check_lba(lba)?;
-        self.telemetry.host_trims += 1;
+        self.tel.host_trims.incr();
         let old = self.amplified_get(lba)?;
+        self.tel.l2p_writes.incr();
         self.table.set(&mut self.dram, lba, None)?;
         if let Some(old_ppn) = old {
             self.mark_invalid(old_ppn);
@@ -570,7 +723,8 @@ impl Ftl {
         }
         let addrs: Vec<DramAddr> = lbas.iter().map(|&l| self.table.entry_addr(l)).collect();
         let amp = u64::from(self.config.hammer_amplification);
-        self.telemetry.host_reads += requests;
+        self.tel.host_reads.add(requests);
+        self.tel.l2p_reads.add(requests);
         let report = self
             .dram
             .run_hammer(&addrs, requests * amp, request_rate * amp as f64)?;
@@ -587,6 +741,7 @@ impl Ftl {
     /// Out-of-range LBAs; [`FtlError::Dram`] on ECC-uncorrectable entries.
     pub fn entry_read(&mut self, lba: Lba) -> Result<Option<Ppn>, FtlError> {
         self.check_lba(lba)?;
+        self.tel.l2p_reads.incr();
         Ok(self.table.get(&mut self.dram, lba)?)
     }
 
@@ -613,10 +768,11 @@ impl Ftl {
     /// Write amplification so far: flash programs per host write.
     #[must_use]
     pub fn write_amplification(&self) -> f64 {
-        if self.telemetry.host_writes == 0 {
+        let host_writes = self.tel.host_writes.get();
+        if host_writes == 0 {
             0.0
         } else {
-            self.nand.telemetry().programs as f64 / self.telemetry.host_writes as f64
+            self.nand.telemetry().programs as f64 / host_writes as f64
         }
     }
 
@@ -678,11 +834,8 @@ impl Ftl {
     fn maybe_gc(&mut self) -> Result<(), FtlError> {
         while (self.free_blocks.len() as u32) <= self.config.gc_free_threshold {
             // Victim: sealed block with fewest valid pages.
-            let Some((idx, &victim)) = self
-                .sealed_blocks
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, &b)| {
+            let Some((idx, &victim)) =
+                self.sealed_blocks.iter().enumerate().min_by_key(|(_, &b)| {
                     (
                         self.valid_count[b.as_u64() as usize],
                         // Tie-break by wear so equally-empty victims rotate
@@ -694,13 +847,20 @@ impl Ftl {
             else {
                 break;
             };
-            if self.valid_count[victim.as_u64() as usize]
-                >= self.nand.geometry().pages_per_block
-            {
+            if self.valid_count[victim.as_u64() as usize] >= self.nand.geometry().pages_per_block {
                 break; // fully valid: no space to gain
             }
             self.sealed_blocks.swap_remove(idx);
-            self.telemetry.gc_runs += 1;
+            self.tel.gc_runs.incr();
+            self.tel.registry.trace(
+                self.clock.now(),
+                "ftl.gc.victim",
+                format!(
+                    "block {} with {} valid pages",
+                    victim.as_u64(),
+                    self.valid_count[victim.as_u64() as usize]
+                ),
+            );
             self.relocate_and_reclaim(victim)?;
         }
         Ok(())
@@ -728,10 +888,11 @@ impl Ftl {
                 .program_page(dst, &data, &encode_oob(lba, seq, guard))?;
             // Relocation updates the mapping through DRAM like any other
             // path.
+            self.tel.l2p_writes.incr();
             self.table.set(&mut self.dram, lba, Some(dst))?;
             self.mark_invalid(src);
             self.mark_valid(dst);
-            self.telemetry.gc_relocated += 1;
+            self.tel.gc_relocated.incr();
         }
         match self.nand.erase_block(victim) {
             Ok(_) => self.free_blocks.push(victim),
@@ -750,6 +911,26 @@ mod tests {
 
     fn block(fill: u8) -> Vec<u8> {
         vec![fill; BLOCK_SIZE]
+    }
+
+    #[test]
+    fn builder_setters_override_defaults() {
+        let c = FtlConfig::default()
+            .with_l2p_layout(L2pLayout::Hashed { key: 9 })
+            .with_l2p_base(DramAddr(4096))
+            .with_overprovision_blocks(4)
+            .with_gc_free_threshold(3)
+            .with_hammer_amplification(5)
+            .with_unmapped_fast_path(false)
+            .with_read_refresh_threshold(None)
+            .with_dif(true);
+        assert_eq!(c.l2p_base, DramAddr(4096));
+        assert_eq!(c.overprovision_blocks, 4);
+        assert_eq!(c.gc_free_threshold, 3);
+        assert_eq!(c.hammer_amplification, 5);
+        assert!(!c.unmapped_fast_path);
+        assert_eq!(c.read_refresh_threshold, None);
+        assert!(c.dif);
     }
 
     /// FTL over mid-size flash and an eagerly vulnerable DRAM for attack
@@ -1210,14 +1391,20 @@ mod tests {
             unprotected.read(Lba(0), &mut out).unwrap();
             saw_corruption |= out.iter().any(|&b| b != 0x42);
         }
-        assert!(saw_corruption, "read disturb should corrupt unprotected data");
+        assert!(
+            saw_corruption,
+            "read disturb should corrupt unprotected data"
+        );
 
         // With read-refresh below the flash tolerance, data stays clean.
         let mut protected = build(Some(400));
         protected.write(Lba(0), &block(0x42)).unwrap();
         for _ in 0..2_000 {
             protected.read(Lba(0), &mut out).unwrap();
-            assert!(out.iter().all(|&b| b == 0x42), "refresh must keep data clean");
+            assert!(
+                out.iter().all(|&b| b == 0x42),
+                "refresh must keep data clean"
+            );
         }
         assert!(protected.telemetry().read_refreshes > 0);
     }

@@ -14,17 +14,16 @@
 //!   (§5's mitigation: "randomize the FTL-internal structures … most easily
 //!   accomplished with a hashed L2P table that uses a device-specific key").
 
-use serde::{Deserialize, Serialize};
-use ssdhammer_simkit::rng::splitmix64;
-use ssdhammer_simkit::{DramAddr, Lba};
 use ssdhammer_dram::{DramError, DramModule};
 use ssdhammer_flash::Ppn;
+use ssdhammer_simkit::rng::splitmix64;
+use ssdhammer_simkit::{DramAddr, Lba};
 
 /// Sentinel entry value meaning "unmapped".
 pub const INVALID_ENTRY: u32 = 0xFFFF_FFFF;
 
 /// Placement policy of L2P entries in DRAM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum L2pLayout {
     /// Linear array: entry of LBA *n* at `base + 4n` (SPDK-style).
     Linear,
@@ -37,7 +36,7 @@ pub enum L2pLayout {
 }
 
 /// The L2P table: location arithmetic plus typed access through DRAM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct L2pTable {
     base: DramAddr,
     /// Number of mappable LBAs.
@@ -183,17 +182,15 @@ impl L2pTable {
     /// # Panics
     ///
     /// Panics if a mapped `ppn` does not fit the 32-bit entry.
-    pub fn set(
-        &self,
-        dram: &mut DramModule,
-        lba: Lba,
-        ppn: Option<Ppn>,
-    ) -> Result<(), DramError> {
+    pub fn set(&self, dram: &mut DramModule, lba: Lba, ppn: Option<Ppn>) -> Result<(), DramError> {
         let raw = match ppn {
             None => INVALID_ENTRY,
             Some(p) => {
                 let v = u32::try_from(p.as_u64()).expect("ppn exceeds 32-bit L2P entry");
-                assert!(v != INVALID_ENTRY, "ppn collides with the unmapped sentinel");
+                assert!(
+                    v != INVALID_ENTRY,
+                    "ppn collides with the unmapped sentinel"
+                );
                 v
             }
         };

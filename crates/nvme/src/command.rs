@@ -1,11 +1,10 @@
 //! NVMe-ish command set, completions, and controller configuration.
 
-use serde::{Deserialize, Serialize};
-use ssdhammer_simkit::{Lba, SimDuration, SimTime};
 use ssdhammer_ftl::FtlError;
+use ssdhammer_simkit::{Lba, SimDuration, SimTime};
 
 /// Identifies a namespace (1-based, like NVMe NSIDs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NsId(pub u32);
 
 impl core::fmt::Display for NsId {
@@ -15,7 +14,7 @@ impl core::fmt::Display for NsId {
 }
 
 /// Identifies a queue pair.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct QpId(pub u32);
 
 /// Host-visible commands. LBAs are namespace-relative.
@@ -115,7 +114,7 @@ impl core::fmt::Display for NvmeError {
 impl std::error::Error for NvmeError {}
 
 /// Controller-model data returned by [`Command::Identify`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IdentifyData {
     /// Device model string.
     pub model: String,
@@ -177,7 +176,7 @@ impl Completion {
 /// Host-interface performance class of the device — determines the
 /// per-command controller overhead and therefore the achievable IOPS
 /// (§3.1 cites ~1.5M IOPS on PCIe 4.0 and >2M expected on PCIe 5.0).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InterfaceGen {
     /// PCIe 3.0-era controller: ~0.5 M IOPS.
     Pcie3,
@@ -212,7 +211,7 @@ impl core::fmt::Display for InterfaceGen {
 }
 
 /// Controller behaviour configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ControllerConfig {
     /// Interface generation (sets per-command overhead).
     pub interface: InterfaceGen,
@@ -260,12 +259,8 @@ mod tests {
 
     #[test]
     fn newer_interfaces_have_lower_overhead() {
-        assert!(
-            InterfaceGen::Pcie5.command_overhead() < InterfaceGen::Pcie4.command_overhead()
-        );
-        assert!(
-            InterfaceGen::Pcie4.command_overhead() < InterfaceGen::Pcie3.command_overhead()
-        );
+        assert!(InterfaceGen::Pcie5.command_overhead() < InterfaceGen::Pcie4.command_overhead());
+        assert!(InterfaceGen::Pcie4.command_overhead() < InterfaceGen::Pcie3.command_overhead());
     }
 
     #[test]

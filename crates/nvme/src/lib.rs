@@ -46,7 +46,7 @@ mod command;
 mod ssd;
 
 pub use command::{
-    CmdResult, Command, Completion, ControllerConfig, IdentifyData, InterfaceGen, NsId,
-    NvmeError, QpId,
+    CmdResult, Command, Completion, ControllerConfig, IdentifyData, InterfaceGen, NsId, NvmeError,
+    QpId,
 };
 pub use ssd::{Namespace, Ssd, SsdConfig, SsdStats};

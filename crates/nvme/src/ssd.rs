@@ -3,16 +3,16 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use serde::{Deserialize, Serialize};
-use ssdhammer_simkit::{
-    stats::{LatencyHistogram, RateMeter},
-    BlockStorage, Lba, SimClock, SimDuration, SimTime, StorageError, StorageResult, BLOCK_SIZE,
-};
 use ssdhammer_dram::{
     DramGeometry, DramModule, EccConfig, HammerReport, MappingKind, ModuleProfile, TrrConfig,
 };
 use ssdhammer_flash::{FlashArray, FlashGeometry, FlashTiming};
 use ssdhammer_ftl::{Ftl, FtlConfig, ReadOutcome};
+use ssdhammer_simkit::{
+    stats::{LatencyHistogram, RateMeter},
+    telemetry::{CounterHandle, HistogramHandle, Telemetry, TelemetrySnapshot},
+    BlockStorage, Lba, SimClock, SimDuration, SimTime, StorageError, StorageResult, BLOCK_SIZE,
+};
 
 use crate::command::{
     CmdResult, Command, Completion, ControllerConfig, IdentifyData, NsId, NvmeError, QpId,
@@ -84,6 +84,88 @@ impl SsdConfig {
             model: "ssdhammer test 64MiB".to_owned(),
         }
     }
+
+    // Builder-style setters: every preset (`paper_prototype`, `test_small`)
+    // returns a complete config, and these chain field overrides onto it —
+    // `SsdConfig::test_small(7).with_dram_mapping(MappingKind::default_xor())`
+    // instead of a `let mut` + field-assignment block.
+
+    /// Replaces the on-board DRAM organization.
+    #[must_use]
+    pub fn with_dram_geometry(mut self, geometry: DramGeometry) -> Self {
+        self.dram_geometry = geometry;
+        self
+    }
+
+    /// Replaces the DRAM vulnerability profile.
+    #[must_use]
+    pub fn with_dram_profile(mut self, profile: ModuleProfile) -> Self {
+        self.dram_profile = profile;
+        self
+    }
+
+    /// Replaces the memory-controller address mapping.
+    #[must_use]
+    pub fn with_dram_mapping(mut self, mapping: MappingKind) -> Self {
+        self.dram_mapping = mapping;
+        self
+    }
+
+    /// Enables SEC-DED ECC on the DRAM.
+    #[must_use]
+    pub fn with_ecc(mut self, ecc: EccConfig) -> Self {
+        self.ecc = Some(ecc);
+        self
+    }
+
+    /// Enables TRR on the DRAM.
+    #[must_use]
+    pub fn with_trr(mut self, trr: TrrConfig) -> Self {
+        self.trr = Some(trr);
+        self
+    }
+
+    /// Replaces the NAND organization.
+    #[must_use]
+    pub fn with_flash_geometry(mut self, geometry: FlashGeometry) -> Self {
+        self.flash_geometry = geometry;
+        self
+    }
+
+    /// Replaces the NAND latencies.
+    #[must_use]
+    pub fn with_flash_timing(mut self, timing: FlashTiming) -> Self {
+        self.flash_timing = timing;
+        self
+    }
+
+    /// Replaces the FTL policy block.
+    #[must_use]
+    pub fn with_ftl(mut self, ftl: FtlConfig) -> Self {
+        self.ftl = ftl;
+        self
+    }
+
+    /// Replaces the controller behaviour block.
+    #[must_use]
+    pub fn with_controller(mut self, controller: ControllerConfig) -> Self {
+        self.controller = controller;
+        self
+    }
+
+    /// Replaces the manufacturing-variation seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the Identify model string.
+    #[must_use]
+    pub fn with_model(mut self, model: impl Into<String>) -> Self {
+        self.model = model.into();
+        self
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -116,10 +198,15 @@ struct QueuePair {
     depth: usize,
     sq: VecDeque<(u64, Command)>,
     cq: VecDeque<Completion>,
+    /// Per-queue-pair counters in the shared registry
+    /// (`nvme.qp<N>.submissions` / `nvme.qp<N>.completions`).
+    submissions: CounterHandle,
+    completions: CounterHandle,
 }
 
-/// Per-device statistics.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// Point-in-time view of the device's statistics in the shared
+/// [`Telemetry`] registry (metric names `nvme.*`).
+#[derive(Debug, Clone)]
 pub struct SsdStats {
     /// Commands completed.
     pub completed: u64,
@@ -127,6 +214,28 @@ pub struct SsdStats {
     pub iops: RateMeter,
     /// Latency distribution.
     pub latency: LatencyHistogram,
+}
+
+/// Handles into the shared registry, resolved once at build time.
+#[derive(Debug, Clone)]
+struct SsdHandles {
+    registry: Telemetry,
+    submissions: CounterHandle,
+    completions: CounterHandle,
+    rate_limit_delays: CounterHandle,
+    service_latency: HistogramHandle,
+}
+
+impl SsdHandles {
+    fn bind(registry: Telemetry) -> Self {
+        SsdHandles {
+            submissions: registry.counter("nvme.submissions"),
+            completions: registry.counter("nvme.completions"),
+            rate_limit_delays: registry.counter("nvme.rate_limit_delays"),
+            service_latency: registry.histogram("nvme.service_latency"),
+            registry,
+        }
+    }
 }
 
 /// The simulated SSD.
@@ -163,7 +272,9 @@ pub struct Ssd {
     /// Earliest instant the controller may begin the next command
     /// (service-rate / rate-limit modeling).
     next_service: SimTime,
-    stats: SsdStats,
+    /// When command accounting started (anchors the IOPS rate meter).
+    stats_started: SimTime,
+    tel: SsdHandles,
 }
 
 impl Ssd {
@@ -175,6 +286,17 @@ impl Ssd {
     /// table does not fit in DRAM).
     #[must_use]
     pub fn build(config: SsdConfig) -> Self {
+        Self::build_with_telemetry(config, Telemetry::new())
+    }
+
+    /// Like [`Ssd::build`], but records into a caller-supplied registry —
+    /// the hook for embedding the device in a larger instrumented system.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Ssd::build`].
+    #[must_use]
+    pub fn build_with_telemetry(config: SsdConfig, telemetry: Telemetry) -> Self {
         let clock = SimClock::new();
         let mut dram_builder = DramModule::builder(config.dram_geometry)
             .profile(config.dram_profile.clone())
@@ -193,7 +315,10 @@ impl Ssd {
             clock.clone(),
             config.seed,
         );
-        let ftl = Ftl::new(dram, nand, config.ftl).expect("FTL assembly failed");
+        let mut ftl = Ftl::new(dram, nand, config.ftl).expect("FTL assembly failed");
+        // One registry for the whole device: DRAM, flash, FTL, and the NVMe
+        // front end all record into it.
+        ftl.attach_telemetry(&telemetry);
         let now = clock.now();
         Ssd {
             ftl,
@@ -207,12 +332,31 @@ impl Ssd {
             next_qp: 1,
             next_cid: 1,
             next_service: now,
-            stats: SsdStats {
-                completed: 0,
-                iops: RateMeter::started_at(now),
-                latency: LatencyHistogram::new(),
-            },
+            stats_started: now,
+            tel: SsdHandles::bind(telemetry),
         }
+    }
+
+    /// The shared registry every layer of this device records into.
+    #[must_use]
+    pub fn telemetry(&self) -> Telemetry {
+        self.tel.registry.clone()
+    }
+
+    /// Freezes the shared registry, first publishing derived gauges
+    /// (`nvme.iops`, `nvme.max_iops`) computed against the simulated clock.
+    #[must_use]
+    pub fn snapshot_telemetry(&self) -> TelemetrySnapshot {
+        let stats = self.stats();
+        self.tel
+            .registry
+            .gauge("nvme.iops")
+            .set(stats.iops.rate_per_sec(self.clock.now()));
+        self.tel
+            .registry
+            .gauge("nvme.max_iops")
+            .set(self.max_iops());
+        self.tel.registry.snapshot()
     }
 
     /// The shared simulation clock.
@@ -239,10 +383,16 @@ impl Ssd {
         self.ftl
     }
 
-    /// Device statistics.
+    /// Point-in-time view of the device statistics.
     #[must_use]
-    pub fn stats(&self) -> &SsdStats {
-        &self.stats
+    pub fn stats(&self) -> SsdStats {
+        let mut iops = RateMeter::started_at(self.stats_started);
+        iops.record(self.tel.completions.get());
+        SsdStats {
+            completed: self.tel.completions.get(),
+            iops,
+            latency: self.tel.service_latency.read(),
+        }
     }
 
     /// Unallocated device blocks available for new namespaces.
@@ -287,16 +437,9 @@ impl Ssd {
     /// # Errors
     ///
     /// [`NvmeError::InsufficientCapacity`] when the device is out of space.
-    pub fn create_encrypted_namespace(
-        &mut self,
-        blocks: u64,
-        key: u64,
-    ) -> Result<NsId, NvmeError> {
+    pub fn create_encrypted_namespace(&mut self, blocks: u64, key: u64) -> Result<NsId, NvmeError> {
         let id = self.create_namespace(blocks)?;
-        self.namespaces
-            .get_mut(&id)
-            .expect("just created")
-            .key = Some(key);
+        self.namespaces.get_mut(&id).expect("just created").key = Some(key);
         Ok(id)
     }
 
@@ -353,12 +496,15 @@ impl Ssd {
         assert!(depth > 0, "queue depth must be positive");
         let id = QpId(self.next_qp);
         self.next_qp += 1;
+        let registry = &self.tel.registry;
         self.queues.insert(
             id,
             QueuePair {
                 depth,
                 sq: VecDeque::new(),
                 cq: VecDeque::new(),
+                submissions: registry.counter(&format!("nvme.qp{}.submissions", id.0)),
+                completions: registry.counter(&format!("nvme.qp{}.completions", id.0)),
             },
         );
         id
@@ -379,7 +525,9 @@ impl Ssd {
             return Err(NvmeError::QueueFull);
         }
         self.next_cid += 1;
+        queue.submissions.incr();
         queue.sq.push_back((cid, cmd));
+        self.tel.submissions.incr();
         Ok(cid)
     }
 
@@ -402,14 +550,11 @@ impl Ssd {
                 return Ok(());
             };
             let completion = self.execute(cid, cmd);
-            self.stats.completed += 1;
-            self.stats.iops.record(1);
-            self.stats.latency.record(completion.latency());
-            self.queues
-                .get_mut(&qp)
-                .expect("queue existed above")
-                .cq
-                .push_back(completion);
+            self.tel.completions.incr();
+            self.tel.service_latency.record(completion.latency());
+            let queue = self.queues.get_mut(&qp).expect("queue existed above");
+            queue.completions.incr();
+            queue.cq.push_back(completion);
         }
     }
 
@@ -446,8 +591,12 @@ impl Ssd {
         // Service-rate shaping: fixed interface overhead plus any configured
         // rate limit.
         let start = self.next_service.max(submitted);
+        if start > submitted {
+            self.tel.rate_limit_delays.incr();
+        }
         self.clock.advance_to(start);
-        self.clock.advance(self.controller.interface.command_overhead());
+        self.clock
+            .advance(self.controller.interface.command_overhead());
         let (result, data_ready) = self.execute_inner(cmd);
         let mut earliest_next = self.clock.now();
         if let Some(limit) = self.controller.rate_limit_iops {
@@ -570,8 +719,8 @@ impl Ssd {
             .collect::<Result<_, _>>()?;
         let rate = requested_rate.min(self.max_iops());
         let report = self.ftl.hammer_reads(&device_lbas, requests, rate)?;
-        self.stats.completed += requests;
-        self.stats.iops.record(requests);
+        self.tel.submissions.add(requests);
+        self.tel.completions.add(requests);
         Ok(report)
     }
 
@@ -595,8 +744,8 @@ impl Ssd {
         assert!(requested_rate > 0.0, "rate must be positive");
         let rate = requested_rate.min(self.max_iops());
         let report = self.ftl.hammer_reads(lbas, requests, rate)?;
-        self.stats.completed += requests;
-        self.stats.iops.record(requests);
+        self.tel.submissions.add(requests);
+        self.tel.completions.add(requests);
         Ok(report)
     }
 
@@ -631,21 +780,22 @@ impl Namespace<'_> {
 
 impl BlockStorage for Namespace<'_> {
     fn block_count(&self) -> u64 {
-        self.ssd.namespace_blocks(self.ns).expect("validated at creation")
+        self.ssd
+            .namespace_blocks(self.ns)
+            .expect("validated at creation")
     }
 
     fn read_block(&mut self, lba: Lba, buf: &mut [u8]) -> StorageResult<()> {
         self.check_access(lba, buf.len())?;
-        let device_lba = self.ssd.translate(self.ns, lba).map_err(|_| {
-            StorageError::OutOfRange {
-                lba,
-                capacity: self.block_count(),
-            }
-        })?;
+        let device_lba =
+            self.ssd
+                .translate(self.ns, lba)
+                .map_err(|_| StorageError::OutOfRange {
+                    lba,
+                    capacity: self.block_count(),
+                })?;
         match self.ssd.ftl.read(device_lba, buf) {
-            Ok(ReadOutcome::GuardMismatch { .. }) => {
-                Err(StorageError::Uncorrectable { lba })
-            }
+            Ok(ReadOutcome::GuardMismatch { .. }) => Err(StorageError::Uncorrectable { lba }),
             Ok(outcome) => {
                 if matches!(outcome, ReadOutcome::Mapped { .. }) {
                     if let Some(key) = self.ssd.ns_key(self.ns) {
@@ -663,12 +813,13 @@ impl BlockStorage for Namespace<'_> {
 
     fn write_block(&mut self, lba: Lba, buf: &[u8]) -> StorageResult<()> {
         self.check_access(lba, buf.len())?;
-        let device_lba = self.ssd.translate(self.ns, lba).map_err(|_| {
-            StorageError::OutOfRange {
-                lba,
-                capacity: self.block_count(),
-            }
-        })?;
+        let device_lba =
+            self.ssd
+                .translate(self.ns, lba)
+                .map_err(|_| StorageError::OutOfRange {
+                    lba,
+                    capacity: self.block_count(),
+                })?;
         match self.ssd.ns_key(self.ns) {
             Some(key) => {
                 let mut enc = buf.to_vec();
@@ -684,12 +835,13 @@ impl BlockStorage for Namespace<'_> {
     }
 
     fn trim_block(&mut self, lba: Lba) -> StorageResult<()> {
-        let device_lba = self.ssd.translate(self.ns, lba).map_err(|_| {
-            StorageError::OutOfRange {
-                lba,
-                capacity: self.block_count(),
-            }
-        })?;
+        let device_lba =
+            self.ssd
+                .translate(self.ns, lba)
+                .map_err(|_| StorageError::OutOfRange {
+                    lba,
+                    capacity: self.block_count(),
+                })?;
         self.ssd
             .ftl
             .trim(device_lba)
@@ -705,6 +857,24 @@ mod tests {
 
     fn ssd() -> Ssd {
         Ssd::build(SsdConfig::test_small(1))
+    }
+
+    #[test]
+    fn builder_setters_override_preset_fields() {
+        let c = SsdConfig::test_small(1)
+            .with_dram_mapping(MappingKind::default_xor())
+            .with_ecc(EccConfig::default())
+            .with_trr(TrrConfig::default())
+            .with_ftl(FtlConfig::default().with_dif(true))
+            .with_seed(9)
+            .with_model("custom");
+        assert_eq!(c.dram_mapping, MappingKind::default_xor());
+        assert!(c.ecc.is_some() && c.trr.is_some());
+        assert!(c.ftl.dif);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.model, "custom");
+        // Presets stay intact underneath the overrides.
+        assert_eq!(c.flash_geometry, SsdConfig::test_small(1).flash_geometry);
     }
 
     #[test]
@@ -727,10 +897,7 @@ mod tests {
         let b = s.create_namespace(total / 2).unwrap();
         assert_ne!(a, b);
         assert_eq!(s.free_capacity_blocks(), 0);
-        assert_eq!(
-            s.create_namespace(1),
-            Err(NvmeError::InsufficientCapacity)
-        );
+        assert_eq!(s.create_namespace(1), Err(NvmeError::InsufficientCapacity));
         // Namespace-relative LBA 0 of b maps past a.
         assert_eq!(s.translate(b, Lba(0)).unwrap(), Lba(total / 2));
     }
@@ -741,7 +908,10 @@ mod tests {
         let a = s.create_namespace(100).unwrap();
         assert_eq!(
             s.translate(a, Lba(100)),
-            Err(NvmeError::OutOfRange { ns: a, lba: Lba(100) })
+            Err(NvmeError::OutOfRange {
+                ns: a,
+                lba: Lba(100)
+            })
         );
     }
 
@@ -946,7 +1116,14 @@ mod tests {
         let t0 = s.clock().now();
         let n = 2_000u64;
         for i in 0..n {
-            s.submit(qp, Command::Read { ns, lba: Lba(i % 512) }).unwrap();
+            s.submit(
+                qp,
+                Command::Read {
+                    ns,
+                    lba: Lba(i % 512),
+                },
+            )
+            .unwrap();
             if i % 64 == 63 {
                 s.process(qp).unwrap();
                 while s.pop_completion(qp).unwrap().is_some() {}

@@ -43,7 +43,10 @@ impl fmt::Display for StorageError {
                 write!(f, "{lba} out of range (capacity {capacity} blocks)")
             }
             StorageError::BadBufferLen { got, expected } => {
-                write!(f, "buffer length {got} does not match block size {expected}")
+                write!(
+                    f,
+                    "buffer length {got} does not match block size {expected}"
+                )
             }
             StorageError::Uncorrectable { lba } => {
                 write!(f, "uncorrectable device error at {lba}")

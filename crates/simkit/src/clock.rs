@@ -55,12 +55,10 @@ impl SimClock {
         let target = t.as_nanos();
         let mut cur = self.now_ns.load(Ordering::Relaxed);
         while cur < target {
-            match self.now_ns.compare_exchange(
-                cur,
-                target,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
+            match self
+                .now_ns
+                .compare_exchange(cur, target, Ordering::Relaxed, Ordering::Relaxed)
+            {
                 Ok(_) => return t,
                 Err(actual) => cur = actual,
             }

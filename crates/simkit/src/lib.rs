@@ -19,6 +19,10 @@
 //!   pointedly does *not* apply to legacy indirect blocks, which is what the
 //!   paper's end-to-end exploit rides on).
 //! * [`stats`] — counters, simulated-time rate meters, latency histograms.
+//! * [`telemetry`] — the shared, stack-wide metrics registry and bounded
+//!   event trace every layer records into.
+//! * [`json`] — a dependency-free JSON document model used to export
+//!   telemetry snapshots and experiment results.
 //!
 //! # Examples
 //!
@@ -37,8 +41,10 @@
 mod blockdev;
 mod clock;
 mod crc32c;
+pub mod json;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 mod time;
 mod units;
 

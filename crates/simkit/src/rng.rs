@@ -4,24 +4,197 @@
 //! thresholds, workload randomization, Monte-Carlo trials) flows from an
 //! explicit `u64` seed through these helpers, so a given seed reproduces a
 //! given experiment bit-for-bit.
+//!
+//! The generator is a self-contained xoshiro256** seeded through SplitMix64
+//! (the reference seeding procedure), so the workspace carries no external
+//! RNG dependency.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use core::ops::Range;
 
-/// Builds a [`StdRng`] from a bare `u64` seed.
+/// A deterministic pseudo-random generator (xoshiro256**, Blackman & Vigna).
+///
+/// Statistically strong and fast; not cryptographic. Construct via
+/// [`seeded`] or [`SimRng::seed_from_u64`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Builds a generator from a bare `u64` seed, expanding it through
+    /// SplitMix64 as the xoshiro reference code recommends.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            splitmix64(x)
+        };
+        SimRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl Rng for SimRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// The sampling interface every stochastic component programs against.
+///
+/// A deliberately small, `rand`-shaped surface: [`Rng::gen`] for full-range
+/// values, [`Rng::gen_range`] for half-open ranges, [`Rng::gen_bool`] for
+/// Bernoulli draws.
+pub trait Rng {
+    /// The next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly distributed value of `T` (`f64`/`f32` in `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A uniform value in `[range.start, range.end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: UniformRange>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of [0,1]");
+        f64::sample(self) < p
+    }
+}
+
+/// Types samplable uniformly over their whole domain (unit interval for
+/// floats).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for u16 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+
+impl Standard for u8 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types samplable uniformly from a half-open range.
+pub trait UniformRange: Sized {
+    /// Draws one value in `[range.start, range.end)`.
+    fn sample_range<R: Rng>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformRange for $t {
+            fn sample_range<R: Rng>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end - range.start) as u64;
+                // Multiply-shift (Lemire) keeps bias below 2^-64 per draw —
+                // imperceptible at simulation scale.
+                let hi = ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64;
+                range.start + hi as $t
+            }
+        }
+    )*};
+}
+
+uniform_int!(u8, u16, u32, u64, usize);
+
+impl UniformRange for f64 {
+    fn sample_range<R: Rng>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty range");
+        let u = f64::sample(rng);
+        range.start + u * (range.end - range.start)
+    }
+}
+
+/// Builds a [`SimRng`] from a bare `u64` seed.
 ///
 /// # Examples
 ///
 /// ```
-/// use rand::Rng;
+/// use ssdhammer_simkit::rng::Rng;
 ///
 /// let mut a = ssdhammer_simkit::rng::seeded(42);
 /// let mut b = ssdhammer_simkit::rng::seeded(42);
 /// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
 /// ```
 #[must_use]
-pub fn seeded(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn seeded(seed: u64) -> SimRng {
+    SimRng::seed_from_u64(seed)
 }
 
 /// SplitMix64 step: a fast, high-quality mixing function used to derive
@@ -65,7 +238,6 @@ pub fn derive_seed(root: u64, tag: &str, index: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn seeded_is_deterministic() {
@@ -96,5 +268,41 @@ mod tests {
         // First output of SplitMix64 seeded with 0, from the reference
         // implementation.
         assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = seeded(3);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10u64..17);
+            assert!((10..17).contains(&v));
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u = r.gen_range(0usize..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn unit_floats_are_uniformish() {
+        let mut r = seeded(9);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut r = seeded(11);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        let p = hits as f64 / 100_000.0;
+        assert!((p - 0.25).abs() < 0.01, "p {p}");
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = seeded(1);
+        let mut b = seeded(2);
+        assert_ne!(a.next_u64(), b.next_u64());
     }
 }

@@ -3,12 +3,10 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::{SimDuration, SimTime};
 
 /// A monotonically increasing event counter.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct Counter(u64);
 
 impl Counter {
@@ -53,7 +51,7 @@ impl fmt::Display for Counter {
 /// let rate = m.rate_per_sec(SimTime::ZERO + SimDuration::from_millis(1));
 /// assert!((rate - 1_000_000.0).abs() < 1.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RateMeter {
     started: SimTime,
     events: u64,
@@ -101,7 +99,7 @@ impl RateMeter {
 
 /// A power-of-two-bucketed histogram of durations, good for latency
 /// distributions across six orders of magnitude without allocation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LatencyHistogram {
     /// bucket `i` counts samples in `[2^i, 2^(i+1))` nanoseconds.
     buckets: Vec<u64>,

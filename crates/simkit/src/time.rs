@@ -10,8 +10,6 @@ use core::fmt;
 use core::iter::Sum;
 use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// An instant on the simulated timeline, in nanoseconds since simulation boot.
 ///
 /// # Examples
@@ -24,9 +22,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t1.as_nanos(), 3_000);
 /// assert_eq!(t1 - t0, SimDuration::from_nanos(3_000));
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -126,9 +122,7 @@ impl Sub for SimTime {
 /// assert_eq!(refresh * 2, SimDuration::from_millis(128));
 /// assert_eq!(refresh.as_secs_f64(), 0.064);
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SimDuration(u64);
 
 impl SimDuration {

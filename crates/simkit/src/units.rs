@@ -3,8 +3,6 @@
 use core::fmt;
 use core::ops::{Add, AddAssign, Mul, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// A number of bytes, with binary-unit constructors and display.
 ///
 /// # Examples
@@ -17,9 +15,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(l2p.to_string(), "1.00 MiB");
 /// assert_eq!(ByteSize::gib(1) / ByteSize::mib(1), 1024);
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ByteSize(u64);
 
 impl ByteSize {
@@ -133,9 +129,7 @@ impl core::ops::Div for ByteSize {
 /// `Lba` is deliberately distinct from physical page numbers (`ssdhammer-flash`
 /// defines those) so the type system catches logical/physical mix-ups — the
 /// very confusion the paper's attack induces in the FTL.
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Lba(pub u64);
 
 impl Lba {
@@ -165,9 +159,7 @@ impl From<u64> for Lba {
 }
 
 /// A byte address in the SSD-internal DRAM physical address space.
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DramAddr(pub u64);
 
 impl DramAddr {

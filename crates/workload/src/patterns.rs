@@ -1,13 +1,11 @@
 //! Host I/O access-pattern generators.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
-use ssdhammer_simkit::rng::seeded;
+use ssdhammer_simkit::rng::{seeded, Rng};
 use ssdhammer_simkit::Lba;
 
 /// The hammering styles the rowhammer literature distinguishes, as request
 /// patterns over LBAs whose L2P entries live in chosen DRAM rows.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HammerStyle {
     /// Two aggressor rows sandwiching the victim ("used in our
     /// demonstration", §3.1).
@@ -90,7 +88,9 @@ pub fn sequential(start: Lba, count: u64) -> Vec<Lba> {
 pub fn random_uniform(capacity: u64, count: usize, seed: u64) -> Vec<Lba> {
     assert!(capacity > 0, "capacity must be positive");
     let mut rng = seeded(seed);
-    (0..count).map(|_| Lba(rng.gen_range(0..capacity))).collect()
+    (0..count)
+        .map(|_| Lba(rng.gen_range(0..capacity)))
+        .collect()
 }
 
 /// A hot/cold skewed workload: `hot_fraction` of accesses hit the first
@@ -192,6 +192,9 @@ mod tests {
     #[test]
     fn styles_display() {
         assert_eq!(HammerStyle::DoubleSided.to_string(), "double-sided");
-        assert_eq!(HammerStyle::ManySided { pairs: 9 }.to_string(), "many-sided(9)");
+        assert_eq!(
+            HammerStyle::ManySided { pairs: 9 }.to_string(),
+            "many-sided(9)"
+        );
     }
 }

@@ -5,18 +5,13 @@
 //!
 //! Run with: `cargo run --release --example crash_recovery`
 
-use ssdhammer::core::{find_attack_sites, run_primitive, setup_entries};
-use ssdhammer::dram::{DramGeneration, DramGeometry, DramModule, MappingKind, ModuleProfile};
-use ssdhammer::ftl::{Ftl, FtlConfig};
-use ssdhammer::nvme::{Ssd, SsdConfig};
-use ssdhammer::simkit::{SimClock, SimDuration};
-use ssdhammer::workload::HammerStyle;
+use ssdhammer::dram::DramGeneration;
+use ssdhammer::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<()> {
     // A vulnerable device, attacked exactly as in the quickstart.
     let mut config = SsdConfig::test_small(42);
-    let mut profile =
-        ModuleProfile::from_min_rate("demo DDR4", DramGeneration::Ddr4, 2020, 200);
+    let mut profile = ModuleProfile::from_min_rate("demo DDR4", DramGeneration::Ddr4, 2020, 200);
     profile.row_vulnerable_prob = 1.0;
     profile.weak_cells_per_row = 8.0;
     config.dram_profile = profile;
@@ -28,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .victim_lbas
         .iter()
         .map(|&l| ssd.ftl().peek_mapping(l))
-        .collect::<Result<_, _>>()?;
+        .collect::<std::result::Result<_, ssdhammer::ftl::FtlError>>()?;
 
     let outcome = run_primitive(
         &mut ssd,

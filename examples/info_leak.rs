@@ -4,9 +4,10 @@
 //!
 //! Run with: `cargo run --release --example info_leak`
 
-use ssdhammer::cloud::{run_case_study, CaseStudyConfig, SECRET_MARKER};
+use ssdhammer::cloud::SECRET_MARKER;
+use ssdhammer::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<()> {
     let config = CaseStudyConfig::fast_demo(7);
     println!(
         "setup: {:?}, victim partition {} blocks, attacker partition {} blocks",
@@ -48,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("\nSUCCESS — the unprivileged attacker recovered root's key:");
         println!("  {printable}...");
     } else {
-        println!("\nAttack did not converge within {} cycles.", config.max_cycles);
+        println!(
+            "\nAttack did not converge within {} cycles.",
+            config.max_cycles
+        );
     }
     Ok(())
 }

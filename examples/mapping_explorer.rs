@@ -5,15 +5,16 @@
 //!
 //! Run with: `cargo run --example mapping_explorer`
 
-use ssdhammer::core::{cross_partition_sites, find_attack_sites, LbaRange};
-use ssdhammer::dram::{AddressMapping, DramGeometry, MappingKind};
-use ssdhammer::nvme::{Ssd, SsdConfig};
-use ssdhammer::simkit::{DramAddr, Lba};
+use ssdhammer::core::{cross_partition_sites, LbaRange};
+use ssdhammer::dram::AddressMapping;
+use ssdhammer::prelude::*;
+use ssdhammer::simkit::DramAddr;
 
 fn main() {
     // Part 1: what the mapping does to consecutive address-rows.
     let geometry = DramGeometry::ssd_onboard_512mib();
-    println!("geometry: {} banks x {} rows x {} B rows ({})",
+    println!(
+        "geometry: {} banks x {} rows x {} B rows ({})",
         geometry.total_banks(),
         geometry.rows_per_bank,
         geometry.row_bytes,
@@ -35,7 +36,10 @@ fn main() {
 
     // Part 2: cross-partition triple census on a live device, per mapping.
     println!("\ncross-partition triple census (two equal partitions):");
-    println!("{:<14} {:>12} {:>22}", "mapping", "total sites", "cross-partition sites");
+    println!(
+        "{:<14} {:>12} {:>22}",
+        "mapping", "total sites", "cross-partition sites"
+    );
     for (name, kind) in [
         ("linear", MappingKind::Linear),
         ("xor+swizzle", MappingKind::default_xor()),

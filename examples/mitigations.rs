@@ -7,14 +7,9 @@
 //!
 //! Run with: `cargo run --release --example mitigations`
 
-use ssdhammer::core::{
-    find_attack_sites, run_many_sided, run_primitive, setup_entries, sites_sharing_a_bank,
-};
-use ssdhammer::dram::{DramGeneration, EccConfig, ModuleProfile, TrrConfig};
-use ssdhammer::ftl::L2pLayout;
-use ssdhammer::nvme::{Ssd, SsdConfig};
-use ssdhammer::simkit::SimDuration;
-use ssdhammer::workload::HammerStyle;
+use ssdhammer::core::sites_sharing_a_bank;
+use ssdhammer::dram::DramGeneration;
+use ssdhammer::prelude::*;
 
 fn vulnerable_profile() -> ModuleProfile {
     let mut p = ModuleProfile::from_min_rate("demo DDR4", DramGeneration::Ddr4, 2020, 100);
@@ -41,7 +36,10 @@ fn attack(config: SsdConfig, style: HammerStyle) -> (u64, usize) {
         SimDuration::from_millis(500),
     )
     .expect("hammer");
-    (outcome.report.flips.len() as u64, outcome.redirections.len())
+    (
+        outcome.report.flips.len() as u64,
+        outcome.redirections.len(),
+    )
 }
 
 /// TRRespass-style many-sided attack over several same-bank sites.
@@ -57,7 +55,10 @@ fn attack_many_sided(config: SsdConfig) -> (u64, usize) {
     }
     let outcome = run_many_sided(&mut ssd, &group, 2_000_000.0, SimDuration::from_millis(500))
         .expect("hammer");
-    (outcome.report.flips.len() as u64, outcome.redirections.len())
+    (
+        outcome.report.flips.len() as u64,
+        outcome.redirections.len(),
+    )
 }
 
 fn main() {
@@ -67,12 +68,18 @@ fn main() {
         c
     };
 
-    println!("{:<36} {:>6} {:>12}", "configuration", "flips", "redirections");
+    println!(
+        "{:<36} {:>6} {:>12}",
+        "configuration", "flips", "redirections"
+    );
     let report = |name: &str, (flips, redirs): (u64, usize)| {
         println!("{name:<36} {flips:>6} {redirs:>12}");
     };
 
-    report("baseline (no mitigation)", attack(base(), HammerStyle::DoubleSided));
+    report(
+        "baseline (no mitigation)",
+        attack(base(), HammerStyle::DoubleSided),
+    );
 
     let mut ecc = base();
     ecc.ecc = Some(EccConfig::default());
@@ -80,22 +87,34 @@ fn main() {
 
     let mut trr = base();
     trr.trr = Some(TrrConfig::default());
-    report("TRR vs double-sided", attack(trr.clone(), HammerStyle::DoubleSided));
+    report(
+        "TRR vs double-sided",
+        attack(trr.clone(), HammerStyle::DoubleSided),
+    );
     report("TRR vs many-sided (6 pairs)", attack_many_sided(trr));
 
     let mut fast_refresh = base();
     fast_refresh.dram_profile = vulnerable_profile().with_refresh_multiplier(16);
-    report("16x refresh rate", attack(fast_refresh, HammerStyle::DoubleSided));
+    report(
+        "16x refresh rate",
+        attack(fast_refresh, HammerStyle::DoubleSided),
+    );
 
     let mut limited = base();
     limited.controller.rate_limit_iops = Some(50_000.0);
-    report("IOPS rate limit (50K/s)", attack(limited, HammerStyle::DoubleSided));
+    report(
+        "IOPS rate limit (50K/s)",
+        attack(limited, HammerStyle::DoubleSided),
+    );
 
     let mut hashed = base();
     hashed.ftl.l2p_layout = L2pLayout::Hashed { key: 0x5EC6_E7B1 };
     report("keyed-hash L2P (blinded recon)", attack_blind(hashed));
 
-    report("one-location (open-page controller)", attack(base(), HammerStyle::OneLocation));
+    report(
+        "one-location (open-page controller)",
+        attack(base(), HammerStyle::OneLocation),
+    );
 }
 
 /// Attack against a hashed-L2P device where the attacker's recon wrongly

@@ -11,8 +11,9 @@
 //! Run with: `cargo run --release --example privilege_escalation`
 
 use ssdhammer::cloud::{run_escalation, EscalationConfig};
+use ssdhammer::prelude::Result;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<()> {
     let config = EscalationConfig::fast_demo(7);
     println!(
         "victim ships {} setuid binaries; attacker sprays {} polyglot blocks (tag {:#x})\n",

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --example probability`
 
-use ssdhammer::core::AttackParams;
+use ssdhammer::prelude::*;
 
 fn main() {
     // A 1 GiB SSD in 4 KiB blocks.
@@ -25,7 +25,11 @@ fn main() {
 
     println!("\ncumulative success by cycle:");
     for n in [1u32, 2, 5, 10, 20, 40] {
-        println!("  after {:>2} cycles: {:>5.1}%", n, params.cumulative_success(n) * 100.0);
+        println!(
+            "  after {:>2} cycles: {:>5.1}%",
+            n,
+            params.cumulative_success(n) * 100.0
+        );
     }
 
     println!("\nspray-effort sweep (F_v as a fraction of C_v, F_a = C_a):");

@@ -8,26 +8,17 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use ssdhammer::core::{find_attack_sites, run_primitive, setup_entries};
-use ssdhammer::dram::{DramGeneration, ModuleProfile};
-use ssdhammer::nvme::{Ssd, SsdConfig};
-use ssdhammer::simkit::SimDuration;
-use ssdhammer::workload::HammerStyle;
+use ssdhammer::dram::DramGeneration;
+use ssdhammer::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<()> {
     // A small SSD whose on-board DRAM flips at ≥200K accesses/s — in the
     // range Table 1 reports for modern modules.
-    let mut config = SsdConfig::test_small(42);
-    let mut profile = ModuleProfile::from_min_rate(
-        "demo DDR4 (vulnerable)",
-        DramGeneration::Ddr4,
-        2020,
-        200,
-    );
-    profile.row_vulnerable_prob = 1.0;
-    profile.weak_cells_per_row = 8.0;
-    config.dram_profile = profile;
-    let mut ssd = Ssd::build(config);
+    let profile =
+        ModuleProfile::from_min_rate("demo DDR4 (vulnerable)", DramGeneration::Ddr4, 2020, 200)
+            .with_row_vulnerable_prob(1.0)
+            .with_weak_cells_per_row(8.0);
+    let mut ssd = Ssd::build(SsdConfig::test_small(42).with_dram_profile(profile));
     println!(
         "device: {} LBAs exported, L2P table {} bytes in on-board DRAM",
         ssd.ftl().capacity_lbas(),

@@ -1,0 +1,139 @@
+//! The workspace-wide error type.
+//!
+//! Every layer keeps its own precise error enum (`DramError`, `FtlError`,
+//! …) — those are the types the layer's APIs return and tests match on.
+//! [`Error`] is the top of that hierarchy: application code (examples,
+//! binaries, integration drivers) that mixes layers can use one `?`-friendly
+//! type instead of `Box<dyn std::error::Error>`, without losing the
+//! underlying variant.
+
+use std::fmt;
+
+use ssdhammer_cloud::CloudError;
+use ssdhammer_dram::DramError;
+use ssdhammer_flash::FlashError;
+use ssdhammer_fs::FsError;
+use ssdhammer_ftl::FtlError;
+use ssdhammer_nvme::NvmeError;
+use ssdhammer_simkit::StorageError;
+
+/// Any error produced by any layer of the stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A DRAM module error.
+    Dram(DramError),
+    /// A NAND flash array error.
+    Flash(FlashError),
+    /// A flash-translation-layer error.
+    Ftl(FtlError),
+    /// An NVMe front-end error.
+    Nvme(NvmeError),
+    /// A filesystem error.
+    Fs(FsError),
+    /// A multi-tenant / case-study error.
+    Cloud(CloudError),
+    /// A raw block-storage error.
+    Storage(StorageError),
+}
+
+/// Workspace-wide result alias over [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Dram(e) => write!(f, "dram: {e}"),
+            Error::Flash(e) => write!(f, "flash: {e}"),
+            Error::Ftl(e) => write!(f, "ftl: {e}"),
+            Error::Nvme(e) => write!(f, "nvme: {e}"),
+            Error::Fs(e) => write!(f, "fs: {e}"),
+            Error::Cloud(e) => write!(f, "cloud: {e}"),
+            Error::Storage(e) => write!(f, "storage: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Dram(e) => Some(e),
+            Error::Flash(e) => Some(e),
+            Error::Ftl(e) => Some(e),
+            Error::Nvme(e) => Some(e),
+            Error::Fs(e) => Some(e),
+            Error::Cloud(e) => Some(e),
+            Error::Storage(e) => Some(e),
+        }
+    }
+}
+
+impl From<DramError> for Error {
+    fn from(e: DramError) -> Self {
+        Error::Dram(e)
+    }
+}
+impl From<FlashError> for Error {
+    fn from(e: FlashError) -> Self {
+        Error::Flash(e)
+    }
+}
+impl From<FtlError> for Error {
+    fn from(e: FtlError) -> Self {
+        Error::Ftl(e)
+    }
+}
+impl From<NvmeError> for Error {
+    fn from(e: NvmeError) -> Self {
+        Error::Nvme(e)
+    }
+}
+impl From<FsError> for Error {
+    fn from(e: FsError) -> Self {
+        Error::Fs(e)
+    }
+}
+impl From<CloudError> for Error {
+    fn from(e: CloudError) -> Self {
+        Error::Cloud(e)
+    }
+}
+impl From<StorageError> for Error {
+    fn from(e: StorageError) -> Self {
+        Error::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_wrap_and_display_with_layer_prefix() {
+        let e: Error = StorageError::OutOfRange {
+            lba: ssdhammer_simkit::Lba(9),
+            capacity: 4,
+        }
+        .into();
+        assert!(matches!(e, Error::Storage(_)));
+        assert!(e.to_string().starts_with("storage: "));
+    }
+
+    #[test]
+    fn question_mark_converts_layer_results() {
+        fn through() -> Result<()> {
+            fn inner() -> std::result::Result<(), FsError> {
+                Err(FsError::NoSpace)
+            }
+            inner()?;
+            Ok(())
+        }
+        assert!(matches!(through(), Err(Error::Fs(FsError::NoSpace))));
+    }
+
+    #[test]
+    fn source_exposes_the_underlying_error() {
+        use std::error::Error as _;
+        let e: Error = FsError::NoSpace.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -16,6 +16,10 @@
 //! * `probability` — the §4.3 success model;
 //! * `mapping_explorer` — DRAM mapping and cross-partition triple census.
 //!
+//! Application code usually starts from [`prelude`] (`use
+//! ssdhammer::prelude::*;`) and the unified [`Error`]/[`Result`] pair
+//! instead of spelling out per-crate paths and `Box<dyn Error>`.
+//!
 //! # Examples
 //!
 //! ```
@@ -28,6 +32,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod error;
+pub mod prelude;
+
+pub use error::{Error, Result};
 
 pub use ssdhammer_cloud as cloud;
 pub use ssdhammer_core as core;

@@ -3,9 +3,7 @@
 //! has reached flash does not.
 
 use ssdhammer::core::{find_attack_sites, run_primitive, setup_entries};
-use ssdhammer::dram::{
-    DramGeneration, DramGeometry, DramModule, MappingKind, ModuleProfile,
-};
+use ssdhammer::dram::{DramGeneration, DramGeometry, DramModule, MappingKind, ModuleProfile};
 use ssdhammer::flash::FlashGeometry;
 use ssdhammer::ftl::{Ftl, FtlConfig};
 use ssdhammer::nvme::{Ssd, SsdConfig};
@@ -55,7 +53,10 @@ fn reboot_heals_hammered_l2p_entries() {
         SimDuration::from_millis(200),
     )
     .unwrap();
-    assert!(!outcome.redirections.is_empty(), "attack must corrupt mappings");
+    assert!(
+        !outcome.redirections.is_empty(),
+        "attack must corrupt mappings"
+    );
 
     // Power loss: DRAM gone, flash survives. Rebuild from OOB.
     let (_lost_dram, nand) = ssd.into_ftl().into_parts();
@@ -73,7 +74,10 @@ fn reboot_heals_hammered_l2p_entries() {
     let mut buf = [0u8; BLOCK_SIZE];
     for &lba in site.victim_lbas.iter().take(8) {
         ftl_owned.read(lba, &mut buf).unwrap();
-        assert_eq!(u64::from_le_bytes(buf[..8].try_into().unwrap()), lba.as_u64());
+        assert_eq!(
+            u64::from_le_bytes(buf[..8].try_into().unwrap()),
+            lba.as_u64()
+        );
     }
 }
 
@@ -94,8 +98,7 @@ fn writes_through_corruption_persist_across_reboot() {
             .seed(config.seed)
             .without_timing()
             .build(clock.clone());
-        let nand =
-            ssdhammer::flash::FlashArray::new(config.flash_geometry, clock, config.seed);
+        let nand = ssdhammer::flash::FlashArray::new(config.flash_geometry, clock, config.seed);
         Ftl::new(dram, nand, config.ftl).unwrap()
     };
     ftl.write(Lba(1), &[0x11; BLOCK_SIZE]).unwrap();
@@ -124,4 +127,3 @@ fn writes_through_corruption_persist_across_reboot() {
     recovered.read(Lba(2), &mut buf).unwrap();
     assert!(buf.iter().all(|&b| b == 0x22));
 }
-

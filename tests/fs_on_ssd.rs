@@ -70,10 +70,16 @@ fn fsck_catches_l2p_redirection_damage() {
     let (shared, mut fs) = fs_over_ssd(3, 4096);
     // Two files; then corrupt the L2P entry of the second file's data block
     // to point at the first file's page (simulating a useful bitflip).
-    let a = fs.create("/a", ROOT, 0o644, AddressingMode::Indirect).unwrap();
-    fs.write_file_block(a, ROOT, 12, &[0xAA; BLOCK_SIZE]).unwrap();
-    let b = fs.create("/b", ROOT, 0o644, AddressingMode::Extents).unwrap();
-    fs.write_file_block(b, ROOT, 0, &[0xBB; BLOCK_SIZE]).unwrap();
+    let a = fs
+        .create("/a", ROOT, 0o644, AddressingMode::Indirect)
+        .unwrap();
+    fs.write_file_block(a, ROOT, 12, &[0xAA; BLOCK_SIZE])
+        .unwrap();
+    let b = fs
+        .create("/b", ROOT, 0o644, AddressingMode::Extents)
+        .unwrap();
+    fs.write_file_block(b, ROOT, 0, &[0xBB; BLOCK_SIZE])
+        .unwrap();
 
     // Find the device LBA of a's indirect block and b's data page.
     let a_inode = fs.read_inode(a).unwrap();
@@ -87,7 +93,11 @@ fn fsck_catches_l2p_redirection_damage() {
     let b_block = inline[0].start;
     {
         let mut ssd = shared.borrow_mut();
-        let b_ppn = ssd.ftl().peek_mapping(Lba(u64::from(b_block))).unwrap().unwrap();
+        let b_ppn = ssd
+            .ftl()
+            .peek_mapping(Lba(u64::from(b_block)))
+            .unwrap()
+            .unwrap();
         let addr = ssd.ftl().table().entry_addr(Lba(u64::from(single)));
         ssd.ftl_mut()
             .dram_mut()
@@ -113,7 +123,9 @@ fn fsck_catches_l2p_redirection_damage() {
 #[test]
 fn trimmed_fs_blocks_unmap_in_the_ftl() {
     let (shared, mut fs) = fs_over_ssd(4, 2048);
-    let ino = fs.create("/t", ROOT, 0o644, AddressingMode::Extents).unwrap();
+    let ino = fs
+        .create("/t", ROOT, 0o644, AddressingMode::Extents)
+        .unwrap();
     fs.write_file_block(ino, ROOT, 0, &[1; BLOCK_SIZE]).unwrap();
     let inode = fs.read_inode(ino).unwrap();
     let ssdhammer::fs::InodeMap::Extents { inline, .. } = &inode.map else {

@@ -1,0 +1,68 @@
+//! The shared telemetry registry observed end to end: one quickstart-style
+//! attack run must leave per-layer counters and a flip trace in the single
+//! registry the whole stack binds to.
+
+use ssdhammer::dram::DramGeneration;
+use ssdhammer::prelude::*;
+
+#[test]
+fn attack_run_populates_every_layer_of_the_shared_registry() {
+    // The quickstart scenario: a small SSD whose on-board DRAM flips at
+    // ≥200K accesses/s, eagerly vulnerable so the run is short.
+    let profile = ModuleProfile::from_min_rate("demo DDR4", DramGeneration::Ddr4, 2020, 200)
+        .with_row_vulnerable_prob(1.0)
+        .with_weak_cells_per_row(8.0);
+    let mut ssd = Ssd::build(SsdConfig::test_small(42).with_dram_profile(profile));
+
+    let site = find_attack_sites(ssd.ftl(), 8)
+        .into_iter()
+        .next()
+        .expect("a hammerable site");
+    setup_entries(ssd.ftl_mut(), &site.victim_lbas).unwrap();
+    setup_entries(ssd.ftl_mut(), &[site.above_lbas[0], site.below_lbas[0]]).unwrap();
+
+    let outcome = run_primitive(
+        &mut ssd,
+        &site,
+        HammerStyle::DoubleSided,
+        1_000_000.0,
+        SimDuration::from_millis(500),
+    )
+    .unwrap();
+    assert!(
+        !outcome.report.flips.is_empty(),
+        "the demo run must flip bits"
+    );
+
+    // Every layer the run crossed accounted for itself in the one registry.
+    let snapshot: TelemetrySnapshot = ssd.snapshot_telemetry();
+    assert!(
+        snapshot.counter("dram.activations").unwrap_or(0) > 0,
+        "hammering activates DRAM rows"
+    );
+    assert!(
+        snapshot.counter("ftl.l2p_reads").unwrap_or(0) > 0,
+        "setup + verification walk the L2P table"
+    );
+    assert!(
+        snapshot.counter("attack.cycles").unwrap_or(0) >= 1,
+        "the attack layer records its cycle"
+    );
+    assert!(
+        snapshot.trace.iter().any(|e| e.kind == "dram.flip"),
+        "each bitflip leaves a trace event; got kinds {:?}",
+        snapshot
+            .trace
+            .iter()
+            .map(|e| e.kind.as_str())
+            .collect::<std::collections::BTreeSet<_>>()
+    );
+
+    // Live handles and the snapshot agree: the counters came from the same
+    // registry, not per-layer copies.
+    let live: Telemetry = ssd.telemetry();
+    assert_eq!(
+        live.counter_value("dram.activations"),
+        snapshot.counter("dram.activations")
+    );
+}
