@@ -8,6 +8,7 @@ use ssdhammer_core::{
 use ssdhammer_dram::{DramGeneration, DramGeometry, MappingKind, ModuleProfile};
 use ssdhammer_flash::FlashGeometry;
 use ssdhammer_nvme::{CmdResult, Command, Ssd, SsdConfig};
+use ssdhammer_simkit::parallel::Campaign;
 use ssdhammer_simkit::{Lba, SimDuration};
 use ssdhammer_workload::HammerStyle;
 
@@ -47,9 +48,19 @@ pub struct AmplificationRow {
 /// amplified each L2P row activation (5 hammers per I/O request)".
 #[must_use]
 pub fn amplification_sweep(seed: u64) -> Vec<AmplificationRow> {
-    [1u32, 2, 5, 10]
-        .into_iter()
-        .map(|amp| {
+    amplification_sweep_threads(seed, 1)
+}
+
+/// [`amplification_sweep`] with the four independent sweep points sharded
+/// across `threads` workers; bit-identical output for any thread count.
+#[must_use]
+pub fn amplification_sweep_threads(seed: u64, threads: usize) -> Vec<AmplificationRow> {
+    const AMPS: [u32; 4] = [1, 2, 5, 10];
+    Campaign::new(seed)
+        .with_tag("ablation-amp")
+        .with_threads(threads)
+        .run(AMPS.len(), |trial| {
+            let amp = AMPS[trial.index];
             let mut profile = ModuleProfile::testbed_ddr3();
             profile.row_vulnerable_prob = 1.0;
             profile.weak_cells_per_row = 24.0;
@@ -73,7 +84,6 @@ pub fn amplification_sweep(seed: u64) -> Vec<AmplificationRow> {
                 flips: outcome.report.flips.len(),
             }
         })
-        .collect()
 }
 
 // ---- unmapped fast path ----------------------------------------------------
@@ -88,12 +98,25 @@ pub struct FastPathRow {
 }
 
 /// Measures per-command latency of unmapped reads with the fast path on vs
-/// off — why the paper's attacker prefers trimmed blocks (§3).
+/// off — why the paper's attacker prefers trimmed blocks (§3). Reads are
+/// issued queue-depth-sized batches at a time through `submit_batch` /
+/// `process_all` / `drain_completions` — the batched path the repro suite
+/// is required to exercise.
 #[must_use]
 pub fn fast_path_latency(seed: u64) -> Vec<FastPathRow> {
-    [true, false]
-        .into_iter()
-        .map(|fast| {
+    fast_path_latency_threads(seed, 1)
+}
+
+/// [`fast_path_latency`] with the on/off configurations measured on
+/// `threads` workers; bit-identical output for any thread count.
+#[must_use]
+pub fn fast_path_latency_threads(seed: u64, threads: usize) -> Vec<FastPathRow> {
+    const CONFIGS: [bool; 2] = [true, false];
+    Campaign::new(seed)
+        .with_tag("ablation-fastpath")
+        .with_threads(threads)
+        .run(CONFIGS.len(), |trial| {
+            let fast = CONFIGS[trial.index];
             let mut config = base_config(seed, ModuleProfile::invulnerable());
             config.ftl.unmapped_fast_path = fast;
             let mut ssd = Ssd::build(config);
@@ -101,29 +124,30 @@ pub fn fast_path_latency(seed: u64) -> Vec<FastPathRow> {
             let qp = ssd.create_queue_pair(16);
             let mut total_us = 0.0;
             let n = 200u64;
-            for i in 0..n {
-                let c = ssd
-                    .roundtrip(
-                        qp,
-                        Command::Read {
-                            ns,
-                            lba: Lba(i % 1024),
-                        },
-                    )
-                    .expect("read");
-                assert!(matches!(c.result, CmdResult::Read { mapped: false, .. }));
-                total_us += c.latency().as_secs_f64() * 1e6;
+            for burst in 0..(n / qp.depth() as u64) {
+                let batch: Vec<Command> = (0..qp.depth() as u64)
+                    .map(|i| Command::Read {
+                        ns,
+                        lba: Lba((burst * qp.depth() as u64 + i) % 1024),
+                    })
+                    .collect();
+                ssd.submit_batch(qp, &batch).expect("submit batch");
+                ssd.process_all();
+                for c in ssd.drain_completions(qp).expect("drain") {
+                    assert!(matches!(c.result, CmdResult::Read { mapped: false, .. }));
+                    total_us += c.latency().as_secs_f64() * 1e6;
+                }
             }
+            let measured = (n / qp.depth() as u64) * qp.depth() as u64;
             FastPathRow {
                 config: if fast {
                     "unmapped fast path ON".to_owned()
                 } else {
                     "unmapped fast path OFF (flash touched)".to_owned()
                 },
-                mean_latency_us: total_us / n as f64,
+                mean_latency_us: total_us / measured as f64,
             }
         })
-        .collect()
 }
 
 // ---- controller mapping census ----------------------------------------------
@@ -143,33 +167,42 @@ pub struct MappingCensusRow {
 /// the structural source of §4.2's cross-partition triples.
 #[must_use]
 pub fn mapping_census(seed: u64) -> Vec<MappingCensusRow> {
-    [
+    mapping_census_threads(seed, 1)
+}
+
+/// [`mapping_census`] with the two mapping configurations counted on
+/// `threads` workers; bit-identical output for any thread count.
+#[must_use]
+pub fn mapping_census_threads(seed: u64, threads: usize) -> Vec<MappingCensusRow> {
+    let mappings = [
         ("linear", MappingKind::Linear),
         ("xor+swizzle", MappingKind::default_xor()),
-    ]
-    .into_iter()
-    .map(|(name, kind)| {
-        let mut config = base_config(seed, demo_profile(313));
-        config.dram_mapping = kind;
-        let ssd = Ssd::build(config);
-        let cap = ssd.ftl().capacity_lbas();
-        let sites = find_attack_sites(ssd.ftl(), usize::MAX);
-        let attacker = LbaRange {
-            start: Lba(0),
-            blocks: cap / 2,
-        };
-        let victim = LbaRange {
-            start: Lba(cap / 2),
-            blocks: cap / 2,
-        };
-        let cross = cross_partition_sites(&sites, attacker, victim);
-        MappingCensusRow {
-            mapping: name.to_owned(),
-            total_sites: sites.len(),
-            cross_partition_sites: cross.len(),
-        }
-    })
-    .collect()
+    ];
+    Campaign::new(seed)
+        .with_tag("ablation-mapping")
+        .with_threads(threads)
+        .run(mappings.len(), |trial| {
+            let (name, kind) = mappings[trial.index];
+            let mut config = base_config(seed, demo_profile(313));
+            config.dram_mapping = kind;
+            let ssd = Ssd::build(config);
+            let cap = ssd.ftl().capacity_lbas();
+            let sites = find_attack_sites(ssd.ftl(), usize::MAX);
+            let attacker = LbaRange {
+                start: Lba(0),
+                blocks: cap / 2,
+            };
+            let victim = LbaRange {
+                start: Lba(cap / 2),
+                blocks: cap / 2,
+            };
+            let cross = cross_partition_sites(&sites, attacker, victim);
+            MappingCensusRow {
+                mapping: name.to_owned(),
+                total_sites: sites.len(),
+                cross_partition_sites: cross.len(),
+            }
+        })
 }
 
 // ---- victim activity as a defense -------------------------------------------
@@ -189,6 +222,13 @@ pub struct VictimActivityRow {
 /// why the attack targets cold metadata like L2P entries of idle files.
 #[must_use]
 pub fn victim_activity(seed: u64) -> Vec<VictimActivityRow> {
+    victim_activity_threads(seed, 1)
+}
+
+/// [`victim_activity`] with the idle/active scenarios hammered on `threads`
+/// workers; bit-identical output for any thread count.
+#[must_use]
+pub fn victim_activity_threads(seed: u64, threads: usize) -> Vec<VictimActivityRow> {
     let run = |active_victim: bool| -> usize {
         let mut config = base_config(seed, demo_profile(200));
         config.ftl.hammer_amplification = 1;
@@ -212,25 +252,36 @@ pub fn victim_activity(seed: u64) -> Vec<VictimActivityRow> {
         }
         flips
     };
-    vec![
-        VictimActivityRow {
-            scenario: "idle victim (cold L2P entries)".to_owned(),
-            victim_row_flips: run(false),
-        },
-        VictimActivityRow {
-            scenario: "active victim (row re-read between bursts)".to_owned(),
-            victim_row_flips: run(true),
-        },
-    ]
+    const SCENARIOS: [(&str, bool); 2] = [
+        ("idle victim (cold L2P entries)", false),
+        ("active victim (row re-read between bursts)", true),
+    ];
+    Campaign::new(seed)
+        .with_tag("ablation-victim")
+        .with_threads(threads)
+        .run(SCENARIOS.len(), |trial| {
+            let (scenario, active) = SCENARIOS[trial.index];
+            VictimActivityRow {
+                scenario: scenario.to_owned(),
+                victim_row_flips: run(active),
+            }
+        })
 }
 
 /// Renders all ablations as one report.
 #[must_use]
 pub fn render(seed: u64) -> String {
+    render_with_threads(seed, 1)
+}
+
+/// [`render`] with every sweep sharded across `threads` workers;
+/// bit-identical output for any thread count.
+#[must_use]
+pub fn render_with_threads(seed: u64, threads: usize) -> String {
     let mut out = String::from("ablations of DESIGN.md's called-out choices\n\n");
     out.push_str("A1: per-I/O amplification (testbed DDR3, needs 3M acc/s)\n");
     out.push_str("  amp  act-rate(M/s)  flips\n");
-    for r in amplification_sweep(seed) {
+    for r in amplification_sweep_threads(seed, threads) {
         out.push_str(&format!(
             "  {:>3} {:>14.2} {:>6}\n",
             r.amplification,
@@ -239,7 +290,7 @@ pub fn render(seed: u64) -> String {
         ));
     }
     out.push_str("\nA2: unmapped-read fast path (per-command latency)\n");
-    for r in fast_path_latency(seed) {
+    for r in fast_path_latency_threads(seed, threads) {
         out.push_str(&format!(
             "  {:<40} {:>8.1} us\n",
             r.config, r.mean_latency_us
@@ -247,14 +298,14 @@ pub fn render(seed: u64) -> String {
     }
     out.push_str("\nA3: controller mapping census (two equal partitions)\n");
     out.push_str("  mapping       total sites  cross-partition\n");
-    for r in mapping_census(seed) {
+    for r in mapping_census_threads(seed, threads) {
         out.push_str(&format!(
             "  {:<13} {:>11} {:>16}\n",
             r.mapping, r.total_sites, r.cross_partition_sites
         ));
     }
     out.push_str("\nA4: victim activity as accidental defense\n");
-    for r in victim_activity(seed) {
+    for r in victim_activity_threads(seed, threads) {
         out.push_str(&format!(
             "  {:<44} {:>4} victim-row flips\n",
             r.scenario, r.victim_row_flips

@@ -3,7 +3,7 @@
 //! results as JSON.
 //!
 //! ```text
-//! repro <experiment> [--seed N] [--json] [--full]
+//! repro <experiment> [--seed N] [--threads N] [--json] [--full]
 //!
 //! experiments:
 //!   table1        Table 1  — minimal access rate to trigger bitflips
@@ -18,11 +18,13 @@
 //!   all           everything above
 //!
 //! flags:
-//!   --seed N   manufacturing-variation seed (default 7)
-//!   --json     print structured JSON instead of tables
-//!   --full     fig3 only: run the paper-prototype-scale configuration
-//!              (1 GiB SSD, 5% spray cap, 5-minute hammer bursts) instead
-//!              of the fast demo
+//!   --seed N      manufacturing-variation seed (default 7)
+//!   --threads N   worker threads for campaign experiments (table1, prob,
+//!                 ablations); output is bit-identical for any N (default 1)
+//!   --json        print structured JSON instead of tables
+//!   --full        fig3 only: run the paper-prototype-scale configuration
+//!                 (1 GiB SSD, 5% spray cap, 5-minute hammer bursts) instead
+//!                 of the fast demo
 //! ```
 
 use ssdhammer_bench::{ablations, fig1, fig2, fig3, sec23, sec43, sec5, table1};
@@ -32,6 +34,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiment = None;
     let mut seed = 7u64;
+    let mut threads = 1usize;
     let mut json = false;
     let mut full = false;
     let mut it = args.iter();
@@ -43,6 +46,13 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--seed needs a number"));
             }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&t| t >= 1)
+                    .unwrap_or_else(|| die("--threads needs a positive number"));
+            }
             "--json" => json = true,
             "--full" => full = true,
             name if experiment.is_none() && !name.starts_with('-') => {
@@ -52,7 +62,7 @@ fn main() {
         }
     }
     let experiment = experiment.unwrap_or_else(|| "all".to_owned());
-    let run_one = |name: &str| run_experiment(name, seed, json, full);
+    let run_one = |name: &str| run_experiment(name, seed, threads, json, full);
     match experiment.as_str() {
         "all" => {
             for name in [
@@ -74,10 +84,10 @@ fn main() {
     }
 }
 
-fn run_experiment(name: &str, seed: u64, json: bool, full: bool) {
+fn run_experiment(name: &str, seed: u64, threads: usize, json: bool, full: bool) {
     match name {
         "table1" => {
-            let rows = table1::run(seed);
+            let rows = table1::run_with_threads(seed, threads);
             if json {
                 println!("{}", rows.to_json().to_string_pretty());
             } else {
@@ -120,7 +130,7 @@ fn run_experiment(name: &str, seed: u64, json: bool, full: bool) {
             }
         }
         "prob" => {
-            let r = sec43::run(seed);
+            let r = sec43::run_with_threads(seed, threads);
             if json {
                 println!("{}", r.to_json().to_string_pretty());
             } else {
@@ -147,7 +157,7 @@ fn run_experiment(name: &str, seed: u64, json: bool, full: bool) {
             }
         }
         "ablations" => {
-            print!("{}", ablations::render(seed));
+            print!("{}", ablations::render_with_threads(seed, threads));
         }
         "escalation" => {
             use ssdhammer_cloud::{run_escalation, EscalationConfig};
@@ -209,6 +219,6 @@ fn run_fig3_full(seed: u64, json: bool) {
 
 fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}");
-    eprintln!("usage: repro [table1|fig1|fig2|fig3|prob|mitigations|feasibility|ablations|escalation|all] [--seed N] [--json] [--full]");
+    eprintln!("usage: repro [table1|fig1|fig2|fig3|prob|mitigations|feasibility|ablations|escalation|all] [--seed N] [--threads N] [--json] [--full]");
     std::process::exit(2);
 }

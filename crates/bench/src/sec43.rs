@@ -30,14 +30,23 @@ impl ToJson for Sec43Result {
 }
 
 /// Runs the §4.3 reproduction with the paper's illustration parameters on a
-/// 1 GiB SSD.
+/// 1 GiB SSD, single-threaded.
 #[must_use]
 pub fn run(seed: u64) -> Sec43Result {
+    run_with_threads(seed, 1)
+}
+
+/// Like [`run`], sharding the Monte-Carlo campaign across `threads` worker
+/// threads via `simkit::parallel`. The result — including every bit of the
+/// Monte-Carlo estimate — is identical for any thread count; the repro
+/// suite's determinism test holds the JSON output to that.
+#[must_use]
+pub fn run_with_threads(seed: u64, threads: usize) -> Sec43Result {
     let params = AttackParams::paper_example(1 << 18);
     let analytic = params.useful_flip_probability();
     Sec43Result {
         analytic,
-        monte_carlo: params.monte_carlo_useful_flip(400_000, seed),
+        monte_carlo: params.monte_carlo_useful_flip_sharded(400_000, seed, threads),
         cumulative: (1..=12).map(|n| params.cumulative_success(n)).collect(),
         cycles_to_half: params.cycles_for_success(0.5),
     }

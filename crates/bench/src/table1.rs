@@ -11,6 +11,7 @@ use ssdhammer_dram::{
     hammer::measure_min_flip_rate, DramGeometry, DramModule, MappingKind, ModuleProfile,
 };
 use ssdhammer_simkit::json::{Json, ToJson};
+use ssdhammer_simkit::parallel::Campaign;
 use ssdhammer_simkit::SimClock;
 
 /// One reproduced row of Table 1.
@@ -41,34 +42,43 @@ impl ToJson for Table1Row {
     }
 }
 
-/// Runs the full Table 1 reproduction.
+/// Runs the full Table 1 reproduction, single-threaded.
 #[must_use]
 pub fn run(seed: u64) -> Vec<Table1Row> {
-    ModuleProfile::table1()
-        .into_iter()
-        .map(|(year, refs, profile)| {
+    run_with_threads(seed, 1)
+}
+
+/// Like [`run`], measuring the 14 independent module rows across `threads`
+/// worker threads via `simkit::parallel`. Each row builds its own module
+/// and clock from the same `seed` the sequential path uses, and the runner
+/// merges rows in table order — the output is bit-identical for any thread
+/// count.
+#[must_use]
+pub fn run_with_threads(seed: u64, threads: usize) -> Vec<Table1Row> {
+    let profiles = ModuleProfile::table1();
+    Campaign::new(seed)
+        .with_tag("table1")
+        .with_threads(threads)
+        .run(profiles.len(), |trial| {
+            let (year, refs, profile) = &profiles[trial.index];
             let paper_kaps = profile.min_flip_rate_kaps;
-            let factory = {
-                let profile = profile.clone();
-                move || {
-                    DramModule::builder(DramGeometry::tiny_test())
-                        .profile(profile.clone())
-                        .mapping(MappingKind::Linear)
-                        .seed(seed)
-                        .without_timing()
-                        .build(SimClock::new())
-                }
+            let factory = move || {
+                DramModule::builder(DramGeometry::tiny_test())
+                    .profile(profile.clone())
+                    .mapping(MappingKind::Linear)
+                    .seed(seed)
+                    .without_timing()
+                    .build(SimClock::new())
             };
             let measured = measure_min_flip_rate(&factory, 50_000.0, 20_000_000.0, 1, 0.02);
             Table1Row {
-                year,
-                refs: refs.to_owned(),
+                year: *year,
+                refs: (*refs).to_owned(),
                 module: profile.name.clone(),
                 paper_kaps,
                 measured_kaps: measured.map(|m| m.min_rate / 1000.0),
             }
         })
-        .collect()
 }
 
 /// Formats the reproduced table like the paper's.

@@ -1,5 +1,5 @@
 //! Shared-SSD plumbing: a cloneable handle to one device and owned
-//! [`BlockStorage`] views over its namespaces.
+//! [`BlockDevice`] views over its namespaces.
 //!
 //! "Each VM's storage space is a partition of the shared SSD, treated as a
 //! block device with its own logical address space … however, the
@@ -11,7 +11,7 @@ use std::rc::Rc;
 
 use ssdhammer_core::LbaRange;
 use ssdhammer_nvme::{NsId, Ssd};
-use ssdhammer_simkit::{BlockStorage, Lba, StorageError, StorageResult};
+use ssdhammer_simkit::{BlockDevice, Lba, StorageError, StorageResult};
 
 /// A shared handle to the one physical SSD of the host.
 #[derive(Debug, Clone)]
@@ -61,7 +61,7 @@ impl SharedSsd {
     }
 }
 
-/// An owned [`BlockStorage`] over one namespace of a [`SharedSsd`] — what a
+/// An owned [`BlockDevice`] over one namespace of a [`SharedSsd`] — what a
 /// VM sees as "its disk". Suitable for mounting an `ssdhammer-fs`
 /// filesystem on.
 #[derive(Debug, Clone)]
@@ -90,36 +90,36 @@ impl PartitionView {
     }
 }
 
-impl BlockStorage for PartitionView {
-    fn block_count(&self) -> u64 {
+impl BlockDevice for PartitionView {
+    fn capacity_blocks(&self) -> u64 {
         self.ssd
             .borrow()
             .namespace_blocks(self.ns)
             .expect("namespace exists for the view's lifetime")
     }
 
-    fn read_block(&mut self, lba: Lba, buf: &mut [u8]) -> StorageResult<()> {
+    fn read(&mut self, lba: Lba, buf: &mut [u8]) -> StorageResult<()> {
         let mut ssd = self.ssd.borrow_mut();
         let mut view = ssd.namespace(self.ns).map_err(|e| StorageError::Rejected {
             reason: e.to_string(),
         })?;
-        view.read_block(lba, buf)
+        view.read(lba, buf)
     }
 
-    fn write_block(&mut self, lba: Lba, buf: &[u8]) -> StorageResult<()> {
+    fn write(&mut self, lba: Lba, buf: &[u8]) -> StorageResult<()> {
         let mut ssd = self.ssd.borrow_mut();
         let mut view = ssd.namespace(self.ns).map_err(|e| StorageError::Rejected {
             reason: e.to_string(),
         })?;
-        view.write_block(lba, buf)
+        view.write(lba, buf)
     }
 
-    fn trim_block(&mut self, lba: Lba) -> StorageResult<()> {
+    fn trim(&mut self, lba: Lba) -> StorageResult<()> {
         let mut ssd = self.ssd.borrow_mut();
         let mut view = ssd.namespace(self.ns).map_err(|e| StorageError::Rejected {
             reason: e.to_string(),
         })?;
-        view.trim_block(lba)
+        view.trim(lba)
     }
 }
 
@@ -147,14 +147,14 @@ mod tests {
         let (b, _) = shared.create_partition(100).unwrap();
         let mut va = PartitionView::new(shared.clone(), a);
         let mut vb = PartitionView::new(shared.clone(), b);
-        va.write_block(Lba(0), &[1u8; BLOCK_SIZE]).unwrap();
-        vb.write_block(Lba(0), &[2u8; BLOCK_SIZE]).unwrap();
+        va.write(Lba(0), &[1u8; BLOCK_SIZE]).unwrap();
+        vb.write(Lba(0), &[2u8; BLOCK_SIZE]).unwrap();
         let mut buf = [0u8; BLOCK_SIZE];
-        va.read_block(Lba(0), &mut buf).unwrap();
+        va.read(Lba(0), &mut buf).unwrap();
         assert_eq!(buf[0], 1);
-        vb.read_block(Lba(0), &mut buf).unwrap();
+        vb.read(Lba(0), &mut buf).unwrap();
         assert_eq!(buf[0], 2);
-        assert_eq!(va.block_count(), 100);
+        assert_eq!(va.capacity_blocks(), 100);
     }
 
     #[test]
@@ -163,6 +163,6 @@ mod tests {
         let (a, _) = shared.create_partition(10).unwrap();
         let mut va = PartitionView::new(shared, a);
         let mut buf = [0u8; BLOCK_SIZE];
-        assert!(va.read_block(Lba(10), &mut buf).is_err());
+        assert!(va.read(Lba(10), &mut buf).is_err());
     }
 }

@@ -9,7 +9,7 @@ use ssdhammer_fs::{
     AddressingMode, Credentials, FileSystem, FsBlock, FsError, FsResult, Ino, InodeMap,
 };
 use ssdhammer_nvme::{NsId, NvmeError};
-use ssdhammer_simkit::{BlockStorage, Lba, StorageError, BLOCK_SIZE};
+use ssdhammer_simkit::{BlockDevice, Lba, StorageError, BLOCK_SIZE};
 
 use crate::partition::{PartitionView, SharedSsd};
 
@@ -375,7 +375,7 @@ impl AttackerVm {
         let mut ssd = self.shared.borrow_mut();
         let mut view = ssd.namespace(self.ns)?;
         for lba in 0..n {
-            view.write_block(Lba(lba), payload)?;
+            view.write(Lba(lba), payload)?;
         }
         Ok(n)
     }
@@ -458,7 +458,7 @@ mod tests {
         let mut ssd = s.borrow_mut();
         let mut view = ssd.namespace(attacker.ns).unwrap();
         let mut buf = [0u8; BLOCK_SIZE];
-        view.read_block(Lba(100), &mut buf).unwrap();
+        view.read(Lba(100), &mut buf).unwrap();
         assert_eq!(buf, payload);
     }
 

@@ -17,6 +17,7 @@
 //! P(useful) = (F_v/2)/C_v · (F_v/2 + F_a)/PB = F_v(F_v + 2F_a) / (4·C_v·PB)
 //! ```
 
+use ssdhammer_simkit::parallel::Campaign;
 use ssdhammer_simkit::rng::{seeded, Rng};
 
 /// The parameters of one attack configuration (all in 4 KiB blocks).
@@ -126,9 +127,52 @@ impl AttackParams {
     /// target, with sprayed-block placement randomized per trial.
     ///
     /// Structurally independent of the closed form — used to cross-check it.
+    /// The whole run draws from one sequential RNG stream; for a
+    /// thread-count-independent parallel estimate, use
+    /// [`AttackParams::monte_carlo_useful_flip_sharded`].
     #[must_use]
     pub fn monte_carlo_useful_flip(&self, trials: u32, seed: u64) -> f64 {
         self.validate().expect("invalid attack parameters");
+        f64::from(self.mc_hits(trials, seed)) / f64::from(trials)
+    }
+
+    /// Trials per shard of the chunked Monte-Carlo estimator. Fixed — the
+    /// chunk boundaries define the seed stream, so changing this constant
+    /// changes the estimate (thread count never does).
+    pub const MC_CHUNK_TRIALS: u32 = 8_192;
+
+    /// Monte-Carlo estimate restructured for the deterministic parallel
+    /// campaign runner: trials are split into fixed
+    /// [`Self::MC_CHUNK_TRIALS`]-sized chunks, chunk `c` draws from an RNG
+    /// seeded `derive_seed(seed, "mc", c)`, and chunk hit counts are summed
+    /// after the runner's in-order merge. The estimate is a pure function
+    /// of `(self, trials, seed)` — sharding across any number of worker
+    /// threads returns bit-identical results.
+    #[must_use]
+    pub fn monte_carlo_useful_flip_sharded(&self, trials: u32, seed: u64, threads: usize) -> f64 {
+        self.validate().expect("invalid attack parameters");
+        if trials == 0 {
+            return 0.0;
+        }
+        let chunks = trials.div_ceil(Self::MC_CHUNK_TRIALS);
+        let hits = Campaign::new(seed)
+            .with_tag("mc")
+            .with_threads(threads)
+            .run_fold(
+                chunks as usize,
+                |trial| {
+                    let lo = trial.index as u32 * Self::MC_CHUNK_TRIALS;
+                    let n = Self::MC_CHUNK_TRIALS.min(trials - lo);
+                    u64::from(self.mc_hits(n, trial.seed))
+                },
+                0u64,
+                |acc, h| acc + h,
+            );
+        hits as f64 / f64::from(trials)
+    }
+
+    /// Useful-flip hits over `trials` draws from one RNG stream.
+    fn mc_hits(&self, trials: u32, seed: u64) -> u32 {
         let mut rng = seeded(seed);
         let indirect = self.sprayed_indirect_blocks();
         let malicious = self.malicious_blocks();
@@ -148,7 +192,7 @@ impl AttackParams {
                 useful += 1;
             }
         }
-        f64::from(useful) / f64::from(trials)
+        useful
     }
 }
 
@@ -198,6 +242,24 @@ mod tests {
             (mc - analytic).abs() < 0.003,
             "mc {mc} vs analytic {analytic}"
         );
+    }
+
+    #[test]
+    fn sharded_monte_carlo_agrees_and_is_thread_count_independent() {
+        let params = AttackParams::paper_example(1 << 18);
+        let analytic = params.useful_flip_probability();
+        let one = params.monte_carlo_useful_flip_sharded(200_000, 11, 1);
+        assert!(
+            (one - analytic).abs() < 0.003,
+            "sharded mc {one} vs analytic {analytic}"
+        );
+        for threads in [2, 4, 8] {
+            let many = params.monte_carlo_useful_flip_sharded(200_000, 11, threads);
+            assert!(
+                many.to_bits() == one.to_bits(),
+                "estimate diverged at {threads} threads: {many} vs {one}"
+            );
+        }
     }
 
     #[test]

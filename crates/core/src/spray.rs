@@ -8,7 +8,7 @@
 //! content."
 
 use ssdhammer_fs::{AddressingMode, Credentials, FileSystem, FsBlock, FsError, FsResult, Ino};
-use ssdhammer_simkit::{BlockStorage, BLOCK_SIZE};
+use ssdhammer_simkit::{BlockDevice, BLOCK_SIZE};
 
 /// File-logical index of the sprayed data block (first block behind the
 /// indirect pointer, after the 12-direct-block hole).
@@ -79,7 +79,7 @@ impl SprayReport {
 ///
 /// Path or permission errors; running out of space is *not* an error (it is
 /// recorded in the report).
-pub fn spray_filesystem<S: BlockStorage>(
+pub fn spray_filesystem<S: BlockDevice>(
     fs: &mut FileSystem<S>,
     cred: Credentials,
     plan: &SprayPlan,
@@ -135,7 +135,7 @@ pub struct LeakHit {
 /// # Errors
 ///
 /// Only unrecoverable I/O failures.
-pub fn scan_for_leaks<S: BlockStorage>(
+pub fn scan_for_leaks<S: BlockDevice>(
     fs: &mut FileSystem<S>,
     cred: Credentials,
     report: &SprayReport,
@@ -167,7 +167,7 @@ pub fn scan_for_leaks<S: BlockStorage>(
 /// # Errors
 ///
 /// Propagates read failures.
-pub fn dump_through_hit<S: BlockStorage>(
+pub fn dump_through_hit<S: BlockDevice>(
     fs: &mut FileSystem<S>,
     cred: Credentials,
     hit: &LeakHit,
@@ -185,7 +185,7 @@ pub fn dump_through_hit<S: BlockStorage>(
 /// # Errors
 ///
 /// Never fails today; the `Result` is kept for future device-level errors.
-pub fn clear_spray<S: BlockStorage>(
+pub fn clear_spray<S: BlockDevice>(
     fs: &mut FileSystem<S>,
     cred: Credentials,
     report: &SprayReport,
@@ -314,7 +314,7 @@ mod tests {
             panic!("sprayed file uses indirect addressing");
         };
         fs.device_mut()
-            .write_block(Lba(u64::from(single)), report.payload.as_ref())
+            .write(Lba(u64::from(single)), report.payload.as_ref())
             .unwrap();
 
         // Scan finds exactly that file, and the observed content *is* the

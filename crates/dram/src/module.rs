@@ -154,7 +154,7 @@ impl DramHandles {
 }
 
 /// Result of a bulk hammering run (see [`DramModule::run_hammer`]).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HammerReport {
     /// Activations actually issued across all aggressors.
     pub activations: u64,

@@ -1,5 +1,5 @@
 //! The filesystem proper: formatting, mounting, path operations, and
-//! block-granular file I/O over any [`BlockStorage`].
+//! block-granular file I/O over any [`BlockDevice`].
 //!
 //! Design notes:
 //!
@@ -14,7 +14,7 @@
 //!   blocks, as in ext4.
 
 use ssdhammer_simkit::telemetry::{CounterHandle, Telemetry};
-use ssdhammer_simkit::{BlockStorage, Lba, BLOCK_SIZE};
+use ssdhammer_simkit::{BlockDevice, Lba, BLOCK_SIZE};
 
 use crate::error::{FsError, FsResult};
 use crate::layout::{
@@ -89,7 +89,7 @@ pub struct Stat {
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct FileSystem<S: BlockStorage> {
+pub struct FileSystem<S: BlockDevice> {
     dev: S,
     sb: SuperBlock,
     pub(crate) tel: FsHandles,
@@ -117,7 +117,7 @@ impl FsHandles {
     }
 }
 
-impl<S: BlockStorage> FileSystem<S> {
+impl<S: BlockDevice> FileSystem<S> {
     // ---- lifecycle ---------------------------------------------------------
 
     /// Formats `dev` and mounts the fresh filesystem.
@@ -127,13 +127,13 @@ impl<S: BlockStorage> FileSystem<S> {
     /// [`FsError::NoSpace`] for devices too small for metadata, plus I/O
     /// errors.
     pub fn format(mut dev: S) -> FsResult<Self> {
-        let total = u32::try_from(dev.block_count()).map_err(|_| FsError::NoSpace)?;
+        let total = u32::try_from(dev.capacity_blocks()).map_err(|_| FsError::NoSpace)?;
         let sb = SuperBlock::compute(total)?;
-        dev.write_block(Lba(0), &sb.encode())?;
+        dev.write(Lba(0), &sb.encode())?;
         // Zero the bitmaps and inode table.
         let zero = [0u8; BLOCK_SIZE];
         for b in sb.block_bitmap_start..sb.data_start {
-            dev.write_block(Lba(u64::from(b)), &zero)?;
+            dev.write(Lba(u64::from(b)), &zero)?;
         }
         let mut fs = FileSystem {
             dev,
@@ -161,9 +161,9 @@ impl<S: BlockStorage> FileSystem<S> {
     /// [`FsError::Corrupted`] when the superblock fails validation.
     pub fn mount(mut dev: S) -> FsResult<Self> {
         let mut buf = [0u8; BLOCK_SIZE];
-        dev.read_block(Lba(0), &mut buf)?;
+        dev.read(Lba(0), &mut buf)?;
         let sb = SuperBlock::decode(&buf)?;
-        if u64::from(sb.total_blocks) != dev.block_count() {
+        if u64::from(sb.total_blocks) != dev.capacity_blocks() {
             return Err(FsError::Corrupted(
                 "superblock size does not match device".into(),
             ));
@@ -213,7 +213,7 @@ impl<S: BlockStorage> FileSystem<S> {
     /// I/O errors persisting the superblock.
     pub fn set_extents_only(&mut self, on: bool) -> FsResult<()> {
         self.sb.extents_only = on;
-        self.dev.write_block(Lba(0), &self.sb.encode())?;
+        self.dev.write(Lba(0), &self.sb.encode())?;
         Ok(())
     }
 
@@ -222,13 +222,13 @@ impl<S: BlockStorage> FileSystem<S> {
     fn read_raw(&mut self, block: FsBlock) -> FsResult<[u8; BLOCK_SIZE]> {
         let mut buf = [0u8; BLOCK_SIZE];
         self.tel.block_reads.incr();
-        self.dev.read_block(Lba(u64::from(block)), &mut buf)?;
+        self.dev.read(Lba(u64::from(block)), &mut buf)?;
         Ok(buf)
     }
 
     fn write_raw(&mut self, block: FsBlock, buf: &[u8; BLOCK_SIZE]) -> FsResult<()> {
         self.tel.block_writes.incr();
-        self.dev.write_block(Lba(u64::from(block)), buf)?;
+        self.dev.write(Lba(u64::from(block)), buf)?;
         Ok(())
     }
 
@@ -283,7 +283,7 @@ impl<S: BlockStorage> FileSystem<S> {
         self.bitmap_set(self.sb.block_bitmap_start, b, false)?;
         // TRIM the freed block so the FTL can drop the mapping (gives the
         // attacker the fast unmapped-read path the paper mentions).
-        self.dev.trim_block(Lba(u64::from(b)))?;
+        self.dev.trim(Lba(u64::from(b)))?;
         Ok(())
     }
 

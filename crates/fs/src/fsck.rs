@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use ssdhammer_simkit::BlockStorage;
+use ssdhammer_simkit::BlockDevice;
 
 use crate::error::{FsError, FsResult};
 use crate::fs::FileSystem;
@@ -98,7 +98,7 @@ impl FsckReport {
     }
 }
 
-impl<S: BlockStorage> FileSystem<S> {
+impl<S: BlockDevice> FileSystem<S> {
     /// Performs a full consistency check. Never mutates the filesystem.
     ///
     /// # Errors
@@ -240,11 +240,9 @@ mod tests {
         // high-bit L2P-style flip.
         let mut buf = [0u8; BLOCK_SIZE];
         let mut dev_view = f.into_device();
-        dev_view
-            .read_block(Lba(u64::from(single)), &mut buf)
-            .unwrap();
+        dev_view.read(Lba(u64::from(single)), &mut buf).unwrap();
         buf[0..4].copy_from_slice(&0xFFFF_FF00u32.to_le_bytes());
-        dev_view.write_block(Lba(u64::from(single)), &buf).unwrap();
+        dev_view.write(Lba(u64::from(single)), &buf).unwrap();
         let mut f = FileSystem::mount(dev_view).unwrap();
         let report = f.fsck().unwrap();
         assert!(
@@ -274,10 +272,9 @@ mod tests {
         let stolen = inline[0].start;
         let mut buf = [0u8; BLOCK_SIZE];
         let mut dev = f.into_device();
-        dev.read_block(Lba(u64::from(single)), &mut buf).unwrap();
+        dev.read(Lba(u64::from(single)), &mut buf).unwrap();
         buf[0..4].copy_from_slice(&stolen.to_le_bytes());
-        dev.write_block(Lba(u64::from(single)), &buf.clone())
-            .unwrap();
+        dev.write(Lba(u64::from(single)), &buf.clone()).unwrap();
         let mut f = FileSystem::mount(dev).unwrap();
         let report = f.fsck().unwrap();
         assert!(

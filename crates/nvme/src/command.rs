@@ -14,8 +14,81 @@ impl core::fmt::Display for NsId {
 }
 
 /// Identifies a queue pair.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// Ordered so that queue collections iterate deterministically — the
+/// arbiter in [`process_all`] visits active queues in ascending id order.
+///
+/// [`process_all`]: https://docs.rs/ssdhammer-nvme
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct QpId(pub u32);
+
+impl core::fmt::Display for QpId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "qp{}", self.0)
+    }
+}
+
+/// Handle to a created queue pair, returned by `create_queue_pair`.
+///
+/// Carries the queue's identity alongside its submission-queue depth and
+/// arbitration weight, so call sites no longer thread a bare [`QpId`] plus
+/// out-of-band knowledge of the depth they asked for. The handle is `Copy`
+/// and converts into [`QpId`] wherever one is expected, so it can be passed
+/// directly to `submit`, `submit_batch`, `process`, and
+/// `drain_completions`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueuePairHandle {
+    id: QpId,
+    depth: usize,
+    weight: u32,
+}
+
+impl QueuePairHandle {
+    /// Assembles a handle (crate-internal; hosts receive handles from
+    /// `create_queue_pair`).
+    pub(crate) fn new(id: QpId, depth: usize, weight: u32) -> Self {
+        QueuePairHandle { id, depth, weight }
+    }
+
+    /// The queue pair's identity.
+    #[must_use]
+    pub fn id(&self) -> QpId {
+        self.id
+    }
+
+    /// Submission-queue depth: the number of commands that may be in flight
+    /// on this queue at once.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Weighted-round-robin arbitration weight (commands served per
+    /// arbitration round when the controller runs [`Arbiter::WeightedRoundRobin`]).
+    #[must_use]
+    pub fn weight(&self) -> u32 {
+        self.weight
+    }
+}
+
+impl From<QueuePairHandle> for QpId {
+    fn from(h: QueuePairHandle) -> QpId {
+        h.id
+    }
+}
+
+/// How `process_all` shares controller service among active queue pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Arbiter {
+    /// One command per active queue per round, ascending [`QpId`] order —
+    /// NVMe's mandatory arbitration scheme.
+    #[default]
+    RoundRobin,
+    /// Up to `weight` commands per queue per round (weights set at
+    /// `create_queue_pair_weighted` time) — NVMe's optional WRR scheme,
+    /// which a cloud host uses to bias service toward premium tenants.
+    WeightedRoundRobin,
+}
 
 /// Host-visible commands. LBAs are namespace-relative.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +123,33 @@ pub enum Command {
     },
     /// Identify-controller: returns capacity and model information.
     Identify,
+    /// Vendor-specific aggregated hammer burst: `requests` reads issued
+    /// round-robin over *device* LBAs at up to `rate` requests/second
+    /// (further bounded by the controller's IOPS ceiling and any rate
+    /// limit). This is how the attack's hammer loops ride the batched queue
+    /// path without simulating a million individual submissions; it counts
+    /// as `requests` commands in the device's submission/completion
+    /// accounting.
+    VendorHammer {
+        /// Device (FTL) LBAs to read round-robin.
+        lbas: Box<[Lba]>,
+        /// Total reads to issue across the burst.
+        requests: u64,
+        /// Requested submission rate, commands/second.
+        rate: f64,
+    },
+}
+
+impl Command {
+    /// I/O commands this submission represents in the device's accounting:
+    /// one for ordinary commands, `requests` for an aggregated hammer burst.
+    #[must_use]
+    pub fn io_units(&self) -> u64 {
+        match self {
+            Command::VendorHammer { requests, .. } => *requests,
+            _ => 1,
+        }
+    }
 }
 
 /// Errors surfaced on the NVMe surface.
@@ -142,6 +242,8 @@ pub enum CmdResult {
     Flush,
     /// Identify payload.
     Identify(IdentifyData),
+    /// Hammer burst completed; the DRAM-level disturbance report.
+    Hammer(ssdhammer_dram::HammerReport),
     /// Command failed.
     Error(NvmeError),
 }
@@ -219,6 +321,13 @@ pub struct ControllerConfig {
     /// IOs below the rowhammering access rate" mitigation. Commands are
     /// delayed, not rejected.
     pub rate_limit_iops: Option<f64>,
+    /// Queue arbitration scheme used by `process_all`.
+    pub arbiter: Arbiter,
+    /// I/O processing cores on the controller: the upper bound on how many
+    /// saturated queue pairs can be serviced concurrently, and therefore on
+    /// the multi-queue IOPS ceiling `max_iops` reports (§2.3's feasibility
+    /// argument assumes the host drives multiple queue pairs).
+    pub io_cores: u32,
 }
 
 impl Default for ControllerConfig {
@@ -226,6 +335,8 @@ impl Default for ControllerConfig {
         ControllerConfig {
             interface: InterfaceGen::Pcie4,
             rate_limit_iops: None,
+            arbiter: Arbiter::default(),
+            io_cores: 4,
         }
     }
 }

@@ -18,10 +18,18 @@
 //!   on PCIe 5.0).
 //! * [`ControllerConfig::rate_limit_iops`] implements §5's rate-limiting
 //!   mitigation (delaying, not rejecting, commands).
-//! * [`Ssd::hammer_reads`] is the aggregated attack path; it honours the
+//! * [`Ssd::submit_batch`] / [`Ssd::process_all`] /
+//!   [`Ssd::drain_completions`] form the batched multi-queue path: commands
+//!   are enqueued in bulk, serviced under a pluggable [`Arbiter`]
+//!   (round-robin or weighted round-robin across queue pairs), and drained
+//!   per queue. [`Ssd::max_iops`] reports the multi-queue ceiling this
+//!   unlocks.
+//! * [`Ssd::hammer_reads`] is the aggregated attack path; it rides the same
+//!   batch machinery as a [`Command::VendorHammer`] burst and honours the
 //!   same service-rate bounds as per-command submission.
-//! * [`Namespace`] implements [`ssdhammer_simkit::BlockStorage`], so the
-//!   ext4-like filesystem mounts directly on a namespace.
+//! * [`Ssd`] and [`Namespace`] implement
+//!   [`ssdhammer_simkit::BlockDevice`], so the ext4-like filesystem mounts
+//!   directly on the whole drive or on one namespace.
 //!
 //! # Examples
 //!
@@ -33,8 +41,11 @@
 //! let mut ssd = Ssd::build(SsdConfig::test_small(7));
 //! let ns = ssd.create_namespace(128)?;
 //! let qp = ssd.create_queue_pair(32);
-//! let completion = ssd.roundtrip(qp, Command::Read { ns, lba: Lba(0) })?;
-//! assert!(completion.is_ok());
+//! let batch: Vec<Command> = (0..4).map(|i| Command::Read { ns, lba: Lba(i) }).collect();
+//! ssd.submit_batch(qp, &batch)?;
+//! ssd.process_all();
+//! let completions = ssd.drain_completions(qp)?;
+//! assert!(completions.iter().all(|c| c.is_ok()));
 //! # Ok(())
 //! # }
 //! ```
@@ -46,7 +57,7 @@ mod command;
 mod ssd;
 
 pub use command::{
-    CmdResult, Command, Completion, ControllerConfig, IdentifyData, InterfaceGen, NsId, NvmeError,
-    QpId,
+    Arbiter, CmdResult, Command, Completion, ControllerConfig, IdentifyData, InterfaceGen, NsId,
+    NvmeError, QpId, QueuePairHandle,
 };
 pub use ssd::{Namespace, Ssd, SsdConfig, SsdStats};

@@ -1,11 +1,11 @@
-//! The block-storage abstraction shared by the NVMe namespace model, the
+//! The block-device abstraction shared by the NVMe namespace model, the
 //! filesystem, and test doubles.
 
 use core::fmt;
 
 use crate::units::{Lba, BLOCK_SIZE};
 
-/// Errors returned by [`BlockStorage`] operations.
+/// Errors returned by [`BlockDevice`] operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum StorageError {
@@ -58,17 +58,22 @@ impl fmt::Display for StorageError {
 
 impl std::error::Error for StorageError {}
 
-/// Result alias for block-storage operations.
+/// Result alias for block-device operations.
 pub type StorageResult<T> = Result<T, StorageError>;
 
 /// A 4 KiB-block random-access storage device.
 ///
-/// Implemented by the in-memory [`RamDisk`] (tests, filesystem unit tests),
-/// by NVMe namespaces in `ssdhammer-nvme`, and by tenant partition views in
-/// `ssdhammer-cloud`. All blocks are [`BLOCK_SIZE`] bytes.
-pub trait BlockStorage {
+/// This is the composition seam of the stack: filesystems, workload
+/// replayers, and attack spray phases are generic over `&mut impl
+/// BlockDevice`, so the same code runs against the full simulated [`Ssd`],
+/// a single NVMe [`Namespace`], a tenant partition view, or the in-memory
+/// [`RamDisk`] test double. All blocks are [`BLOCK_SIZE`] bytes.
+///
+/// [`Ssd`]: https://docs.rs/ssdhammer-nvme
+/// [`Namespace`]: https://docs.rs/ssdhammer-nvme
+pub trait BlockDevice {
     /// Number of addressable blocks.
-    fn block_count(&self) -> u64;
+    fn capacity_blocks(&self) -> u64;
 
     /// Reads the block at `lba` into `buf`.
     ///
@@ -77,14 +82,14 @@ pub trait BlockStorage {
     /// [`StorageError::OutOfRange`] if `lba` exceeds capacity,
     /// [`StorageError::BadBufferLen`] if `buf` is not exactly one block,
     /// [`StorageError::Uncorrectable`] if the device cannot return the data.
-    fn read_block(&mut self, lba: Lba, buf: &mut [u8]) -> StorageResult<()>;
+    fn read(&mut self, lba: Lba, buf: &mut [u8]) -> StorageResult<()>;
 
     /// Writes `buf` to the block at `lba`.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`BlockStorage::read_block`].
-    fn write_block(&mut self, lba: Lba, buf: &[u8]) -> StorageResult<()>;
+    /// Same conditions as [`BlockDevice::read`].
+    fn write(&mut self, lba: Lba, buf: &[u8]) -> StorageResult<()>;
 
     /// Discards the mapping of the block at `lba` (NVMe deallocate / TRIM).
     /// Subsequent reads return zeroes.
@@ -92,7 +97,7 @@ pub trait BlockStorage {
     /// # Errors
     ///
     /// [`StorageError::OutOfRange`] if `lba` exceeds capacity.
-    fn trim_block(&mut self, lba: Lba) -> StorageResult<()>;
+    fn trim(&mut self, lba: Lba) -> StorageResult<()>;
 
     /// Persists outstanding state. A no-op for most simulated devices.
     ///
@@ -109,10 +114,10 @@ pub trait BlockStorage {
     ///
     /// [`StorageError::OutOfRange`] or [`StorageError::BadBufferLen`].
     fn check_access(&self, lba: Lba, buf_len: usize) -> StorageResult<()> {
-        if lba.as_u64() >= self.block_count() {
+        if lba.as_u64() >= self.capacity_blocks() {
             return Err(StorageError::OutOfRange {
                 lba,
-                capacity: self.block_count(),
+                capacity: self.capacity_blocks(),
             });
         }
         if buf_len != BLOCK_SIZE {
@@ -125,19 +130,24 @@ pub trait BlockStorage {
     }
 }
 
+/// Former name of [`BlockDevice`], kept as an alias for downstream code
+/// written against the pre-redesign trait. New code should import
+/// [`BlockDevice`] directly.
+pub use BlockDevice as BlockStorage;
+
 /// A plain in-memory block device, sparse until written.
 ///
 /// # Examples
 ///
 /// ```
-/// use ssdhammer_simkit::{BlockStorage, Lba, RamDisk, BLOCK_SIZE};
+/// use ssdhammer_simkit::{BlockDevice, Lba, RamDisk, BLOCK_SIZE};
 ///
 /// # fn main() -> Result<(), ssdhammer_simkit::StorageError> {
 /// let mut disk = RamDisk::new(128);
 /// let block = [0xABu8; BLOCK_SIZE];
-/// disk.write_block(Lba(3), &block)?;
+/// disk.write(Lba(3), &block)?;
 /// let mut out = [0u8; BLOCK_SIZE];
-/// disk.read_block(Lba(3), &mut out)?;
+/// disk.read(Lba(3), &mut out)?;
 /// assert_eq!(out, block);
 /// # Ok(())
 /// # }
@@ -165,12 +175,12 @@ impl RamDisk {
     }
 }
 
-impl BlockStorage for RamDisk {
-    fn block_count(&self) -> u64 {
+impl BlockDevice for RamDisk {
+    fn capacity_blocks(&self) -> u64 {
         self.capacity
     }
 
-    fn read_block(&mut self, lba: Lba, buf: &mut [u8]) -> StorageResult<()> {
+    fn read(&mut self, lba: Lba, buf: &mut [u8]) -> StorageResult<()> {
         self.check_access(lba, buf.len())?;
         match self.blocks.get(&lba.as_u64()) {
             Some(data) => buf.copy_from_slice(data),
@@ -179,13 +189,13 @@ impl BlockStorage for RamDisk {
         Ok(())
     }
 
-    fn write_block(&mut self, lba: Lba, buf: &[u8]) -> StorageResult<()> {
+    fn write(&mut self, lba: Lba, buf: &[u8]) -> StorageResult<()> {
         self.check_access(lba, buf.len())?;
         self.blocks.insert(lba.as_u64(), buf.into());
         Ok(())
     }
 
-    fn trim_block(&mut self, lba: Lba) -> StorageResult<()> {
+    fn trim(&mut self, lba: Lba) -> StorageResult<()> {
         if lba.as_u64() >= self.capacity {
             return Err(StorageError::OutOfRange {
                 lba,
@@ -205,7 +215,7 @@ mod tests {
     fn unwritten_blocks_read_zero() {
         let mut d = RamDisk::new(4);
         let mut buf = [7u8; BLOCK_SIZE];
-        d.read_block(Lba(0), &mut buf).unwrap();
+        d.read(Lba(0), &mut buf).unwrap();
         assert!(buf.iter().all(|&b| b == 0));
     }
 
@@ -214,19 +224,19 @@ mod tests {
         let mut d = RamDisk::new(4);
         let mut block = [0u8; BLOCK_SIZE];
         block[100] = 42;
-        d.write_block(Lba(2), &block).unwrap();
+        d.write(Lba(2), &block).unwrap();
         let mut out = [0u8; BLOCK_SIZE];
-        d.read_block(Lba(2), &mut out).unwrap();
+        d.read(Lba(2), &mut out).unwrap();
         assert_eq!(out[100], 42);
     }
 
     #[test]
     fn trim_restores_zero() {
         let mut d = RamDisk::new(4);
-        d.write_block(Lba(1), &[1u8; BLOCK_SIZE]).unwrap();
-        d.trim_block(Lba(1)).unwrap();
+        d.write(Lba(1), &[1u8; BLOCK_SIZE]).unwrap();
+        d.trim(Lba(1)).unwrap();
         let mut out = [9u8; BLOCK_SIZE];
-        d.read_block(Lba(1), &mut out).unwrap();
+        d.read(Lba(1), &mut out).unwrap();
         assert!(out.iter().all(|&b| b == 0));
         assert_eq!(d.populated_blocks(), 0);
     }
@@ -235,10 +245,10 @@ mod tests {
     fn out_of_range_is_rejected() {
         let mut d = RamDisk::new(4);
         let mut buf = [0u8; BLOCK_SIZE];
-        let err = d.read_block(Lba(4), &mut buf).unwrap_err();
+        let err = d.read(Lba(4), &mut buf).unwrap_err();
         assert!(matches!(err, StorageError::OutOfRange { .. }));
         assert!(matches!(
-            d.trim_block(Lba(99)),
+            d.trim(Lba(99)),
             Err(StorageError::OutOfRange { .. })
         ));
     }
@@ -247,7 +257,7 @@ mod tests {
     fn short_buffer_is_rejected() {
         let mut d = RamDisk::new(4);
         let mut small = [0u8; 512];
-        let err = d.read_block(Lba(0), &mut small).unwrap_err();
+        let err = d.read(Lba(0), &mut small).unwrap_err();
         assert_eq!(
             err,
             StorageError::BadBufferLen {

@@ -11,10 +11,13 @@
 //! * [`ByteSize`], [`Lba`], [`DramAddr`], [`BLOCK_SIZE`] — units and address
 //!   newtypes that keep logical, physical, and DRAM address spaces apart in
 //!   the type system.
-//! * [`BlockStorage`] and the in-memory [`RamDisk`] — the 4 KiB block-device
-//!   contract implemented by NVMe namespaces and partition views.
+//! * [`BlockDevice`] and the in-memory [`RamDisk`] — the 4 KiB block-device
+//!   contract implemented by the full SSD, NVMe namespaces, and partition
+//!   views.
 //! * [`rng`] — seed-derivation helpers making every stochastic component
 //!   reproducible.
+//! * [`parallel`] — the deterministic sharded campaign runner behind
+//!   `repro --threads N`: results are bit-identical for any thread count.
 //! * [`crc32c`] — the checksum ext4 applies to extent-tree metadata (and
 //!   pointedly does *not* apply to legacy indirect blocks, which is what the
 //!   paper's end-to-end exploit rides on).
@@ -42,13 +45,14 @@ mod blockdev;
 mod clock;
 mod crc32c;
 pub mod json;
+pub mod parallel;
 pub mod rng;
 pub mod stats;
 pub mod telemetry;
 mod time;
 mod units;
 
-pub use blockdev::{BlockStorage, RamDisk, StorageError, StorageResult};
+pub use blockdev::{BlockDevice, BlockStorage, RamDisk, StorageError, StorageResult};
 pub use clock::SimClock;
 pub use crc32c::{crc32c, update as crc32c_update};
 pub use time::{SimDuration, SimTime};

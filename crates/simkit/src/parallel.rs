@@ -1,0 +1,248 @@
+//! Deterministic parallel campaign runner.
+//!
+//! Monte-Carlo sweeps and per-module measurement campaigns in `crates/bench`
+//! are embarrassingly parallel: every trial builds its own simulated device
+//! from a seed and never shares state. This module shards such campaigns
+//! across [`std::thread`] workers while keeping the output **bit-identical
+//! regardless of thread count**, which the repro suite asserts (see the
+//! `--threads` flag on the `repro` binary).
+//!
+//! The determinism rule is simple and worth stating once:
+//!
+//! 1. **Seeds are positional.** Trial `i` of a campaign seeded `root` always
+//!    runs with [`rng::derive_seed`]`(root, tag, i)` — a splitmix64 mix of
+//!    the campaign seed, a per-campaign tag, and the trial index. Which
+//!    worker thread executes trial `i` has no influence on its seed.
+//! 2. **Results merge in index order.** Workers pull trial indices from a
+//!    shared atomic counter (so a slow trial does not stall the others), tag
+//!    each result with its index, and the runner sorts the merged vector by
+//!    index before returning. The caller observes the same `Vec` a
+//!    sequential loop would have produced.
+//!
+//! Anything seeded *per trial* and merged *by index* is therefore safe to
+//! run at any parallelism; anything that threads RNG state across trials is
+//! not, and must be restructured (see
+//! `ssdhammer-core`'s chunked Monte-Carlo estimator for the pattern).
+//!
+//! # Examples
+//!
+//! ```
+//! use ssdhammer_simkit::parallel::Campaign;
+//!
+//! let doubled: Vec<u64> = Campaign::new(42).with_threads(4).run(10, |trial| {
+//!     // trial.seed is derive_seed(42, "trial", trial.index); build a
+//!     // device from it here. The return value lands at trial.index.
+//!     trial.index as u64 * 2
+//! });
+//! assert_eq!(doubled, (0..10).map(|i| i * 2).collect::<Vec<_>>());
+//! let sequential: Vec<u64> =
+//!     Campaign::new(42).with_threads(1).run(10, |t| t.index as u64 * 2);
+//! assert_eq!(doubled, sequential);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::rng;
+
+/// Per-trial context handed to the campaign closure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Trial {
+    /// Position of this trial in the campaign (`0..trials`). Results are
+    /// returned in this order.
+    pub index: usize,
+    /// Seed for this trial: `derive_seed(campaign_seed, tag, index)`.
+    /// Independent of the executing thread.
+    pub seed: u64,
+}
+
+/// A seeded, shardable trial campaign.
+///
+/// See the [module docs](self) for the determinism rule.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    seed: u64,
+    tag: &'static str,
+    threads: usize,
+}
+
+impl Campaign {
+    /// Creates a campaign rooted at `seed`, running inline (one thread) with
+    /// the default trial tag `"trial"`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Campaign {
+            seed,
+            tag: "trial",
+            threads: 1,
+        }
+    }
+
+    /// Sets the worker-thread count. `0` and `1` both mean "run inline on
+    /// the calling thread"; larger values shard trials across that many
+    /// `std::thread` workers.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the tag mixed into per-trial seed derivation, separating the
+    /// seed streams of campaigns that share a root seed.
+    #[must_use]
+    pub fn with_tag(mut self, tag: &'static str) -> Self {
+        self.tag = tag;
+        self
+    }
+
+    /// The campaign's root seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The worker-thread count this campaign will use.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The seed trial `index` will receive, without running anything.
+    #[must_use]
+    pub fn trial_seed(&self, index: usize) -> u64 {
+        rng::derive_seed(self.seed, self.tag, index as u64)
+    }
+
+    /// Runs `trials` invocations of `f`, sharded over the configured worker
+    /// threads, and returns the results **in trial order** — bit-identical
+    /// for any thread count.
+    ///
+    /// `f` must derive all randomness from [`Trial::seed`] and must not
+    /// share mutable state between trials; the type system enforces the
+    /// latter (`F: Fn + Sync`, results `Send`).
+    pub fn run<T, F>(&self, trials: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Trial) -> T + Sync,
+    {
+        let workers = self.threads.min(trials.max(1));
+        if workers <= 1 {
+            return (0..trials).map(|i| f(self.trial(i))).collect();
+        }
+
+        // Work-stealing by atomic index: slow trials (e.g. a table1 row
+        // whose binary search needs extra windows) do not leave other
+        // workers idle, and the index tags keep the merge deterministic.
+        let next = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(trials));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= trials {
+                            break;
+                        }
+                        local.push((i, f(self.trial(i))));
+                    }
+                    collected
+                        .lock()
+                        .expect("campaign worker panicked while merging")
+                        .extend(local);
+                });
+            }
+        });
+        let mut merged = collected.into_inner().expect("campaign merge poisoned");
+        merged.sort_by_key(|&(i, _)| i);
+        debug_assert_eq!(merged.len(), trials);
+        merged.into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// Convenience: run the campaign and fold the ordered results, e.g. to
+    /// sum Monte-Carlo hit counts. Folding happens after the deterministic
+    /// merge, on the calling thread, so it inherits the bit-identical
+    /// guarantee.
+    pub fn run_fold<T, F, A, G>(&self, trials: usize, f: F, init: A, fold: G) -> A
+    where
+        T: Send,
+        F: Fn(Trial) -> T + Sync,
+        G: FnMut(A, T) -> A,
+    {
+        self.run(trials, f).into_iter().fold(init, fold)
+    }
+
+    fn trial(&self, index: usize) -> Trial {
+        Trial {
+            index,
+            seed: self.trial_seed(index),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{seeded, Rng};
+
+    fn trial_value(t: Trial) -> u64 {
+        let mut rng = seeded(t.seed);
+        rng.gen::<u64>() ^ (t.index as u64)
+    }
+
+    #[test]
+    fn results_arrive_in_trial_order() {
+        let out = Campaign::new(7).with_threads(4).run(64, |t| t.index);
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let one = Campaign::new(9).with_threads(1).run(33, trial_value);
+        for threads in [2, 3, 8] {
+            let many = Campaign::new(9).with_threads(threads).run(33, trial_value);
+            assert_eq!(one, many, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn seeds_are_positional_and_distinct() {
+        let c = Campaign::new(1234);
+        let seeds: Vec<u64> = c.run(16, |t| t.seed);
+        for (i, &s) in seeds.iter().enumerate() {
+            assert_eq!(s, c.trial_seed(i));
+        }
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "per-trial seeds must differ");
+    }
+
+    #[test]
+    fn tag_separates_seed_streams() {
+        let a = Campaign::new(5).with_tag("mc").trial_seed(0);
+        let b = Campaign::new(5).with_tag("table1").trial_seed(0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_trials_is_empty() {
+        let out: Vec<usize> = Campaign::new(3).with_threads(8).run(0, |t| t.index);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_trials_is_fine() {
+        let out = Campaign::new(3).with_threads(32).run(3, |t| t.index * 10);
+        assert_eq!(out, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn run_fold_sums_after_merge() {
+        let total =
+            Campaign::new(8)
+                .with_threads(4)
+                .run_fold(100, |t| t.index as u64, 0u64, |a, b| a + b);
+        assert_eq!(total, 4950);
+    }
+}

@@ -5,6 +5,11 @@
 //! many-sided) plus ordinary sequential/random/skewed workloads used to
 //! exercise the FTL and as background noise in mitigation ablations.
 //!
+//! The replay helpers ([`prefill`], [`replay_reads`],
+//! [`trim_all`], [`verify_prefill`]) drive those patterns into any
+//! `&mut impl BlockDevice` — the simulated SSD, a namespace view, or a
+//! `RamDisk`.
+//!
 //! # Examples
 //!
 //! ```
@@ -21,5 +26,7 @@
 #![warn(missing_docs)]
 
 mod patterns;
+mod replay;
 
 pub use patterns::{hammer_request_set, hot_cold, random_uniform, sequential, HammerStyle};
+pub use replay::{prefill, replay_reads, trim_all, verify_prefill};

@@ -1,0 +1,123 @@
+//! Replays generated access patterns against any [`BlockDevice`].
+//!
+//! The generators in [`crate::patterns`] produce LBA sequences; the helpers
+//! here drive those sequences into a device — the full simulated SSD, one
+//! NVMe namespace, or the in-memory `RamDisk` test double — through the
+//! `simkit::BlockDevice` seam, so workload code never names a concrete
+//! device type.
+
+use ssdhammer_simkit::rng::{seeded, Rng};
+use ssdhammer_simkit::{BlockDevice, Lba, StorageResult, BLOCK_SIZE};
+
+/// Fills each block with a byte derived from its LBA and `seed`, so later
+/// reads can verify placement without storing the written data.
+#[must_use]
+fn fill_byte(lba: Lba, seed: u64) -> u8 {
+    let mut rng = seeded(seed ^ lba.as_u64().wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    rng.gen::<u8>() | 1 // never zero, so prefilled blocks differ from trimmed
+}
+
+/// Writes every LBA in `lbas` with deterministic per-block content — the
+/// attack's setup phase ("writing data to contiguous LBAs", §3.1) and the
+/// prefill step of FTL stress workloads.
+///
+/// # Errors
+///
+/// Propagates the first device error.
+pub fn prefill(dev: &mut impl BlockDevice, lbas: &[Lba], seed: u64) -> StorageResult<()> {
+    let mut buf = [0u8; BLOCK_SIZE];
+    for &lba in lbas {
+        buf.fill(fill_byte(lba, seed));
+        dev.write(lba, &buf)?;
+    }
+    dev.flush()
+}
+
+/// Reads every LBA in `lbas` and returns how many still carry the content
+/// [`prefill`] wrote with the same `seed` — blocks that were trimmed,
+/// overwritten, or corrupted in between no longer match.
+///
+/// # Errors
+///
+/// Propagates the first device error.
+pub fn verify_prefill(dev: &mut impl BlockDevice, lbas: &[Lba], seed: u64) -> StorageResult<usize> {
+    let mut buf = [0u8; BLOCK_SIZE];
+    let mut intact = 0;
+    for &lba in lbas {
+        dev.read(lba, &mut buf)?;
+        let expect = fill_byte(lba, seed);
+        if buf.iter().all(|&b| b == expect) {
+            intact += 1;
+        }
+    }
+    Ok(intact)
+}
+
+/// Issues one read per LBA in `lbas` (request content is discarded) and
+/// returns the number of reads issued — background read noise for
+/// mitigation ablations and the victim side of hammer experiments.
+///
+/// # Errors
+///
+/// Propagates the first device error.
+pub fn replay_reads(dev: &mut impl BlockDevice, lbas: &[Lba]) -> StorageResult<usize> {
+    let mut buf = [0u8; BLOCK_SIZE];
+    for &lba in lbas {
+        dev.read(lba, &mut buf)?;
+    }
+    Ok(lbas.len())
+}
+
+/// Trims every LBA in `lbas` — the attacker's teardown that turns its spray
+/// files into unmapped fast-path blocks (§3).
+///
+/// # Errors
+///
+/// Propagates the first device error.
+pub fn trim_all(dev: &mut impl BlockDevice, lbas: &[Lba]) -> StorageResult<()> {
+    for &lba in lbas {
+        dev.trim(lba)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::{random_uniform, sequential};
+    use ssdhammer_simkit::RamDisk;
+
+    #[test]
+    fn prefill_then_verify_round_trips() {
+        let mut disk = RamDisk::new(64);
+        let lbas = sequential(Lba(8), 16);
+        prefill(&mut disk, &lbas, 7).unwrap();
+        assert_eq!(verify_prefill(&mut disk, &lbas, 7).unwrap(), 16);
+        // A different seed expects different content everywhere.
+        assert_eq!(verify_prefill(&mut disk, &lbas, 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn trim_invalidates_prefilled_blocks() {
+        let mut disk = RamDisk::new(64);
+        let lbas = sequential(Lba(0), 8);
+        prefill(&mut disk, &lbas, 3).unwrap();
+        trim_all(&mut disk, &lbas[..4]).unwrap();
+        assert_eq!(verify_prefill(&mut disk, &lbas, 3).unwrap(), 4);
+    }
+
+    #[test]
+    fn replay_reads_covers_random_pattern() {
+        let mut disk = RamDisk::new(128);
+        let lbas = random_uniform(128, 500, 11);
+        assert_eq!(replay_reads(&mut disk, &lbas).unwrap(), 500);
+    }
+
+    #[test]
+    fn out_of_range_errors_propagate() {
+        let mut disk = RamDisk::new(4);
+        assert!(prefill(&mut disk, &[Lba(4)], 1).is_err());
+        assert!(replay_reads(&mut disk, &[Lba(9)]).is_err());
+        assert!(trim_all(&mut disk, &[Lba(9)]).is_err());
+    }
+}

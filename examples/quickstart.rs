@@ -70,5 +70,26 @@ fn main() -> Result<()> {
         "\n{} logical block(s) silently remapped using nothing but reads.",
         outcome.redirections.len()
     );
+
+    // The same device speaks the batched multi-queue NVMe front end: queue
+    // a burst of reads on one queue pair, let the arbiter service every
+    // active queue, then drain the completions. (This is the modern path —
+    // `roundtrip` remains only for one-off control commands.)
+    let ns = ssd.create_namespace(64)?;
+    let qp = ssd.create_queue_pair(8);
+    let batch: Vec<Command> = (0..8).map(|i| Command::Read { ns, lba: Lba(i) }).collect();
+    ssd.submit_batch(qp, &batch)?;
+    ssd.process_all();
+    let completions = ssd.drain_completions(qp)?;
+    let mean_us = completions
+        .iter()
+        .map(|c| c.latency().as_secs_f64() * 1e6)
+        .sum::<f64>()
+        / completions.len() as f64;
+    println!(
+        "batched I/O: {} reads in one submission on a depth-{} queue pair, mean latency {mean_us:.1} us",
+        completions.len(),
+        qp.depth(),
+    );
     Ok(())
 }

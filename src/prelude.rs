@@ -5,8 +5,11 @@
 //! layers underneath it (`Ftl`, `DramModule`, `FileSystem`), the attack
 //! surface (`find_attack_sites`, `run_primitive`, `AttackParams`,
 //! `HammerStyle`), the simulation substrate (`SimClock`, `SimDuration`,
-//! `Lba`), the shared observability layer (`Telemetry`,
-//! `TelemetrySnapshot`), and the unified [`Error`]/[`Result`] pair.
+//! `Lba`), the batched multi-queue front end (`Command`, `Completion`,
+//! `QueuePairHandle`, `Arbiter`), the deterministic parallel campaign
+//! runner (`Campaign`), the storage seam (`BlockDevice`, `RamDisk`), the
+//! shared observability layer (`Telemetry`, `TelemetrySnapshot`), and the
+//! unified [`Error`]/[`Result`] pair.
 //!
 //! # Examples
 //!
@@ -26,9 +29,10 @@
 
 pub use crate::error::{Error, Result};
 
+pub use ssdhammer_simkit::parallel::Campaign;
 pub use ssdhammer_simkit::telemetry::{Telemetry, TelemetrySnapshot, TraceEvent};
 pub use ssdhammer_simkit::{
-    BlockStorage, ByteSize, Lba, RamDisk, SimClock, SimDuration, SimTime, BLOCK_SIZE,
+    BlockDevice, ByteSize, Lba, RamDisk, SimClock, SimDuration, SimTime, BLOCK_SIZE,
 };
 
 pub use ssdhammer_dram::{
@@ -36,7 +40,9 @@ pub use ssdhammer_dram::{
 };
 pub use ssdhammer_flash::{FlashArray, FlashGeometry};
 pub use ssdhammer_ftl::{Ftl, FtlConfig, L2pLayout};
-pub use ssdhammer_nvme::{Ssd, SsdConfig};
+pub use ssdhammer_nvme::{
+    Arbiter, CmdResult, Command, Completion, QueuePairHandle, Ssd, SsdConfig,
+};
 
 pub use ssdhammer_core::{
     find_attack_sites, run_many_sided, run_primitive, setup_entries, AttackParams, AttackSite,

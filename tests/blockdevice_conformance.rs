@@ -1,0 +1,94 @@
+//! One conformance suite, three devices: the `BlockDevice` trait contract
+//! checked against every implementor — the full simulated [`Ssd`], a single
+//! NVMe namespace view, and the in-memory [`RamDisk`] test double. Code
+//! written against `&mut impl BlockDevice` (the filesystem, the workload
+//! replayers, the spray phase) may rely on exactly these behaviors.
+
+use ssdhammer::dram::ModuleProfile;
+use ssdhammer::nvme::{Ssd, SsdConfig};
+use ssdhammer::prelude::{BlockDevice, Lba, RamDisk, BLOCK_SIZE};
+use ssdhammer::simkit::StorageError;
+
+/// The contract every [`BlockDevice`] must satisfy.
+fn conformance(dev: &mut impl BlockDevice) {
+    let cap = dev.capacity_blocks();
+    assert!(cap >= 4, "conformance needs at least 4 blocks, got {cap}");
+    let last = Lba(cap - 1);
+
+    // Fresh (never-written) blocks read as zero.
+    let mut buf = [0xAAu8; BLOCK_SIZE];
+    dev.read(Lba(0), &mut buf).unwrap();
+    assert!(
+        buf.iter().all(|&b| b == 0),
+        "unwritten blocks must read zero"
+    );
+
+    // Write/read round-trips, including the last addressable block.
+    for lba in [Lba(0), last] {
+        let mut block = [0u8; BLOCK_SIZE];
+        block[0] = 0xC4;
+        block[BLOCK_SIZE - 1] = 0x7E;
+        dev.write(lba, &block).unwrap();
+        let mut out = [0u8; BLOCK_SIZE];
+        dev.read(lba, &mut out).unwrap();
+        assert_eq!(out, block, "round-trip at {lba}");
+    }
+
+    // Trim discards the mapping; the block reads as zero again.
+    dev.trim(Lba(0)).unwrap();
+    let mut out = [0xFFu8; BLOCK_SIZE];
+    dev.read(Lba(0), &mut out).unwrap();
+    assert!(out.iter().all(|&b| b == 0), "trimmed blocks must read zero");
+
+    // Every operation rejects addresses at or beyond capacity.
+    let mut block = [0u8; BLOCK_SIZE];
+    assert!(matches!(
+        dev.read(Lba(cap), &mut block),
+        Err(StorageError::OutOfRange { .. })
+    ));
+    assert!(matches!(
+        dev.write(Lba(cap), &block),
+        Err(StorageError::OutOfRange { .. })
+    ));
+    assert!(matches!(
+        dev.trim(Lba(cap)),
+        Err(StorageError::OutOfRange { .. })
+    ));
+
+    // Reads and writes reject buffers that are not exactly one block.
+    let mut small = [0u8; 512];
+    assert!(matches!(
+        dev.read(Lba(1), &mut small),
+        Err(StorageError::BadBufferLen { .. })
+    ));
+    assert!(matches!(
+        dev.write(Lba(1), &small),
+        Err(StorageError::BadBufferLen { .. })
+    ));
+
+    dev.flush().unwrap();
+}
+
+fn quiet_ssd(seed: u64) -> Ssd {
+    // Invulnerable DRAM: the conformance suite checks the storage contract,
+    // not the disturbance model.
+    Ssd::build(SsdConfig::test_small(seed).with_dram_profile(ModuleProfile::invulnerable()))
+}
+
+#[test]
+fn ramdisk_conforms() {
+    conformance(&mut RamDisk::new(64));
+}
+
+#[test]
+fn ssd_conforms() {
+    conformance(&mut quiet_ssd(9));
+}
+
+#[test]
+fn namespace_view_conforms() {
+    let mut ssd = quiet_ssd(9);
+    let ns = ssd.create_namespace(64).unwrap();
+    let mut view = ssd.namespace(ns).unwrap();
+    conformance(&mut view);
+}

@@ -37,20 +37,23 @@ fn per_command_nvme_reads_flip_l2p_bits() {
 
     let qp = ssd.create_queue_pair(64);
     let aggressors = [site.above_lbas[0], site.below_lbas[0]];
-    // ~1.7M IOPS interface: 150K commands ≈ 88 ms ≈ 1.4 refresh windows,
+    // ~1.7M IOPS interface: ~150K commands ≈ 88 ms ≈ 1.4 refresh windows,
     // >40K activations per aggressor per window — far beyond the 1K
-    // threshold.
-    for i in 0..150_000u64 {
-        let lba = aggressors[(i % 2) as usize];
-        ssd.submit(qp, Command::Read { ns, lba }).unwrap();
-        if i % 64 == 63 {
-            ssd.process(qp).unwrap();
-            while let Some(c) = ssd.pop_completion(qp).unwrap() {
-                assert!(c.is_ok());
-            }
+    // threshold. Submitted queue-depth-sized batches at a time, the way a
+    // real driver rings the doorbell once per burst.
+    for _ in 0..(150_000u64 / 64) {
+        let batch: Vec<Command> = (0..64)
+            .map(|i| Command::Read {
+                ns,
+                lba: aggressors[(i % 2) as usize],
+            })
+            .collect();
+        ssd.submit_batch(qp, &batch).unwrap();
+        ssd.process_all();
+        for c in ssd.drain_completions(qp).unwrap() {
+            assert!(c.is_ok());
         }
     }
-    ssd.process(qp).unwrap();
 
     let after = snapshot_mappings(ssd.ftl(), &site.victim_lbas).unwrap();
     assert_ne!(
@@ -70,17 +73,22 @@ fn redirection_changes_data_served_over_nvme() {
     setup_entries(ssd.ftl_mut(), &site.victim_lbas).unwrap();
 
     let qp = ssd.create_queue_pair(8);
+    // Completions drain in submission order, so batched reads come back in
+    // the same order the per-command loop produced them.
     let read_all = |ssd: &mut Ssd| -> Vec<Box<[u8]>> {
-        site.victim_lbas
-            .iter()
-            .map(|&lba| {
-                let c = ssd.roundtrip(qp, Command::Read { ns, lba }).unwrap();
+        let mut out = Vec::new();
+        for chunk in site.victim_lbas.chunks(qp.depth()) {
+            let batch: Vec<Command> = chunk.iter().map(|&lba| Command::Read { ns, lba }).collect();
+            ssd.submit_batch(qp, &batch).unwrap();
+            ssd.process_all();
+            for c in ssd.drain_completions(qp).unwrap() {
                 let CmdResult::Read { data, .. } = c.result else {
                     panic!("expected read data");
                 };
-                data
-            })
-            .collect()
+                out.push(data);
+            }
+        }
+        out
     };
     let before = read_all(&mut ssd);
     ssd.hammer_device_reads(

@@ -304,7 +304,7 @@ fn fs_operation_sequences_stay_consistent() {
 /// fail cleanly.
 #[test]
 fn fs_decoders_never_panic_on_garbage() {
-    use ssdhammer::simkit::BlockStorage;
+    use ssdhammer::simkit::BlockDevice;
     let mut rng = seeded(109);
     for _ in 0..50 {
         let mut bytes = [0u8; BLOCK_SIZE];
@@ -313,7 +313,7 @@ fn fs_decoders_never_panic_on_garbage() {
         }
         // Garbage superblock -> mount errors (no panic).
         let mut disk = RamDisk::new(64);
-        disk.write_block(Lba(0), &bytes).unwrap();
+        disk.write(Lba(0), &bytes).unwrap();
         assert!(
             FileSystem::mount(disk).is_err()
                 || bytes[..4] == ssdhammer::fs::SuperBlock::compute(64).unwrap().encode()[..4]
