@@ -1,7 +1,7 @@
 //! The §4 cloud case study, end to end: spray → hammer → scan → repeat,
 //! on a multi-tenant host sharing one SSD.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use ssdhammer_core::{
     clear_spray, cross_partition_sites, dump_through_hit, find_attack_sites, scan_for_leaks,
@@ -272,7 +272,7 @@ pub fn run_case_study(config: &CaseStudyConfig) -> Result<CaseStudyOutcome, Clou
 
         // Sprayed indirect blocks, as device LBAs (the attacker learns its
         // own files' physical layout, FIEMAP-style).
-        let mut indirect_lbas: HashSet<u64> = HashSet::new();
+        let mut indirect_lbas: BTreeSet<u64> = BTreeSet::new();
         for f in &spray.files {
             // Inodes can already be corrupted by earlier cycles; skip those.
             let Ok(inode) = victim.fs().read_inode(f.ino) else {
@@ -379,13 +379,15 @@ fn select_sites(
     setup: AttackSetup,
     attacker_range: Option<LbaRange>,
     victim_range: LbaRange,
-    indirect_lbas: &HashSet<u64>,
+    indirect_lbas: &BTreeSet<u64>,
     limit: usize,
     cycle: u32,
 ) -> Vec<(Lba, Lba)> {
     let usable: Vec<(Lba, Lba, bool)> = match setup {
         AttackSetup::HelperVm => {
-            let attacker = attacker_range.expect("helper setup has a partition");
+            let Some(attacker) = attacker_range else {
+                return Vec::new();
+            };
             cross_partition_sites(sites, attacker, victim_range)
                 .into_iter()
                 .map(|c| {

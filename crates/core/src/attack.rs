@@ -140,7 +140,7 @@ pub fn request_set_for_site(site: &AttackSite, style: HammerStyle) -> Vec<Lba> {
     // For the far row, reuse the below row's last LBA — same bank, and far
     // enough in practice for the tiny single-sided pattern; callers with
     // stronger needs can build their own set via ssdhammer-workload.
-    let far = *site.below_lbas.last().expect("non-empty by construction");
+    let far = site.below_lbas.last().copied().unwrap_or(below);
     ssdhammer_workload::hammer_request_set(style, above, below, far, &[])
 }
 
@@ -169,8 +169,8 @@ pub fn many_sided_request_set(sites: &[AttackSite]) -> Vec<Lba> {
 /// holding the most sites — the raw material for a many-sided pattern.
 #[must_use]
 pub fn sites_sharing_a_bank(sites: &[AttackSite], count: usize) -> Vec<AttackSite> {
-    use std::collections::HashMap;
-    let mut by_bank: HashMap<u32, Vec<&AttackSite>> = HashMap::new();
+    use std::collections::BTreeMap;
+    let mut by_bank: BTreeMap<u32, Vec<&AttackSite>> = BTreeMap::new();
     for s in sites {
         by_bank.entry(s.victim.bank).or_default().push(s);
     }

@@ -72,7 +72,7 @@ pub fn indirect_view(block: &[u8], slots: usize) -> Vec<u32> {
     block
         .chunks_exact(4)
         .take(slots)
-        .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+        .filter_map(|c| c.try_into().ok().map(u32::from_le_bytes))
         .collect()
 }
 

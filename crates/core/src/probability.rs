@@ -93,7 +93,7 @@ impl AttackParams {
     /// Panics if the parameters fail [`AttackParams::validate`].
     #[must_use]
     pub fn useful_flip_probability(&self) -> f64 {
-        self.validate().expect("invalid attack parameters");
+        self.validate().expect("invalid attack parameters"); // lint:allow(P1) -- documented `# Panics`: probability formulas are meaningless on invalid parameters
         let hit_indirect = self.sprayed_indirect_blocks() as f64 / self.c_v as f64;
         let hit_malicious = self.malicious_blocks() as f64 / self.pb as f64;
         hit_indirect * hit_malicious
@@ -132,7 +132,7 @@ impl AttackParams {
     /// [`AttackParams::monte_carlo_useful_flip_sharded`].
     #[must_use]
     pub fn monte_carlo_useful_flip(&self, trials: u32, seed: u64) -> f64 {
-        self.validate().expect("invalid attack parameters");
+        self.validate().expect("invalid attack parameters"); // lint:allow(P1) -- documented `# Panics`: probability formulas are meaningless on invalid parameters
         f64::from(self.mc_hits(trials, seed)) / f64::from(trials)
     }
 
@@ -150,7 +150,7 @@ impl AttackParams {
     /// threads returns bit-identical results.
     #[must_use]
     pub fn monte_carlo_useful_flip_sharded(&self, trials: u32, seed: u64, threads: usize) -> f64 {
-        self.validate().expect("invalid attack parameters");
+        self.validate().expect("invalid attack parameters"); // lint:allow(P1) -- documented `# Panics`: probability formulas are meaningless on invalid parameters
         if trials == 0 {
             return 0.0;
         }

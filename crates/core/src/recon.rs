@@ -78,7 +78,7 @@ pub fn find_attack_sites(ftl: &Ftl, max_sites: usize) -> Vec<AttackSite> {
     let row_bytes = u64::from(geometry.row_bytes);
     let base = ftl.config().l2p_base.as_u64();
     // Rows the table occupies: decode each table-resident address row.
-    let mut occupied = std::collections::HashSet::new();
+    let mut occupied = std::collections::BTreeSet::new();
     let first_row_addr = base - base % row_bytes;
     let end = base + table.size_bytes();
     let mut addr = first_row_addr;

@@ -79,7 +79,7 @@ impl AddressMapping {
     /// `XorSwizzle` multiplier is even (not invertible).
     #[must_use]
     pub fn new(geometry: DramGeometry, kind: MappingKind) -> Self {
-        geometry.validate().expect("invalid geometry");
+        geometry.validate().expect("invalid geometry"); // lint:allow(P1) -- documented `# Panics` constructor contract
         if let MappingKind::XorSwizzle { row_mul, .. } = kind {
             assert!(row_mul % 2 == 1, "row multiplier must be odd");
         }

@@ -27,7 +27,7 @@
 //! Rows never written are unobservable: disturbance there has no effect on
 //! any read, exactly like scribbling on uninitialized memory.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use ssdhammer_simkit::telemetry::{CounterHandle, Telemetry};
 use ssdhammer_simkit::{DramAddr, SimClock, SimDuration, SimTime};
@@ -201,13 +201,13 @@ pub struct DramModule {
     trr: Option<TrrConfig>,
     timing_enabled: bool,
 
-    rows: HashMap<RowKey, RowData>,
-    remaining_weak: HashMap<RowKey, Vec<WeakCell>>,
+    rows: BTreeMap<RowKey, RowData>,
+    remaining_weak: BTreeMap<RowKey, Vec<WeakCell>>,
     window_idx: u64,
-    acts: HashMap<RowKey, u64>,
+    acts: BTreeMap<RowKey, u64>,
     /// Pressure already "spent" on a row at its last self-refresh (ACT).
-    discount: HashMap<RowKey, f64>,
-    open_rows: HashMap<u32, u32>,
+    discount: BTreeMap<RowKey, f64>,
+    open_rows: BTreeMap<u32, u32>,
     tel: DramHandles,
     flip_log: Vec<FlipEvent>,
 }
@@ -289,12 +289,12 @@ impl DramModuleBuilder {
             ecc: self.ecc,
             trr: self.trr,
             timing_enabled: self.timing_enabled,
-            rows: HashMap::new(),
-            remaining_weak: HashMap::new(),
+            rows: BTreeMap::new(),
+            remaining_weak: BTreeMap::new(),
             window_idx: 0,
-            acts: HashMap::new(),
-            discount: HashMap::new(),
-            open_rows: HashMap::new(),
+            acts: BTreeMap::new(),
+            discount: BTreeMap::new(),
+            open_rows: BTreeMap::new(),
             tel: DramHandles::bind(self.telemetry.unwrap_or_default()),
             flip_log: Vec::new(),
         }
@@ -681,8 +681,10 @@ impl DramModule {
         len: usize,
     ) -> Result<crate::geometry::Location, DramError> {
         let g = self.mapping.geometry();
-        let end = addr.as_u64().checked_add(len as u64);
-        if end.is_none() || end.unwrap() > g.total_bytes().as_u64() {
+        let Some(end) = addr.as_u64().checked_add(len as u64) else {
+            return Err(DramError::OutOfRange { addr });
+        };
+        if end > g.total_bytes().as_u64() {
             return Err(DramError::OutOfRange { addr });
         }
         let loc = self.mapping.decode(addr);
@@ -813,7 +815,9 @@ impl DramModule {
         let now = self.clock.now();
         let mut flipped_indices = Vec::new();
         {
-            let row_data = self.rows.get_mut(&victim).expect("checked above");
+            let Some(row_data) = self.rows.get_mut(&victim) else {
+                return;
+            };
             for (i, cell) in cells.iter().enumerate() {
                 if (cell.threshold as f64) > pressure {
                     break; // cells are sorted by threshold
@@ -888,7 +892,7 @@ impl DramModule {
         } else {
             1
         };
-        let mut victims = HashSet::new();
+        let mut victims = BTreeSet::new();
         for key in self.acts.keys() {
             for delta in 1..=reach {
                 if let Some(v) = key.neighbor(-delta, rows) {
@@ -916,7 +920,9 @@ impl DramModule {
         end_bit: u64,
         buf: &mut [u8],
     ) -> Result<(), DramError> {
-        let ecc = self.ecc.expect("caller checked");
+        let Some(ecc) = self.ecc else {
+            return Ok(());
+        };
         let word_lo = start_bit / ECC_WORD_BITS;
         let word_hi = end_bit.div_ceil(ECC_WORD_BITS);
         let row_data = match self.rows.get_mut(&key) {

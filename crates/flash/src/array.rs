@@ -1,7 +1,7 @@
 //! The NAND array simulator: erase-before-program semantics, in-order page
 //! programming, per-channel pipelining, wear, and bad blocks.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ssdhammer_simkit::rng::{derive_seed, seeded, Rng};
 use ssdhammer_simkit::telemetry::{CounterHandle, Telemetry};
@@ -145,7 +145,7 @@ pub struct FlashArray {
     geometry: FlashGeometry,
     timing: FlashTiming,
     clock: SimClock,
-    pages: HashMap<u64, PageData>,
+    pages: BTreeMap<u64, PageData>,
     blocks: Vec<BlockState>,
     channel_busy_until: Vec<SimTime>,
     tel: FlashHandles,
@@ -181,7 +181,7 @@ impl FlashArray {
         clock: SimClock,
         seed: u64,
     ) -> Self {
-        geometry.validate().expect("invalid flash geometry");
+        geometry.validate().expect("invalid flash geometry"); // lint:allow(P1) -- documented `# Panics` constructor contract
         let total_blocks = geometry.total_blocks() as usize;
         let mut blocks = vec![BlockState::default(); total_blocks];
         let mut rng = seeded(derive_seed(seed, "factory-bad-blocks", 0));
@@ -195,7 +195,7 @@ impl FlashArray {
             geometry,
             timing,
             clock,
-            pages: HashMap::new(),
+            pages: BTreeMap::new(),
             blocks,
             tel: FlashHandles::bind(Telemetry::new()),
             max_pe_cycles: 3000,

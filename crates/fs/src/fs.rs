@@ -13,6 +13,7 @@
 //!   per-inode between checksummed extents and unchecksummed indirect
 //!   blocks, as in ext4.
 
+use ssdhammer_simkit::bytes::le_u32;
 use ssdhammer_simkit::telemetry::{CounterHandle, Telemetry};
 use ssdhammer_simkit::{BlockDevice, Lba, BLOCK_SIZE};
 
@@ -534,7 +535,7 @@ impl<S: BlockDevice> FileSystem<S> {
                 "extent leaf magic {magic:#06x}"
             )));
         }
-        let stored = u32::from_le_bytes(buf[BLOCK_SIZE - 4..].try_into().unwrap());
+        let stored = le_u32(&buf, BLOCK_SIZE - 4);
         if ssdhammer_simkit::crc32c(&buf[..BLOCK_SIZE - 4]) != stored {
             return Err(FsError::Corrupted("extent leaf checksum mismatch".into()));
         }
@@ -548,9 +549,9 @@ impl<S: BlockDevice> FileSystem<S> {
         for i in 0..entries {
             let off = 12 + i * 12;
             out.push(Extent {
-                logical: u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()),
-                len: u32::from_le_bytes(buf[off + 4..off + 8].try_into().unwrap()),
-                start: u32::from_le_bytes(buf[off + 8..off + 12].try_into().unwrap()),
+                logical: le_u32(&buf, off),
+                len: le_u32(&buf, off + 4),
+                start: le_u32(&buf, off + 8),
             });
         }
         Ok(out)
@@ -1222,7 +1223,7 @@ fn nonzero(b: FsBlock) -> Option<FsBlock> {
 }
 
 fn read_ptr(buf: &[u8; BLOCK_SIZE], index: usize) -> FsBlock {
-    u32::from_le_bytes(buf[index * 4..index * 4 + 4].try_into().unwrap())
+    le_u32(buf, index * 4)
 }
 
 fn write_ptr(buf: &mut [u8; BLOCK_SIZE], index: usize, value: FsBlock) {

@@ -7,7 +7,7 @@
 //! verifies extent checksums, and cross-checks block references against the
 //! allocation bitmap.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ssdhammer_simkit::BlockDevice;
 
@@ -108,7 +108,7 @@ impl<S: BlockDevice> FileSystem<S> {
     pub fn fsck(&mut self) -> FsResult<FsckReport> {
         let mut report = FsckReport::default();
         let sb = *self.superblock();
-        let mut owners: HashMap<u32, Ino> = HashMap::new();
+        let mut owners: BTreeMap<u32, Ino> = BTreeMap::new();
 
         for raw in 1..sb.inode_count {
             let ino = Ino(raw);

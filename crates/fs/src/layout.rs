@@ -10,6 +10,7 @@
 //!   Our indirect blocks are raw arrays of block pointers with no integrity
 //!   protection whatsoever, faithfully reproducing the exploited weakness.
 
+use ssdhammer_simkit::bytes::{le_u32, le_u64};
 use ssdhammer_simkit::{crc32c, BLOCK_SIZE};
 
 use crate::error::{FsError, FsResult};
@@ -256,10 +257,10 @@ impl Inode {
         let mode = u16::from_le_bytes([buf[0], buf[1]]);
         let ftype = FileType::from_bits(mode)?;
         let perms = u16::from_le_bytes([buf[2], buf[3]]);
-        let uid = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+        let uid = le_u32(buf, 4);
         let links = u16::from_le_bytes([buf[8], buf[9]]);
-        let size = u64::from_le_bytes(buf[12..20].try_into().unwrap());
-        let tag = u32::from_le_bytes(buf[20..24].try_into().unwrap());
+        let size = le_u64(buf, 12);
+        let tag = le_u32(buf, 20);
         let area = &buf[24..];
         let map = match tag {
             1 => {
@@ -274,9 +275,9 @@ impl Inode {
                     )));
                 }
                 let depth = u16::from_le_bytes([area[6], area[7]]);
-                let leaf_raw = u32::from_le_bytes(area[8..12].try_into().unwrap());
+                let leaf_raw = le_u32(area, 8);
                 let tail = 12 + INLINE_EXTENTS * 12;
-                let stored = u32::from_le_bytes(area[tail..tail + 4].try_into().unwrap());
+                let stored = le_u32(area, tail);
                 let computed = crc32c(&area[..tail]);
                 if stored != computed {
                     return Err(FsError::Corrupted(
@@ -287,9 +288,9 @@ impl Inode {
                 let mut off = 12;
                 for _ in 0..entries {
                     inline.push(Extent {
-                        logical: u32::from_le_bytes(area[off..off + 4].try_into().unwrap()),
-                        len: u32::from_le_bytes(area[off + 4..off + 8].try_into().unwrap()),
-                        start: u32::from_le_bytes(area[off + 8..off + 12].try_into().unwrap()),
+                        logical: le_u32(area, off),
+                        len: le_u32(area, off + 4),
+                        start: le_u32(area, off + 8),
                     });
                     off += 12;
                 }
@@ -301,12 +302,12 @@ impl Inode {
             2 => {
                 let mut direct = [0u32; DIRECT_PTRS];
                 for (i, d) in direct.iter_mut().enumerate() {
-                    *d = u32::from_le_bytes(area[i * 4..i * 4 + 4].try_into().unwrap());
+                    *d = le_u32(area, i * 4);
                 }
                 InodeMap::Indirect {
                     direct,
-                    single: u32::from_le_bytes(area[48..52].try_into().unwrap()),
-                    double: u32::from_le_bytes(area[52..56].try_into().unwrap()),
+                    single: le_u32(area, 48),
+                    double: le_u32(area, 52),
                 }
             }
             other => {
@@ -412,15 +413,15 @@ impl SuperBlock {
     ///
     /// [`FsError::Corrupted`] on bad magic or checksum.
     pub fn decode(buf: &[u8; BLOCK_SIZE]) -> FsResult<SuperBlock> {
-        let magic = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        let magic = le_u32(buf, 0);
         if magic != FS_MAGIC {
             return Err(FsError::Corrupted(format!("bad fs magic {magic:#x}")));
         }
-        let stored = u32::from_le_bytes(buf[60..64].try_into().unwrap());
+        let stored = le_u32(buf, 60);
         if crc32c(&buf[..40]) != stored {
             return Err(FsError::Corrupted("superblock checksum mismatch".into()));
         }
-        let f = |i: usize| u32::from_le_bytes(buf[4 + i * 4..8 + i * 4].try_into().unwrap());
+        let f = |i: usize| le_u32(buf, 4 + i * 4);
         Ok(SuperBlock {
             total_blocks: f(0),
             inode_count: f(1),
@@ -473,7 +474,7 @@ impl Dirent {
     ///
     /// [`FsError::Corrupted`] on malformed entries.
     pub fn decode(buf: &[u8]) -> FsResult<Option<Dirent>> {
-        let ino = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        let ino = le_u32(buf, 0);
         if ino == 0 {
             return Ok(None);
         }

@@ -8,6 +8,7 @@
 
 use ssdhammer_dram::{DramError, DramModule, HammerReport};
 use ssdhammer_flash::{BlockId, FlashArray, FlashError, Ppn};
+use ssdhammer_simkit::bytes::{le_u32, le_u64};
 use ssdhammer_simkit::telemetry::{CounterHandle, Telemetry};
 use ssdhammer_simkit::{DramAddr, Lba, SimClock, SimTime, BLOCK_SIZE};
 
@@ -313,9 +314,9 @@ fn encode_oob(lba: Lba, seq: u64, guard: u32) -> [u8; 20] {
 }
 
 fn decode_oob(oob: &[u8]) -> (Lba, u64, u32) {
-    let lba = u64::from_le_bytes(oob[..8].try_into().expect("oob holds 8-byte lba"));
-    let seq = u64::from_le_bytes(oob[8..16].try_into().expect("oob holds 8-byte seq"));
-    let guard = u32::from_le_bytes(oob[16..20].try_into().expect("oob holds 4-byte guard"));
+    let lba = le_u64(oob, 0);
+    let seq = le_u64(oob, 8);
+    let guard = le_u32(oob, 16);
     (Lba(lba), seq, guard)
 }
 
@@ -414,8 +415,8 @@ impl Ftl {
         let mut ftl = Self::new(dram, nand, config)?;
         let geometry = *ftl.nand.geometry();
         // Winner page per LBA by sequence.
-        let mut winners: std::collections::HashMap<u64, (u64, Ppn)> =
-            std::collections::HashMap::new();
+        let mut winners: std::collections::BTreeMap<u64, (u64, Ppn)> =
+            std::collections::BTreeMap::new();
         let mut max_seq = 0u64;
         let blocks = ftl.nand.good_blocks();
         for &block in &blocks {
@@ -475,7 +476,7 @@ impl Ftl {
             .without_timing()
             .build(clock.clone());
         let nand = FlashArray::new(FlashGeometry::tiny_test(), clock, seed);
-        Ftl::new(dram, nand, FtlConfig::default()).expect("tiny ftl")
+        Ftl::new(dram, nand, FtlConfig::default()).expect("tiny ftl") // lint:allow(P1) -- test-support constructor over a fixed, known-good tiny geometry
     }
 
     /// Number of LBAs exported to the host.

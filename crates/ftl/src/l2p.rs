@@ -186,6 +186,7 @@ impl L2pTable {
         let raw = match ppn {
             None => INVALID_ENTRY,
             Some(p) => {
+                // lint:allow(P1) -- documented `# Panics`: a >32-bit ppn means the caller built an impossible geometry
                 let v = u32::try_from(p.as_u64()).expect("ppn exceeds 32-bit L2P entry");
                 assert!(
                     v != INVALID_ENTRY,

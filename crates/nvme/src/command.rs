@@ -185,6 +185,13 @@ pub enum NvmeError {
         /// The failing (namespace-relative) address.
         lba: Lba,
     },
+    /// An internal controller-protocol invariant did not hold (a completion
+    /// or command id the protocol guarantees was missing). Seeing this
+    /// means a controller bug, not a host error.
+    Protocol {
+        /// What the protocol guaranteed but the controller failed to produce.
+        expected: &'static str,
+    },
     /// The FTL failed the operation.
     Ftl(FtlError),
 }
@@ -205,6 +212,9 @@ impl core::fmt::Display for NvmeError {
             NvmeError::InsufficientCapacity => write!(f, "insufficient capacity"),
             NvmeError::Integrity { ns, lba } => {
                 write!(f, "integrity (DIF) failure at {lba} of {ns}")
+            }
+            NvmeError::Protocol { expected } => {
+                write!(f, "controller protocol invariant violated: {expected}")
             }
             NvmeError::Ftl(e) => write!(f, "ftl: {e}"),
         }

@@ -1,7 +1,7 @@
 //! The assembled SSD: DRAM + flash + FTL behind an NVMe-ish front end with
 //! namespaces, queue pairs, service-rate modeling, and IOPS accounting.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use ssdhammer_dram::{
     DramGeometry, DramModule, EccConfig, HammerReport, MappingKind, ModuleProfile, TrrConfig,
@@ -270,7 +270,7 @@ pub struct Ssd {
     clock: SimClock,
     controller: ControllerConfig,
     model: String,
-    namespaces: HashMap<NsId, NamespaceInfo>,
+    namespaces: BTreeMap<NsId, NamespaceInfo>,
     next_ns: u32,
     allocated_blocks: u64,
     /// Ordered so arbitration visits active queues deterministically.
@@ -326,6 +326,7 @@ impl Ssd {
             clock.clone(),
             config.seed,
         );
+        // lint:allow(P1) -- documented-panic constructor: geometry is validated by SsdConfig before assembly
         let mut ftl = Ftl::new(dram, nand, config.ftl).expect("FTL assembly failed");
         // One registry for the whole device: DRAM, flash, FTL, and the NVMe
         // front end all record into it.
@@ -336,7 +337,7 @@ impl Ssd {
             clock,
             controller: config.controller,
             model: config.model,
-            namespaces: HashMap::new(),
+            namespaces: BTreeMap::new(),
             next_ns: 1,
             allocated_blocks: 0,
             queues: BTreeMap::new(),
@@ -451,7 +452,9 @@ impl Ssd {
     /// [`NvmeError::InsufficientCapacity`] when the device is out of space.
     pub fn create_encrypted_namespace(&mut self, blocks: u64, key: u64) -> Result<NsId, NvmeError> {
         let id = self.create_namespace(blocks)?;
-        self.namespaces.get_mut(&id).expect("just created").key = Some(key);
+        if let Some(info) = self.namespaces.get_mut(&id) {
+            info.key = Some(key);
+        }
         Ok(id)
     }
 
@@ -546,7 +549,9 @@ impl Ssd {
     /// [`NvmeError::InvalidQueue`] or [`NvmeError::QueueFull`].
     pub fn submit(&mut self, qp: impl Into<QpId>, cmd: Command) -> Result<u64, NvmeError> {
         let mut cids = self.submit_batch(qp, std::slice::from_ref(&cmd))?;
-        Ok(cids.pop().expect("one cid per submitted command"))
+        cids.pop().ok_or(NvmeError::Protocol {
+            expected: "one cid per submitted command",
+        })
     }
 
     /// Enqueues a batch of commands on `qp` in order, returning their
@@ -665,13 +670,14 @@ impl Ssd {
         if !aggregated {
             self.tel.service_latency.record(completion.latency());
         }
-        let queue = self.queues.get_mut(&qp).expect("queue existed above");
-        queue.completions.add(units);
-        if !aggregated {
-            queue.latency.record(completion.latency());
+        if let Some(queue) = self.queues.get_mut(&qp) {
+            queue.completions.add(units);
+            if !aggregated {
+                queue.latency.record(completion.latency());
+            }
+            queue.sq_depth.set(queue.sq.len() as f64);
+            queue.cq.push_back(completion);
         }
-        queue.sq_depth.set(queue.sq.len() as f64);
-        queue.cq.push_back(completion);
         true
     }
 
@@ -723,9 +729,9 @@ impl Ssd {
         let qp = qp.into();
         self.submit(qp, cmd)?;
         self.process(qp)?;
-        Ok(self
-            .pop_completion(qp)?
-            .expect("completion present after process"))
+        self.pop_completion(qp)?.ok_or(NvmeError::Protocol {
+            expected: "completion present after process",
+        })
     }
 
     /// Executes one command at the controller's service rate.
@@ -923,9 +929,9 @@ impl Ssd {
         }];
         self.submit_batch(qp, &batch)?;
         self.process(qp)?;
-        let completion = self
-            .pop_completion(qp)?
-            .expect("completion present after process");
+        let completion = self.pop_completion(qp)?.ok_or(NvmeError::Protocol {
+            expected: "completion present after process",
+        })?;
         match completion.result {
             CmdResult::Hammer(report) => Ok(report),
             CmdResult::Error(e) => Err(e),
@@ -1056,7 +1062,7 @@ impl BlockDevice for Namespace<'_> {
     fn capacity_blocks(&self) -> u64 {
         self.ssd
             .namespace_blocks(self.ns)
-            .expect("validated at creation")
+            .expect("validated at creation") // lint:allow(P1) -- BlockDevice::capacity_blocks is an infallible trait signature; the namespace was validated at creation
     }
 
     fn read(&mut self, lba: Lba, buf: &mut [u8]) -> StorageResult<()> {

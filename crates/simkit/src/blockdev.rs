@@ -154,7 +154,7 @@ pub use BlockDevice as BlockStorage;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct RamDisk {
-    blocks: std::collections::HashMap<u64, Box<[u8]>>,
+    blocks: std::collections::BTreeMap<u64, Box<[u8]>>,
     capacity: u64,
 }
 
@@ -163,7 +163,7 @@ impl RamDisk {
     #[must_use]
     pub fn new(capacity: u64) -> Self {
         RamDisk {
-            blocks: std::collections::HashMap::new(),
+            blocks: std::collections::BTreeMap::new(),
             capacity,
         }
     }

@@ -2,9 +2,10 @@
 //!
 //! The workspace runs in environments without network access to a package
 //! registry, so instead of `serde_json` the few places that need structured
-//! output (telemetry snapshots, the `repro` binary's `--json` mode) build a
-//! [`Json`] tree and render it. Serialization only — nothing in the
-//! workspace parses JSON.
+//! output (telemetry snapshots, the `repro` binary's `--json` mode, the
+//! `xtask lint` report) build a [`Json`] tree and render it. A small
+//! recursive-descent reader ([`Json::parse`]) covers the tools that need to
+//! round-trip their own output (report verification, fixture tests).
 //!
 //! # Examples
 //!
@@ -177,6 +178,256 @@ impl fmt::Display for Json {
     }
 }
 
+/// Why a document failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "json parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, JsonParseError> {
+        Err(JsonParseError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_lit(&mut self, lit: &str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            self.err(format!("expected `{lit}`"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.expect_lit("null", Json::Null),
+            Some(b't') => self.expect_lit("true", Json::Bool(true)),
+            Some(b'f') => self.expect_lit("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => self.err(format!("unexpected byte `{}`", c as char)),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonParseError> {
+        self.pos += 1; // consume '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            if self.eat(b']') {
+                return Ok(Json::Arr(items));
+            }
+            if !self.eat(b',') {
+                return self.err("expected `,` or `]`");
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonParseError> {
+        self.pos += 1; // consume '{'
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            if !self.eat(b':') {
+                return self.err("expected `:`");
+            }
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            if self.eat(b'}') {
+                return Ok(Json::Obj(pairs));
+            }
+            if !self.eat(b',') {
+                return self.err("expected `,` or `}`");
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        if !self.eat(b'"') {
+            return self.err("expected `\"`");
+        }
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return self.err("unterminated string");
+            };
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return self.err("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| core::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            let Some(code) = hex else {
+                                return self.err("bad \\u escape");
+                            };
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by our writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return self.err(format!("bad escape `\\{}`", other as char));
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode the UTF-8 sequence starting at c.
+                    let start = self.pos - 1;
+                    let len = match c {
+                        _ if c < 0x80 => 1,
+                        _ if c >= 0xf0 => 4,
+                        _ if c >= 0xe0 => 3,
+                        _ => 2,
+                    };
+                    let Some(s) = self
+                        .bytes
+                        .get(start..start + len)
+                        .and_then(|b| core::str::from_utf8(b).ok())
+                    else {
+                        return self.err("invalid utf-8 in string");
+                    };
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = core::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        if float {
+            match text.parse::<f64>() {
+                Ok(x) => Ok(Json::F64(x)),
+                Err(_) => self.err(format!("bad number `{text}`")),
+            }
+        } else if text.starts_with('-') {
+            match text.parse::<i64>() {
+                Ok(n) => Ok(Json::I64(n)),
+                Err(_) => self.err(format!("bad number `{text}`")),
+            }
+        } else {
+            match text.parse::<u64>() {
+                Ok(n) => Ok(Json::U64(n)),
+                Err(_) => self.err(format!("bad number `{text}`")),
+            }
+        }
+    }
+}
+
+impl Json {
+    /// Parses a JSON document produced by this module (or any standard
+    /// renderer). Integers without a sign parse as [`Json::U64`], signed as
+    /// [`Json::I64`], anything with a fraction or exponent as [`Json::F64`] —
+    /// matching how the writer renders them, so `parse(doc.to_string())`
+    /// round-trips documents built from those variants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonParseError`] with the byte offset of the first
+    /// malformed construct, including trailing garbage after the document.
+    pub fn parse(input: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return p.err("trailing characters after document");
+        }
+        Ok(value)
+    }
+}
+
 impl From<bool> for Json {
     fn from(v: bool) -> Self {
         Json::Bool(v)
@@ -310,5 +561,41 @@ mod tests {
         assert_eq!(v.to_json().to_string(), "[1,2,3]");
         let o: Option<u64> = None;
         assert_eq!(o.to_json().to_string(), "null");
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let doc = Json::obj([
+            ("name", Json::str("fig1 \"quoted\"\n")),
+            ("count", Json::U64(42)),
+            ("delta", Json::I64(-3)),
+            ("rate", Json::F64(2.5)),
+            ("whole", Json::F64(2.0)),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+            ("xs", Json::arr([1u64, 2, 3])),
+            ("empty", Json::Arr(vec![])),
+            ("o", Json::obj([("k", Json::str("v"))])),
+        ]);
+        assert_eq!(Json::parse(&doc.to_string()).unwrap(), doc);
+        assert_eq!(Json::parse(&doc.to_string_pretty()).unwrap(), doc);
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_unicode() {
+        assert_eq!(
+            Json::parse(r#""a\u0041\t\\ \"ü""#).unwrap(),
+            Json::str("aA\t\\ \"ü")
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "{\"k\" 1}", "truex", "1 2", "\"\\q\""] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        let err = Json::parse("[1, ?]").unwrap_err();
+        assert_eq!(err.offset, 4);
+        assert!(err.to_string().contains("byte 4"));
     }
 }

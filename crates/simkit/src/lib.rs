@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod blockdev;
+pub mod bytes;
 mod clock;
 mod crc32c;
 pub mod json;

@@ -1,0 +1,481 @@
+//! A small lossless Rust lexer for the lint rules.
+//!
+//! The analyzer does not need a parser — every rule in [`crate::rules`] is a
+//! judgment about identifiers and their immediate neighbors — but it *does*
+//! need to never mistake the inside of a string literal or a comment for
+//! code, and it needs comments as first-class tokens (waivers and `SAFETY:`
+//! annotations live there). So this module tokenizes Rust source losslessly
+//! enough for that job: strings (plain, raw, byte), char literals vs.
+//! lifetimes, nested block comments, identifiers, numbers, and single-char
+//! punctuation, each tagged with its 1-based line and column.
+//!
+//! It also computes which tokens sit inside test-only code
+//! ([`test_scope_mask`]): items annotated `#[test]` or `#[cfg(test)]` (and
+//! not `#[cfg(not(test))]`), so rules that only govern the shipping library
+//! path can skip assertions inside unit-test modules.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `unsafe`, `fn`).
+    Ident,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A string literal of any flavor (`"x"`, `r#"x"#`, `b"x"`).
+    Str,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A numeric literal (`42`, `0xFF`, `1.5e3`).
+    Number,
+    /// One punctuation character (`.`, `(`, `!`, …).
+    Punct,
+    /// A `// …` comment (including doc comments), text without the newline.
+    LineComment,
+    /// A `/* … */` comment, possibly spanning lines, possibly nested.
+    BlockComment,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// The raw source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// True for comment tokens.
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// The payload of a string literal: the text between the quotes, with
+    /// any `r`/`b`/`#` framing stripped. Escapes are left as written —
+    /// fine for the lint rules, which only inspect names that never
+    /// contain escapes. Returns the raw text for non-string tokens.
+    #[must_use]
+    pub fn str_value(&self) -> &str {
+        if self.kind != TokenKind::Str {
+            return &self.text;
+        }
+        let inner = self.text.trim_start_matches(['b', 'r', '#']);
+        let inner = inner.strip_prefix('"').unwrap_or(inner);
+        let inner = inner.trim_end_matches('#');
+        inner.strip_suffix('"').unwrap_or(inner)
+    }
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self, out: &mut String) {
+        let c = self.chars[self.i];
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        out.push(c);
+    }
+
+    fn bump_while(&mut self, out: &mut String, keep: impl Fn(char) -> bool) {
+        while self.peek(0).is_some_and(&keep) {
+            self.bump(out);
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `src`. Whitespace is dropped; everything else (including
+/// comments) becomes a [`Token`]. The lexer is resilient: malformed input
+/// (an unterminated string, say) produces a best-effort final token rather
+/// than an error, because lint must keep going file by file.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(c) = lx.peek(0) {
+        let (line, col) = (lx.line, lx.col);
+        let mut text = String::new();
+        let kind = if c.is_whitespace() {
+            lx.bump(&mut text);
+            continue;
+        } else if c == '/' && lx.peek(1) == Some('/') {
+            lx.bump_while(&mut text, |c| c != '\n');
+            TokenKind::LineComment
+        } else if c == '/' && lx.peek(1) == Some('*') {
+            lx.bump(&mut text);
+            lx.bump(&mut text);
+            let mut depth = 1u32;
+            while depth > 0 && lx.peek(0).is_some() {
+                if lx.peek(0) == Some('/') && lx.peek(1) == Some('*') {
+                    depth += 1;
+                    lx.bump(&mut text);
+                } else if lx.peek(0) == Some('*') && lx.peek(1) == Some('/') {
+                    depth -= 1;
+                    lx.bump(&mut text);
+                }
+                lx.bump(&mut text);
+            }
+            TokenKind::BlockComment
+        } else if c == '"' {
+            quoted_string(&mut lx, &mut text);
+            TokenKind::Str
+        } else if (c == 'r' || c == 'b') && starts_string_prefix(&lx) {
+            // r"…", r#"…"#, b"…", br#"…"#, b'…'
+            lx.bump(&mut text); // r or b
+            if c == 'b' && lx.peek(0) == Some('r') {
+                lx.bump(&mut text);
+            }
+            if lx.peek(0) == Some('\'') {
+                char_literal(&mut lx, &mut text);
+                TokenKind::Char
+            } else {
+                let mut hashes = 0usize;
+                while lx.peek(0) == Some('#') {
+                    hashes += 1;
+                    lx.bump(&mut text);
+                }
+                raw_string(&mut lx, &mut text, hashes);
+                TokenKind::Str
+            }
+        } else if c == 'r' && lx.peek(1) == Some('#') && lx.peek(2).is_some_and(is_ident_start) {
+            // Raw identifier r#ident.
+            lx.bump(&mut text);
+            lx.bump(&mut text);
+            lx.bump_while(&mut text, is_ident_continue);
+            TokenKind::Ident
+        } else if is_ident_start(c) {
+            lx.bump_while(&mut text, is_ident_continue);
+            TokenKind::Ident
+        } else if c == '\'' {
+            // Lifetime when followed by an identifier not closed by `'`.
+            let looks_like_lifetime =
+                lx.peek(1).is_some_and(is_ident_start) && lx.peek(2) != Some('\'');
+            if looks_like_lifetime {
+                lx.bump(&mut text);
+                lx.bump_while(&mut text, is_ident_continue);
+                TokenKind::Lifetime
+            } else {
+                char_literal(&mut lx, &mut text);
+                TokenKind::Char
+            }
+        } else if c.is_ascii_digit() {
+            number(&mut lx, &mut text);
+            TokenKind::Number
+        } else {
+            lx.bump(&mut text);
+            TokenKind::Punct
+        };
+        out.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// Is the `r`/`b` at the cursor the start of a string/char-literal prefix
+/// (as opposed to a plain identifier like `radius`)?
+fn starts_string_prefix(lx: &Lexer) -> bool {
+    match (lx.peek(0), lx.peek(1)) {
+        (Some('r'), Some('"')) => true,
+        (Some('r'), Some('#')) => {
+            // r#"…"# is a raw string, r#ident is a raw identifier.
+            let mut k = 1;
+            while lx.peek(k) == Some('#') {
+                k += 1;
+            }
+            lx.peek(k) == Some('"')
+        }
+        (Some('b'), Some('"' | '\'')) => true,
+        (Some('b'), Some('r')) => matches!(lx.peek(2), Some('"' | '#')),
+        _ => false,
+    }
+}
+
+fn quoted_string(lx: &mut Lexer, text: &mut String) {
+    lx.bump(text); // opening quote
+    while let Some(c) = lx.peek(0) {
+        if c == '\\' {
+            lx.bump(text);
+            if lx.peek(0).is_some() {
+                lx.bump(text);
+            }
+        } else if c == '"' {
+            lx.bump(text);
+            return;
+        } else {
+            lx.bump(text);
+        }
+    }
+}
+
+fn raw_string(lx: &mut Lexer, text: &mut String, hashes: usize) {
+    if lx.peek(0) == Some('"') {
+        lx.bump(text);
+    }
+    while lx.peek(0).is_some() {
+        if lx.peek(0) == Some('"') {
+            let closing = (1..=hashes).all(|k| lx.peek(k) == Some('#'));
+            if closing {
+                for _ in 0..=hashes {
+                    lx.bump(text);
+                }
+                return;
+            }
+        }
+        lx.bump(text);
+    }
+}
+
+fn char_literal(lx: &mut Lexer, text: &mut String) {
+    lx.bump(text); // opening quote
+    while let Some(c) = lx.peek(0) {
+        if c == '\\' {
+            lx.bump(text);
+            if lx.peek(0).is_some() {
+                lx.bump(text);
+            }
+        } else if c == '\'' {
+            lx.bump(text);
+            return;
+        } else if c == '\n' {
+            return; // malformed; don't swallow the rest of the file
+        } else {
+            lx.bump(text);
+        }
+    }
+}
+
+fn number(lx: &mut Lexer, text: &mut String) {
+    let mut prev_exp = false;
+    while let Some(c) = lx.peek(0) {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            prev_exp = matches!(c, 'e' | 'E') && !text.starts_with("0x") && !text.starts_with("0b");
+            lx.bump(text);
+        } else if c == '.' && lx.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+            // 1.5 — but leave `0..10` (range) and `x.0` to the punct lexer.
+            prev_exp = false;
+            lx.bump(text);
+        } else if (c == '+' || c == '-') && prev_exp {
+            prev_exp = false;
+            lx.bump(text);
+        } else {
+            break;
+        }
+    }
+}
+
+/// For each token, whether it belongs to test-only code: the item following
+/// a `#[test]` / `#[cfg(test)]`-style attribute, through the end of its
+/// braced body (or its terminating `;` for brace-less items). Attributes
+/// mentioning `not` (e.g. `#[cfg(not(test))]`) do *not* mark test scope.
+#[must_use]
+pub fn test_scope_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].kind == TokenKind::Punct && tokens[i].text == "#") {
+            i += 1;
+            continue;
+        }
+        let Some(open) = next_code(tokens, i + 1) else {
+            break;
+        };
+        if !(tokens[open].kind == TokenKind::Punct && tokens[open].text == "[") {
+            i += 1;
+            continue;
+        }
+        let close = matching(tokens, open, "[", "]");
+        let mut is_test = false;
+        let mut negated = false;
+        for t in &tokens[open..close] {
+            if t.kind == TokenKind::Ident {
+                is_test |= t.text == "test";
+                negated |= t.text == "not";
+            }
+        }
+        if !is_test || negated {
+            i = close;
+            continue;
+        }
+        // Mark from after the attribute through the end of the annotated
+        // item: its matching `}` if a body opens, else its `;`.
+        let mut k = close + 1;
+        let mut end = tokens.len();
+        while k < tokens.len() {
+            let t = &tokens[k];
+            if t.kind == TokenKind::Punct && t.text == "{" {
+                end = matching(tokens, k, "{", "}");
+                break;
+            }
+            if t.kind == TokenKind::Punct && t.text == ";" {
+                end = k + 1;
+                break;
+            }
+            k += 1;
+        }
+        for m in mask.iter_mut().take(end.min(tokens.len())).skip(i) {
+            *m = true;
+        }
+        i = end;
+    }
+    mask
+}
+
+/// Index just past the token that balances the opener at `open`.
+fn matching(tokens: &[Token], open: usize, op: &str, cl: &str) -> usize {
+    let mut depth = 0i64;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind == TokenKind::Punct {
+            if t.text == op {
+                depth += 1;
+            } else if t.text == cl {
+                depth -= 1;
+                if depth == 0 {
+                    return k + 1;
+                }
+            }
+        }
+    }
+    tokens.len()
+}
+
+/// Index of the next non-comment token at or after `from`.
+fn next_code(tokens: &[Token], from: usize) -> Option<usize> {
+    (from..tokens.len()).find(|&k| !tokens[k].is_comment())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_positions() {
+        let toks = lex("fn main() {\n    x.y\n}");
+        assert_eq!(toks[0].text, "fn");
+        assert_eq!(toks[0].line, 1);
+        let dot = toks.iter().find(|t| t.text == ".").unwrap();
+        assert_eq!((dot.line, dot.col), (2, 6));
+    }
+
+    #[test]
+    fn strings_swallow_code_lookalikes() {
+        let toks = kinds(r#"let s = "HashMap::new() // not a comment";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokenKind::Ident || t != "HashMap"));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = kinds(r####"let a = r#"un"safe"#; let b = b"x"; let c = br"y";"####);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 3);
+        let raw = lex(r####"r#"un"safe"#"####);
+        assert_eq!(raw[0].str_value(), "un\"safe");
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.contains(&(TokenKind::Ident, "r#type".into())));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'a' }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert!(toks.contains(&(TokenKind::Char, "'a'".into())));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still comment */ fn f() {}");
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert!(toks[0].1.ends_with("still comment */"));
+        assert_eq!(toks[1], (TokenKind::Ident, "fn".into()));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let toks = kinds("for i in 0..10 { x.0; 1.5e-3; 0xFF_u32; }");
+        assert!(toks.contains(&(TokenKind::Number, "0".into())));
+        assert!(toks.contains(&(TokenKind::Number, "10".into())));
+        assert!(toks.contains(&(TokenKind::Number, "1.5e-3".into())));
+        assert!(toks.contains(&(TokenKind::Number, "0xFF_u32".into())));
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_modules() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}";
+        let toks = lex(src);
+        let mask = test_scope_mask(&toks);
+        let unwrap_at = toks.iter().position(|t| t.text == "unwrap").unwrap();
+        assert!(mask[unwrap_at]);
+        let lib2_at = toks.iter().position(|t| t.text == "lib2").unwrap();
+        assert!(!mask[lib2_at]);
+    }
+
+    #[test]
+    fn test_mask_skips_cfg_not_test() {
+        let src = "#[cfg(not(test))]\nfn shipping() { x.unwrap(); }";
+        let toks = lex(src);
+        let mask = test_scope_mask(&toks);
+        let unwrap_at = toks.iter().position(|t| t.text == "unwrap").unwrap();
+        assert!(!mask[unwrap_at]);
+    }
+
+    #[test]
+    fn test_mask_handles_braceless_items() {
+        let src = "#[cfg(test)]\nuse std::collections::HashSet;\nfn lib() {}";
+        let toks = lex(src);
+        let mask = test_scope_mask(&toks);
+        let set_at = toks.iter().position(|t| t.text == "HashSet").unwrap();
+        assert!(mask[set_at]);
+        let lib_at = toks.iter().position(|t| t.text == "lib").unwrap();
+        assert!(!mask[lib_at]);
+    }
+}

@@ -1,0 +1,34 @@
+//! `cargo xtask lint` — the workspace's in-tree static analyzer.
+//!
+//! PR 2 made bit-reproducibility a hard guarantee (positional splitmix
+//! seeds, index-ordered merges, a CI job diffing 1-thread vs 4-thread
+//! output). This crate is what keeps the *next* change from silently
+//! un-making it: a dependency-free analyzer that walks every `.rs` file in
+//! the workspace, tokenizes it ([`lexer`]), and enforces the determinism &
+//! safety rules ([`rules`]) — no wall-clock time, no hash-ordered
+//! collections or ambient randomness on the result path, audited `unsafe`,
+//! no library-path panics, well-formed telemetry names.
+//!
+//! It is wired up as a cargo alias (see `.cargo/config.toml`):
+//!
+//! ```text
+//! $ cargo xtask lint            # rustc-style diagnostics, nonzero on dirt
+//! $ cargo xtask lint --json     # machine-readable report
+//! ```
+//!
+//! The library surface exists so the analyzer can test itself: fixture
+//! files with seeded violations are fed through [`rules::lint_source`]
+//! under synthetic workspace paths, which exercises exactly the code the
+//! CI gate runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+pub use report::{render_diagnostic, render_text, to_json};
+pub use rules::{lint_source, FileReport, Rule, Violation};
+pub use walk::{lint_workspace, LintOutcome};

@@ -1,0 +1,72 @@
+//! Entry point for `cargo xtask` (see `.cargo/config.toml` for the alias).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::{lint_workspace, render_text, to_json, walk};
+
+const USAGE: &str = "\
+usage: cargo xtask <command>
+
+commands:
+  lint [--json] [--root <dir>]   run the determinism & safety analyzer
+                                 over every .rs file in the workspace;
+                                 exits 1 if any unwaived violation is found
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some(other) => {
+            eprintln!("xtask: unknown command `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("xtask lint: --root needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("xtask lint: unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(walk::default_root);
+    let outcome = match lint_workspace(&root) {
+        Ok(o) => o,
+        Err(err) => {
+            eprintln!("xtask lint: cannot walk {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", to_json(&outcome).to_string_pretty());
+    } else {
+        print!("{}", render_text(&outcome));
+    }
+    if outcome.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

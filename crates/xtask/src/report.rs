@@ -1,0 +1,134 @@
+//! Diagnostic rendering: rustc-style text and the `--json` report.
+
+use ssdhammer_simkit::json::Json;
+
+use crate::rules::{Rule, Violation};
+use crate::walk::LintOutcome;
+
+/// Renders one violation the way rustc would:
+///
+/// ```text
+/// error[D2]: `HashMap` iteration order is nondeterministic; …
+///   --> crates/ftl/src/ftl.rs:417:34
+/// ```
+#[must_use]
+pub fn render_diagnostic(v: &Violation) -> String {
+    format!(
+        "error[{}]: {}\n  --> {}:{}:{}\n",
+        v.rule.code(),
+        v.message,
+        v.file,
+        v.line,
+        v.col
+    )
+}
+
+/// Renders the human-readable report for the whole run, diagnostics first,
+/// one summary line last.
+#[must_use]
+pub fn render_text(outcome: &LintOutcome) -> String {
+    let mut out = String::new();
+    for v in &outcome.violations {
+        out.push_str(&render_diagnostic(v));
+        out.push('\n');
+    }
+    let per_rule: Vec<String> = Rule::ALL
+        .iter()
+        .filter_map(|r| {
+            let n = outcome.violations.iter().filter(|v| v.rule == *r).count();
+            (n > 0).then(|| format!("{} x{n}", r.code()))
+        })
+        .collect();
+    if outcome.is_clean() {
+        out.push_str(&format!(
+            "ssdhammer lint: clean — {} files checked, {} waiver(s) honored\n",
+            outcome.files_checked, outcome.waived
+        ));
+    } else {
+        out.push_str(&format!(
+            "ssdhammer lint: {} violation(s) [{}] in {} files ({} waived)\n",
+            outcome.violations.len(),
+            per_rule.join(", "),
+            outcome.files_checked,
+            outcome.waived
+        ));
+    }
+    out
+}
+
+/// Builds the machine-readable report. The document round-trips through
+/// [`Json::parse`], which the fixture tests assert.
+#[must_use]
+pub fn to_json(outcome: &LintOutcome) -> Json {
+    Json::obj([
+        ("clean", Json::Bool(outcome.is_clean())),
+        ("files_checked", Json::from(outcome.files_checked)),
+        ("waived", Json::from(outcome.waived)),
+        (
+            "violations",
+            Json::Arr(
+                outcome
+                    .violations
+                    .iter()
+                    .map(|v| {
+                        Json::obj([
+                            ("rule", Json::str(v.rule.code())),
+                            ("file", Json::str(v.file.clone())),
+                            ("line", Json::from(u64::from(v.line))),
+                            ("col", Json::from(u64::from(v.col))),
+                            ("message", Json::str(v.message.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LintOutcome {
+        LintOutcome {
+            violations: vec![Violation {
+                rule: Rule::D2,
+                file: "crates/ftl/src/ftl.rs".into(),
+                line: 417,
+                col: 34,
+                message: "`HashMap` on the result path".into(),
+            }],
+            files_checked: 90,
+            waived: 2,
+        }
+    }
+
+    #[test]
+    fn diagnostic_has_file_line_col() {
+        let text = render_diagnostic(&sample().violations[0]);
+        assert!(text.starts_with("error[D2]: "));
+        assert!(text.contains("--> crates/ftl/src/ftl.rs:417:34"));
+    }
+
+    #[test]
+    fn text_report_summarizes_per_rule() {
+        let text = render_text(&sample());
+        assert!(text.contains("1 violation(s) [D2 x1] in 90 files (2 waived)"));
+        let clean = render_text(&LintOutcome {
+            files_checked: 90,
+            waived: 2,
+            ..LintOutcome::default()
+        });
+        assert!(clean.contains("clean"));
+    }
+
+    #[test]
+    fn json_report_round_trips() {
+        let doc = to_json(&sample());
+        let parsed = Json::parse(&doc.to_string()).expect("parse own output");
+        assert_eq!(parsed, doc);
+        let text = doc.to_string();
+        assert!(text.contains(r#""rule":"D2""#));
+        assert!(text.contains(r#""line":417"#));
+    }
+}

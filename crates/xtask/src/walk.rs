@@ -1,0 +1,196 @@
+//! Workspace traversal and the crate-level U1 check.
+//!
+//! The walker visits every `.rs` file under the workspace root in sorted
+//! order (so reports are byte-stable run to run), lints each with
+//! [`lint_source`], and then applies the one rule that needs whole-crate
+//! knowledge: a crate containing no `unsafe` at all must say so with
+//! `#![forbid(unsafe_code)]` in its entry file.
+//!
+//! Skipped subtrees: `target/` and `.git/` (not source), and
+//! `crates/xtask/tests/fixtures/` — those files exist to *contain* seeded
+//! violations for the analyzer's own tests and must not fail the real run.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{lint_source, Rule, Violation};
+
+/// Aggregated result of linting the whole workspace.
+#[derive(Debug, Default)]
+pub struct LintOutcome {
+    /// Every unwaived violation, ordered by file then position.
+    pub violations: Vec<Violation>,
+    /// Number of `.rs` files inspected.
+    pub files_checked: usize,
+    /// Violations suppressed by inline waivers.
+    pub waived: usize,
+}
+
+impl LintOutcome {
+    /// True when the tree is clean.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Subtrees the walker never descends into, relative to the root.
+const SKIP_DIRS: &[&str] = &["target", ".git", "crates/xtask/tests/fixtures"];
+
+/// Collects every `.rs` file under `root` (sorted, skip-list applied),
+/// workspace-relative.
+///
+/// # Errors
+///
+/// Propagates directory-read failures.
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![PathBuf::new()];
+    while let Some(rel_dir) = stack.pop() {
+        let mut entries: Vec<_> = fs::read_dir(root.join(&rel_dir))?
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let rel = rel_dir.join(name);
+            let rel_str = rel.to_string_lossy().replace('\\', "/");
+            if SKIP_DIRS.contains(&rel_str.as_str()) {
+                continue;
+            }
+            if path.is_dir() {
+                stack.push(rel);
+            } else if rel_str.ends_with(".rs") {
+                files.push(rel);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lints every workspace source file plus the crate-level `forbid` check.
+///
+/// # Errors
+///
+/// Propagates I/O failures reading the tree; individual files that are not
+/// valid UTF-8 are reported as a violation rather than an error.
+pub fn lint_workspace(root: &Path) -> io::Result<LintOutcome> {
+    let mut outcome = LintOutcome::default();
+    // crate key → (saw unsafe, entry file has forbid, entry rel path)
+    let mut crates: BTreeMap<String, (bool, bool, Option<String>)> = BTreeMap::new();
+
+    for rel in collect_rs_files(root)? {
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let Ok(source) = fs::read_to_string(root.join(&rel)) else {
+            outcome.violations.push(Violation {
+                rule: Rule::U1,
+                file: rel_str,
+                line: 1,
+                col: 1,
+                message: "file is not valid UTF-8; the analyzer cannot audit it".into(),
+            });
+            continue;
+        };
+        outcome.files_checked += 1;
+        let report = lint_source(&rel_str, &source);
+        outcome.waived += report.waived;
+        outcome.violations.extend(report.violations);
+
+        if let Some((crate_key, is_entry)) = crate_of(&rel_str) {
+            let slot = crates.entry(crate_key).or_default();
+            slot.0 |= report.contains_unsafe;
+            if is_entry {
+                slot.1 = report.contains_forbid_unsafe;
+                slot.2 = Some(rel_str);
+            }
+        }
+    }
+
+    for (crate_key, (saw_unsafe, has_forbid, entry)) in &crates {
+        if !saw_unsafe && !has_forbid {
+            outcome.violations.push(Violation {
+                rule: Rule::U1,
+                file: entry.clone().unwrap_or_else(|| crate_key.clone()),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "crate `{crate_key}` contains no unsafe code but its entry \
+                     file does not declare `#![forbid(unsafe_code)]`"
+                ),
+            });
+        }
+    }
+
+    outcome
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    Ok(outcome)
+}
+
+/// Maps a library-source path to its crate key and whether this file is the
+/// crate's entry point (`src/lib.rs`). Only `src/` trees participate —
+/// tests and benches are separate compilation targets that a `lib.rs`
+/// attribute cannot govern.
+fn crate_of(rel: &str) -> Option<(String, bool)> {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        let (name, inner) = rest.split_once('/')?;
+        if !inner.starts_with("src/") {
+            return None;
+        }
+        Some((name.to_string(), inner == "src/lib.rs"))
+    } else {
+        rel.strip_prefix("src/")
+            .map(|inner| ("ssdhammer".to_string(), inner == "lib.rs"))
+    }
+}
+
+/// The workspace root: `--root` if given, else two levels above this
+/// crate's manifest (compiled in, so the alias works from any directory).
+#[must_use]
+pub fn default_root() -> PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map_or_else(|| PathBuf::from("."), Path::to_path_buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_mapping() {
+        assert_eq!(
+            crate_of("crates/ftl/src/lib.rs"),
+            Some(("ftl".into(), true))
+        );
+        assert_eq!(
+            crate_of("crates/ftl/src/ftl.rs"),
+            Some(("ftl".into(), false))
+        );
+        assert_eq!(crate_of("crates/ftl/tests/t.rs"), None);
+        assert_eq!(crate_of("src/lib.rs"), Some(("ssdhammer".into(), true)));
+        assert_eq!(crate_of("tests/determinism.rs"), None);
+    }
+
+    #[test]
+    fn workspace_walk_finds_this_file_and_skips_fixtures() {
+        let root = default_root();
+        let files = collect_rs_files(&root).expect("walk workspace");
+        let as_strs: Vec<String> = files
+            .iter()
+            .map(|p| p.to_string_lossy().replace('\\', "/"))
+            .collect();
+        assert!(as_strs.iter().any(|p| p == "crates/xtask/src/walk.rs"));
+        assert!(as_strs.iter().all(|p| !p.contains("tests/fixtures/")));
+        assert!(as_strs.iter().all(|p| !p.starts_with("target/")));
+    }
+}

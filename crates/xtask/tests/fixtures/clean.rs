@@ -1,0 +1,41 @@
+// Fixture: no violations. Exercises the constructs each rule must NOT
+// flag — BTree collections, simulated time, seeded randomness, dotted
+// metric names, error returns, and a SAFETY-annotated unsafe block.
+use std::collections::BTreeMap;
+
+pub fn deterministic(keys: &[u32]) -> Result<Vec<u32>, String> {
+    let mut m = BTreeMap::new();
+    for &k in keys {
+        m.insert(k, k * 2);
+    }
+    m.values().copied().map(checked_double).collect()
+}
+
+fn checked_double(v: u32) -> Result<u32, String> {
+    v.checked_mul(2).ok_or_else(|| "overflow".to_string())
+}
+
+pub fn tail_byte(buf: &[u8]) -> u8 {
+    if buf.is_empty() {
+        return 0;
+    }
+    // SAFETY: the pointer is derived from a live slice and the index is in
+    // bounds because the slice is non-empty.
+    unsafe { *buf.as_ptr().add(buf.len() - 1) }
+}
+
+pub fn register(tel: &ssdhammer_simkit::telemetry::Telemetry) {
+    let c = tel.counter("fixture.reads");
+    c.add(1);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_scope_exemptions_hold() {
+        // unwrap and HashMap are fine inside #[cfg(test)].
+        let mut m = std::collections::HashMap::new();
+        m.insert(1u32, 2u32);
+        assert_eq!(m.get(&1).copied().unwrap(), 2);
+    }
+}

@@ -1,0 +1,5 @@
+// Fixture: exactly one D1 violation (wall-clock type on a simulated path).
+pub fn elapsed_wall() -> f64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}

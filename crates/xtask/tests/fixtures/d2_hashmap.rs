@@ -1,0 +1,8 @@
+// Fixture: exactly one D2 violation (nondeterministic iteration order).
+pub fn order_leak(keys: &[u32]) -> Vec<u32> {
+    let mut m = std::collections::HashMap::new();
+    for &k in keys {
+        m.insert(k, k * 2);
+    }
+    m.into_values().collect()
+}

@@ -1,0 +1,5 @@
+// Fixture: exactly one D3 violation (ambient randomness).
+pub fn roll() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}

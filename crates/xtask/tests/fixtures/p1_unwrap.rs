@@ -1,0 +1,4 @@
+// Fixture: exactly one P1 violation (panic on the library path).
+pub fn head(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap()
+}

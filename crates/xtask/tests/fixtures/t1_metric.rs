@@ -1,0 +1,5 @@
+// Fixture: exactly one T1 violation (metric name off the dotted scheme).
+pub fn register(tel: &ssdhammer_simkit::telemetry::Telemetry) {
+    let c = tel.counter("BadMetricName");
+    c.add(1);
+}

@@ -1,0 +1,4 @@
+// Fixture: exactly one U1 violation (`unsafe` without a SAFETY comment).
+pub fn first_byte(buf: &[u8]) -> u8 {
+    unsafe { *buf.as_ptr() }
+}

@@ -1,0 +1,10 @@
+// Fixture: two violations, both suppressed by inline waivers — one
+// trailing (covers its own line), one standalone (covers the next line).
+pub fn head(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap() // lint:allow(P1) -- fixture exercising a trailing waiver
+}
+
+// lint:allow(D2) -- fixture exercising a standalone waiver
+pub fn order_leak() -> std::collections::HashMap<u32, u32> {
+    std::collections::HashMap::new() // lint:allow(D2) -- second use on the same construct
+}

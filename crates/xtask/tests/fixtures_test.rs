@@ -1,0 +1,127 @@
+//! Fixture-driven integration tests for the lint rules.
+//!
+//! Every rule has a fixture under `tests/fixtures/` seeding exactly one
+//! violation, plus a clean file, plus a waiver fixture. Fixture sources are
+//! linted under a synthetic path inside a deterministic sim crate
+//! (`crates/ftl/src/...`) so that every rule is in scope; the real walker
+//! never descends into `tests/fixtures/` (see `walk::SKIP_DIRS`).
+
+use std::path::Path;
+
+use ssdhammer_simkit::json::Json;
+use xtask::report::to_json;
+use xtask::rules::{lint_source, Rule};
+use xtask::walk::{default_root, lint_workspace, LintOutcome};
+
+/// Reads a fixture file from `tests/fixtures/`.
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+/// Lints a fixture as if it lived on a deterministic sim crate's library
+/// path, where all six rules apply.
+fn lint_fixture(name: &str) -> xtask::rules::FileReport {
+    lint_source("crates/ftl/src/fixture_under_test.rs", &fixture(name))
+}
+
+#[test]
+fn each_rule_fires_exactly_once_on_its_fixture() {
+    let cases = [
+        ("d1_instant.rs", Rule::D1),
+        ("d2_hashmap.rs", Rule::D2),
+        ("d3_rand.rs", Rule::D3),
+        ("u1_unsafe.rs", Rule::U1),
+        ("p1_unwrap.rs", Rule::P1),
+        ("t1_metric.rs", Rule::T1),
+    ];
+    for (name, rule) in cases {
+        let report = lint_fixture(name);
+        assert_eq!(
+            report.violations.len(),
+            1,
+            "{name}: expected exactly one violation, got {:?}",
+            report.violations
+        );
+        let v = &report.violations[0];
+        assert_eq!(v.rule, rule, "{name}: wrong rule fired");
+        assert!(v.line > 0 && v.col > 0, "{name}: positions are 1-based");
+        assert_eq!(report.waived, 0, "{name}: nothing is waived");
+    }
+}
+
+#[test]
+fn clean_fixture_produces_no_violations() {
+    let report = lint_fixture("clean.rs");
+    assert!(
+        report.violations.is_empty(),
+        "clean fixture flagged: {:?}",
+        report.violations
+    );
+    assert_eq!(report.waived, 0);
+}
+
+#[test]
+fn waivers_suppress_and_are_counted() {
+    let report = lint_fixture("waived.rs");
+    assert!(
+        report.violations.is_empty(),
+        "waived violations leaked through: {:?}",
+        report.violations
+    );
+    assert_eq!(
+        report.waived, 3,
+        "one trailing P1 + one standalone D2 + one trailing D2"
+    );
+}
+
+#[test]
+fn waiver_does_not_cover_other_rules() {
+    // A P1 waiver on a line with a D2 violation must not silence the D2.
+    let src = "pub fn f() {\n    \
+        let m = std::collections::HashMap::<u32, u32>::new(); \
+        // lint:allow(P1) -- wrong rule on purpose\n}\n";
+    let report = lint_source("crates/ftl/src/fixture_under_test.rs", src);
+    assert_eq!(report.violations.len(), 1);
+    assert_eq!(report.violations[0].rule, Rule::D2);
+}
+
+#[test]
+fn json_report_round_trips_through_simkit_json() {
+    let mut outcome = LintOutcome::default();
+    for name in ["d1_instant.rs", "d2_hashmap.rs", "t1_metric.rs"] {
+        let mut report = lint_fixture(name);
+        outcome.violations.append(&mut report.violations);
+        outcome.waived += report.waived;
+        outcome.files_checked += 1;
+    }
+    let doc = to_json(&outcome);
+    let text = doc.to_string();
+    let reparsed = Json::parse(&text).expect("lint --json output parses");
+    assert_eq!(
+        reparsed.to_string(),
+        text,
+        "parse → serialize is the identity on the report"
+    );
+    // Spot-check structure the CI consumers rely on.
+    let pretty = reparsed.to_string_pretty();
+    assert!(pretty.contains("\"clean\": false"));
+    assert!(pretty.contains("\"files_checked\": 3"));
+    assert!(pretty.contains("\"rule\": \"D1\""));
+}
+
+#[test]
+fn the_workspace_itself_is_clean() {
+    // The driver runs `cargo xtask lint` and requires exit 0; this test
+    // catches a dirty tree earlier, from inside `cargo test`.
+    let outcome = lint_workspace(&default_root()).expect("workspace walk");
+    assert!(
+        outcome.is_clean(),
+        "workspace has unwaived violations:\n{}",
+        xtask::report::render_text(&outcome)
+    );
+    assert!(outcome.files_checked > 50, "walker found the workspace");
+}

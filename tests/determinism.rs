@@ -75,6 +75,32 @@ fn case_study_is_reproducible() {
 }
 
 #[test]
+fn same_seed_produces_identical_telemetry_json() {
+    // Guards the figure pipeline: `fig1-telemetry.json` is diffed between
+    // runs, so the serialized snapshot — metric names, ordering, and every
+    // value — must be byte-identical for identical seeds. This is what the
+    // HashMap→BTreeMap conversions (lint rule D2) protect.
+    let telemetry_json = |seed| {
+        let mut ssd = Ssd::build(eager_config(seed));
+        let site = find_attack_sites(ssd.ftl(), 1).pop().expect("site");
+        setup_entries(ssd.ftl_mut(), &site.victim_lbas).unwrap();
+        run_primitive(
+            &mut ssd,
+            &site,
+            HammerStyle::DoubleSided,
+            2_000_000.0,
+            SimDuration::from_millis(300),
+        )
+        .unwrap();
+        ssd.snapshot_telemetry().to_json().to_string()
+    };
+    let a = telemetry_json(42);
+    let b = telemetry_json(42);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "telemetry export must be byte-stable across runs");
+}
+
+#[test]
 fn simulated_time_is_host_speed_independent() {
     // The reported attack duration depends only on the workload, not on how
     // fast the host executed the simulation: run the same primitive twice
