@@ -15,19 +15,21 @@
 //!   feasibility   §2.3     — NVMe-rate feasibility
 //!   ablations     design-choice ablations (DESIGN.md §5)
 //!   escalation    §3.2     — privilege escalation via polyglot blocks
+//!   faults        fault-injection plane vs the FTL recovery stack
 //!   all           everything above
 //!
 //! flags:
 //!   --seed N      manufacturing-variation seed (default 7)
 //!   --threads N   worker threads for campaign experiments (table1, prob,
-//!                 ablations); output is bit-identical for any N (default 1)
+//!                 ablations, faults); output is bit-identical for any N
+//!                 (default 1)
 //!   --json        print structured JSON instead of tables
 //!   --full        fig3 only: run the paper-prototype-scale configuration
 //!                 (1 GiB SSD, 5% spray cap, 5-minute hammer bursts) instead
 //!                 of the fast demo
 //! ```
 
-use ssdhammer_bench::{ablations, fig1, fig2, fig3, sec23, sec43, sec5, table1};
+use ssdhammer_bench::{ablations, faults, fig1, fig2, fig3, sec23, sec43, sec5, table1};
 use ssdhammer_simkit::json::{Json, ToJson};
 
 fn main() {
@@ -75,6 +77,7 @@ fn main() {
                 "feasibility",
                 "ablations",
                 "escalation",
+                "faults",
             ] {
                 run_one(name);
                 println!();
@@ -159,6 +162,14 @@ fn run_experiment(name: &str, seed: u64, threads: usize, json: bool, full: bool)
         "ablations" => {
             print!("{}", ablations::render_with_threads(seed, threads));
         }
+        "faults" => {
+            let rows = faults::run_with_threads(seed, threads);
+            if json {
+                println!("{}", rows.to_json().to_string_pretty());
+            } else {
+                print!("{}", faults::render(&rows));
+            }
+        }
         "escalation" => {
             use ssdhammer_cloud::{run_escalation, EscalationConfig};
             let outcome =
@@ -219,6 +230,6 @@ fn run_fig3_full(seed: u64, json: bool) {
 
 fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}");
-    eprintln!("usage: repro [table1|fig1|fig2|fig3|prob|mitigations|feasibility|ablations|escalation|all] [--seed N] [--threads N] [--json] [--full]");
+    eprintln!("usage: repro [table1|fig1|fig2|fig3|prob|mitigations|feasibility|ablations|escalation|faults|all] [--seed N] [--threads N] [--json] [--full]");
     std::process::exit(2);
 }

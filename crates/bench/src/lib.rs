@@ -16,7 +16,8 @@
 //!
 //! The [`ablations`] module additionally sweeps the design choices called
 //! out in DESIGN.md (amplification, fast path, mapping structure, victim
-//! activity).
+//! activity), and the [`faults`] module exercises the deterministic
+//! fault-injection plane against the FTL recovery stack.
 //!
 //! Run `cargo run -p ssdhammer-bench --bin repro -- all` for the complete
 //! text reproduction, or `cargo bench` for the timed harnesses.
@@ -25,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod faults;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;

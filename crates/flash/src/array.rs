@@ -3,6 +3,7 @@
 
 use std::collections::BTreeMap;
 
+use ssdhammer_simkit::faultplane::FaultPlane;
 use ssdhammer_simkit::rng::{derive_seed, seeded, Rng};
 use ssdhammer_simkit::telemetry::{CounterHandle, Telemetry};
 use ssdhammer_simkit::{SimClock, SimDuration, SimTime};
@@ -41,6 +42,30 @@ pub enum FlashError {
         /// Required length.
         expected: usize,
     },
+    /// A read failed at the media level (injected via the fault plane).
+    /// `bits` is the deterministic count of flipped bits in the worst ECC
+    /// word, which the FTL's recovery ladder feeds into
+    /// `dram::ecc::EccOutcome::classify` after retries are exhausted.
+    ReadFailed {
+        /// The page whose read failed.
+        ppn: Ppn,
+        /// Flipped bits in the worst ECC word (1 = correctable, 2 =
+        /// detectable, 3+ = silent corruption).
+        bits: u32,
+    },
+    /// A program operation failed (injected via the fault plane). The
+    /// target page is *burned*: it consumed its in-order slot but holds no
+    /// data, so the FTL must re-issue the write elsewhere.
+    ProgramFailed {
+        /// The page whose program failed.
+        ppn: Ppn,
+    },
+    /// An erase operation failed (injected via the fault plane). The block
+    /// is marked grown-bad and must be retired by the FTL.
+    EraseFailed {
+        /// The block whose erase failed.
+        block: BlockId,
+    },
 }
 
 impl core::fmt::Display for FlashError {
@@ -58,6 +83,11 @@ impl core::fmt::Display for FlashError {
             FlashError::BadBufferLen { got, expected } => {
                 write!(f, "buffer length {got}, expected {expected}")
             }
+            FlashError::ReadFailed { ppn, bits } => {
+                write!(f, "media read of {ppn} failed ({bits} flipped bits)")
+            }
+            FlashError::ProgramFailed { ppn } => write!(f, "program of {ppn} failed"),
+            FlashError::EraseFailed { block } => write!(f, "erase of {block} failed"),
         }
     }
 }
@@ -78,6 +108,9 @@ pub struct FlashTelemetry {
     pub wear_failures: u64,
     /// Bits corrupted in returned data due to read disturb.
     pub read_disturb_errors: u64,
+    /// Blocks that went bad after manufacturing (wear-out, erase failures,
+    /// or FTL retirement via [`FlashArray::mark_bad`]).
+    pub grown_bad: u64,
 }
 
 /// Handles into the shared registry, resolved once at bind time.
@@ -89,6 +122,7 @@ struct FlashHandles {
     erases: CounterHandle,
     wear_failures: CounterHandle,
     read_disturb_errors: CounterHandle,
+    grown_bad: CounterHandle,
 }
 
 impl FlashHandles {
@@ -99,6 +133,7 @@ impl FlashHandles {
             erases: registry.counter("flash.erases"),
             wear_failures: registry.counter("flash.wear_failures"),
             read_disturb_errors: registry.counter("flash.read_disturb_errors"),
+            grown_bad: registry.counter("flash.grown_bad"),
             registry,
         }
     }
@@ -155,6 +190,8 @@ pub struct FlashArray {
     /// corrupting returned data.
     read_disturb_limit: u64,
     seed: u64,
+    /// Fault-injection decisions for `flash.*` sites. Disabled by default.
+    fault_plane: FaultPlane,
 }
 
 impl FlashArray {
@@ -201,7 +238,21 @@ impl FlashArray {
             max_pe_cycles: 3000,
             read_disturb_limit: 100_000,
             seed,
+            fault_plane: FaultPlane::disabled(),
         }
+    }
+
+    /// Installs a fault plane; `flash.read_fail`, `flash.program_fail`,
+    /// and `flash.erase_fail` sites are consulted on the corresponding
+    /// operations.
+    pub fn set_fault_plane(&mut self, plane: FaultPlane) {
+        self.fault_plane = plane;
+    }
+
+    /// The installed fault plane (a disabled one if none was set).
+    #[must_use]
+    pub fn fault_plane(&self) -> &FaultPlane {
+        &self.fault_plane
     }
 
     /// The array geometry.
@@ -219,6 +270,7 @@ impl FlashArray {
             erases: self.tel.erases.get(),
             wear_failures: self.tel.wear_failures.get(),
             read_disturb_errors: self.tel.read_disturb_errors.get(),
+            grown_bad: self.tel.grown_bad.get(),
         }
     }
 
@@ -324,8 +376,29 @@ impl FlashArray {
     ///
     /// # Errors
     ///
-    /// [`FlashError::OutOfRange`] or [`FlashError::BadBlock`].
+    /// [`FlashError::OutOfRange`], [`FlashError::BadBlock`], or — with a
+    /// fault plane installed — [`FlashError::ReadFailed`].
     pub fn read_page(&mut self, ppn: Ppn) -> Result<(Box<[u8]>, SimTime), FlashError> {
+        self.read_page_inner(ppn, true)
+    }
+
+    /// Reads a page in *recovery-assisted* mode: the `flash.read_fail`
+    /// fault site is not consulted, modeling the slower read-retry voltage
+    /// sweep the FTL falls back to after normal reads keep failing. Timing
+    /// and read-disturb accounting are identical to [`FlashArray::read_page`].
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::OutOfRange`] or [`FlashError::BadBlock`].
+    pub fn read_page_assisted(&mut self, ppn: Ppn) -> Result<(Box<[u8]>, SimTime), FlashError> {
+        self.read_page_inner(ppn, false)
+    }
+
+    fn read_page_inner(
+        &mut self,
+        ppn: Ppn,
+        inject: bool,
+    ) -> Result<(Box<[u8]>, SimTime), FlashError> {
         let block = self.checked_block(ppn)?;
         let done = self.schedule(
             self.geometry.channel_of(block),
@@ -337,6 +410,13 @@ impl FlashArray {
         let excess = state
             .reads_since_erase
             .saturating_sub(self.read_disturb_limit);
+        if inject {
+            if let Some(draw) = self.fault_plane.consult("flash.read_fail") {
+                // 1..=3 flipped bits: correctable / detectable / silent.
+                let bits = 1 + (draw % 3) as u32;
+                return Err(FlashError::ReadFailed { ppn, bits });
+            }
+        }
         let mut data = match self.pages.get(&ppn.as_u64()) {
             Some(p) => p.data.clone(),
             None => vec![0xFFu8; self.geometry.page_bytes as usize].into_boxed_slice(),
@@ -377,6 +457,9 @@ impl FlashArray {
     ///   next in-order page.
     /// * [`FlashError::BadBlock`], [`FlashError::OutOfRange`],
     ///   [`FlashError::BadBufferLen`].
+    /// * [`FlashError::ProgramFailed`] when the fault plane fires; the page
+    ///   slot is burned (consumed but unwritten) and the operation's time
+    ///   is still charged, as on real NAND.
     pub fn program_page(
         &mut self,
         ppn: Ppn,
@@ -408,6 +491,14 @@ impl FlashArray {
             });
         }
         state.next_page += 1;
+        if self.fault_plane.consult("flash.program_fail").is_some() {
+            let done = self.schedule(
+                self.geometry.channel_of(block),
+                SimDuration::from_nanos(self.timing.t_program_ns + self.timing.t_xfer_ns),
+            );
+            let _ = done;
+            return Err(FlashError::ProgramFailed { ppn });
+        }
         let mut oob_buf = vec![0u8; self.geometry.oob_bytes as usize].into_boxed_slice();
         oob_buf[..oob.len()].copy_from_slice(oob);
         self.pages.insert(
@@ -443,20 +534,28 @@ impl FlashArray {
     ///
     /// # Errors
     ///
-    /// [`FlashError::OutOfRange`] or [`FlashError::BadBlock`].
+    /// [`FlashError::OutOfRange`], [`FlashError::BadBlock`], or — when the
+    /// fault plane fires — [`FlashError::EraseFailed`], which marks the
+    /// block grown-bad.
     pub fn erase_block(&mut self, block: BlockId) -> Result<SimTime, FlashError> {
         if block.as_u64() >= self.geometry.total_blocks() {
             return Err(FlashError::OutOfRange);
         }
-        let max_pe = self.max_pe_cycles;
-        let state = &mut self.blocks[block.as_u64() as usize];
-        if state.bad {
+        if self.blocks[block.as_u64() as usize].bad {
             return Err(FlashError::BadBlock { block });
         }
+        if self.fault_plane.consult("flash.erase_fail").is_some() {
+            self.blocks[block.as_u64() as usize].bad = true;
+            self.tel.grown_bad.incr();
+            return Err(FlashError::EraseFailed { block });
+        }
+        let max_pe = self.max_pe_cycles;
+        let state = &mut self.blocks[block.as_u64() as usize];
         state.pe_cycles += 1;
         if state.pe_cycles > max_pe {
             state.bad = true;
             self.tel.wear_failures.incr();
+            self.tel.grown_bad.incr();
             return Err(FlashError::BadBlock { block });
         }
         state.next_page = 0;
@@ -471,6 +570,25 @@ impl FlashArray {
         );
         self.tel.erases.incr();
         Ok(done)
+    }
+
+    /// Retires `block`: marks it grown-bad so every further access fails
+    /// with [`FlashError::BadBlock`]. Used by the FTL when remapping away
+    /// from a block that failed a program.
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::OutOfRange`] for invalid blocks.
+    pub fn mark_bad(&mut self, block: BlockId) -> Result<(), FlashError> {
+        let state = self
+            .blocks
+            .get_mut(block.as_u64() as usize)
+            .ok_or(FlashError::OutOfRange)?;
+        if !state.bad {
+            state.bad = true;
+            self.tel.grown_bad.incr();
+        }
+        Ok(())
     }
 
     fn checked_block(&self, ppn: Ppn) -> Result<BlockId, FlashError> {
@@ -676,6 +794,70 @@ mod tests {
         assert_eq!(a.telemetry().reads, before + 1);
         // No page state was touched.
         assert_eq!(a.reads_since_erase(BlockId(1)).unwrap(), 0);
+    }
+
+    #[test]
+    fn fault_plane_read_fail_fires_and_assisted_read_bypasses() {
+        use ssdhammer_simkit::faultplane::{FaultPlaneConfig, FaultSpec};
+        let mut a = array();
+        a.program_page(Ppn(0), &page(0x5A), b"").unwrap();
+        let cfg = FaultPlaneConfig::new().with_site("flash.read_fail", FaultSpec::always());
+        a.set_fault_plane(FaultPlane::new(3, &cfg));
+        let err = a.read_page(Ppn(0)).unwrap_err();
+        assert!(
+            matches!(err, FlashError::ReadFailed { ppn: Ppn(0), bits } if (1..=3).contains(&bits))
+        );
+        // The assisted (retry-ladder) read ignores the site and succeeds.
+        let (data, _) = a.read_page_assisted(Ppn(0)).unwrap();
+        assert!(data.iter().all(|&b| b == 0x5A));
+    }
+
+    #[test]
+    fn fault_plane_program_fail_burns_the_page_slot() {
+        use ssdhammer_simkit::faultplane::{FaultPlaneConfig, FaultSpec};
+        let mut a = array();
+        let cfg = FaultPlaneConfig::new()
+            .with_site("flash.program_fail", FaultSpec::always().with_max_fires(1));
+        a.set_fault_plane(FaultPlane::new(3, &cfg));
+        assert_eq!(
+            a.program_page(Ppn(0), &page(1), b""),
+            Err(FlashError::ProgramFailed { ppn: Ppn(0) })
+        );
+        // Page 0's slot is consumed; the block expects page 1 next, and the
+        // failed page reads back erased.
+        assert_eq!(a.next_page(BlockId(0)).unwrap(), 1);
+        a.program_page(Ppn(1), &page(2), b"").unwrap();
+        let (data, _) = a.read_page(Ppn(0)).unwrap();
+        assert!(data.iter().all(|&b| b == 0xFF));
+    }
+
+    #[test]
+    fn fault_plane_erase_fail_grows_a_bad_block() {
+        use ssdhammer_simkit::faultplane::{FaultPlaneConfig, FaultSpec};
+        let mut a = array();
+        let cfg = FaultPlaneConfig::new()
+            .with_site("flash.erase_fail", FaultSpec::always().with_max_fires(1));
+        a.set_fault_plane(FaultPlane::new(3, &cfg));
+        assert_eq!(
+            a.erase_block(BlockId(1)),
+            Err(FlashError::EraseFailed { block: BlockId(1) })
+        );
+        assert!(a.is_bad(BlockId(1)).unwrap());
+        assert_eq!(a.telemetry().grown_bad, 1);
+        // Other blocks still work once the single fire is spent.
+        a.erase_block(BlockId(0)).unwrap();
+    }
+
+    #[test]
+    fn mark_bad_retires_a_block() {
+        let mut a = array();
+        a.mark_bad(BlockId(2)).unwrap();
+        assert!(a.is_bad(BlockId(2)).unwrap());
+        assert_eq!(a.telemetry().grown_bad, 1);
+        // Idempotent: no double count.
+        a.mark_bad(BlockId(2)).unwrap();
+        assert_eq!(a.telemetry().grown_bad, 1);
+        assert_eq!(a.mark_bad(BlockId(999_999)), Err(FlashError::OutOfRange));
     }
 
     #[test]

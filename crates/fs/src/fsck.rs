@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use ssdhammer_simkit::BlockDevice;
+use ssdhammer_simkit::{BlockDevice, StorageError};
 
 use crate::error::{FsError, FsResult};
 use crate::fs::FileSystem;
@@ -57,6 +57,18 @@ pub enum FsckIssue {
         /// The missing target.
         target: Ino,
     },
+    /// The device itself reported the failure (an uncorrectable read the
+    /// FTL's recovery stack caught and surfaced loudly). Unlike the
+    /// structural variants above — which mean a *silent* redirection
+    /// reached the filesystem as plausible-looking wrong data — this is the
+    /// storage stack doing its job: the damage was detected below the
+    /// filesystem and never masqueraded as valid metadata.
+    DeviceError {
+        /// The inode whose check hit the device error.
+        ino: Ino,
+        /// What the device reported.
+        reason: String,
+    },
 }
 
 impl core::fmt::Display for FsckIssue {
@@ -77,6 +89,9 @@ impl core::fmt::Display for FsckIssue {
             FsckIssue::DanglingDirent { dir, name, target } => {
                 write!(f, "{dir}: entry '{name}' points at missing {target}")
             }
+            FsckIssue::DeviceError { ino, reason } => {
+                write!(f, "{ino}: device reported: {reason}")
+            }
         }
     }
 }
@@ -96,15 +111,41 @@ impl FsckReport {
     pub fn is_clean(&self) -> bool {
         self.issues.is_empty()
     }
+
+    /// Issues the device itself detected and reported
+    /// ([`FsckIssue::DeviceError`]): the FTL's recovery stack caught the
+    /// damage before it could masquerade as filesystem state.
+    #[must_use]
+    pub fn device_detected(&self) -> usize {
+        self.issues
+            .iter()
+            .filter(|i| matches!(i, FsckIssue::DeviceError { .. }))
+            .count()
+    }
+
+    /// Issues that reached the filesystem as silently wrong data — the
+    /// dangerous class §3.2 describes, where an L2P redirection serves a
+    /// plausible-looking block and only structural cross-checks notice.
+    #[must_use]
+    pub fn silent_structural(&self) -> usize {
+        self.issues.len() - self.device_detected()
+    }
 }
 
 impl<S: BlockDevice> FileSystem<S> {
     /// Performs a full consistency check. Never mutates the filesystem.
     ///
+    /// Findings are classified by *who noticed*: device-reported
+    /// uncorrectable reads become [`FsckIssue::DeviceError`] ("the FTL
+    /// recovered/detected it"), while structurally inconsistent but
+    /// cleanly-served data becomes the silent-redirection variants
+    /// ([`FsckIssue::WildPointer`], [`FsckIssue::DoubleReference`], …).
+    ///
     /// # Errors
     ///
-    /// Only unrecoverable device I/O failures; structural corruption is
-    /// *reported*, not returned as an error.
+    /// Only unrecoverable device I/O failures (queue/addressing faults);
+    /// structural corruption and uncorrectable-read reports are *reported*,
+    /// not returned as errors.
     pub fn fsck(&mut self) -> FsResult<FsckReport> {
         let mut report = FsckReport::default();
         let sb = *self.superblock();
@@ -120,6 +161,14 @@ impl<S: BlockDevice> FileSystem<S> {
                     report.issues.push(FsckIssue::BadInode { ino, reason });
                     continue;
                 }
+                Err(FsError::Io(StorageError::Uncorrectable { lba })) => {
+                    report.inodes_checked += 1;
+                    report.issues.push(FsckIssue::DeviceError {
+                        ino,
+                        reason: format!("inode unreadable: uncorrectable at {lba}"),
+                    });
+                    continue;
+                }
                 Err(other) => return Err(other),
             };
             report.inodes_checked += 1;
@@ -127,6 +176,13 @@ impl<S: BlockDevice> FileSystem<S> {
                 Ok(b) => b,
                 Err(FsError::Corrupted(reason)) => {
                     report.issues.push(FsckIssue::BadInode { ino, reason });
+                    continue;
+                }
+                Err(FsError::Io(StorageError::Uncorrectable { lba })) => {
+                    report.issues.push(FsckIssue::DeviceError {
+                        ino,
+                        reason: format!("block map unreadable: uncorrectable at {lba}"),
+                    });
                     continue;
                 }
                 Err(FsError::Io(e)) => return Err(FsError::Io(e)),
@@ -143,7 +199,18 @@ impl<S: BlockDevice> FileSystem<S> {
                     report.issues.push(FsckIssue::WildPointer { ino, block: b });
                     continue;
                 }
-                if !self.block_allocated(b)? {
+                let allocated = match self.block_allocated(b) {
+                    Ok(a) => a,
+                    Err(FsError::Io(StorageError::Uncorrectable { lba })) => {
+                        report.issues.push(FsckIssue::DeviceError {
+                            ino,
+                            reason: format!("bitmap unreadable: uncorrectable at {lba}"),
+                        });
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                };
+                if !allocated {
                     report
                         .issues
                         .push(FsckIssue::UnallocatedReference { ino, block: b });
@@ -182,6 +249,13 @@ impl<S: BlockDevice> FileSystem<S> {
         }
         self.tel.fsck_runs.incr();
         self.tel.fsck_findings.add(report.issues.len() as u64);
+        let device_detected = report.device_detected() as u64;
+        if device_detected > 0 {
+            self.tel
+                .registry
+                .counter("fs.fsck.device_errors")
+                .add(device_detected);
+        }
         for issue in &report.issues {
             self.tel.registry.trace(
                 ssdhammer_simkit::SimTime::ZERO,
@@ -285,6 +359,60 @@ mod tests {
             "issues: {:?}",
             report.issues
         );
+    }
+
+    /// A device that serves most blocks from RAM but reports a specific
+    /// LBA as uncorrectable — what an SSD's recovery stack surfaces after
+    /// its read-retry ladder and ECC both fail.
+    struct PoisonedDisk {
+        inner: RamDisk,
+        poisoned: u64,
+    }
+
+    impl BlockDevice for PoisonedDisk {
+        fn capacity_blocks(&self) -> u64 {
+            self.inner.capacity_blocks()
+        }
+
+        fn read(&mut self, lba: Lba, buf: &mut [u8]) -> ssdhammer_simkit::StorageResult<()> {
+            if lba.as_u64() == self.poisoned {
+                return Err(StorageError::Uncorrectable { lba });
+            }
+            self.inner.read(lba, buf)
+        }
+
+        fn write(&mut self, lba: Lba, buf: &[u8]) -> ssdhammer_simkit::StorageResult<()> {
+            self.inner.write(lba, buf)
+        }
+
+        fn trim(&mut self, lba: Lba) -> ssdhammer_simkit::StorageResult<()> {
+            self.inner.trim(lba)
+        }
+    }
+
+    #[test]
+    fn device_reported_uncorrectable_is_distinguished_from_silent_damage() {
+        let mut f = populated_fs();
+        let ino = f.lookup("/home/ind").unwrap();
+        let inode = f.read_inode(ino).unwrap();
+        let crate::layout::InodeMap::Indirect { single, .. } = inode.map else {
+            panic!()
+        };
+        // The indirect-pointer block read fails loudly at the device.
+        let dev = PoisonedDisk {
+            inner: f.into_device(),
+            poisoned: u64::from(single),
+        };
+        let mut f = FileSystem::mount(dev).unwrap();
+        let report = f.fsck().unwrap();
+        assert_eq!(report.device_detected(), 1, "issues: {:?}", report.issues);
+        assert_eq!(report.silent_structural(), 0);
+        assert!(report
+            .issues
+            .iter()
+            .any(|i| matches!(i, FsckIssue::DeviceError { ino: i, .. } if *i == ino)));
+        // Contrast: the silent-redirection tests above yield zero
+        // device-detected findings — the device served wrong data cleanly.
     }
 
     #[test]

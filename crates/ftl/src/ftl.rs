@@ -6,12 +6,15 @@
 //! update is a real access to the simulated [`DramModule`], so host I/O
 //! produces DRAM row activations — the attack surface.
 
-use ssdhammer_dram::{DramError, DramModule, HammerReport};
+use ssdhammer_dram::{DramError, DramModule, EccOutcome, HammerReport};
 use ssdhammer_flash::{BlockId, FlashArray, FlashError, Ppn};
 use ssdhammer_simkit::bytes::{le_u32, le_u64};
-use ssdhammer_simkit::telemetry::{CounterHandle, Telemetry};
+use ssdhammer_simkit::faultplane::FaultPlane;
+use ssdhammer_simkit::rng::derive_seed;
+use ssdhammer_simkit::telemetry::{CounterHandle, GaugeHandle, Telemetry};
 use ssdhammer_simkit::{DramAddr, Lba, SimClock, SimTime, BLOCK_SIZE};
 
+use crate::journal::{self, JournalEntry};
 use crate::l2p::{L2pLayout, L2pTable};
 
 /// Errors surfaced by FTL operations.
@@ -34,6 +37,18 @@ pub enum FtlError {
     Dram(DramError),
     /// The underlying flash failed.
     Flash(FlashError),
+    /// A flash page stayed unreadable through the whole recovery ladder
+    /// (read retries, then ECC escalation).
+    Uncorrectable {
+        /// The page that could not be read.
+        ppn: Ppn,
+    },
+    /// The device degraded to read-only mode (remap or journal budget
+    /// exhausted); writes and trims are rejected, reads still work.
+    ReadOnly,
+    /// A (simulated) power loss occurred; all operations fail until the
+    /// device is remounted via [`Ftl::recover`].
+    PowerLoss,
 }
 
 impl From<DramError> for FtlError {
@@ -58,6 +73,11 @@ impl core::fmt::Display for FtlError {
             FtlError::DeviceFull => write!(f, "device full"),
             FtlError::Dram(e) => write!(f, "dram: {e}"),
             FtlError::Flash(e) => write!(f, "flash: {e}"),
+            FtlError::Uncorrectable { ppn } => {
+                write!(f, "{ppn} unreadable after retry ladder and ECC")
+            }
+            FtlError::ReadOnly => write!(f, "device degraded to read-only"),
+            FtlError::PowerLoss => write!(f, "power lost; remount required"),
         }
     }
 }
@@ -93,6 +113,20 @@ pub struct FtlConfig {
     /// binding (LBA, data); reads verify it, so a redirected mapping fails
     /// loudly instead of silently serving another block's data.
     pub dif: bool,
+    /// Read-retry ladder depth: how many times a failed media read is
+    /// re-issued before escalating to ECC classification.
+    pub read_retry_max: u32,
+    /// Blocks the FTL may retire (grown-bad remaps) before degrading to
+    /// read-only mode.
+    pub remap_budget: u32,
+    /// Checkpoint the L2P change journal to flash every this many logged
+    /// mutations. `0` disables journaling entirely (TRIMs are then lost
+    /// across power cuts, as in journal-less FTLs).
+    pub journal_checkpoint_every: u32,
+    /// Flash blocks reserved for the journal when journaling is enabled
+    /// (subtracted from the exported capacity). When the region fills, the
+    /// device degrades to read-only.
+    pub journal_blocks: u32,
 }
 
 impl Default for FtlConfig {
@@ -110,6 +144,10 @@ impl Default for FtlConfig {
             // them preemptively.
             read_refresh_threshold: Some(50_000),
             dif: false,
+            read_retry_max: 4,
+            remap_budget: 16,
+            journal_checkpoint_every: 0,
+            journal_blocks: 2,
         }
     }
 }
@@ -173,6 +211,34 @@ impl FtlConfig {
         self.dif = enabled;
         self
     }
+
+    /// Replaces the read-retry ladder depth.
+    #[must_use]
+    pub fn with_read_retry_max(mut self, retries: u32) -> Self {
+        self.read_retry_max = retries;
+        self
+    }
+
+    /// Replaces the grown-bad-block remap budget.
+    #[must_use]
+    pub fn with_remap_budget(mut self, budget: u32) -> Self {
+        self.remap_budget = budget;
+        self
+    }
+
+    /// Replaces the journal checkpoint interval (`0` disables journaling).
+    #[must_use]
+    pub fn with_journal_checkpoint_every(mut self, entries: u32) -> Self {
+        self.journal_checkpoint_every = entries;
+        self
+    }
+
+    /// Replaces the journal region size in blocks.
+    #[must_use]
+    pub fn with_journal_blocks(mut self, blocks: u32) -> Self {
+        self.journal_blocks = blocks;
+        self
+    }
 }
 
 /// What a read translated to.
@@ -232,6 +298,25 @@ pub struct FtlTelemetry {
     /// Reads whose mapping resolved somewhere provably wrong (wild entries
     /// and DIF guard mismatches).
     pub redirections_detected: u64,
+    /// Media read failures recovered by re-issuing the read.
+    pub read_retries: u64,
+    /// Reads recovered by ECC after the retry ladder was exhausted.
+    pub ecc_corrected: u64,
+    /// Reads whose flipped bits exceeded ECC detection: wrong data was
+    /// served as if clean (caught only by DIF, when enabled).
+    pub silent_corruptions: u64,
+    /// Reads that stayed unreadable through the whole recovery ladder.
+    pub uncorrectable_reads: u64,
+    /// Blocks retired grown-bad and remapped away from.
+    pub bad_block_remaps: u64,
+    /// Journal pages checkpointed to flash.
+    pub journal_checkpoints: u64,
+    /// Journal entries applied during the last [`Ftl::recover`].
+    pub journal_replayed: u64,
+    /// Simulated power-loss events taken.
+    pub power_losses: u64,
+    /// 1 when the device has degraded to read-only mode.
+    pub read_only: f64,
 }
 
 /// Handles into the shared registry, resolved once at bind time.
@@ -247,6 +332,15 @@ struct FtlHandles {
     l2p_reads: CounterHandle,
     l2p_writes: CounterHandle,
     redirections_detected: CounterHandle,
+    read_retries: CounterHandle,
+    ecc_corrected: CounterHandle,
+    silent_corruptions: CounterHandle,
+    uncorrectable_reads: CounterHandle,
+    bad_block_remaps: CounterHandle,
+    journal_checkpoints: CounterHandle,
+    journal_replayed: CounterHandle,
+    power_losses: CounterHandle,
+    read_only: GaugeHandle,
 }
 
 impl FtlHandles {
@@ -261,6 +355,15 @@ impl FtlHandles {
             l2p_reads: registry.counter("ftl.l2p_reads"),
             l2p_writes: registry.counter("ftl.l2p_writes"),
             redirections_detected: registry.counter("ftl.redirections_detected"),
+            read_retries: registry.counter("recovery.read_retries"),
+            ecc_corrected: registry.counter("recovery.ecc_corrected"),
+            silent_corruptions: registry.counter("recovery.silent_corruptions"),
+            uncorrectable_reads: registry.counter("recovery.uncorrectable_reads"),
+            bad_block_remaps: registry.counter("recovery.bad_block_remaps"),
+            journal_checkpoints: registry.counter("recovery.journal_checkpoints"),
+            journal_replayed: registry.counter("recovery.journal_replayed"),
+            power_losses: registry.counter("recovery.power_losses"),
+            read_only: registry.gauge("recovery.read_only"),
             registry,
         }
     }
@@ -301,6 +404,21 @@ pub struct Ftl {
     /// [`Ftl::recover`] can order versions of the same LBA.
     write_seq: u64,
     tel: FtlHandles,
+    /// Shared fault-decision plane (taken from the NAND array at assembly).
+    fault_plane: FaultPlane,
+    /// False after a simulated power cut; every operation then fails with
+    /// [`FtlError::PowerLoss`] until the device is remounted.
+    powered: bool,
+    /// True once a budget was exhausted; mutations fail with
+    /// [`FtlError::ReadOnly`].
+    read_only: bool,
+    /// Blocks retired grown-bad so far, measured against
+    /// [`FtlConfig::remap_budget`].
+    remap_events: u32,
+    /// Flash blocks reserved for the journal (empty when disabled).
+    journal_region: Vec<BlockId>,
+    /// Mutations logged but not yet checkpointed to flash.
+    journal_buf: Vec<JournalEntry>,
 }
 
 /// OOB layout: little-endian LBA (8 bytes), write sequence (8 bytes), then
@@ -352,16 +470,24 @@ impl Ftl {
             geometry.total_pages() < u64::from(crate::l2p::INVALID_ENTRY),
             "flash too large for 32-bit L2P entries"
         );
-        let good = nand.good_blocks();
+        let mut good = nand.good_blocks();
         let op = if config.overprovision_blocks == 0 {
             ((geometry.total_blocks() / 16) as u32).max(2)
         } else {
             config.overprovision_blocks
         };
+        // Journaling reserves whole blocks off the top of the good list
+        // (the highest ids, so data blocks keep their usual placement).
+        let journal_reserve = if config.journal_checkpoint_every > 0 {
+            config.journal_blocks as usize
+        } else {
+            0
+        };
         assert!(
-            (good.len() as u64) > u64::from(op),
-            "overprovisioning exceeds usable blocks"
+            good.len() > op as usize + journal_reserve,
+            "overprovisioning and journal reservation exceed usable blocks"
         );
+        let journal_region = good.split_off(good.len() - journal_reserve);
         let exported_lbas =
             (good.len() as u64 - u64::from(op)) * u64::from(geometry.pages_per_block);
         let table = L2pTable::new(config.l2p_base, exported_lbas, config.l2p_layout);
@@ -379,6 +505,7 @@ impl Ftl {
         nand.attach_telemetry(&registry);
         let clock = dram.clock().clone();
         let total_pages = geometry.total_pages() as usize;
+        let fault_plane = nand.fault_plane().clone();
         Ok(Ftl {
             dram,
             nand,
@@ -393,6 +520,12 @@ impl Ftl {
             valid_count: vec![0; geometry.total_blocks() as usize],
             write_seq: 0,
             tel: FtlHandles::bind(registry),
+            fault_plane,
+            powered: true,
+            read_only: false,
+            remap_events: 0,
+            journal_region,
+            journal_buf: Vec::new(),
         })
     }
 
@@ -400,9 +533,13 @@ impl Ftl {
     /// a power loss: every programmed page carries `(LBA, sequence)` in its
     /// OOB, and the highest sequence per LBA wins.
     ///
-    /// Limitation (shared with journal-less real FTLs): TRIMs are not
-    /// persisted, so blocks trimmed before the crash come back mapped to
-    /// their last written content.
+    /// Without a journal ([`FtlConfig::journal_checkpoint_every`] `== 0`),
+    /// a limitation shared with journal-less real FTLs applies: TRIMs are
+    /// not persisted, so blocks trimmed before the crash come back mapped
+    /// to their last written content. With the journal enabled, checkpointed
+    /// TRIMs (and all other mutations) replay exactly; only the at most
+    /// `journal_checkpoint_every - 1` entries still buffered in (lost)
+    /// DRAM are subject to the journal-less limitation.
     ///
     /// # Errors
     ///
@@ -414,38 +551,83 @@ impl Ftl {
     ) -> Result<Self, FtlError> {
         let mut ftl = Self::new(dram, nand, config)?;
         let geometry = *ftl.nand.geometry();
-        // Winner page per LBA by sequence.
-        let mut winners: std::collections::BTreeMap<u64, (u64, Ppn)> =
+        // Winner version per LBA by sequence; `None` means "trimmed".
+        let mut winners: std::collections::BTreeMap<u64, (u64, Option<Ppn>)> =
             std::collections::BTreeMap::new();
         let mut max_seq = 0u64;
         let blocks = ftl.nand.good_blocks();
         for &block in &blocks {
+            if ftl.journal_region.contains(&block) {
+                continue;
+            }
             let filled = ftl.nand.next_page(block)?;
             let first = geometry.first_page(block).as_u64();
             for p in first..first + u64::from(filled) {
                 let oob = ftl.nand.read_oob(Ppn(p))?;
                 let (lba, seq, _) = decode_oob(&oob);
                 if lba.as_u64() >= ftl.exported_lbas {
-                    continue; // stale or foreign metadata
+                    continue; // stale, foreign, or journal metadata
                 }
                 max_seq = max_seq.max(seq);
-                let slot = winners.entry(lba.as_u64()).or_insert((seq, Ppn(p)));
+                let slot = winners.entry(lba.as_u64()).or_insert((seq, Some(Ppn(p))));
                 if seq >= slot.0 {
-                    *slot = (seq, Ppn(p));
+                    *slot = (seq, Some(Ppn(p)));
                 }
             }
         }
+        // Journal replay: checkpointed mutations (notably TRIMs, which the
+        // OOB scan cannot see) override scan winners by sequence order.
+        let mut entries = Vec::new();
+        for &block in &ftl.journal_region.clone() {
+            let filled = ftl.nand.next_page(block)?;
+            let first = geometry.first_page(block).as_u64();
+            for p in first..first + u64::from(filled) {
+                let oob = ftl.nand.read_oob(Ppn(p))?;
+                let (marker, _, _) = decode_oob(&oob);
+                if marker.as_u64() != journal::JOURNAL_LBA_MARKER {
+                    continue; // burned or torn journal slot
+                }
+                // Recovery reads bypass fault injection (assisted mode):
+                // remount happens under controller-managed retry voltages.
+                let (page, _) = ftl.nand.read_page_assisted(Ppn(p))?;
+                entries.extend(journal::decode_page(&page));
+            }
+        }
+        entries.sort_by_key(|e| e.seq);
+        let replayed = entries.len() as u64;
+        for e in entries {
+            if e.lba >= ftl.exported_lbas {
+                continue;
+            }
+            // Guard against corrupted journal payloads: a mapping outside
+            // the array is treated as a trim rather than indexed blindly.
+            let mapped = (e.ppn != crate::l2p::INVALID_ENTRY
+                && u64::from(e.ppn) < geometry.total_pages())
+            .then(|| Ppn(u64::from(e.ppn)));
+            max_seq = max_seq.max(e.seq);
+            let slot = winners.entry(e.lba).or_insert((e.seq, mapped));
+            if e.seq >= slot.0 {
+                *slot = (e.seq, mapped);
+            }
+        }
+        ftl.tel.journal_replayed.add(replayed);
         for (lba, (_, ppn)) in &winners {
-            ftl.table.set(&mut ftl.dram, Lba(*lba), Some(*ppn))?;
-            ftl.mark_valid(*ppn);
+            if let Some(ppn) = ppn {
+                ftl.table.set(&mut ftl.dram, Lba(*lba), Some(*ppn))?;
+                ftl.mark_valid(*ppn);
+            }
         }
         ftl.write_seq = max_seq + 1;
         // Block bookkeeping: empty blocks are free, everything else sealed
-        // (a fresh active block is opened on the next write).
+        // (a fresh active block is opened on the next write). The journal
+        // region stays reserved.
         ftl.free_blocks.clear();
         ftl.sealed_blocks.clear();
         ftl.active_block = None;
         for &block in &blocks {
+            if ftl.journal_region.contains(&block) {
+                continue;
+            }
             if ftl.nand.next_page(block)? == 0 {
                 ftl.free_blocks.push(block);
             } else {
@@ -510,6 +692,15 @@ impl Ftl {
             l2p_reads: self.tel.l2p_reads.get(),
             l2p_writes: self.tel.l2p_writes.get(),
             redirections_detected: self.tel.redirections_detected.get(),
+            read_retries: self.tel.read_retries.get(),
+            ecc_corrected: self.tel.ecc_corrected.get(),
+            silent_corruptions: self.tel.silent_corruptions.get(),
+            uncorrectable_reads: self.tel.uncorrectable_reads.get(),
+            bad_block_remaps: self.tel.bad_block_remaps.get(),
+            journal_checkpoints: self.tel.journal_checkpoints.get(),
+            journal_replayed: self.tel.journal_replayed.get(),
+            power_losses: self.tel.power_losses.get(),
+            read_only: self.tel.read_only.get(),
         }
     }
 
@@ -581,6 +772,9 @@ impl Ftl {
         if buf.len() != BLOCK_SIZE {
             return Err(FtlError::BadBufferLen { got: buf.len() });
         }
+        if !self.powered {
+            return Err(FtlError::PowerLoss);
+        }
         self.tel.host_reads.incr();
         match self.amplified_get(lba)? {
             None => {
@@ -609,7 +803,7 @@ impl Ftl {
                 })
             }
             Some(ppn) => {
-                let (data, completed) = self.nand.read_page(ppn)?;
+                let (data, completed) = self.read_page_recovered(ppn)?;
                 if self.config.dif {
                     let oob = self.nand.read_oob(ppn)?;
                     let (_, _, stored_guard) = decode_oob(&oob);
@@ -650,32 +844,30 @@ impl Ftl {
     ///
     /// # Errors
     ///
-    /// Out-of-range LBAs, bad buffer sizes, [`FtlError::DeviceFull`], or
-    /// substrate errors.
+    /// Out-of-range LBAs, bad buffer sizes, [`FtlError::DeviceFull`],
+    /// [`FtlError::ReadOnly`], [`FtlError::PowerLoss`], or substrate
+    /// errors.
     pub fn write(&mut self, lba: Lba, data: &[u8]) -> Result<SimTime, FtlError> {
         self.check_lba(lba)?;
         if data.len() != BLOCK_SIZE {
             return Err(FtlError::BadBufferLen { got: data.len() });
         }
+        self.check_mutable()?;
         self.tel.host_writes.incr();
         let old = self.amplified_get(lba)?;
-        let ppn = self.allocate_ppn()?;
-        let seq = self.write_seq;
-        self.write_seq += 1;
         let guard = if self.config.dif {
             dif_guard(lba, data)
         } else {
             0
         };
-        let completed = self
-            .nand
-            .program_page(ppn, data, &encode_oob(lba, seq, guard))?;
+        let (ppn, seq, completed) = self.program_relocatable(lba, data, guard)?;
         self.tel.l2p_writes.incr();
         self.table.set(&mut self.dram, lba, Some(ppn))?;
         self.mark_valid(ppn);
         if let Some(old_ppn) = old {
             self.mark_invalid(old_ppn);
         }
+        self.journal_record(lba, seq, Some(ppn))?;
         self.maybe_gc()?;
         Ok(completed)
     }
@@ -684,16 +876,23 @@ impl Ftl {
     ///
     /// # Errors
     ///
-    /// Out-of-range LBAs or substrate errors.
+    /// Out-of-range LBAs, [`FtlError::ReadOnly`], [`FtlError::PowerLoss`],
+    /// or substrate errors.
     pub fn trim(&mut self, lba: Lba) -> Result<(), FtlError> {
         self.check_lba(lba)?;
+        self.check_mutable()?;
         self.tel.host_trims.incr();
         let old = self.amplified_get(lba)?;
+        // Trims consume a sequence number so the journal can order them
+        // against writes during replay.
+        let seq = self.write_seq;
+        self.write_seq += 1;
         self.tel.l2p_writes.incr();
         self.table.set(&mut self.dram, lba, None)?;
         if let Some(old_ppn) = old {
             self.mark_invalid(old_ppn);
         }
+        self.journal_record(lba, seq, None)?;
         Ok(())
     }
 
@@ -777,7 +976,310 @@ impl Ftl {
         }
     }
 
+    /// True once the device degraded to read-only mode.
+    #[must_use]
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// Blocks retired grown-bad so far (against
+    /// [`FtlConfig::remap_budget`]).
+    #[must_use]
+    pub fn remap_events(&self) -> u32 {
+        self.remap_events
+    }
+
+    /// The fault plane this FTL (and its NAND) consults.
+    #[must_use]
+    pub fn fault_plane(&self) -> &FaultPlane {
+        &self.fault_plane
+    }
+
+    /// Journal entries logged but not yet checkpointed to flash (lost on
+    /// power cut).
+    #[must_use]
+    pub fn journal_pending(&self) -> usize {
+        self.journal_buf.len()
+    }
+
+    /// Forces any buffered journal entries out to flash (the NVMe Flush
+    /// path). No-op when journaling is disabled.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::PowerLoss`] when offline, or substrate errors.
+    pub fn flush(&mut self) -> Result<(), FtlError> {
+        if !self.powered {
+            return Err(FtlError::PowerLoss);
+        }
+        self.checkpoint_journal()
+    }
+
+    /// Byte-exact dump of the exported L2P table (4 bytes per LBA, little
+    /// endian), read through the non-disturbing DRAM backdoor. Used by
+    /// determinism and replay tests to compare tables across remounts.
+    ///
+    /// # Errors
+    ///
+    /// DRAM range errors only (the table was validated to fit at
+    /// construction).
+    pub fn l2p_snapshot(&self) -> Result<Vec<u8>, FtlError> {
+        let mut out = Vec::with_capacity((self.exported_lbas * 4) as usize);
+        let mut buf = [0u8; 4];
+        for lba in 0..self.exported_lbas {
+            self.dram.peek(self.table.entry_addr(Lba(lba)), &mut buf)?;
+            out.extend_from_slice(&buf);
+        }
+        Ok(out)
+    }
+
     // ---- internals ---------------------------------------------------------
+
+    /// Gate for mutations: offline and read-only states reject, and the
+    /// `ftl.power_loss` fault site may cut power *now* (taking the device
+    /// offline until [`Ftl::recover`]).
+    fn check_mutable(&mut self) -> Result<(), FtlError> {
+        if !self.powered {
+            return Err(FtlError::PowerLoss);
+        }
+        if self.read_only {
+            return Err(FtlError::ReadOnly);
+        }
+        if self.fault_plane.fires("ftl.power_loss") {
+            self.powered = false;
+            self.tel.power_losses.incr();
+            self.tel.registry.trace(
+                self.clock.now(),
+                "ftl.power_loss",
+                "power cut; device offline until remount",
+            );
+            return Err(FtlError::PowerLoss);
+        }
+        Ok(())
+    }
+
+    fn engage_read_only(&mut self, reason: &str) {
+        if !self.read_only {
+            self.read_only = true;
+            self.tel.read_only.set(1.0);
+            self.tel
+                .registry
+                .trace(self.clock.now(), "ftl.read_only", reason.to_string());
+        }
+    }
+
+    /// The read-recovery ladder: re-issue failed media reads up to
+    /// [`FtlConfig::read_retry_max`] times; when the ladder is exhausted,
+    /// classify the residual flipped bits with the SEC-DED model —
+    /// correctable errors are served via an assisted read, detectable ones
+    /// surface as [`FtlError::Uncorrectable`], and beyond-detection flips
+    /// come back as silently wrong data (DIF, when enabled, is the last
+    /// line of defense).
+    fn read_page_recovered(&mut self, ppn: Ppn) -> Result<(Box<[u8]>, SimTime), FtlError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.nand.read_page(ppn) {
+                Ok(out) => return Ok(out),
+                Err(FlashError::ReadFailed { bits, .. }) => {
+                    if attempt < self.config.read_retry_max {
+                        attempt += 1;
+                        self.tel.read_retries.incr();
+                        continue;
+                    }
+                    match EccOutcome::classify(bits as usize) {
+                        outcome if outcome.returns_clean_data() => {
+                            let out = self.nand.read_page_assisted(ppn)?;
+                            self.tel.ecc_corrected.incr();
+                            return Ok(out);
+                        }
+                        EccOutcome::SilentCorruption => {
+                            let (mut data, done) = self.nand.read_page_assisted(ppn)?;
+                            self.tel.silent_corruptions.incr();
+                            let bit = derive_seed(
+                                self.fault_plane.seed(),
+                                "silent-corruption",
+                                ppn.as_u64(),
+                            ) % (data.len() as u64 * 8);
+                            data[(bit / 8) as usize] ^= 1 << (bit % 8);
+                            return Ok((data, done));
+                        }
+                        _ => {
+                            self.tel.uncorrectable_reads.incr();
+                            self.tel.registry.trace(
+                                self.clock.now(),
+                                "ftl.uncorrectable",
+                                format!("{ppn} unreadable after {attempt} retries"),
+                            );
+                            return Err(FtlError::Uncorrectable { ppn });
+                        }
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Allocates a page and programs it, stamping a fresh write sequence.
+    /// A failed program burns the page slot; the block is retired
+    /// (grown-bad remap) and the write re-issued elsewhere. Returns the
+    /// programmed page, its sequence, and the completion time.
+    fn program_relocatable(
+        &mut self,
+        lba: Lba,
+        data: &[u8],
+        guard: u32,
+    ) -> Result<(Ppn, u64, SimTime), FtlError> {
+        loop {
+            let ppn = self.allocate_ppn()?;
+            let seq = self.write_seq;
+            self.write_seq += 1;
+            match self
+                .nand
+                .program_page(ppn, data, &encode_oob(lba, seq, guard))
+            {
+                Ok(done) => return Ok((ppn, seq, done)),
+                Err(FlashError::ProgramFailed { .. }) => {
+                    let block = self.nand.geometry().block_of(ppn);
+                    self.handle_program_failure(block)?;
+                    // Loop: allocate_ppn now targets a different block.
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Retires a block whose program failed: evacuate its still-readable
+    /// valid pages, mark it grown-bad, and charge the remap budget.
+    fn handle_program_failure(&mut self, block: BlockId) -> Result<(), FtlError> {
+        if self.active_block == Some(block) {
+            self.active_block = None;
+        }
+        self.free_blocks.retain(|&b| b != block);
+        if let Some(idx) = self.sealed_blocks.iter().position(|&b| b == block) {
+            self.sealed_blocks.swap_remove(idx);
+        }
+        self.relocate_valid_pages(block)?;
+        self.nand.mark_bad(block)?;
+        self.note_block_retired(block, "program failure");
+        Ok(())
+    }
+
+    /// Counts one grown-bad retirement and degrades to read-only past the
+    /// budget. In-flight operations are allowed to complete; subsequent
+    /// mutations are rejected.
+    fn note_block_retired(&mut self, block: BlockId, cause: &str) {
+        self.remap_events += 1;
+        self.tel.bad_block_remaps.incr();
+        self.tel.registry.trace(
+            self.clock.now(),
+            "ftl.bad_block",
+            format!("block {} retired ({cause})", block.as_u64()),
+        );
+        if self.remap_events > self.config.remap_budget {
+            self.engage_read_only("remap budget exhausted");
+        }
+    }
+
+    /// Moves every valid page out of `block` (without erasing it). Pages
+    /// that fail the whole read-recovery ladder are dropped: their LBA is
+    /// unmapped — honest data loss — rather than left pointing at a dead
+    /// block.
+    fn relocate_valid_pages(&mut self, block: BlockId) -> Result<(), FtlError> {
+        let first = self.nand.geometry().first_page(block).as_u64();
+        for p in first..first + u64::from(self.nand.geometry().pages_per_block) {
+            if !self.valid[p as usize] {
+                continue;
+            }
+            let src = Ppn(p);
+            let oob = self.nand.read_oob(src)?;
+            let (lba, _, guard) = decode_oob(&oob);
+            match self.read_page_recovered(src) {
+                Ok((data, _)) => {
+                    // No journal entry: the relocated page's OOB (with its
+                    // fresh sequence) already records this mapping for the
+                    // recovery scan.
+                    let (dst, _, _) = self.program_relocatable(lba, &data, guard)?;
+                    self.tel.l2p_writes.incr();
+                    self.table.set(&mut self.dram, lba, Some(dst))?;
+                    self.mark_invalid(src);
+                    self.mark_valid(dst);
+                    self.tel.gc_relocated.incr();
+                }
+                Err(FtlError::Uncorrectable { .. }) => {
+                    let seq = self.write_seq;
+                    self.write_seq += 1;
+                    self.tel.l2p_writes.incr();
+                    self.table.set(&mut self.dram, lba, None)?;
+                    self.mark_invalid(src);
+                    self.journal_record(lba, seq, None)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Logs one L2P mutation (`ppn == None` encodes a trim) and
+    /// checkpoints the buffer once it reaches the configured interval.
+    fn journal_record(&mut self, lba: Lba, seq: u64, ppn: Option<Ppn>) -> Result<(), FtlError> {
+        if self.config.journal_checkpoint_every == 0 {
+            return Ok(());
+        }
+        self.journal_buf.push(JournalEntry {
+            lba: lba.as_u64(),
+            seq,
+            ppn: ppn.map_or(crate::l2p::INVALID_ENTRY, |p| p.as_u64() as u32),
+        });
+        if self.journal_buf.len() >= self.config.journal_checkpoint_every as usize {
+            self.checkpoint_journal()?;
+        }
+        Ok(())
+    }
+
+    /// Writes buffered journal entries to the reserved region, page by
+    /// page. Exhausting the region engages read-only mode (graceful
+    /// degradation) rather than erroring: the triggering operation itself
+    /// already succeeded.
+    fn checkpoint_journal(&mut self) -> Result<(), FtlError> {
+        if self.journal_buf.is_empty() {
+            return Ok(());
+        }
+        let page_bytes = self.nand.geometry().page_bytes as usize;
+        let per_page = journal::entries_per_page(page_bytes);
+        while !self.journal_buf.is_empty() {
+            let Some(ppn) = self.next_journal_ppn()? else {
+                self.engage_read_only("journal region exhausted");
+                return Ok(());
+            };
+            let take = per_page.min(self.journal_buf.len());
+            let page = journal::encode_page(&self.journal_buf[..take], page_bytes);
+            let marker = encode_oob(Lba(journal::JOURNAL_LBA_MARKER), 0, 0);
+            match self.nand.program_page(ppn, &page, &marker) {
+                Ok(_) => {
+                    self.journal_buf.drain(..take);
+                    self.tel.journal_checkpoints.incr();
+                }
+                // A burned journal slot: the in-order pointer advanced, so
+                // the next iteration simply targets the following page.
+                Err(FlashError::ProgramFailed { .. }) => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
+    }
+
+    /// The next unwritten page in the journal region, or `None` when full.
+    fn next_journal_ppn(&mut self) -> Result<Option<Ppn>, FtlError> {
+        for i in 0..self.journal_region.len() {
+            let block = self.journal_region[i];
+            let next = self.nand.next_page(block)?;
+            if next < self.nand.geometry().pages_per_block {
+                let first = self.nand.geometry().first_page(block).as_u64();
+                return Ok(Some(Ppn(first + u64::from(next))));
+            }
+        }
+        Ok(None)
+    }
 
     fn mark_valid(&mut self, ppn: Ppn) {
         let block = self.nand.geometry().block_of(ppn);
@@ -868,36 +1370,21 @@ impl Ftl {
     }
 
     /// Moves every valid page out of `victim`, erases it, and returns it to
-    /// the free pool (shared by GC and read-refresh).
+    /// the free pool (shared by GC and read-refresh). Relocation reads go
+    /// through the recovery ladder and relocation programs remap away from
+    /// failing blocks, like host writes.
     fn relocate_and_reclaim(&mut self, victim: BlockId) -> Result<(), FtlError> {
         if let Some(idx) = self.sealed_blocks.iter().position(|&b| b == victim) {
             self.sealed_blocks.swap_remove(idx);
         }
-        let first = self.nand.geometry().first_page(victim).as_u64();
-        for p in first..first + u64::from(self.nand.geometry().pages_per_block) {
-            if !self.valid[p as usize] {
-                continue;
-            }
-            let src = Ppn(p);
-            let (data, _) = self.nand.read_page(src)?;
-            let oob = self.nand.read_oob(src)?;
-            let (lba, _, guard) = decode_oob(&oob);
-            let dst = self.allocate_ppn()?;
-            let seq = self.write_seq;
-            self.write_seq += 1;
-            self.nand
-                .program_page(dst, &data, &encode_oob(lba, seq, guard))?;
-            // Relocation updates the mapping through DRAM like any other
-            // path.
-            self.tel.l2p_writes.incr();
-            self.table.set(&mut self.dram, lba, Some(dst))?;
-            self.mark_invalid(src);
-            self.mark_valid(dst);
-            self.tel.gc_relocated.incr();
-        }
+        self.relocate_valid_pages(victim)?;
         match self.nand.erase_block(victim) {
             Ok(_) => self.free_blocks.push(victim),
             Err(FlashError::BadBlock { .. }) => { /* retire worn block */ }
+            Err(FlashError::EraseFailed { .. }) => {
+                // The flash marked it grown-bad; charge the remap budget.
+                self.note_block_retired(victim, "erase failure");
+            }
             Err(e) => return Err(e.into()),
         }
         Ok(())

@@ -1,0 +1,136 @@
+//! On-flash L2P change journal.
+//!
+//! The OOB scan in [`Ftl::recover`] reconstructs mappings from page
+//! metadata, but it cannot see operations that leave no page behind —
+//! TRIMs above all come back mapped after a crash. The journal closes that
+//! gap: every host mutation appends a fixed-size entry to an in-memory
+//! buffer which is checkpointed to a reserved region of flash blocks every
+//! [`FtlConfig::journal_checkpoint_every`] entries. On remount, replaying
+//! the journal over the OOB-scan winners (ordered by write sequence)
+//! restores the exact pre-crash table.
+//!
+//! Journal pages are distinguished from data pages by a sentinel LBA in
+//! their OOB ([`JOURNAL_LBA_MARKER`]), far above any exportable capacity,
+//! so the normal OOB scan skips them automatically.
+//!
+//! [`Ftl::recover`]: crate::Ftl::recover
+//! [`FtlConfig::journal_checkpoint_every`]: crate::FtlConfig::journal_checkpoint_every
+
+use ssdhammer_simkit::bytes::{le_u32, le_u64};
+
+/// Sentinel OOB LBA marking a page as journal payload rather than data.
+pub(crate) const JOURNAL_LBA_MARKER: u64 = u64::MAX - 1;
+
+/// Magic number opening every journal page.
+const PAGE_MAGIC: u32 = 0x4A4E_4C31; // "JNL1"
+
+/// Serialized size of one entry: LBA (8) + sequence (8) + PPN (4).
+pub(crate) const ENTRY_BYTES: usize = 20;
+
+/// Page header: magic (4) + entry count (4).
+const HEADER_BYTES: usize = 8;
+
+/// One logged L2P mutation. `ppn == u32::MAX` (the table's invalid
+/// sentinel) encodes a TRIM; anything else is a write or relocation
+/// mapping `lba → ppn`, ordered against the OOB scan by `seq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct JournalEntry {
+    pub lba: u64,
+    pub seq: u64,
+    pub ppn: u32,
+}
+
+/// Entries that fit one journal page of `page_bytes`.
+pub(crate) fn entries_per_page(page_bytes: usize) -> usize {
+    page_bytes.saturating_sub(HEADER_BYTES) / ENTRY_BYTES
+}
+
+/// Serializes `entries` into one full flash page (zero-padded).
+pub(crate) fn encode_page(entries: &[JournalEntry], page_bytes: usize) -> Vec<u8> {
+    debug_assert!(entries.len() <= entries_per_page(page_bytes));
+    let mut page = vec![0u8; page_bytes];
+    page[..4].copy_from_slice(&PAGE_MAGIC.to_le_bytes());
+    page[4..8].copy_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (i, e) in entries.iter().enumerate() {
+        let at = HEADER_BYTES + i * ENTRY_BYTES;
+        page[at..at + 8].copy_from_slice(&e.lba.to_le_bytes());
+        page[at + 8..at + 16].copy_from_slice(&e.seq.to_le_bytes());
+        page[at + 16..at + 20].copy_from_slice(&e.ppn.to_le_bytes());
+    }
+    page
+}
+
+/// Deserializes a journal page; returns no entries for pages that do not
+/// carry the magic (burned or torn pages read back as `0xFF` / zeroes).
+pub(crate) fn decode_page(page: &[u8]) -> Vec<JournalEntry> {
+    if page.len() < HEADER_BYTES || le_u32(page, 0) != PAGE_MAGIC {
+        return Vec::new();
+    }
+    let count = le_u32(page, 4) as usize;
+    let max = entries_per_page(page.len());
+    let count = count.min(max);
+    (0..count)
+        .map(|i| {
+            let at = HEADER_BYTES + i * ENTRY_BYTES;
+            JournalEntry {
+                lba: le_u64(page, at),
+                seq: le_u64(page, at + 8),
+                ppn: le_u32(page, at + 16),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_full_page() {
+        let page_bytes = 4096;
+        let n = entries_per_page(page_bytes);
+        assert_eq!(n, (4096 - 8) / 20);
+        let entries: Vec<JournalEntry> = (0..n as u64)
+            .map(|i| JournalEntry {
+                lba: i,
+                seq: 1000 + i,
+                ppn: (i * 3) as u32,
+            })
+            .collect();
+        let page = encode_page(&entries, page_bytes);
+        assert_eq!(page.len(), page_bytes);
+        assert_eq!(decode_page(&page), entries);
+    }
+
+    #[test]
+    fn roundtrip_partial_page() {
+        let entries = vec![
+            JournalEntry {
+                lba: 7,
+                seq: 9,
+                ppn: 42,
+            },
+            JournalEntry {
+                lba: 8,
+                seq: 10,
+                ppn: u32::MAX, // TRIM
+            },
+        ];
+        let page = encode_page(&entries, 4096);
+        assert_eq!(decode_page(&page), entries);
+    }
+
+    #[test]
+    fn erased_and_garbage_pages_decode_empty() {
+        assert!(decode_page(&vec![0xFFu8; 4096]).is_empty());
+        assert!(decode_page(&vec![0u8; 4096]).is_empty());
+        assert!(decode_page(&[1, 2, 3]).is_empty());
+    }
+
+    #[test]
+    fn corrupt_count_is_clamped() {
+        let mut page = encode_page(&[], 4096);
+        page[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_page(&page).len(), entries_per_page(4096));
+    }
+}

@@ -44,6 +44,7 @@
 
 #[allow(clippy::module_inception)]
 mod ftl;
+mod journal;
 mod l2p;
 
 pub use ftl::{Ftl, FtlConfig, FtlError, FtlTelemetry, ReadOutcome};

@@ -192,6 +192,15 @@ pub enum NvmeError {
         /// What the protocol guaranteed but the controller failed to produce.
         expected: &'static str,
     },
+    /// The command exceeded the controller's completion deadline and was
+    /// failed after exhausting the retry budget.
+    Timeout {
+        /// Retries attempted before giving up.
+        retries: u32,
+    },
+    /// The controller aborted the command before execution (injected via
+    /// the `nvme.abort` fault site).
+    Aborted,
     /// The FTL failed the operation.
     Ftl(FtlError),
 }
@@ -216,6 +225,10 @@ impl core::fmt::Display for NvmeError {
             NvmeError::Protocol { expected } => {
                 write!(f, "controller protocol invariant violated: {expected}")
             }
+            NvmeError::Timeout { retries } => {
+                write!(f, "command timed out after {retries} retries")
+            }
+            NvmeError::Aborted => write!(f, "command aborted"),
             NvmeError::Ftl(e) => write!(f, "ftl: {e}"),
         }
     }
@@ -283,6 +296,17 @@ impl Completion {
     pub fn is_ok(&self) -> bool {
         !matches!(self.result, CmdResult::Error(_))
     }
+
+    /// The command's error status, if it failed — lets hosts inspect
+    /// per-command outcomes from `drain_completions` without matching on
+    /// [`CmdResult`].
+    #[must_use]
+    pub fn error(&self) -> Option<&NvmeError> {
+        match &self.result {
+            CmdResult::Error(e) => Some(e),
+            _ => None,
+        }
+    }
 }
 
 /// Host-interface performance class of the device — determines the
@@ -322,6 +346,55 @@ impl core::fmt::Display for InterfaceGen {
     }
 }
 
+/// How the controller handles commands that miss their completion deadline
+/// (injected via the `nvme.timeout` fault site): each timed-out attempt
+/// costs `timeout` of simulated time, then the command is retried after an
+/// exponentially growing backoff (`backoff << attempt`) up to `max_retries`
+/// times before completing with [`NvmeError::Timeout`]. All delays advance
+/// the simulation clock — never the wall clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries after the first timed-out attempt before failing the command.
+    pub max_retries: u32,
+    /// Completion deadline charged per timed-out attempt.
+    pub timeout: SimDuration,
+    /// Base backoff before a retry; doubles per attempt.
+    pub backoff: SimDuration,
+}
+
+impl RetryPolicy {
+    /// Sets the retry budget.
+    #[must_use]
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Sets the per-attempt completion deadline.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: SimDuration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Sets the base retry backoff (doubles per attempt).
+    #[must_use]
+    pub fn with_backoff(mut self, backoff: SimDuration) -> Self {
+        self.backoff = backoff;
+        self
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            timeout: SimDuration::from_micros(500),
+            backoff: SimDuration::from_micros(50),
+        }
+    }
+}
+
 /// Controller behaviour configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ControllerConfig {
@@ -338,6 +411,45 @@ pub struct ControllerConfig {
     /// the multi-queue IOPS ceiling `max_iops` reports (§2.3's feasibility
     /// argument assumes the host drives multiple queue pairs).
     pub io_cores: u32,
+    /// Timeout/retry handling for commands the fault plane stalls.
+    pub retry: RetryPolicy,
+}
+
+impl ControllerConfig {
+    /// Sets the interface generation.
+    #[must_use]
+    pub fn with_interface(mut self, interface: InterfaceGen) -> Self {
+        self.interface = interface;
+        self
+    }
+
+    /// Sets (or clears) the I/O rate limit in commands/second.
+    #[must_use]
+    pub fn with_rate_limit_iops(mut self, iops: Option<f64>) -> Self {
+        self.rate_limit_iops = iops;
+        self
+    }
+
+    /// Sets the queue arbitration scheme.
+    #[must_use]
+    pub fn with_arbiter(mut self, arbiter: Arbiter) -> Self {
+        self.arbiter = arbiter;
+        self
+    }
+
+    /// Sets the I/O core count.
+    #[must_use]
+    pub fn with_io_cores(mut self, cores: u32) -> Self {
+        self.io_cores = cores;
+        self
+    }
+
+    /// Sets the timeout/retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
 }
 
 impl Default for ControllerConfig {
@@ -347,6 +459,7 @@ impl Default for ControllerConfig {
             rate_limit_iops: None,
             arbiter: Arbiter::default(),
             io_cores: 4,
+            retry: RetryPolicy::default(),
         }
     }
 }

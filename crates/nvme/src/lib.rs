@@ -58,6 +58,6 @@ mod ssd;
 
 pub use command::{
     Arbiter, CmdResult, Command, Completion, ControllerConfig, IdentifyData, InterfaceGen, NsId,
-    NvmeError, QpId, QueuePairHandle,
+    NvmeError, QpId, QueuePairHandle, RetryPolicy,
 };
 pub use ssd::{Namespace, Ssd, SsdConfig, SsdStats};

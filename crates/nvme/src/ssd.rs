@@ -9,6 +9,7 @@ use ssdhammer_dram::{
 use ssdhammer_flash::{FlashArray, FlashGeometry, FlashTiming};
 use ssdhammer_ftl::{Ftl, FtlConfig, ReadOutcome};
 use ssdhammer_simkit::{
+    faultplane::{FaultPlane, FaultPlaneConfig},
     stats::{LatencyHistogram, RateMeter},
     telemetry::{CounterHandle, GaugeHandle, HistogramHandle, Telemetry, TelemetrySnapshot},
     BlockDevice, Lba, SimClock, SimDuration, SimTime, StorageError, StorageResult, BLOCK_SIZE,
@@ -40,7 +41,11 @@ pub struct SsdConfig {
     pub ftl: FtlConfig,
     /// Controller behaviour.
     pub controller: ControllerConfig,
-    /// Manufacturing-variation seed (weak cells, factory bad blocks).
+    /// Deterministic fault-injection sites consulted by every layer of the
+    /// device (`flash.*`, `ftl.*`, `nvme.*`). Empty by default: no faults.
+    pub fault_plane: FaultPlaneConfig,
+    /// Manufacturing-variation seed (weak cells, factory bad blocks) — also
+    /// the root seed of the fault plane's per-site random streams.
     pub seed: u64,
     /// Model string reported by Identify.
     pub model: String,
@@ -62,6 +67,7 @@ impl SsdConfig {
             flash_timing: FlashTiming::default(),
             ftl: FtlConfig::default(),
             controller: ControllerConfig::default(),
+            fault_plane: FaultPlaneConfig::new(),
             seed,
             model: "ssdhammer prototype 1GiB".to_owned(),
         }
@@ -81,6 +87,7 @@ impl SsdConfig {
             flash_timing: FlashTiming::default(),
             ftl: FtlConfig::default(),
             controller: ControllerConfig::default(),
+            fault_plane: FaultPlaneConfig::new(),
             seed,
             model: "ssdhammer test 64MiB".to_owned(),
         }
@@ -154,6 +161,13 @@ impl SsdConfig {
         self
     }
 
+    /// Replaces the fault-injection site configuration.
+    #[must_use]
+    pub fn with_fault_plane(mut self, faults: FaultPlaneConfig) -> Self {
+        self.fault_plane = faults;
+        self
+    }
+
     /// Replaces the manufacturing-variation seed.
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
@@ -209,6 +223,9 @@ struct QueuePair {
     sq_depth: GaugeHandle,
     /// Per-queue service-latency distribution (`nvme.qp<N>.latency`).
     latency: HistogramHandle,
+    /// Commands aborted on this queue by the fault plane
+    /// (`nvme.qp<N>.aborts`).
+    aborts: CounterHandle,
 }
 
 /// Point-in-time view of the device's statistics in the shared
@@ -231,6 +248,9 @@ struct SsdHandles {
     completions: CounterHandle,
     rate_limit_delays: CounterHandle,
     service_latency: HistogramHandle,
+    timeouts: CounterHandle,
+    retries: CounterHandle,
+    aborts: CounterHandle,
 }
 
 impl SsdHandles {
@@ -240,6 +260,9 @@ impl SsdHandles {
             completions: registry.counter("nvme.completions"),
             rate_limit_delays: registry.counter("nvme.rate_limit_delays"),
             service_latency: registry.histogram("nvme.service_latency"),
+            timeouts: registry.counter("nvme.timeouts"),
+            retries: registry.counter("nvme.retries"),
+            aborts: registry.counter("nvme.aborts"),
             registry,
         }
     }
@@ -285,6 +308,10 @@ pub struct Ssd {
     next_service: SimTime,
     /// When command accounting started (anchors the IOPS rate meter).
     stats_started: SimTime,
+    /// Fault-injection sites the controller consults (`nvme.timeout`,
+    /// `nvme.abort`); the same plane (shared streams) drives the flash and
+    /// FTL sites.
+    fault_plane: FaultPlane,
     tel: SsdHandles,
 }
 
@@ -308,6 +335,36 @@ impl Ssd {
     /// Same as [`Ssd::build`].
     #[must_use]
     pub fn build_with_telemetry(config: SsdConfig, telemetry: Telemetry) -> Self {
+        // lint:allow(P1) -- documented-panic constructor: geometry is validated by SsdConfig before assembly
+        Self::try_build_with_telemetry(config, telemetry).expect("SSD assembly failed")
+    }
+
+    /// Fallible assembly: like [`Ssd::build`] but surfaces recoverable
+    /// configuration errors (e.g. an L2P table that does not fit in DRAM)
+    /// as [`NvmeError::Ftl`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`NvmeError::Ftl`] wrapping the FTL's assembly failure.
+    ///
+    /// # Panics
+    ///
+    /// Structurally invalid geometry (zero blocks, over-provisioning
+    /// exceeding the array) still asserts — those are programming errors,
+    /// not runtime conditions.
+    pub fn try_build(config: SsdConfig) -> Result<Self, NvmeError> {
+        Self::try_build_with_telemetry(config, Telemetry::new())
+    }
+
+    /// Fallible variant of [`Ssd::build_with_telemetry`].
+    ///
+    /// # Errors
+    ///
+    /// [`NvmeError::Ftl`] wrapping the FTL's assembly failure.
+    pub fn try_build_with_telemetry(
+        config: SsdConfig,
+        telemetry: Telemetry,
+    ) -> Result<Self, NvmeError> {
         let clock = SimClock::new();
         let mut dram_builder = DramModule::builder(config.dram_geometry)
             .profile(config.dram_profile.clone())
@@ -320,19 +377,24 @@ impl Ssd {
             dram_builder = dram_builder.trr(trr);
         }
         let dram = dram_builder.build(clock.clone());
-        let nand = FlashArray::with_timing(
+        let mut nand = FlashArray::with_timing(
             config.flash_geometry,
             config.flash_timing,
             clock.clone(),
             config.seed,
         );
-        // lint:allow(P1) -- documented-panic constructor: geometry is validated by SsdConfig before assembly
-        let mut ftl = Ftl::new(dram, nand, config.ftl).expect("FTL assembly failed");
+        // One fault plane for the whole device: the flash array, the FTL
+        // (which clones it from the flash array), and the controller all
+        // consult per-site streams derived from the same root seed.
+        let fault_plane = FaultPlane::new(config.seed, &config.fault_plane);
+        fault_plane.attach_telemetry(&telemetry);
+        nand.set_fault_plane(fault_plane.clone());
+        let mut ftl = Ftl::new(dram, nand, config.ftl)?;
         // One registry for the whole device: DRAM, flash, FTL, and the NVMe
         // front end all record into it.
         ftl.attach_telemetry(&telemetry);
         let now = clock.now();
-        Ssd {
+        Ok(Ssd {
             ftl,
             clock,
             controller: config.controller,
@@ -346,8 +408,9 @@ impl Ssd {
             hammer_qp: None,
             next_service: now,
             stats_started: now,
+            fault_plane,
             tel: SsdHandles::bind(telemetry),
-        }
+        })
     }
 
     /// The shared registry every layer of this device records into.
@@ -496,8 +559,12 @@ impl Ssd {
     ///
     /// [`NvmeError::InvalidNamespace`] for unknown ids.
     pub fn namespace(&mut self, ns: NsId) -> Result<Namespace<'_>, NvmeError> {
-        self.ns_info(ns)?;
-        Ok(Namespace { ssd: self, ns })
+        let blocks = self.ns_info(ns)?.blocks;
+        Ok(Namespace {
+            ssd: self,
+            ns,
+            blocks,
+        })
     }
 
     // ---- queue pairs -------------------------------------------------------
@@ -537,6 +604,7 @@ impl Ssd {
                 completions: registry.counter(&format!("nvme.qp{}.completions", id.0)),
                 sq_depth: registry.gauge(&format!("nvme.qp{}.sq_depth", id.0)),
                 latency: registry.histogram(&format!("nvme.qp{}.latency", id.0)),
+                aborts: registry.counter(&format!("nvme.qp{}.aborts", id.0)),
             },
         );
         QueuePairHandle::new(id, depth, weight)
@@ -662,7 +730,25 @@ impl Ssd {
         };
         let units = cmd.io_units();
         let aggregated = units > 1;
-        let completion = self.execute(cid, cmd);
+        let completion = if self.fault_plane.fires("nvme.abort") {
+            // Controller-level abort: the command never reaches execution.
+            let now = self.clock.now();
+            self.tel.aborts.incr();
+            if let Some(queue) = self.queues.get_mut(&qp) {
+                queue.aborts.incr();
+            }
+            self.tel
+                .registry
+                .trace(now, "nvme.abort", format!("{qp} cid {cid}"));
+            Completion {
+                cid,
+                submitted: now,
+                completed: now,
+                result: CmdResult::Error(NvmeError::Aborted),
+            }
+        } else {
+            self.execute_with_retry(cid, cmd)
+        };
         self.tel.completions.add(units);
         // Aggregated hammer bursts span whole refresh windows; folding a
         // multi-second burst into the per-command latency distribution
@@ -732,6 +818,48 @@ impl Ssd {
         self.pop_completion(qp)?.ok_or(NvmeError::Protocol {
             expected: "completion present after process",
         })
+    }
+
+    /// Executes one command, absorbing injected completion timeouts
+    /// (`nvme.timeout` fault site) through the controller's
+    /// [`RetryPolicy`](crate::RetryPolicy): each timed-out attempt burns the
+    /// deadline on the simulated clock, then the command is re-issued after
+    /// an exponentially growing backoff; the retry budget exhausted, it
+    /// completes with [`NvmeError::Timeout`]. A timed-out attempt never
+    /// reaches the FTL, so retries cannot double-apply side effects.
+    fn execute_with_retry(&mut self, cid: u64, cmd: Command) -> Completion {
+        let policy = self.controller.retry;
+        let submitted = self.clock.now();
+        let mut attempt = 0u32;
+        while self.fault_plane.fires("nvme.timeout") {
+            self.tel.timeouts.incr();
+            // The attempt holds the command until its deadline expires.
+            self.clock.advance(policy.timeout);
+            if attempt >= policy.max_retries {
+                self.tel.registry.trace(
+                    self.clock.now(),
+                    "nvme.timeout",
+                    format!("cid {cid} failed after {attempt} retries"),
+                );
+                return Completion {
+                    cid,
+                    submitted,
+                    completed: self.clock.now(),
+                    result: CmdResult::Error(NvmeError::Timeout { retries: attempt }),
+                };
+            }
+            self.tel.retries.incr();
+            self.clock.advance(SimDuration::from_nanos(
+                policy.backoff.as_nanos() << attempt.min(32),
+            ));
+            attempt += 1;
+        }
+        let mut completion = self.execute(cid, cmd);
+        if attempt > 0 {
+            // Latency spans the timed-out attempts, not just the final try.
+            completion.submitted = submitted;
+        }
+        completion
     }
 
     /// Executes one command at the controller's service rate.
@@ -831,7 +959,12 @@ impl Ssd {
                 }
             }
             Command::Flush { ns } => match self.ns_info(ns) {
-                Ok(_) => (CmdResult::Flush, None),
+                // Flush checkpoints any buffered L2P journal tail so an
+                // orderly shutdown loses nothing at the next remount.
+                Ok(_) => match self.ftl.flush() {
+                    Ok(()) => (CmdResult::Flush, None),
+                    Err(e) => (CmdResult::Error(e.into()), None),
+                },
                 Err(e) => (CmdResult::Error(e), None),
             },
             Command::Identify => (
@@ -1011,7 +1144,10 @@ impl BlockDevice for Ssd {
         match self.ftl.read(lba, buf) {
             Ok(ReadOutcome::GuardMismatch { .. }) => Err(StorageError::Uncorrectable { lba }),
             Ok(_) => Ok(()),
-            Err(ssdhammer_ftl::FtlError::Dram(_)) => Err(StorageError::Uncorrectable { lba }),
+            Err(ssdhammer_ftl::FtlError::Dram(_))
+            | Err(ssdhammer_ftl::FtlError::Uncorrectable { .. }) => {
+                Err(StorageError::Uncorrectable { lba })
+            }
             Err(e) => Err(StorageError::Rejected {
                 reason: e.to_string(),
             }),
@@ -1048,6 +1184,9 @@ impl BlockDevice for Ssd {
 pub struct Namespace<'a> {
     ssd: &'a mut Ssd,
     ns: NsId,
+    /// Cached at creation so `capacity_blocks` (an infallible trait method)
+    /// needs no fallible lookup. Namespaces never resize.
+    blocks: u64,
 }
 
 impl Namespace<'_> {
@@ -1060,9 +1199,7 @@ impl Namespace<'_> {
 
 impl BlockDevice for Namespace<'_> {
     fn capacity_blocks(&self) -> u64 {
-        self.ssd
-            .namespace_blocks(self.ns)
-            .expect("validated at creation") // lint:allow(P1) -- BlockDevice::capacity_blocks is an infallible trait signature; the namespace was validated at creation
+        self.blocks
     }
 
     fn read(&mut self, lba: Lba, buf: &mut [u8]) -> StorageResult<()> {
@@ -1084,7 +1221,10 @@ impl BlockDevice for Namespace<'_> {
                 }
                 Ok(())
             }
-            Err(ssdhammer_ftl::FtlError::Dram(_)) => Err(StorageError::Uncorrectable { lba }),
+            Err(ssdhammer_ftl::FtlError::Dram(_))
+            | Err(ssdhammer_ftl::FtlError::Uncorrectable { .. }) => {
+                Err(StorageError::Uncorrectable { lba })
+            }
             Err(e) => Err(StorageError::Rejected {
                 reason: e.to_string(),
             }),

@@ -24,6 +24,9 @@
 //! * [`stats`] — counters, simulated-time rate meters, latency histograms.
 //! * [`telemetry`] — the shared, stack-wide metrics registry and bounded
 //!   event trace every layer records into.
+//! * [`faultplane`] — the seeded fault-injection plane device crates
+//!   consult at their failure points; identical seeds replay identical
+//!   fault sequences.
 //! * [`json`] — a dependency-free JSON document model used to export
 //!   telemetry snapshots and experiment results.
 //!
@@ -45,6 +48,7 @@ mod blockdev;
 pub mod bytes;
 mod clock;
 mod crc32c;
+pub mod faultplane;
 pub mod json;
 pub mod parallel;
 pub mod rng;

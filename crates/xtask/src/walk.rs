@@ -192,5 +192,14 @@ mod tests {
         assert!(as_strs.iter().any(|p| p == "crates/xtask/src/walk.rs"));
         assert!(as_strs.iter().all(|p| !p.contains("tests/fixtures/")));
         assert!(as_strs.iter().all(|p| !p.starts_with("target/")));
+        // Integration-test trees are lintable source, not fixtures: the
+        // fault-injection suites must be collected so determinism rules
+        // apply to them too.
+        assert!(as_strs
+            .iter()
+            .any(|p| p == "crates/ftl/tests/fault_recovery.rs"));
+        assert!(as_strs
+            .iter()
+            .any(|p| p == "crates/nvme/tests/fault_injection.rs"));
     }
 }

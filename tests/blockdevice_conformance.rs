@@ -92,3 +92,124 @@ fn namespace_view_conforms() {
     let mut view = ssd.namespace(ns).unwrap();
     conformance(&mut view);
 }
+
+// ---- error-path conformance: fault-induced failures through the trait ------
+
+use ssdhammer::ftl::FtlConfig;
+use ssdhammer::simkit::faultplane::{FaultPlaneConfig, FaultSpec};
+
+/// A device degraded to read-only keeps serving reads and rejects
+/// mutations with `StorageError::Rejected` (not a panic, not `OutOfRange`).
+#[test]
+fn ssd_read_only_degradation_rejects_writes_but_serves_reads() {
+    let mut ssd = Ssd::build(
+        SsdConfig::test_small(9)
+            .with_dram_profile(ModuleProfile::invulnerable())
+            .with_ftl(FtlConfig::default().with_remap_budget(0))
+            .with_fault_plane(
+                FaultPlaneConfig::new()
+                    .with_site("flash.program_fail", FaultSpec::always().with_max_fires(1)),
+            ),
+    );
+    let mut block = [0u8; BLOCK_SIZE];
+    block[0] = 0x42;
+    // The triggering write completes (its program was relocated), but the
+    // remap exceeded the zero budget and degraded the device.
+    ssd.write(Lba(0), &block).unwrap();
+    assert!(ssd.ftl().is_read_only());
+    assert!(matches!(
+        ssd.write(Lba(1), &block),
+        Err(StorageError::Rejected { .. })
+    ));
+    assert!(matches!(
+        ssd.trim(Lba(0)),
+        Err(StorageError::Rejected { .. })
+    ));
+    let mut out = [0u8; BLOCK_SIZE];
+    ssd.read(Lba(0), &mut out).unwrap();
+    assert_eq!(out[0], 0x42, "reads keep working after degradation");
+}
+
+/// Unrecoverable media reads surface as `StorageError::Uncorrectable` with
+/// the failing LBA — through both the whole-drive and the namespace views.
+#[test]
+fn fault_induced_uncorrectable_reads_propagate_through_both_views() {
+    let config = SsdConfig::test_small(9)
+        .with_dram_profile(ModuleProfile::invulnerable())
+        .with_ftl(FtlConfig::default().with_read_retry_max(0))
+        .with_fault_plane(
+            FaultPlaneConfig::new().with_site("flash.read_fail", FaultSpec::always()),
+        );
+
+    // Whole-drive view.
+    let mut ssd = Ssd::build(config.clone());
+    let block = [7u8; BLOCK_SIZE];
+    for lba in 0..32u64 {
+        ssd.write(Lba(lba), &block).unwrap();
+    }
+    let mut out = [0u8; BLOCK_SIZE];
+    let mut uncorrectable = 0;
+    for lba in 0..32u64 {
+        match ssd.read(Lba(lba), &mut out) {
+            Ok(()) => {}
+            Err(StorageError::Uncorrectable { lba: reported }) => {
+                assert_eq!(reported, Lba(lba));
+                uncorrectable += 1;
+            }
+            Err(e) => panic!("unexpected error class: {e}"),
+        }
+    }
+    assert!(uncorrectable > 0, "p=1.0 injection must defeat some reads");
+
+    // Namespace view: same contract, namespace-relative LBA in the error.
+    let mut ssd = Ssd::build(config);
+    let ns = ssd.create_namespace(32).unwrap();
+    let mut view = ssd.namespace(ns).unwrap();
+    for lba in 0..32u64 {
+        view.write(Lba(lba), &block).unwrap();
+    }
+    let mut uncorrectable = 0;
+    for lba in 0..32u64 {
+        match view.read(Lba(lba), &mut out) {
+            Ok(()) => {}
+            Err(StorageError::Uncorrectable { lba: reported }) => {
+                assert_eq!(reported, Lba(lba));
+                uncorrectable += 1;
+            }
+            Err(e) => panic!("unexpected error class: {e}"),
+        }
+    }
+    assert!(uncorrectable > 0);
+}
+
+/// A powered-off (crashed) device rejects everything rather than serving
+/// stale data.
+#[test]
+fn power_loss_rejects_all_operations() {
+    let mut ssd = Ssd::build(
+        SsdConfig::test_small(9)
+            .with_dram_profile(ModuleProfile::invulnerable())
+            .with_fault_plane(
+                FaultPlaneConfig::new()
+                    .with_site("ftl.power_loss", FaultSpec::always().with_window(4, 5)),
+            ),
+    );
+    let block = [1u8; BLOCK_SIZE];
+    for lba in 0..4u64 {
+        ssd.write(Lba(lba), &block).unwrap();
+    }
+    // The fifth mutation hits the power cut.
+    assert!(matches!(
+        ssd.write(Lba(4), &block),
+        Err(StorageError::Rejected { .. })
+    ));
+    let mut out = [0u8; BLOCK_SIZE];
+    assert!(matches!(
+        ssd.read(Lba(0), &mut out),
+        Err(StorageError::Rejected { .. })
+    ));
+    assert!(matches!(
+        ssd.trim(Lba(0)),
+        Err(StorageError::Rejected { .. })
+    ));
+}

@@ -122,3 +122,96 @@ fn simulated_time_is_host_speed_independent() {
     };
     assert_eq!(elapsed(1), elapsed(1));
 }
+
+/// Satellite of the fault plane: a power cut at a seeded tick, followed by
+/// journal replay on remount, yields a byte-identical L2P table and
+/// telemetry snapshot for the same seed — regardless of how many campaign
+/// worker threads executed the trial.
+#[test]
+fn power_loss_replay_is_deterministic_across_thread_counts() {
+    use ssdhammer::dram::DramModule;
+    use ssdhammer::flash::FlashArray;
+    use ssdhammer::ftl::{Ftl, FtlConfig, FtlError};
+    use ssdhammer::prelude::{Lba, BLOCK_SIZE};
+    use ssdhammer::simkit::faultplane::{FaultPlane, FaultPlaneConfig, FaultSpec};
+    use ssdhammer::simkit::parallel::Campaign;
+    use ssdhammer::simkit::SimClock;
+
+    fn tiny_dram(seed: u64) -> DramModule {
+        DramModule::builder(DramGeometry::tiny_test())
+            .profile(ModuleProfile::invulnerable())
+            .mapping(MappingKind::Linear)
+            .seed(seed)
+            .without_timing()
+            .build(SimClock::new())
+    }
+
+    // One trial: run a faulted workload to the power cut, remount, and
+    // return the replayed table plus the telemetry JSON.
+    fn trial(seed: u64) -> (Vec<u8>, String) {
+        let config = FtlConfig::default()
+            .with_journal_checkpoint_every(1)
+            .with_journal_blocks(2);
+        let faults = FaultPlaneConfig::new()
+            .with_site("flash.read_fail", FaultSpec::with_probability(0.2))
+            .with_site("ftl.power_loss", FaultSpec::always().with_window(60, 61));
+        let clock = SimClock::new();
+        let dram = tiny_dram(seed);
+        let mut nand = FlashArray::new(FlashGeometry::tiny_test(), clock, 1);
+        nand.set_fault_plane(FaultPlane::new(seed, &faults));
+        let mut ftl = Ftl::new(dram, nand, config).unwrap();
+        let block = vec![0x5Au8; BLOCK_SIZE];
+        let mut out = vec![0u8; BLOCK_SIZE];
+        'workload: for round in 0..2u64 {
+            for lba in 0..40u64 {
+                match ftl.write(Lba(lba), &block) {
+                    Ok(_) => {}
+                    Err(FtlError::PowerLoss) => break 'workload,
+                    Err(e) => panic!("unexpected: {e}"),
+                }
+                if round == 0 && lba % 4 == 0 {
+                    match ftl.trim(Lba(lba)) {
+                        Ok(()) | Err(FtlError::PowerLoss) => {}
+                        Err(e) => panic!("unexpected: {e}"),
+                    }
+                }
+                let _ = ftl.read(Lba(lba), &mut out);
+            }
+        }
+        // Snapshot the forward run's telemetry (retries, ECC escalations)
+        // before the crash discards its registry along with the DRAM.
+        let forward = ftl.shared_telemetry().snapshot().to_json().to_string();
+        let (_lost_dram, nand) = ftl.into_parts();
+        let recovered = Ftl::recover(tiny_dram(seed ^ 0xABCD), nand, config).unwrap();
+        let table = recovered.l2p_snapshot().unwrap();
+        let replay = recovered
+            .shared_telemetry()
+            .snapshot()
+            .to_json()
+            .to_string();
+        (table, forward + &replay)
+    }
+
+    let run = |threads: usize| {
+        Campaign::new(1234)
+            .with_tag("power-loss-determinism")
+            .with_threads(threads)
+            .run(3, |t| trial(t.seed))
+    };
+    let single = run(1);
+    let multi = run(4);
+    assert_eq!(single, multi, "thread count must not change any byte");
+    // And the trial itself is replayable: same seed, same bytes.
+    assert_eq!(
+        single[0],
+        trial(
+            Campaign::new(1234)
+                .with_tag("power-loss-determinism")
+                .trial_seed(0)
+        )
+    );
+    // Different seeds model different fault histories. (The table is
+    // identical by construction — read faults never move mappings and the
+    // cut tick is pinned — but the retry/recovery telemetry diverges.)
+    assert_ne!(single[0].1, single[1].1);
+}
