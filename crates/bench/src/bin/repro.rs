@@ -16,12 +16,14 @@
 //!   ablations     design-choice ablations (DESIGN.md §5)
 //!   escalation    §3.2     — privilege escalation via polyglot blocks
 //!   faults        fault-injection plane vs the FTL recovery stack
+//!   defenses      defense-in-depth matrix — attack success probability per
+//!                 defense layer (TRR, PARA, L2P integrity, scrubber)
 //!   all           everything above
 //!
 //! flags:
 //!   --seed N      manufacturing-variation seed (default 7)
 //!   --threads N   worker threads for campaign experiments (table1, prob,
-//!                 ablations, faults); output is bit-identical for any N
+//!                 ablations, faults, defenses); output is bit-identical for any N
 //!                 (default 1)
 //!   --json        print structured JSON instead of tables
 //!   --full        fig3 only: run the paper-prototype-scale configuration
@@ -29,7 +31,7 @@
 //!                 of the fast demo
 //! ```
 
-use ssdhammer_bench::{ablations, faults, fig1, fig2, fig3, sec23, sec43, sec5, table1};
+use ssdhammer_bench::{ablations, defenses, faults, fig1, fig2, fig3, sec23, sec43, sec5, table1};
 use ssdhammer_simkit::json::{Json, ToJson};
 
 fn main() {
@@ -78,6 +80,7 @@ fn main() {
                 "ablations",
                 "escalation",
                 "faults",
+                "defenses",
             ] {
                 run_one(name);
                 println!();
@@ -170,6 +173,14 @@ fn run_experiment(name: &str, seed: u64, threads: usize, json: bool, full: bool)
                 print!("{}", faults::render(&rows));
             }
         }
+        "defenses" => {
+            let rows = defenses::run_with_threads(seed, threads);
+            if json {
+                println!("{}", rows.to_json().to_string_pretty());
+            } else {
+                print!("{}", defenses::render(&rows));
+            }
+        }
         "escalation" => {
             use ssdhammer_cloud::{run_escalation, EscalationConfig};
             let outcome =
@@ -230,6 +241,6 @@ fn run_fig3_full(seed: u64, json: bool) {
 
 fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}");
-    eprintln!("usage: repro [table1|fig1|fig2|fig3|prob|mitigations|feasibility|ablations|escalation|faults|all] [--seed N] [--threads N] [--json] [--full]");
+    eprintln!("usage: repro [table1|fig1|fig2|fig3|prob|mitigations|feasibility|ablations|escalation|faults|defenses|all] [--seed N] [--threads N] [--json] [--full]");
     std::process::exit(2);
 }

@@ -1,0 +1,289 @@
+//! Defense-in-depth campaign (`repro -- defenses`): the Figure 1 attack
+//! primitive re-run against each layer of the integrity plane — no defense,
+//! TRR, PARA, L2P integrity codes (detect and correct), and the background
+//! patrol scrubber — reporting per configuration the **attack success
+//! probability** (fraction of trials ending in at least one *silent*
+//! mapping redirection) alongside physical flips, loud failures, and
+//! repairs.
+//!
+//! The distinction the table turns on: a defense succeeds either by
+//! preventing flips (TRR, PARA), by converting silent redirections into
+//! loud, typed failures (L2P-Detect), or by repairing entries before the
+//! host consumes them (L2P-Correct, scrubber). Only silent redirections
+//! are usable by the paper's exploit chain.
+//!
+//! Trials are sharded across a [`Campaign`], so the output is bit-identical
+//! for any `--threads` value.
+
+use ssdhammer_core::{find_attack_sites, run_primitive, setup_entries, MappingState};
+use ssdhammer_dram::{
+    DramGeneration, DramGeometry, MappingKind, ModuleProfile, ParaConfig, TrrConfig,
+};
+use ssdhammer_flash::FlashGeometry;
+use ssdhammer_ftl::{FtlConfig, IntegrityMode};
+use ssdhammer_nvme::{ScrubberConfig, Ssd, SsdConfig};
+use ssdhammer_simkit::json::{Json, ToJson};
+use ssdhammer_simkit::parallel::Campaign;
+use ssdhammer_simkit::SimDuration;
+use ssdhammer_workload::HammerStyle;
+
+/// Independent attack trials per defense configuration.
+const TRIALS: usize = 3;
+
+/// Aggregated outcome of all trials against one defense configuration.
+#[derive(Debug, Clone)]
+pub struct DefenseRow {
+    /// Defense label.
+    pub defense: &'static str,
+    /// Attack trials run.
+    pub trials: u64,
+    /// Trials that ended with at least one silent redirection.
+    pub successes: u64,
+    /// `successes / trials` — the attack success probability.
+    pub success_probability: f64,
+    /// Physical bitflips across all trials.
+    pub flips: u64,
+    /// Victim entries silently redirected (no error surfaced).
+    pub silent_redirections: u64,
+    /// Victim entries that failed loudly (typed integrity/ECC error).
+    pub loud_failures: u64,
+    /// Entries repaired by ECC, the integrity plane, or the scrubber.
+    pub repairs: u64,
+    /// Trials that ended with the device degraded to read-only.
+    pub degraded: u64,
+}
+
+impl ToJson for DefenseRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("defense", Json::from(self.defense)),
+            ("trials", Json::from(self.trials)),
+            ("successes", Json::from(self.successes)),
+            ("success_probability", Json::from(self.success_probability)),
+            ("flips", Json::from(self.flips)),
+            ("silent_redirections", Json::from(self.silent_redirections)),
+            ("loud_failures", Json::from(self.loud_failures)),
+            ("repairs", Json::from(self.repairs)),
+            ("degraded", Json::from(self.degraded)),
+        ])
+    }
+}
+
+/// One trial's raw counts (summed into a [`DefenseRow`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct TrialOutcome {
+    flips: u64,
+    silent: u64,
+    loud: u64,
+    repairs: u64,
+    degraded: bool,
+}
+
+/// Deterministically vulnerable DDR4: every row flippable, so a trial's
+/// outcome is decided by the defense, not by profile sampling.
+fn demo_profile() -> ModuleProfile {
+    let mut p = ModuleProfile::from_min_rate("demo DDR4", DramGeneration::Ddr4, 2020, 100);
+    p.row_vulnerable_prob = 1.0;
+    p.weak_cells_per_row = 8.0;
+    p
+}
+
+/// A flash geometry small enough that the tiny test DRAM holds both the
+/// 4 Ki-entry L2P table (16 KiB) and a Correct-mode integrity plane
+/// (24 KiB). Shared by every row so the configurations differ only in
+/// their defenses.
+fn small_flash() -> FlashGeometry {
+    FlashGeometry {
+        blocks_per_plane: 32,
+        ..FlashGeometry::tiny_test()
+    }
+}
+
+fn base_config(seed: u64) -> SsdConfig {
+    SsdConfig::test_small(seed)
+        .with_dram_geometry(DramGeometry::tiny_test())
+        .with_dram_profile(demo_profile())
+        .with_dram_mapping(MappingKind::Linear)
+        .with_flash_geometry(small_flash())
+}
+
+/// The six defense configurations of the matrix, in report order.
+fn configure(defense: usize, seed: u64) -> (&'static str, SsdConfig) {
+    match defense {
+        0 => ("no defense", base_config(seed)),
+        1 => ("TRR", base_config(seed).with_trr(TrrConfig::default())),
+        2 => (
+            "PARA",
+            base_config(seed).with_para(ParaConfig {
+                refresh_probability: 0.05,
+            }),
+        ),
+        3 => (
+            "L2P-Detect",
+            base_config(seed).with_ftl(FtlConfig::default().with_integrity(IntegrityMode::Detect)),
+        ),
+        4 => (
+            "L2P-Correct",
+            base_config(seed).with_ftl(FtlConfig::default().with_integrity(IntegrityMode::Correct)),
+        ),
+        _ => (
+            "scrubber + L2P-Correct",
+            base_config(seed)
+                .with_ftl(FtlConfig::default().with_integrity(IntegrityMode::Correct))
+                .with_scrubber(ScrubberConfig::default()),
+        ),
+    }
+}
+
+/// Runs one Figure 1 primitive trial against `config` and classifies every
+/// victim mapping change: silent (usable by the exploit) vs loud (typed
+/// failure the host observes).
+fn attack_trial(config: SsdConfig) -> TrialOutcome {
+    let mut ssd = Ssd::build(config);
+    let Some(site) = find_attack_sites(ssd.ftl(), 4).first().cloned() else {
+        return TrialOutcome::default();
+    };
+    setup_entries(ssd.ftl_mut(), &site.victim_lbas).expect("setup");
+    let outcome = run_primitive(
+        &mut ssd,
+        &site,
+        HammerStyle::DoubleSided,
+        1_000_000.0,
+        SimDuration::from_millis(500),
+    )
+    .expect("hammer");
+    let mut silent = 0u64;
+    let mut loud = 0u64;
+    for r in &outcome.redirections {
+        match r.to {
+            MappingState::Unreadable => loud += 1,
+            // A mapping that silently changed (redirected or dropped)
+            // without any error is what the exploit chain consumes.
+            MappingState::Mapped(_) | MappingState::Unmapped => silent += 1,
+        }
+    }
+    let log = ssd.health_log();
+    TrialOutcome {
+        flips: outcome.report.flips.len() as u64,
+        silent,
+        loud,
+        repairs: log.scrub_repairs + log.integrity_repaired,
+        degraded: log.read_only,
+    }
+}
+
+/// Runs the full matrix single-threaded.
+#[must_use]
+pub fn run(seed: u64) -> Vec<DefenseRow> {
+    run_with_threads(seed, 1)
+}
+
+/// Like [`run`], sharding (defense, trial) pairs across `threads` workers;
+/// output is bit-identical for any thread count.
+#[must_use]
+pub fn run_with_threads(seed: u64, threads: usize) -> Vec<DefenseRow> {
+    const DEFENSES: usize = 6;
+    let outcomes: Vec<(usize, &'static str, TrialOutcome)> = Campaign::new(seed)
+        .with_tag("defenses")
+        .with_threads(threads)
+        .run(DEFENSES * TRIALS, |trial| {
+            let defense = trial.index / TRIALS;
+            let (label, config) = configure(defense, trial.seed);
+            (defense, label, attack_trial(config))
+        });
+    let mut rows: Vec<DefenseRow> = Vec::with_capacity(DEFENSES);
+    for (defense, label, t) in outcomes {
+        if rows.len() <= defense {
+            rows.push(DefenseRow {
+                defense: label,
+                trials: 0,
+                successes: 0,
+                success_probability: 0.0,
+                flips: 0,
+                silent_redirections: 0,
+                loud_failures: 0,
+                repairs: 0,
+                degraded: 0,
+            });
+        }
+        let row = &mut rows[defense];
+        row.trials += 1;
+        row.successes += u64::from(t.silent > 0);
+        row.flips += t.flips;
+        row.silent_redirections += t.silent;
+        row.loud_failures += t.loud;
+        row.repairs += t.repairs;
+        row.degraded += u64::from(t.degraded);
+    }
+    for row in &mut rows {
+        row.success_probability = if row.trials > 0 {
+            row.successes as f64 / row.trials as f64
+        } else {
+            0.0
+        };
+    }
+    rows
+}
+
+/// Renders the matrix.
+#[must_use]
+pub fn render(rows: &[DefenseRow]) -> String {
+    let mut out = String::from(
+        "defense-in-depth: Figure 1 primitive vs the integrity plane\n\
+         defense                 P(success)  flips  silent  loud  repairs  degraded\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<23} {:>10.2} {:>6} {:>7} {:>5} {:>8} {:>9}\n",
+            r.defense,
+            r.success_probability,
+            r.flips,
+            r.silent_redirections,
+            r.loud_failures,
+            r.repairs,
+            r.degraded,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_separates_the_defenses() {
+        let rows = run(7);
+        assert_eq!(rows.len(), 6);
+        let get = |name: &str| rows.iter().find(|r| r.defense.starts_with(name)).unwrap();
+        // Undefended, the attack succeeds every trial.
+        let base = get("no defense");
+        assert!(base.success_probability > 0.99, "{base:?}");
+        assert!(base.flips > 0 && base.silent_redirections > 0);
+        // TRR and PARA stop double-sided hammering before flips occur.
+        assert_eq!(get("TRR").success_probability, 0.0);
+        assert_eq!(get("PARA").success_probability, 0.0);
+        // Detect: flips still land, but every consumed corruption is loud.
+        let detect = get("L2P-Detect");
+        assert_eq!(detect.success_probability, 0.0, "{detect:?}");
+        assert!(detect.flips > 0);
+        assert!(detect.loud_failures > 0);
+        // Correct: flips land and are repaired; nothing silent, nothing
+        // loud, no degradation.
+        let correct = get("L2P-Correct");
+        assert_eq!(correct.success_probability, 0.0, "{correct:?}");
+        assert!(correct.flips > 0);
+        assert!(correct.repairs > 0);
+        assert_eq!(correct.silent_redirections, 0);
+        // Scrubber on top: still blocked, with patrol repairs landing
+        // during the burst.
+        let scrub = get("scrubber");
+        assert_eq!(scrub.success_probability, 0.0, "{scrub:?}");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let json = |threads| run_with_threads(7, threads).to_json().to_string();
+        assert_eq!(json(1), json(4));
+    }
+}

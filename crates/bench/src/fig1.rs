@@ -150,12 +150,24 @@ mod tests {
 
     #[test]
     fn figure1_redirects_and_control_does_not() {
-        let r = run(9);
+        let (r, snapshot) = run_with_telemetry(9);
         assert!(r.flips > 0);
         assert!(
             !r.redirections.is_empty(),
             "the depicted redirection occurs"
         );
         assert_eq!(r.control_redirections, 0, "sub-threshold control is clean");
+        // The exported snapshot carries every layer's counters, including
+        // the fault plane and the integrity/scrub planes (zero on this
+        // undefended device, but present for dashboards to scrape).
+        for name in [
+            "fault.consults",
+            "fault.injected",
+            "integrity.detected",
+            "scrub.repairs",
+            "recovery.uncorrectable_reads",
+        ] {
+            assert!(snapshot.counter(name).is_some(), "snapshot missing {name}");
+        }
     }
 }

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod defenses;
 pub mod faults;
 pub mod fig1;
 pub mod fig2;

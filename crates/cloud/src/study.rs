@@ -508,6 +508,32 @@ mod tests {
     }
 
     #[test]
+    fn l2p_correct_blocks_the_leak_end_to_end() {
+        let mut config = CaseStudyConfig::fast_demo(7);
+        // The Correct-mode integrity plane needs 6 bytes per L2P entry of
+        // distant DRAM beyond the 64 KiB table; double the tiny geometry's
+        // rows so both fit.
+        config.ssd.dram_geometry = ssdhammer_dram::DramGeometry {
+            rows_per_bank: 128,
+            ..ssdhammer_dram::DramGeometry::tiny_test()
+        };
+        config.ssd.ftl = config
+            .ssd
+            .ftl
+            .with_integrity(ssdhammer_ftl::IntegrityMode::Correct);
+        let outcome = run_case_study(&config).unwrap();
+        assert!(
+            !outcome.success,
+            "protected L2P must stop the leak: {:?}",
+            outcome.cycles
+        );
+        // The attacker still flips bits; the plane repairs every consumed
+        // entry before it can redirect a read, so no scan ever hits.
+        assert!(outcome.cycles.iter().map(|c| c.flips).sum::<u64>() > 0);
+        assert_eq!(outcome.cycles.iter().map(|c| c.scan_hits).sum::<usize>(), 0);
+    }
+
+    #[test]
     fn per_tenant_encryption_blocks_the_leak_end_to_end() {
         let mut config = CaseStudyConfig::fast_demo(7);
         config.victim_encryption_key = Some(0x7E4A_11CE);

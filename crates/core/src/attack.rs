@@ -84,14 +84,15 @@ pub fn snapshot_mappings(ftl: &Ftl, lbas: &[Lba]) -> Result<Vec<Option<Ppn>>, Ft
 ///
 /// # Errors
 ///
-/// Propagates only addressing errors; per-entry ECC failures become
-/// [`MappingState::Unreadable`].
+/// Propagates only addressing errors; per-entry ECC failures and L2P
+/// integrity-plane detections become [`MappingState::Unreadable`] — a loud
+/// failure the host observes, not a silent redirection.
 pub fn snapshot_host_mappings(ftl: &mut Ftl, lbas: &[Lba]) -> Result<Vec<MappingState>, FtlError> {
     lbas.iter()
         .map(|&l| match ftl.entry_read(l) {
             Ok(Some(ppn)) => Ok(MappingState::Mapped(ppn)),
             Ok(None) => Ok(MappingState::Unmapped),
-            Err(FtlError::Dram(_)) => Ok(MappingState::Unreadable),
+            Err(FtlError::Dram(_) | FtlError::L2pIntegrity { .. }) => Ok(MappingState::Unreadable),
             Err(e) => Err(e),
         })
         .collect()

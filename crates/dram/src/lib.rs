@@ -17,8 +17,10 @@
 //! * [`DramModule`] — the simulator: open-/closed-page row buffers, 64 ms
 //!   refresh windows, per-row activation counting, weak-cell flips with
 //!   true-/anti-cell orientation, SEC-DED [`EccConfig`], sampler-based
-//!   [`TrrConfig`] (defeated by many-sided patterns), and a bulk
-//!   [`DramModule::run_hammer`] fast path for hours-long experiments.
+//!   [`TrrConfig`] (defeated by many-sided patterns), probabilistic
+//!   adjacent-row refresh [`ParaConfig`] (overwhelmed only by raw rate),
+//!   and a bulk [`DramModule::run_hammer`] fast path for hours-long
+//!   experiments.
 //! * [`hammer`] — online rowhammerability probing and the minimal-flip-rate
 //!   search used by the Table 1 harness.
 //!
@@ -60,6 +62,7 @@ mod geometry;
 pub mod hammer;
 mod mapping;
 mod module;
+mod para;
 mod profile;
 mod trr;
 mod weakcells;
@@ -70,6 +73,7 @@ pub use mapping::{AddressMapping, MappingKind};
 pub use module::{
     DramError, DramModule, DramModuleBuilder, DramTelemetry, FlipDirection, FlipEvent, HammerReport,
 };
+pub use para::ParaConfig;
 pub use profile::{DramGeneration, ModuleProfile, RowPolicy};
 pub use trr::TrrConfig;
 pub use weakcells::{weak_cells_for_row, CellOrientation, WeakCell};

@@ -35,6 +35,7 @@ use ssdhammer_simkit::{DramAddr, SimClock, SimDuration, SimTime};
 use crate::ecc::{EccConfig, EccOutcome, ECC_WORD_BITS};
 use crate::geometry::{DramGeometry, RowKey};
 use crate::mapping::AddressMapping;
+use crate::para::ParaConfig;
 use crate::profile::{ModuleProfile, RowPolicy};
 use crate::trr::TrrConfig;
 use crate::weakcells::{weak_cells_for_row, WeakCell};
@@ -131,6 +132,7 @@ struct DramHandles {
     ecc_silent: CounterHandle,
     refresh_windows: CounterHandle,
     trr_suppressions: CounterHandle,
+    para_suppressions: CounterHandle,
 }
 
 impl DramHandles {
@@ -148,13 +150,14 @@ impl DramHandles {
             ecc_silent: registry.counter("dram.ecc.silent"),
             refresh_windows: registry.counter("dram.refresh_windows"),
             trr_suppressions: registry.counter("dram.trr_suppressions"),
+            para_suppressions: registry.counter("dram.para_suppressions"),
             registry,
         }
     }
 }
 
 /// Result of a bulk hammering run (see [`DramModule::run_hammer`]).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct HammerReport {
     /// Activations actually issued across all aggressors.
     pub activations: u64,
@@ -199,6 +202,7 @@ pub struct DramModule {
     seed: u64,
     ecc: Option<EccConfig>,
     trr: Option<TrrConfig>,
+    para: Option<ParaConfig>,
     timing_enabled: bool,
 
     rows: BTreeMap<RowKey, RowData>,
@@ -221,6 +225,7 @@ pub struct DramModuleBuilder {
     seed: u64,
     ecc: Option<EccConfig>,
     trr: Option<TrrConfig>,
+    para: Option<ParaConfig>,
     timing_enabled: bool,
     telemetry: Option<Telemetry>,
 }
@@ -261,6 +266,15 @@ impl DramModuleBuilder {
         self
     }
 
+    /// Enables probabilistic adjacent-row refresh (PARA). Composes with
+    /// TRR: TRR caps what tracked aggressors contribute, PARA caps what
+    /// any refresh-free run can accumulate.
+    #[must_use]
+    pub fn para(mut self, para: ParaConfig) -> Self {
+        self.para = Some(para);
+        self
+    }
+
     /// Disables clock advancement on accesses (pure functional mode, used by
     /// callers that account for time themselves).
     #[must_use]
@@ -288,6 +302,7 @@ impl DramModuleBuilder {
             seed: self.seed,
             ecc: self.ecc,
             trr: self.trr,
+            para: self.para,
             timing_enabled: self.timing_enabled,
             rows: BTreeMap::new(),
             remaining_weak: BTreeMap::new(),
@@ -312,6 +327,7 @@ impl DramModule {
             seed: 0,
             ecc: None,
             trr: None,
+            para: None,
             timing_enabled: true,
             telemetry: None,
         }
@@ -780,6 +796,16 @@ impl DramModule {
                 }
             }
         }
+        if let Some(para) = self.para {
+            // PARA interrupts the aggressors' activation stream with
+            // neighbor refreshes: the victim only accumulates the longest
+            // refresh-free run. Applied after TRR so the defenses compose.
+            let capped = para.effective_pressure(p);
+            if capped < p {
+                self.tel.para_suppressions.incr();
+            }
+            p = capped;
+        }
         p
     }
 
@@ -1226,6 +1252,80 @@ mod tests {
         assert!(
             !report.flips.is_empty(),
             "many-sided should overwhelm the sampler: {:?}",
+            m.telemetry()
+        );
+    }
+
+    #[test]
+    fn para_defeats_double_sided() {
+        let mut m = DramModule::builder(DramGeometry::tiny_test())
+            .profile(eager_profile())
+            .mapping(MappingKind::Linear)
+            .seed(7)
+            .para(ParaConfig {
+                refresh_probability: 0.05,
+            })
+            .build(SimClock::new());
+        let victim = row_addr(&m, 0, 5);
+        m.write(victim, &[0xFFu8; 64]).unwrap();
+        let aggr = [row_addr(&m, 0, 4), row_addr(&m, 0, 6)];
+        let report = m.run_hammer(&aggr, 500_000, 10_000_000.0).unwrap();
+        assert!(report.flips.is_empty(), "PARA should cap the pressure");
+        let snap = m.shared_telemetry().snapshot();
+        assert!(snap.counter("dram.para_suppressions").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn weak_para_is_overwhelmed_by_rate() {
+        // p far too low for a threshold-1000 module: the expected
+        // refresh-free run still clears the threshold.
+        let mut m = DramModule::builder(DramGeometry::tiny_test())
+            .profile(eager_profile())
+            .mapping(MappingKind::Linear)
+            .seed(7)
+            .para(ParaConfig {
+                refresh_probability: 0.0005,
+            })
+            .build(SimClock::new());
+        let victim = row_addr(&m, 0, 5);
+        m.write(victim, &[0xFFu8; 64]).unwrap();
+        let aggr = [row_addr(&m, 0, 4), row_addr(&m, 0, 6)];
+        let report = m.run_hammer(&aggr, 2_000_000, 30_000_000.0).unwrap();
+        assert!(
+            !report.flips.is_empty(),
+            "under-provisioned PARA is overwhelmed: {:?}",
+            m.telemetry()
+        );
+    }
+
+    #[test]
+    fn para_composes_with_trr_against_many_sided() {
+        // The many-sided pattern from `many_sided_defeats_trr` overflows the
+        // TRR sampler, but PARA has no tracking table to overflow: with both
+        // enabled the drive stays clean.
+        let mut m = DramModule::builder(DramGeometry::tiny_test())
+            .profile(eager_profile())
+            .mapping(MappingKind::Linear)
+            .seed(7)
+            .trr(TrrConfig {
+                sampler_size: 4,
+                detection_threshold: 100,
+            })
+            .para(ParaConfig {
+                refresh_probability: 0.05,
+            })
+            .build(SimClock::new());
+        let mut aggr = Vec::new();
+        for i in 0..9u32 {
+            let v = 5 + i * 3;
+            m.write(row_addr(&m, 0, v), &[0xFFu8; 64]).unwrap();
+            aggr.push(row_addr(&m, 0, v - 1));
+            aggr.push(row_addr(&m, 0, v + 1));
+        }
+        let report = m.run_hammer(&aggr, 4_000_000, 20_000_000.0).unwrap();
+        assert!(
+            report.flips.is_empty(),
+            "PARA backstops TRR against many-sided: {:?}",
             m.telemetry()
         );
     }

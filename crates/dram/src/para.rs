@@ -1,0 +1,169 @@
+//! Probabilistic Adjacent Row Activation (PARA): the stateless in-DRAM
+//! mitigation proposed alongside the original rowhammer disclosure (Kim et
+//! al. 2014) and revisited by the Mutlu et al. retrospective.
+//!
+//! Every row activation refreshes the activated row's physical neighbors
+//! with a small probability `p`. Unlike sampler-based TRR there is nothing
+//! to overflow — PARA needs no tracking table — so many-sided patterns gain
+//! nothing. Its weakness is statistical instead: a victim only flips if a
+//! *refresh-free run* of aggressor activations reaches the cell threshold,
+//! and with probability `(1 - p)^threshold` any given run escapes. A `p`
+//! chosen too low for the module's disturbance threshold can therefore
+//! still be overwhelmed by sheer access rate.
+//!
+//! We model the effect at refresh-window granularity, matching how the
+//! simulator accounts activations in bulk: `n` aggressor activations are
+//! interrupted by ~`n·p` neighbor refreshes, so the victim's accumulated
+//! pressure is capped at the expected longest refresh-free run,
+//! `ln(1 + n·p) / p` — continuous in `n` (for `n·p ≪ 1` it approaches `n`,
+//! i.e. no protection until refreshes actually start landing).
+
+/// Configuration of the PARA model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParaConfig {
+    /// Probability that one aggressor activation refreshes the victim
+    /// neighbor. Must be in `(0, 1]`.
+    pub refresh_probability: f64,
+}
+
+impl Default for ParaConfig {
+    fn default() -> Self {
+        // Kim et al. propose p in the 0.001-0.01 range for thresholds in
+        // the tens of thousands; 0.005 sits mid-range and keeps the
+        // expected refresh-free run under ~2.5K activations even for
+        // window-saturating access rates.
+        ParaConfig {
+            refresh_probability: 0.005,
+        }
+    }
+}
+
+impl ParaConfig {
+    /// The pressure a victim actually accumulates when its aggressors issue
+    /// `pressure` raw activations' worth of disturbance in one refresh
+    /// window: the expected longest refresh-free run, `ln(1 + n·p) / p`,
+    /// never more than `pressure` itself.
+    #[must_use]
+    pub fn effective_pressure(&self, pressure: f64) -> f64 {
+        let p = self.refresh_probability;
+        if p <= 0.0 || pressure <= 0.0 {
+            return pressure.max(0.0);
+        }
+        (pressure.mul_add(p, 1.0).ln() / p).min(pressure)
+    }
+
+    /// True when `acts` activations within one window are expected to push
+    /// a victim with cell threshold `threshold` past flipping despite PARA —
+    /// the probabilistic analogue of [`TrrConfig::overwhelmed_by`].
+    ///
+    /// [`TrrConfig::overwhelmed_by`]: crate::TrrConfig::overwhelmed_by
+    #[must_use]
+    pub fn overwhelmed_by(&self, acts: u64, threshold: u64) -> bool {
+        self.effective_pressure(acts as f64) >= threshold as f64
+    }
+
+    /// Probability that one specific run of `threshold` consecutive
+    /// aggressor activations completes without a single PARA refresh —
+    /// the per-attempt escape probability `(1 - p)^threshold`.
+    #[must_use]
+    pub fn bypass_probability(&self, threshold: u64) -> f64 {
+        (1.0 - self.refresh_probability.clamp(0.0, 1.0)).powi(threshold.min(i32::MAX as u64) as i32)
+    }
+
+    /// The minimum per-window activation budget an attacker needs before
+    /// the expected longest refresh-free run reaches `threshold`: the
+    /// inverse of [`ParaConfig::effective_pressure`],
+    /// `(e^(p·threshold) - 1) / p`. Finite but astronomically large for
+    /// well-chosen `p`.
+    #[must_use]
+    pub fn activations_to_overwhelm(&self, threshold: u64) -> f64 {
+        let p = self.refresh_probability;
+        if p <= 0.0 {
+            return threshold as f64;
+        }
+        ((p * threshold as f64).exp() - 1.0) / p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_probability_offers_no_protection() {
+        let para = ParaConfig {
+            refresh_probability: 0.0,
+        };
+        assert_eq!(para.effective_pressure(50_000.0), 50_000.0);
+        assert!(para.overwhelmed_by(1_000, 1_000));
+    }
+
+    #[test]
+    fn effective_pressure_is_continuous_and_capped() {
+        let para = ParaConfig {
+            refresh_probability: 0.01,
+        };
+        // Far below 1/p the cap barely bites.
+        let low = para.effective_pressure(10.0);
+        assert!(
+            (low - 10.0).abs() < 1.0,
+            "low-rate pressure ~unchanged: {low}"
+        );
+        // Far above 1/p it grows only logarithmically.
+        let high = para.effective_pressure(1_000_000.0);
+        assert!(high < 1_000.0, "high-rate pressure collapses: {high}");
+        // Never exceeds the raw pressure.
+        for n in [0.0, 1.0, 100.0, 1e7] {
+            assert!(para.effective_pressure(n) <= n);
+        }
+    }
+
+    #[test]
+    fn strong_para_protects_the_eager_threshold() {
+        // The test profile's cells flip at 1000 aggregate activations; with
+        // p = 0.05 even a window-saturating burst stays well below that.
+        let para = ParaConfig {
+            refresh_probability: 0.05,
+        };
+        assert!(!para.overwhelmed_by(10_000_000, 1_000));
+    }
+
+    #[test]
+    fn weak_para_is_overwhelmed_by_rate() {
+        // p chosen too low for the module: a few thousand activations per
+        // window already produce an expected refresh-free run past the
+        // threshold.
+        let para = ParaConfig {
+            refresh_probability: 0.0005,
+        };
+        assert!(para.overwhelmed_by(2_000_000, 1_000));
+        assert!(!para.overwhelmed_by(1_000, 1_000));
+    }
+
+    #[test]
+    fn bypass_probability_decays_with_threshold() {
+        let para = ParaConfig {
+            refresh_probability: 0.005,
+        };
+        let p1 = para.bypass_probability(100);
+        let p2 = para.bypass_probability(1_000);
+        assert!(p1 > p2);
+        assert!((p1 - 0.995f64.powi(100)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn activations_to_overwhelm_inverts_effective_pressure() {
+        let para = ParaConfig {
+            refresh_probability: 0.01,
+        };
+        let budget = para.activations_to_overwhelm(1_000);
+        let run = para.effective_pressure(budget);
+        assert!((run - 1_000.0).abs() < 1.0, "round-trip: {run}");
+    }
+
+    #[test]
+    fn default_is_mid_range() {
+        let para = ParaConfig::default();
+        assert!(para.refresh_probability > 0.0 && para.refresh_probability < 0.05);
+    }
+}

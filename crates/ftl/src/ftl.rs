@@ -14,6 +14,7 @@ use ssdhammer_simkit::rng::derive_seed;
 use ssdhammer_simkit::telemetry::{CounterHandle, GaugeHandle, Telemetry};
 use ssdhammer_simkit::{DramAddr, Lba, SimClock, SimTime, BLOCK_SIZE};
 
+use crate::integrity::{IntegrityMode, IntegrityPlane, VerifyOutcome};
 use crate::journal::{self, JournalEntry};
 use crate::l2p::{L2pLayout, L2pTable};
 
@@ -49,6 +50,20 @@ pub enum FtlError {
     /// A (simulated) power loss occurred; all operations fail until the
     /// device is remounted via [`Ftl::recover`].
     PowerLoss,
+    /// A physical page number does not fit the 32-bit L2P entry (or
+    /// collides with the unmapped sentinel) — the caller built an
+    /// impossible geometry.
+    EntryOverflow {
+        /// The unrepresentable page.
+        ppn: Ppn,
+    },
+    /// L2P entry integrity verification failed and the entry could not be
+    /// repaired ([`FtlConfig::integrity`]); the lookup fails loudly
+    /// instead of serving a (possibly redirected) mapping.
+    L2pIntegrity {
+        /// The LBA whose entry diverged.
+        lba: Lba,
+    },
 }
 
 impl From<DramError> for FtlError {
@@ -78,6 +93,12 @@ impl core::fmt::Display for FtlError {
             }
             FtlError::ReadOnly => write!(f, "device degraded to read-only"),
             FtlError::PowerLoss => write!(f, "power lost; remount required"),
+            FtlError::EntryOverflow { ppn } => {
+                write!(f, "{ppn} does not fit a 32-bit L2P entry")
+            }
+            FtlError::L2pIntegrity { lba } => {
+                write!(f, "L2P entry of {lba} failed integrity verification")
+            }
         }
     }
 }
@@ -127,6 +148,10 @@ pub struct FtlConfig {
     /// (subtracted from the exported capacity). When the region fills, the
     /// device degrades to read-only.
     pub journal_blocks: u32,
+    /// L2P entry integrity protection: per-entry SEC-DED codes (and, in
+    /// [`IntegrityMode::Correct`], a distant mirror copy) verified on the
+    /// firmware's read path. See [`crate::integrity`].
+    pub integrity: IntegrityMode,
 }
 
 impl Default for FtlConfig {
@@ -148,6 +173,7 @@ impl Default for FtlConfig {
             remap_budget: 16,
             journal_checkpoint_every: 0,
             journal_blocks: 2,
+            integrity: IntegrityMode::Off,
         }
     }
 }
@@ -239,6 +265,13 @@ impl FtlConfig {
         self.journal_blocks = blocks;
         self
     }
+
+    /// Replaces the L2P integrity protection mode.
+    #[must_use]
+    pub fn with_integrity(mut self, mode: IntegrityMode) -> Self {
+        self.integrity = mode;
+        self
+    }
 }
 
 /// What a read translated to.
@@ -317,6 +350,24 @@ pub struct FtlTelemetry {
     pub power_losses: u64,
     /// 1 when the device has degraded to read-only mode.
     pub read_only: f64,
+    /// L2P entries whose integrity verification found a mismatch.
+    pub integrity_detected: u64,
+    /// Single-bit L2P entry errors repaired in place (SEC-DED).
+    pub integrity_repaired: u64,
+    /// Multi-bit L2P entry errors restored from the distant mirror.
+    pub integrity_mirror_repairs: u64,
+    /// L2P entries where primary and mirror both diverged beyond repair
+    /// (each degrades the device to read-only).
+    pub integrity_unrepairable: u64,
+    /// L2P entries verified by the patrol scrubber.
+    pub scrub_entries_checked: u64,
+    /// Errors repaired during patrol scrubs (DRAM ECC, flash ECC, or
+    /// integrity-plane repairs attributable to the scrub pass).
+    pub scrub_repairs: u64,
+    /// Flash patrol reads issued by the scrubber.
+    pub scrub_flash_reads: u64,
+    /// Completed full sweeps of the L2P table.
+    pub scrub_sweeps: u64,
 }
 
 /// Handles into the shared registry, resolved once at bind time.
@@ -341,6 +392,14 @@ struct FtlHandles {
     journal_replayed: CounterHandle,
     power_losses: CounterHandle,
     read_only: GaugeHandle,
+    integrity_detected: CounterHandle,
+    integrity_repaired: CounterHandle,
+    integrity_mirror_repairs: CounterHandle,
+    integrity_unrepairable: CounterHandle,
+    scrub_entries_checked: CounterHandle,
+    scrub_repairs: CounterHandle,
+    scrub_flash_reads: CounterHandle,
+    scrub_sweeps: CounterHandle,
 }
 
 impl FtlHandles {
@@ -364,6 +423,14 @@ impl FtlHandles {
             journal_replayed: registry.counter("recovery.journal_replayed"),
             power_losses: registry.counter("recovery.power_losses"),
             read_only: registry.gauge("recovery.read_only"),
+            integrity_detected: registry.counter("integrity.detected"),
+            integrity_repaired: registry.counter("integrity.repaired"),
+            integrity_mirror_repairs: registry.counter("integrity.mirror_repairs"),
+            integrity_unrepairable: registry.counter("integrity.unrepairable"),
+            scrub_entries_checked: registry.counter("scrub.entries_checked"),
+            scrub_repairs: registry.counter("scrub.repairs"),
+            scrub_flash_reads: registry.counter("scrub.flash_reads"),
+            scrub_sweeps: registry.counter("scrub.sweeps"),
             registry,
         }
     }
@@ -378,7 +445,7 @@ impl FtlHandles {
 /// use ssdhammer_simkit::Lba;
 ///
 /// # fn main() -> Result<(), ssdhammer_ftl::FtlError> {
-/// let mut ftl = Ftl::tiny_for_tests(1);
+/// let mut ftl = Ftl::tiny_for_tests(1)?;
 /// let block = vec![0x42u8; 4096];
 /// ftl.write(Lba(7), &block)?;
 /// let mut out = vec![0u8; 4096];
@@ -419,6 +486,12 @@ pub struct Ftl {
     journal_region: Vec<BlockId>,
     /// Mutations logged but not yet checkpointed to flash.
     journal_buf: Vec<JournalEntry>,
+    /// L2P protection plane (`None` when [`FtlConfig::integrity`] is Off).
+    integrity: Option<IntegrityPlane>,
+    /// Next LBA the patrol scrubber will verify.
+    scrub_cursor: u64,
+    /// Next physical page the flash patrol will consider.
+    patrol_cursor: u64,
 }
 
 /// OOB layout: little-endian LBA (8 bytes), write sequence (8 bytes), then
@@ -436,6 +509,11 @@ fn decode_oob(oob: &[u8]) -> (Lba, u64, u32) {
     let seq = le_u64(oob, 8);
     let guard = le_u32(oob, 16);
     (Lba(lba), seq, guard)
+}
+
+/// Decodes a raw 32-bit L2P word into the mapping it represents.
+fn decode_entry(raw: u32) -> Option<Ppn> {
+    (raw != crate::l2p::INVALID_ENTRY).then(|| Ppn(u64::from(raw)))
 }
 
 /// The DIF guard: CRC-32C over the LBA and the block payload.
@@ -498,6 +576,24 @@ impl Ftl {
             }));
         }
         table.init(&mut dram)?;
+        // The integrity plane claims the far end of DRAM — distant rows the
+        // attacker's table-tuned hammer pattern does not reach.
+        let integrity = if config.integrity == IntegrityMode::Off {
+            None
+        } else {
+            let primary_end = config.l2p_base.as_u64() + table.size_bytes();
+            let plane = IntegrityPlane::plan(
+                config.integrity,
+                table.size_bytes() / 4,
+                primary_end,
+                dram_cap,
+            )
+            .ok_or(FtlError::Dram(DramError::OutOfRange {
+                addr: DramAddr(dram_cap),
+            }))?;
+            plane.init(&mut dram, crate::l2p::INVALID_ENTRY)?;
+            Some(plane)
+        };
         // One registry for the whole sub-stack: the DRAM module's registry
         // becomes the FTL's, and the NAND array is rebound onto it.
         let registry = dram.shared_telemetry();
@@ -526,6 +622,9 @@ impl Ftl {
             remap_events: 0,
             journal_region,
             journal_buf: Vec::new(),
+            integrity,
+            scrub_cursor: 0,
+            patrol_cursor: 0,
         })
     }
 
@@ -613,7 +712,7 @@ impl Ftl {
         ftl.tel.journal_replayed.add(replayed);
         for (lba, (_, ppn)) in &winners {
             if let Some(ppn) = ppn {
-                ftl.table.set(&mut ftl.dram, Lba(*lba), Some(*ppn))?;
+                ftl.l2p_set(Lba(*lba), Some(*ppn))?;
                 ftl.mark_valid(*ppn);
             }
         }
@@ -646,8 +745,12 @@ impl Ftl {
 
     /// A small fully-wired FTL (tiny DRAM + tiny flash, linear mappings, no
     /// timing) for unit tests and doc examples.
-    #[must_use]
-    pub fn tiny_for_tests(seed: u64) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`Ftl::new`] (never fails for the fixed tiny
+    /// geometry; the `Result` exists so callers keep a panic-free path).
+    pub fn tiny_for_tests(seed: u64) -> Result<Self, FtlError> {
         use ssdhammer_dram::{DramGeometry, MappingKind, ModuleProfile};
         use ssdhammer_flash::FlashGeometry;
         let clock = SimClock::new();
@@ -658,7 +761,7 @@ impl Ftl {
             .without_timing()
             .build(clock.clone());
         let nand = FlashArray::new(FlashGeometry::tiny_test(), clock, seed);
-        Ftl::new(dram, nand, FtlConfig::default()).expect("tiny ftl") // lint:allow(P1) -- test-support constructor over a fixed, known-good tiny geometry
+        Ftl::new(dram, nand, FtlConfig::default())
     }
 
     /// Number of LBAs exported to the host.
@@ -701,6 +804,14 @@ impl Ftl {
             journal_replayed: self.tel.journal_replayed.get(),
             power_losses: self.tel.power_losses.get(),
             read_only: self.tel.read_only.get(),
+            integrity_detected: self.tel.integrity_detected.get(),
+            integrity_repaired: self.tel.integrity_repaired.get(),
+            integrity_mirror_repairs: self.tel.integrity_mirror_repairs.get(),
+            integrity_unrepairable: self.tel.integrity_unrepairable.get(),
+            scrub_entries_checked: self.tel.scrub_entries_checked.get(),
+            scrub_repairs: self.tel.scrub_repairs.get(),
+            scrub_flash_reads: self.tel.scrub_flash_reads.get(),
+            scrub_sweeps: self.tel.scrub_sweeps.get(),
         }
     }
 
@@ -753,13 +864,101 @@ impl Ftl {
     /// L2P read on the host path, with configured activation amplification.
     fn amplified_get(&mut self, lba: Lba) -> Result<Option<Ppn>, FtlError> {
         self.tel.l2p_reads.incr();
-        let entry = self.table.get(&mut self.dram, lba)?;
+        let entry = self.get_verified(lba)?;
         let amp = u64::from(self.config.hammer_amplification);
         if amp > 1 {
             self.dram
                 .force_activations(self.table.entry_addr(lba), amp - 1)?;
         }
         Ok(entry)
+    }
+
+    /// L2P update through the integrity plane: writes the primary entry,
+    /// then its code byte and mirror copy (when protection is on).
+    fn l2p_set(&mut self, lba: Lba, ppn: Option<Ppn>) -> Result<(), FtlError> {
+        self.table.set(&mut self.dram, lba, ppn)?;
+        if let Some(plane) = self.integrity {
+            let raw = ppn.map_or(crate::l2p::INVALID_ENTRY, |p| p.as_u64() as u32);
+            plane.record(&mut self.dram, self.table.slot_of(lba), raw)?;
+        }
+        Ok(())
+    }
+
+    /// Fetches and integrity-verifies one entry through the device path.
+    /// A primary word even DRAM ECC gave up on is restored from the mirror
+    /// in [`IntegrityMode::Correct`].
+    fn get_verified(&mut self, lba: Lba) -> Result<Option<Ppn>, FtlError> {
+        let entry = match self.table.get(&mut self.dram, lba) {
+            Ok(e) => e,
+            Err(err @ DramError::Uncorrectable { .. }) => {
+                let Some(plane) = self.integrity else {
+                    return Err(err.into());
+                };
+                let slot = self.table.slot_of(lba);
+                let addr = self.table.entry_addr(lba);
+                return match plane.restore(&mut self.dram, slot, addr)? {
+                    VerifyOutcome::MirrorRepaired(raw) => {
+                        self.tel.integrity_detected.incr();
+                        self.tel.integrity_mirror_repairs.incr();
+                        Ok(decode_entry(raw))
+                    }
+                    _ => {
+                        self.tel.integrity_detected.incr();
+                        self.tel.integrity_unrepairable.incr();
+                        self.engage_read_only("L2P entry unrepairable (ECC + mirror)");
+                        Err(FtlError::L2pIntegrity { lba })
+                    }
+                };
+            }
+            Err(e) => return Err(e.into()),
+        };
+        self.verify_entry(lba, entry)
+    }
+
+    /// Applies integrity-plane policy to a just-fetched entry: verify,
+    /// repair (in [`IntegrityMode::Correct`]), or fail loudly. Unrepairable
+    /// divergence degrades the device to read-only — the FTL refuses to
+    /// keep serving mappings it cannot trust.
+    fn verify_entry(&mut self, lba: Lba, entry: Option<Ppn>) -> Result<Option<Ppn>, FtlError> {
+        let Some(plane) = self.integrity else {
+            return Ok(entry);
+        };
+        let raw = entry.map_or(crate::l2p::INVALID_ENTRY, |p| p.as_u64() as u32);
+        let slot = self.table.slot_of(lba);
+        let addr = self.table.entry_addr(lba);
+        match plane.verify(&mut self.dram, slot, addr, raw)? {
+            VerifyOutcome::Clean => Ok(entry),
+            VerifyOutcome::Detected => {
+                self.tel.integrity_detected.incr();
+                self.tel.registry.trace(
+                    self.clock.now(),
+                    "ftl.integrity",
+                    format!("lba {} entry failed verification", lba.as_u64()),
+                );
+                Err(FtlError::L2pIntegrity { lba })
+            }
+            VerifyOutcome::Repaired(fixed) => {
+                self.tel.integrity_detected.incr();
+                self.tel.integrity_repaired.incr();
+                Ok(decode_entry(fixed))
+            }
+            VerifyOutcome::MirrorRepaired(fixed) => {
+                self.tel.integrity_detected.incr();
+                self.tel.integrity_mirror_repairs.incr();
+                self.tel.registry.trace(
+                    self.clock.now(),
+                    "ftl.integrity",
+                    format!("lba {} entry restored from mirror", lba.as_u64()),
+                );
+                Ok(decode_entry(fixed))
+            }
+            VerifyOutcome::Unrepairable => {
+                self.tel.integrity_detected.incr();
+                self.tel.integrity_unrepairable.incr();
+                self.engage_read_only("L2P entry and mirror diverged beyond repair");
+                Err(FtlError::L2pIntegrity { lba })
+            }
+        }
     }
 
     /// Reads one block. Returns what the mapping resolved to.
@@ -862,7 +1061,7 @@ impl Ftl {
         };
         let (ppn, seq, completed) = self.program_relocatable(lba, data, guard)?;
         self.tel.l2p_writes.incr();
-        self.table.set(&mut self.dram, lba, Some(ppn))?;
+        self.l2p_set(lba, Some(ppn))?;
         self.mark_valid(ppn);
         if let Some(old_ppn) = old {
             self.mark_invalid(old_ppn);
@@ -888,7 +1087,7 @@ impl Ftl {
         let seq = self.write_seq;
         self.write_seq += 1;
         self.tel.l2p_writes.incr();
-        self.table.set(&mut self.dram, lba, None)?;
+        self.l2p_set(lba, None)?;
         if let Some(old_ppn) = old {
             self.mark_invalid(old_ppn);
         }
@@ -938,11 +1137,81 @@ impl Ftl {
     ///
     /// # Errors
     ///
-    /// Out-of-range LBAs; [`FtlError::Dram`] on ECC-uncorrectable entries.
+    /// Out-of-range LBAs; [`FtlError::Dram`] on ECC-uncorrectable entries;
+    /// [`FtlError::L2pIntegrity`] when verification fails without repair.
     pub fn entry_read(&mut self, lba: Lba) -> Result<Option<Ppn>, FtlError> {
         self.check_lba(lba)?;
         self.tel.l2p_reads.incr();
-        Ok(self.table.get(&mut self.dram, lba)?)
+        self.get_verified(lba)
+    }
+
+    /// One patrol-scrub chunk: verifies (and, per the integrity mode and
+    /// DRAM ECC configuration, repairs) `entries` L2P entries from a
+    /// rotating cursor through the device read path, then issues up to
+    /// `flash_reads` patrol reads over mapped pages. Entries that fail
+    /// verification terminally are counted by the verification path and
+    /// skipped — a patrol pass never aborts mid-sweep beyond what policy
+    /// itself (read-only degradation) dictates.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::PowerLoss`] when offline, or substrate range errors.
+    pub fn scrub_chunk(&mut self, entries: u64, flash_reads: u32) -> Result<(), FtlError> {
+        if !self.powered {
+            return Err(FtlError::PowerLoss);
+        }
+        let repairs_before = self.repairs_total();
+        for _ in 0..entries.min(self.exported_lbas) {
+            let lba = Lba(self.scrub_cursor);
+            self.scrub_cursor += 1;
+            if self.scrub_cursor >= self.exported_lbas {
+                self.scrub_cursor = 0;
+                self.tel.scrub_sweeps.incr();
+            }
+            self.tel.scrub_entries_checked.incr();
+            self.tel.l2p_reads.incr();
+            match self.get_verified(lba) {
+                Ok(_) => {}
+                // Counted (and possibly degraded to read-only) by the
+                // verification path; the sweep continues.
+                Err(FtlError::L2pIntegrity { .. } | FtlError::Dram(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let total_pages = self.nand.geometry().total_pages();
+        let mut issued = 0u32;
+        let mut scanned = 0u64;
+        while issued < flash_reads && scanned < total_pages {
+            let ppn = Ppn(self.patrol_cursor);
+            self.patrol_cursor = (self.patrol_cursor + 1) % total_pages;
+            scanned += 1;
+            if !self.valid[ppn.as_u64() as usize] {
+                continue;
+            }
+            issued += 1;
+            self.tel.scrub_flash_reads.incr();
+            match self.read_page_recovered(ppn) {
+                Ok(_) => {}
+                // Already counted in `recovery.uncorrectable_reads`; the
+                // host read path will surface it to the owner.
+                Err(FtlError::Uncorrectable { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.tel
+            .scrub_repairs
+            .add(self.repairs_total() - repairs_before);
+        Ok(())
+    }
+
+    /// Sum of every repair the stack can attribute to reads (DRAM ECC
+    /// scrubs, flash ECC recoveries, integrity-plane repairs) — sampled
+    /// around a scrub chunk to charge `scrub.repairs`.
+    fn repairs_total(&self) -> u64 {
+        self.dram.telemetry().ecc_corrected
+            + self.tel.ecc_corrected.get()
+            + self.tel.integrity_repaired.get()
+            + self.tel.integrity_mirror_repairs.get()
     }
 
     /// Ground-truth mapping lookup that does not disturb the device (no
@@ -993,6 +1262,13 @@ impl Ftl {
     #[must_use]
     pub fn fault_plane(&self) -> &FaultPlane {
         &self.fault_plane
+    }
+
+    /// The L2P integrity plane, when protection is enabled (experiments
+    /// corrupt specific plane addresses through the DRAM backdoor).
+    #[must_use]
+    pub fn integrity_plane(&self) -> Option<&IntegrityPlane> {
+        self.integrity.as_ref()
     }
 
     /// Journal entries logged but not yet checkpointed to flash (lost on
@@ -1200,7 +1476,7 @@ impl Ftl {
                     // recovery scan.
                     let (dst, _, _) = self.program_relocatable(lba, &data, guard)?;
                     self.tel.l2p_writes.incr();
-                    self.table.set(&mut self.dram, lba, Some(dst))?;
+                    self.l2p_set(lba, Some(dst))?;
                     self.mark_invalid(src);
                     self.mark_valid(dst);
                     self.tel.gc_relocated.incr();
@@ -1209,7 +1485,7 @@ impl Ftl {
                     let seq = self.write_seq;
                     self.write_seq += 1;
                     self.tel.l2p_writes.incr();
-                    self.table.set(&mut self.dram, lba, None)?;
+                    self.l2p_set(lba, None)?;
                     self.mark_invalid(src);
                     self.journal_record(lba, seq, None)?;
                 }
@@ -1421,9 +1697,9 @@ mod tests {
         assert!(c.dif);
     }
 
-    /// FTL over mid-size flash and an eagerly vulnerable DRAM for attack
+    /// FTL over the given flash and an eagerly vulnerable DRAM for attack
     /// tests.
-    fn vulnerable_ftl(amplification: u32) -> Ftl {
+    fn vulnerable_ftl_with(flash: FlashGeometry, config: FtlConfig) -> Ftl {
         let mut profile =
             ModuleProfile::from_min_rate("eager", ssdhammer_dram::DramGeneration::Ddr3, 2021, 1);
         profile.hc_first = 1000;
@@ -1437,21 +1713,25 @@ mod tests {
             .seed(5)
             .without_timing()
             .build(clock.clone());
-        let nand = FlashArray::new(FlashGeometry::mib64(), clock, 1);
-        Ftl::new(
-            dram,
-            nand,
+        let nand = FlashArray::new(flash, clock, 1);
+        Ftl::new(dram, nand, config).unwrap()
+    }
+
+    /// FTL over mid-size flash and an eagerly vulnerable DRAM for attack
+    /// tests.
+    fn vulnerable_ftl(amplification: u32) -> Ftl {
+        vulnerable_ftl_with(
+            FlashGeometry::mib64(),
             FtlConfig {
                 hammer_amplification: amplification,
                 ..FtlConfig::default()
             },
         )
-        .unwrap()
     }
 
     #[test]
     fn write_read_roundtrip() {
-        let mut ftl = Ftl::tiny_for_tests(1);
+        let mut ftl = Ftl::tiny_for_tests(1).unwrap();
         ftl.write(Lba(5), &block(0xAA)).unwrap();
         let mut out = block(0);
         let outcome = ftl.read(Lba(5), &mut out).unwrap();
@@ -1461,7 +1741,7 @@ mod tests {
 
     #[test]
     fn unmapped_reads_zero_without_flash() {
-        let mut ftl = Ftl::tiny_for_tests(1);
+        let mut ftl = Ftl::tiny_for_tests(1).unwrap();
         let mut out = block(7);
         let outcome = ftl.read(Lba(100), &mut out).unwrap();
         assert_eq!(outcome, ReadOutcome::Unmapped);
@@ -1471,7 +1751,7 @@ mod tests {
 
     #[test]
     fn overwrite_moves_to_new_page() {
-        let mut ftl = Ftl::tiny_for_tests(1);
+        let mut ftl = Ftl::tiny_for_tests(1).unwrap();
         ftl.write(Lba(3), &block(1)).unwrap();
         let p1 = ftl.peek_mapping(Lba(3)).unwrap().unwrap();
         ftl.write(Lba(3), &block(2)).unwrap();
@@ -1484,7 +1764,7 @@ mod tests {
 
     #[test]
     fn trim_unmaps() {
-        let mut ftl = Ftl::tiny_for_tests(1);
+        let mut ftl = Ftl::tiny_for_tests(1).unwrap();
         ftl.write(Lba(9), &block(3)).unwrap();
         ftl.trim(Lba(9)).unwrap();
         assert_eq!(ftl.peek_mapping(Lba(9)).unwrap(), None);
@@ -1495,7 +1775,7 @@ mod tests {
 
     #[test]
     fn out_of_range_lba_rejected() {
-        let mut ftl = Ftl::tiny_for_tests(1);
+        let mut ftl = Ftl::tiny_for_tests(1).unwrap();
         let cap = ftl.capacity_lbas();
         assert_eq!(
             ftl.write(Lba(cap), &block(0)),
@@ -1508,7 +1788,7 @@ mod tests {
 
     #[test]
     fn bad_buffer_len_rejected() {
-        let mut ftl = Ftl::tiny_for_tests(1);
+        let mut ftl = Ftl::tiny_for_tests(1).unwrap();
         assert_eq!(
             ftl.write(Lba(0), &[0u8; 100]),
             Err(FtlError::BadBufferLen { got: 100 })
@@ -1517,14 +1797,14 @@ mod tests {
 
     #[test]
     fn capacity_reflects_overprovisioning() {
-        let ftl = Ftl::tiny_for_tests(1);
+        let ftl = Ftl::tiny_for_tests(1).unwrap();
         // tiny flash: 16 blocks × 64 pages = 1024 pages; auto OP = 2 blocks.
         assert_eq!(ftl.capacity_lbas(), 896);
     }
 
     #[test]
     fn gc_reclaims_space_under_churn() {
-        let mut ftl = Ftl::tiny_for_tests(1);
+        let mut ftl = Ftl::tiny_for_tests(1).unwrap();
         let cap = ftl.capacity_lbas();
         // Overwrite a small working set far more times than raw capacity:
         // survives only if GC reclaims invalidated pages.
@@ -1545,7 +1825,7 @@ mod tests {
 
     #[test]
     fn filling_every_lba_succeeds_and_persists() {
-        let mut ftl = Ftl::tiny_for_tests(1);
+        let mut ftl = Ftl::tiny_for_tests(1).unwrap();
         let cap = ftl.capacity_lbas();
         for lba in 0..cap {
             ftl.write(Lba(lba), &block((lba % 255) as u8)).unwrap();
@@ -1559,7 +1839,7 @@ mod tests {
 
     #[test]
     fn wear_leveling_prefers_low_pe_blocks() {
-        let mut ftl = Ftl::tiny_for_tests(1);
+        let mut ftl = Ftl::tiny_for_tests(1).unwrap();
         let cap = ftl.capacity_lbas();
         for round in 0..30u64 {
             for lba in 0..cap / 8 {
@@ -1636,7 +1916,7 @@ mod tests {
 
     #[test]
     fn wild_mapping_reads_zeroes() {
-        let mut ftl = Ftl::tiny_for_tests(1);
+        let mut ftl = Ftl::tiny_for_tests(1).unwrap();
         ftl.write(Lba(0), &block(0xAB)).unwrap();
         // Corrupt the entry to an out-of-range page via the DRAM backdoor.
         let addr = ftl.table().entry_addr(Lba(0));
@@ -1651,7 +1931,7 @@ mod tests {
     fn redirected_mapping_serves_other_users_data() {
         // The information-leak primitive (§3.2): entry of LBA A redirected
         // to the PPN backing LBA B returns B's data to a read of A.
-        let mut ftl = Ftl::tiny_for_tests(1);
+        let mut ftl = Ftl::tiny_for_tests(1).unwrap();
         ftl.write(Lba(1), &block(0x01)).unwrap();
         ftl.write(Lba(2), &block(0x02)).unwrap();
         let ppn_b = ftl.peek_mapping(Lba(2)).unwrap().unwrap();
@@ -1696,7 +1976,7 @@ mod tests {
 
     #[test]
     fn gc_itself_activates_dram_rows() {
-        let mut ftl = Ftl::tiny_for_tests(1);
+        let mut ftl = Ftl::tiny_for_tests(1).unwrap();
         let before = ftl.dram().telemetry().activations;
         let cap = ftl.capacity_lbas();
         // Fill the device, then keep overwriting half of it: GC victims then
@@ -1716,7 +1996,7 @@ mod tests {
 
     #[test]
     fn device_full_when_working_set_exceeds_capacity() {
-        let mut ftl = Ftl::tiny_for_tests(1);
+        let mut ftl = Ftl::tiny_for_tests(1).unwrap();
         let cap = ftl.capacity_lbas();
         let mut result = Ok(SimTime::ZERO);
         // Writing unique data to every LBA repeatedly is fine; but raw
@@ -1814,7 +2094,7 @@ mod tests {
     #[test]
     fn recover_rebuilds_mapping_from_oob() {
         use ssdhammer_dram::{DramGeometry, MappingKind, ModuleProfile};
-        let mut ftl = Ftl::tiny_for_tests(1);
+        let mut ftl = Ftl::tiny_for_tests(1).unwrap();
         // Writes including overwrites: recovery must pick the latest version.
         for lba in 0..100u64 {
             ftl.write(Lba(lba), &block((lba % 251) as u8)).unwrap();
@@ -1895,6 +2175,216 @@ mod tests {
             );
         }
         assert!(protected.telemetry().read_refreshes > 0);
+    }
+
+    fn integrity_ftl(mode: IntegrityMode) -> Ftl {
+        use ssdhammer_dram::{DramGeometry, MappingKind, ModuleProfile};
+        use ssdhammer_flash::FlashGeometry;
+        let clock = SimClock::new();
+        let dram = DramModule::builder(DramGeometry::tiny_test())
+            .profile(ModuleProfile::invulnerable())
+            .mapping(MappingKind::Linear)
+            .without_timing()
+            .build(clock.clone());
+        let nand = FlashArray::new(FlashGeometry::tiny_test(), clock, 1);
+        Ftl::new(dram, nand, FtlConfig::default().with_integrity(mode)).unwrap()
+    }
+
+    /// XORs `mask` into the entry word at `addr` through the DRAM backdoor
+    /// (peek + rewrite), simulating rowhammer flips without the hammer.
+    fn corrupt_u32(ftl: &mut Ftl, addr: DramAddr, mask: u32) {
+        let mut buf = [0u8; 4];
+        ftl.dram().peek(addr, &mut buf).unwrap();
+        let raw = u32::from_le_bytes(buf) ^ mask;
+        ftl.dram_mut().write_u32(addr, raw).unwrap();
+    }
+
+    #[test]
+    fn integrity_detect_fails_corrupted_entries_loudly() {
+        let mut ftl = integrity_ftl(IntegrityMode::Detect);
+        ftl.write(Lba(1), &block(0x01)).unwrap();
+        ftl.write(Lba(2), &block(0x02)).unwrap();
+        // Redirect LBA 1's entry at LBA 2's page: without integrity this
+        // leaks LBA 2's data (see `redirected_mapping_serves_other_users_data`).
+        let ppn2 = ftl.peek_mapping(Lba(2)).unwrap().unwrap();
+        let addr1 = ftl.table().entry_addr(Lba(1));
+        ftl.dram_mut()
+            .write_u32(addr1, u32::try_from(ppn2.as_u64()).unwrap())
+            .unwrap();
+        let mut out = block(0);
+        assert_eq!(
+            ftl.read(Lba(1), &mut out),
+            Err(FtlError::L2pIntegrity { lba: Lba(1) })
+        );
+        assert_eq!(out, block(0), "nothing leaks");
+        assert_eq!(ftl.telemetry().integrity_detected, 1);
+        assert_eq!(
+            ftl.telemetry().integrity_repaired,
+            0,
+            "Detect never repairs"
+        );
+        // The legitimate owner still reads its own data.
+        ftl.read(Lba(2), &mut out).unwrap();
+        assert_eq!(out, block(0x02));
+    }
+
+    #[test]
+    fn integrity_correct_repairs_single_bit_flip_in_place() {
+        let mut ftl = integrity_ftl(IntegrityMode::Correct);
+        ftl.write(Lba(3), &block(0x33)).unwrap();
+        let before = ftl.peek_mapping(Lba(3)).unwrap();
+        let addr3 = ftl.table().entry_addr(Lba(3));
+        corrupt_u32(&mut ftl, addr3, 1 << 7);
+        let mut out = block(0);
+        let outcome = ftl.read(Lba(3), &mut out).unwrap();
+        assert!(matches!(outcome, ReadOutcome::Mapped { .. }), "{outcome:?}");
+        assert_eq!(out, block(0x33));
+        assert_eq!(ftl.telemetry().integrity_repaired, 1);
+        // The repair rewrote the primary entry: the flip is really gone.
+        assert_eq!(ftl.peek_mapping(Lba(3)).unwrap(), before);
+    }
+
+    #[test]
+    fn integrity_correct_restores_double_flip_from_mirror() {
+        let mut ftl = integrity_ftl(IntegrityMode::Correct);
+        ftl.write(Lba(4), &block(0x44)).unwrap();
+        let before = ftl.peek_mapping(Lba(4)).unwrap();
+        // Two flips exceed SEC-DED correction; the distant mirror steps in.
+        let addr4 = ftl.table().entry_addr(Lba(4));
+        corrupt_u32(&mut ftl, addr4, 0b101);
+        let mut out = block(0);
+        ftl.read(Lba(4), &mut out).unwrap();
+        assert_eq!(out, block(0x44));
+        assert_eq!(ftl.telemetry().integrity_mirror_repairs, 1);
+        assert_eq!(ftl.peek_mapping(Lba(4)).unwrap(), before);
+    }
+
+    #[test]
+    fn integrity_unrepairable_divergence_degrades_read_only() {
+        let mut ftl = integrity_ftl(IntegrityMode::Correct);
+        ftl.write(Lba(5), &block(0x55)).unwrap();
+        ftl.write(Lba(6), &block(0x66)).unwrap();
+        let slot = ftl.table().slot_of(Lba(5));
+        let entry_addr = ftl.table().entry_addr(Lba(5));
+        let mirror_addr = ftl.integrity_plane().unwrap().mirror_addr(slot);
+        // Primary and mirror both take double-bit hits: nothing trustworthy
+        // remains, so the FTL must refuse service rather than guess.
+        corrupt_u32(&mut ftl, entry_addr, 0b11);
+        corrupt_u32(&mut ftl, mirror_addr, 0b1100);
+        let mut out = block(0);
+        assert_eq!(
+            ftl.read(Lba(5), &mut out),
+            Err(FtlError::L2pIntegrity { lba: Lba(5) })
+        );
+        assert!(ftl.is_read_only(), "unrepairable divergence degrades");
+        assert_eq!(ftl.telemetry().integrity_unrepairable, 1);
+        // Degraded-mode contract: writes rejected, intact reads still served.
+        assert_eq!(ftl.write(Lba(7), &block(0)), Err(FtlError::ReadOnly));
+        ftl.read(Lba(6), &mut out).unwrap();
+        assert_eq!(out, block(0x66));
+    }
+
+    #[test]
+    fn integrity_survives_gc_and_overwrites() {
+        // Every L2P update must keep code and mirror in sync, including the
+        // GC relocation and journal-less recovery paths.
+        let mut ftl = integrity_ftl(IntegrityMode::Correct);
+        let cap = ftl.capacity_lbas();
+        for round in 0..8u64 {
+            for lba in 0..cap / 2 {
+                ftl.write(Lba(lba), &block((round % 251) as u8)).unwrap();
+            }
+        }
+        assert!(ftl.telemetry().gc_runs > 0, "GC must have run");
+        let mut out = block(0);
+        for lba in (0..cap / 2).step_by(7) {
+            let outcome = ftl.read(Lba(lba), &mut out).unwrap();
+            assert!(matches!(outcome, ReadOutcome::Mapped { .. }), "{outcome:?}");
+            assert_eq!(out[0], 7);
+        }
+        assert_eq!(ftl.telemetry().integrity_detected, 0, "no false positives");
+    }
+
+    #[test]
+    fn scrub_chunk_repairs_flipped_entries_before_the_host_reads_them() {
+        let mut ftl = integrity_ftl(IntegrityMode::Correct);
+        for lba in 0..32u64 {
+            ftl.write(Lba(lba), &block(lba as u8)).unwrap();
+        }
+        let before: Vec<_> = (0..32u64)
+            .map(|l| ftl.peek_mapping(Lba(l)).unwrap())
+            .collect();
+        for lba in [2u64, 9, 17] {
+            let addr = ftl.table().entry_addr(Lba(lba));
+            corrupt_u32(&mut ftl, addr, 1 << 3);
+        }
+        ftl.scrub_chunk(ftl.capacity_lbas(), 0).unwrap();
+        let t = ftl.telemetry();
+        assert_eq!(t.scrub_entries_checked, ftl.capacity_lbas());
+        assert_eq!(t.scrub_repairs, 3, "each flip repaired exactly once");
+        assert_eq!(t.scrub_sweeps, 1);
+        for (lba, exp) in before.iter().enumerate() {
+            assert_eq!(ftl.peek_mapping(Lba(lba as u64)).unwrap(), *exp);
+        }
+    }
+
+    #[test]
+    fn scrub_chunk_issues_flash_patrol_reads_over_mapped_pages() {
+        let mut ftl = integrity_ftl(IntegrityMode::Off);
+        for lba in 0..16u64 {
+            ftl.write(Lba(lba), &block(1)).unwrap();
+        }
+        ftl.scrub_chunk(0, 5).unwrap();
+        assert_eq!(ftl.telemetry().scrub_flash_reads, 5);
+        ftl.scrub_chunk(0, 100).unwrap();
+        // Only 16 valid pages exist; the patrol never reads unmapped pages.
+        assert_eq!(ftl.telemetry().scrub_flash_reads, 5 + 16);
+    }
+
+    #[test]
+    fn hammering_with_integrity_correct_never_redirects_silently() {
+        use ssdhammer_flash::FlashGeometry;
+        // 64-block flash: 4096 slots fit the Correct plane (24 KiB) beside
+        // the 16 KiB table in the 128 KiB tiny DRAM.
+        let flash = FlashGeometry {
+            blocks_per_plane: 32,
+            ..FlashGeometry::tiny_test()
+        };
+        let mut ftl = vulnerable_ftl_with(
+            flash,
+            FtlConfig::default().with_integrity(IntegrityMode::Correct),
+        );
+        let table = *ftl.table();
+        let victim_lbas = table.lbas_in_row(ftl.dram(), 0, 5);
+        let above = table.lbas_in_row(ftl.dram(), 0, 4);
+        let below = table.lbas_in_row(ftl.dram(), 0, 6);
+        assert!(!victim_lbas.is_empty() && !above.is_empty() && !below.is_empty());
+        for &lba in &victim_lbas {
+            ftl.write(lba, &block(0x11)).unwrap();
+        }
+        let before: Vec<_> = victim_lbas
+            .iter()
+            .map(|&l| ftl.peek_mapping(l).unwrap())
+            .collect();
+        let report = ftl
+            .hammer_reads(&[above[0], below[0]], 300_000, 5_000_000.0)
+            .unwrap();
+        assert!(!report.flips.is_empty(), "bits must still flip physically");
+        // The acceptance property: no victim read resolves to a *different*
+        // mapping. Each is either repaired back to its true page or fails
+        // loudly — silent redirection is gone.
+        for (i, &lba) in victim_lbas.iter().enumerate() {
+            match ftl.entry_read(lba) {
+                Ok(now) => assert_eq!(now, before[i], "lba {} redirected", lba.as_u64()),
+                Err(FtlError::L2pIntegrity { .. }) => {}
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        let t = ftl.telemetry();
+        assert!(
+            t.integrity_repaired + t.integrity_mirror_repairs > 0,
+            "hammer flips must have been repaired: {t:?}"
+        );
     }
 
     #[test]

@@ -177,25 +177,29 @@ impl L2pTable {
     ///
     /// # Errors
     ///
-    /// Propagates DRAM errors.
+    /// [`FtlError::EntryOverflow`] when a mapped `ppn` does not fit the
+    /// 32-bit entry (or collides with the unmapped sentinel); otherwise
+    /// propagates DRAM errors.
     ///
-    /// # Panics
-    ///
-    /// Panics if a mapped `ppn` does not fit the 32-bit entry.
-    pub fn set(&self, dram: &mut DramModule, lba: Lba, ppn: Option<Ppn>) -> Result<(), DramError> {
+    /// [`FtlError::EntryOverflow`]: crate::FtlError::EntryOverflow
+    pub fn set(
+        &self,
+        dram: &mut DramModule,
+        lba: Lba,
+        ppn: Option<Ppn>,
+    ) -> Result<(), crate::FtlError> {
         let raw = match ppn {
             None => INVALID_ENTRY,
             Some(p) => {
-                // lint:allow(P1) -- documented `# Panics`: a >32-bit ppn means the caller built an impossible geometry
-                let v = u32::try_from(p.as_u64()).expect("ppn exceeds 32-bit L2P entry");
-                assert!(
-                    v != INVALID_ENTRY,
-                    "ppn collides with the unmapped sentinel"
-                );
+                let v = u32::try_from(p.as_u64())
+                    .map_err(|_| crate::FtlError::EntryOverflow { ppn: p })?;
+                if v == INVALID_ENTRY {
+                    return Err(crate::FtlError::EntryOverflow { ppn: p });
+                }
                 v
             }
         };
-        dram.write_u32(self.entry_addr(lba), raw)
+        Ok(dram.write_u32(self.entry_addr(lba), raw)?)
     }
 
     /// All LBAs whose entries live in the DRAM row containing `row_addr`
@@ -323,6 +327,25 @@ mod tests {
             // must be found exactly once.
             assert_eq!(total, 4096);
         }
+    }
+
+    #[test]
+    fn set_rejects_unrepresentable_ppns_without_panicking() {
+        let mut d = dram();
+        let t = L2pTable::new(DramAddr(0), 2048, L2pLayout::Linear);
+        t.init(&mut d).unwrap();
+        assert_eq!(
+            t.set(&mut d, Lba(0), Some(Ppn(1 << 40))),
+            Err(crate::FtlError::EntryOverflow { ppn: Ppn(1 << 40) })
+        );
+        assert_eq!(
+            t.set(&mut d, Lba(0), Some(Ppn(u64::from(INVALID_ENTRY)))),
+            Err(crate::FtlError::EntryOverflow {
+                ppn: Ppn(u64::from(INVALID_ENTRY))
+            })
+        );
+        // The entry is untouched by the rejected writes.
+        assert_eq!(t.get(&mut d, Lba(0)).unwrap(), None);
     }
 
     #[test]

@@ -31,7 +31,7 @@
 //! use ssdhammer_simkit::Lba;
 //!
 //! # fn main() -> Result<(), ssdhammer_ftl::FtlError> {
-//! let mut ftl = Ftl::tiny_for_tests(1);
+//! let mut ftl = Ftl::tiny_for_tests(1)?;
 //! // Which LBAs' entries share DRAM row 1 of bank 0?
 //! let victims = ftl.table().lbas_in_row(ftl.dram(), 0, 1);
 //! assert!(!victims.is_empty());
@@ -44,8 +44,10 @@
 
 #[allow(clippy::module_inception)]
 mod ftl;
+pub mod integrity;
 mod journal;
 mod l2p;
 
 pub use ftl::{Ftl, FtlConfig, FtlError, FtlTelemetry, ReadOutcome};
+pub use integrity::{IntegrityMode, SecdedOutcome};
 pub use l2p::{L2pLayout, L2pTable, INVALID_ENTRY};

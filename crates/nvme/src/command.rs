@@ -123,6 +123,13 @@ pub enum Command {
     },
     /// Identify-controller: returns capacity and model information.
     Identify,
+    /// Get-log-page (SMART / health information): returns the device's
+    /// [`HealthLog`] — grown bad blocks, scrub repairs, uncorrectable
+    /// reads, L2P integrity counters, and the read-only degradation flag.
+    /// This is the administrator-facing view §5 appeals to: a tenant being
+    /// rowhammered shows up as climbing repair/uncorrectable counts long
+    /// before data is lost.
+    GetLogPage,
     /// Vendor-specific aggregated hammer burst: `requests` reads issued
     /// round-robin over *device* LBAs at up to `rate` requests/second
     /// (further bounded by the controller's IOPS ceiling and any rate
@@ -247,6 +254,26 @@ pub struct IdentifyData {
     pub block_size: u32,
 }
 
+/// SMART-style health log returned by [`Command::GetLogPage`] — the
+/// counters an administrator (or an attack-detection daemon) would poll to
+/// notice a device under rowhammer pressure. All counts are cumulative
+/// since device assembly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HealthLog {
+    /// Flash blocks retired at runtime (grown bad blocks).
+    pub grown_bad_blocks: u64,
+    /// Corruptions repaired by the background patrol scrubber.
+    pub scrub_repairs: u64,
+    /// Host reads that failed uncorrectably (flash ECC exhausted).
+    pub uncorrectable_reads: u64,
+    /// L2P entries whose integrity code did not match on read or scrub.
+    pub integrity_detected: u64,
+    /// L2P entries repaired in place or restored from the mirror copy.
+    pub integrity_repaired: u64,
+    /// True when the FTL has degraded to read-only mode.
+    pub read_only: bool,
+}
+
 /// Result payload of a completed command.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CmdResult {
@@ -265,6 +292,8 @@ pub enum CmdResult {
     Flush,
     /// Identify payload.
     Identify(IdentifyData),
+    /// Get-log-page payload.
+    HealthLog(HealthLog),
     /// Hammer burst completed; the DRAM-level disturbance report.
     Hammer(ssdhammer_dram::HammerReport),
     /// Command failed.

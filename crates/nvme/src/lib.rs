@@ -57,7 +57,7 @@ mod command;
 mod ssd;
 
 pub use command::{
-    Arbiter, CmdResult, Command, Completion, ControllerConfig, IdentifyData, InterfaceGen, NsId,
-    NvmeError, QpId, QueuePairHandle, RetryPolicy,
+    Arbiter, CmdResult, Command, Completion, ControllerConfig, HealthLog, IdentifyData,
+    InterfaceGen, NsId, NvmeError, QpId, QueuePairHandle, RetryPolicy,
 };
-pub use ssd::{Namespace, Ssd, SsdConfig, SsdStats};
+pub use ssd::{Namespace, ScrubberConfig, Ssd, SsdConfig, SsdStats};

@@ -4,7 +4,8 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use ssdhammer_dram::{
-    DramGeometry, DramModule, EccConfig, HammerReport, MappingKind, ModuleProfile, TrrConfig,
+    DramGeometry, DramModule, EccConfig, HammerReport, MappingKind, ModuleProfile, ParaConfig,
+    TrrConfig,
 };
 use ssdhammer_flash::{FlashArray, FlashGeometry, FlashTiming};
 use ssdhammer_ftl::{Ftl, FtlConfig, ReadOutcome};
@@ -16,9 +17,79 @@ use ssdhammer_simkit::{
 };
 
 use crate::command::{
-    Arbiter, CmdResult, Command, Completion, ControllerConfig, IdentifyData, NsId, NvmeError, QpId,
-    QueuePairHandle,
+    Arbiter, CmdResult, Command, Completion, ControllerConfig, HealthLog, IdentifyData, NsId,
+    NvmeError, QpId, QueuePairHandle,
 };
+
+/// Background patrol-scrubber schedule.
+///
+/// Every `interval` of simulated time the controller steals a slice of its
+/// service capacity to run one [`Ftl::scrub_chunk`]: `chunk_entries` L2P
+/// entries are read through the verified path (DRAM ECC and the integrity
+/// plane classify and repair what they can) and `flash_reads_per_chunk`
+/// patrol reads sweep mapped flash pages through the recovery path. The
+/// stolen slice shows up in [`Ssd::max_iops`] as a duty-cycle reduction —
+/// scrubbing is not free, which is exactly the trade §5's mitigation
+/// discussion prices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScrubberConfig {
+    /// Simulated time between scrub chunks.
+    pub interval: SimDuration,
+    /// L2P entries verified per chunk.
+    pub chunk_entries: u64,
+    /// Flash patrol reads issued per chunk.
+    pub flash_reads_per_chunk: u32,
+}
+
+impl Default for ScrubberConfig {
+    fn default() -> Self {
+        // One 512-entry chunk plus two patrol reads every 50 ms sweeps a
+        // 4 Ki-entry table in under half a second while costing the
+        // controller well under 1% of its service capacity.
+        ScrubberConfig {
+            interval: SimDuration::from_millis(50),
+            chunk_entries: 512,
+            flash_reads_per_chunk: 2,
+        }
+    }
+}
+
+impl ScrubberConfig {
+    /// Sets the chunk interval.
+    #[must_use]
+    pub fn with_interval(mut self, interval: SimDuration) -> Self {
+        self.interval = interval;
+        self
+    }
+
+    /// Sets the entries verified per chunk.
+    #[must_use]
+    pub fn with_chunk_entries(mut self, entries: u64) -> Self {
+        self.chunk_entries = entries;
+        self
+    }
+
+    /// Sets the flash patrol reads per chunk.
+    #[must_use]
+    pub fn with_flash_reads_per_chunk(mut self, reads: u32) -> Self {
+        self.flash_reads_per_chunk = reads;
+        self
+    }
+
+    /// Fraction of controller service time a chunk consumes, given the
+    /// device's flash read latency: the duty cycle [`Ssd::max_iops`]
+    /// subtracts. An uncached L2P entry check costs one DRAM activation
+    /// (~60 ns); a patrol read costs a full tR + transfer.
+    #[must_use]
+    pub fn duty_fraction(&self, flash_read: SimDuration) -> f64 {
+        const ENTRY_CHECK_NANOS: f64 = 60.0;
+        let busy = (self.chunk_entries as f64).mul_add(
+            ENTRY_CHECK_NANOS,
+            f64::from(self.flash_reads_per_chunk) * flash_read.as_nanos() as f64,
+        );
+        (busy / self.interval.as_nanos() as f64).min(0.9)
+    }
+}
 
 /// Full device configuration.
 #[derive(Debug, Clone)]
@@ -33,6 +104,10 @@ pub struct SsdConfig {
     pub ecc: Option<EccConfig>,
     /// Optional TRR on the DRAM.
     pub trr: Option<TrrConfig>,
+    /// Optional PARA (probabilistic adjacent-row activation) on the DRAM.
+    pub para: Option<ParaConfig>,
+    /// Optional background patrol scrubber.
+    pub scrubber: Option<ScrubberConfig>,
     /// NAND organization.
     pub flash_geometry: FlashGeometry,
     /// NAND latencies.
@@ -63,6 +138,8 @@ impl SsdConfig {
             dram_mapping: MappingKind::default_xor(),
             ecc: None,
             trr: None,
+            para: None,
+            scrubber: None,
             flash_geometry: FlashGeometry::gib1(),
             flash_timing: FlashTiming::default(),
             ftl: FtlConfig::default(),
@@ -83,6 +160,8 @@ impl SsdConfig {
             dram_mapping: MappingKind::Linear,
             ecc: None,
             trr: None,
+            para: None,
+            scrubber: None,
             flash_geometry: FlashGeometry::mib64(),
             flash_timing: FlashTiming::default(),
             ftl: FtlConfig::default(),
@@ -130,6 +209,20 @@ impl SsdConfig {
     #[must_use]
     pub fn with_trr(mut self, trr: TrrConfig) -> Self {
         self.trr = Some(trr);
+        self
+    }
+
+    /// Enables PARA on the DRAM.
+    #[must_use]
+    pub fn with_para(mut self, para: ParaConfig) -> Self {
+        self.para = Some(para);
+        self
+    }
+
+    /// Enables the background patrol scrubber.
+    #[must_use]
+    pub fn with_scrubber(mut self, scrubber: ScrubberConfig) -> Self {
+        self.scrubber = Some(scrubber);
         self
     }
 
@@ -181,6 +274,23 @@ impl SsdConfig {
         self.model = model.into();
         self
     }
+}
+
+/// Folds one sub-burst's report into the running aggregate when the
+/// scrubber slices a hammer burst. Counts and flips accumulate; the
+/// achieved rate is recomputed over the combined elapsed time.
+fn merge_hammer_reports(mut acc: HammerReport, next: HammerReport) -> HammerReport {
+    acc.activations += next.activations;
+    acc.windows += next.windows;
+    acc.flips.extend(next.flips);
+    acc.elapsed += next.elapsed;
+    let secs = acc.elapsed.as_nanos() as f64 / 1e9;
+    acc.achieved_rate = if secs > 0.0 {
+        acc.activations as f64 / secs
+    } else {
+        0.0
+    };
+    acc
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -306,6 +416,13 @@ pub struct Ssd {
     /// Earliest instant the controller may begin the next command
     /// (service-rate / rate-limit modeling).
     next_service: SimTime,
+    /// Background scrubber schedule, if enabled.
+    scrubber: Option<ScrubberConfig>,
+    /// Next instant a scrub chunk is owed.
+    next_scrub: SimTime,
+    /// Service capacity the scrubber steals (precomputed from the flash
+    /// timing at build; subtracted from `max_iops`).
+    scrub_duty: f64,
     /// When command accounting started (anchors the IOPS rate meter).
     stats_started: SimTime,
     /// Fault-injection sites the controller consults (`nvme.timeout`,
@@ -376,6 +493,9 @@ impl Ssd {
         if let Some(trr) = config.trr {
             dram_builder = dram_builder.trr(trr);
         }
+        if let Some(para) = config.para {
+            dram_builder = dram_builder.para(para);
+        }
         let dram = dram_builder.build(clock.clone());
         let mut nand = FlashArray::with_timing(
             config.flash_geometry,
@@ -394,6 +514,10 @@ impl Ssd {
         // front end all record into it.
         ftl.attach_telemetry(&telemetry);
         let now = clock.now();
+        let flash_read =
+            SimDuration::from_nanos(config.flash_timing.t_read_ns + config.flash_timing.t_xfer_ns);
+        let scrub_duty = config.scrubber.map_or(0.0, |s| s.duty_fraction(flash_read));
+        let next_scrub = config.scrubber.map_or(now, |s| now + s.interval);
         Ok(Ssd {
             ftl,
             clock,
@@ -407,6 +531,9 @@ impl Ssd {
             next_cid: 1,
             hammer_qp: None,
             next_service: now,
+            scrubber: config.scrubber,
+            next_scrub,
+            scrub_duty,
             stats_started: now,
             fault_plane,
             tel: SsdHandles::bind(telemetry),
@@ -862,6 +989,32 @@ impl Ssd {
         completion
     }
 
+    /// Runs any scrub chunks the simulated clock owes. Called on every
+    /// command execution so the patrol interleaves with foreground I/O at
+    /// command granularity. Catch-up after a long gap is bounded: the
+    /// scrubber forgives debt beyond a sweep's worth rather than stalling
+    /// the device.
+    fn pump_scrubber(&mut self) {
+        let Some(cfg) = self.scrubber else { return };
+        const MAX_CATCHUP: u32 = 64;
+        let mut ran = 0u32;
+        while self.clock.now() >= self.next_scrub {
+            self.next_scrub += cfg.interval;
+            if ran < MAX_CATCHUP {
+                ran += 1;
+                if self
+                    .ftl
+                    .scrub_chunk(cfg.chunk_entries, cfg.flash_reads_per_chunk)
+                    .is_err()
+                {
+                    // Power loss mid-experiment: the patrol resumes at the
+                    // next interval after remount.
+                    break;
+                }
+            }
+        }
+    }
+
     /// Executes one command at the controller's service rate.
     fn execute(&mut self, cid: u64, cmd: Command) -> Completion {
         if let Command::VendorHammer {
@@ -872,6 +1025,7 @@ impl Ssd {
         {
             return self.execute_hammer(cid, &lbas, requests, rate);
         }
+        self.pump_scrubber();
         let submitted = self.clock.now();
         // Service-rate shaping: fixed interface overhead plus any configured
         // rate limit.
@@ -975,6 +1129,7 @@ impl Ssd {
                 }),
                 None,
             ),
+            Command::GetLogPage => (CmdResult::HealthLog(self.health_log()), None),
             Command::VendorHammer { .. } => unreachable!("handled in execute"),
         }
     }
@@ -984,18 +1139,58 @@ impl Ssd {
     /// (`requests / rate` of simulated time), with the requested rate
     /// clamped to the controller's multi-queue IOPS ceiling and any rate
     /// limit — the same bound per-command submission would hit.
+    /// With the scrubber enabled, the burst is additionally sliced into
+    /// scrub-interval-sized sub-bursts so patrol chunks genuinely interleave
+    /// with the attack stream — the defense races the hammer inside the
+    /// burst, not just at its boundaries.
     fn execute_hammer(&mut self, cid: u64, lbas: &[Lba], requests: u64, rate: f64) -> Completion {
         let submitted = self.clock.now();
+        self.pump_scrubber();
         let effective = rate.min(self.max_iops());
-        let result = match self.ftl.hammer_reads(lbas, requests, effective) {
-            Ok(report) => CmdResult::Hammer(report),
-            Err(e) => CmdResult::Error(e.into()),
+        let slice = self.scrubber.map(|s| {
+            let per_interval = s.interval.as_nanos() as f64 / 1e9 * effective;
+            (per_interval as u64).max(1)
+        });
+        let mut remaining = requests;
+        let mut merged: Option<HammerReport> = None;
+        let result = loop {
+            let n = slice.map_or(remaining, |s| remaining.min(s));
+            match self.ftl.hammer_reads(lbas, n, effective) {
+                Ok(report) => {
+                    merged = Some(match merged.take() {
+                        None => report,
+                        Some(acc) => merge_hammer_reports(acc, report),
+                    });
+                    remaining -= n;
+                    self.pump_scrubber();
+                    if remaining == 0 {
+                        break CmdResult::Hammer(merged.take().unwrap_or_default());
+                    }
+                }
+                Err(e) => break CmdResult::Error(e.into()),
+            }
         };
         Completion {
             cid,
             submitted,
             completed: self.clock.now(),
             result,
+        }
+    }
+
+    /// Assembles the SMART-style health log from the device's telemetry —
+    /// the payload of [`Command::GetLogPage`].
+    #[must_use]
+    pub fn health_log(&self) -> HealthLog {
+        let snap = self.tel.registry.snapshot();
+        let c = |name: &str| snap.counter(name).unwrap_or(0);
+        HealthLog {
+            grown_bad_blocks: c("flash.grown_bad"),
+            scrub_repairs: c("scrub.repairs"),
+            uncorrectable_reads: c("recovery.uncorrectable_reads"),
+            integrity_detected: c("integrity.detected"),
+            integrity_repaired: c("integrity.repaired") + c("integrity.mirror_repairs"),
+            read_only: self.ftl.is_read_only(),
         }
     }
 
@@ -1097,7 +1292,8 @@ impl Ssd {
     #[must_use]
     pub fn max_iops(&self) -> f64 {
         let interface = self.controller.interface.command_overhead().rate_per_sec();
-        let ceiling = interface * self.queue_parallelism();
+        // The patrol scrubber steals a fixed duty cycle of controller time.
+        let ceiling = interface * self.queue_parallelism() * (1.0 - self.scrub_duty);
         match self.controller.rate_limit_iops {
             Some(limit) => ceiling.min(limit),
             None => ceiling,
@@ -1145,7 +1341,8 @@ impl BlockDevice for Ssd {
             Ok(ReadOutcome::GuardMismatch { .. }) => Err(StorageError::Uncorrectable { lba }),
             Ok(_) => Ok(()),
             Err(ssdhammer_ftl::FtlError::Dram(_))
-            | Err(ssdhammer_ftl::FtlError::Uncorrectable { .. }) => {
+            | Err(ssdhammer_ftl::FtlError::Uncorrectable { .. })
+            | Err(ssdhammer_ftl::FtlError::L2pIntegrity { .. }) => {
                 Err(StorageError::Uncorrectable { lba })
             }
             Err(e) => Err(StorageError::Rejected {
@@ -1222,7 +1419,8 @@ impl BlockDevice for Namespace<'_> {
                 Ok(())
             }
             Err(ssdhammer_ftl::FtlError::Dram(_))
-            | Err(ssdhammer_ftl::FtlError::Uncorrectable { .. }) => {
+            | Err(ssdhammer_ftl::FtlError::Uncorrectable { .. })
+            | Err(ssdhammer_ftl::FtlError::L2pIntegrity { .. }) => {
                 Err(StorageError::Uncorrectable { lba })
             }
             Err(e) => Err(StorageError::Rejected {
@@ -1894,5 +2092,132 @@ mod tests {
         assert_eq!(lb, Lba(128));
         assert!(s.ftl().peek_mapping(la).unwrap().is_some());
         assert!(s.ftl().peek_mapping(lb).unwrap().is_some());
+    }
+
+    /// A flash geometry small enough that the tiny test DRAM holds both the
+    /// L2P table and a Correct-mode integrity plane (4 Ki entries → 16 KiB
+    /// table + 24 KiB plane inside 128 KiB).
+    fn integrity_flash() -> FlashGeometry {
+        FlashGeometry {
+            blocks_per_plane: 32,
+            ..FlashGeometry::tiny_test()
+        }
+    }
+
+    #[test]
+    fn para_and_scrubber_setters_override_preset_fields() {
+        let c = SsdConfig::test_small(1)
+            .with_para(ParaConfig::default())
+            .with_scrubber(ScrubberConfig::default().with_chunk_entries(128));
+        assert!(c.para.is_some());
+        assert_eq!(c.scrubber.unwrap().chunk_entries, 128);
+        // Presets stay intact underneath the overrides.
+        assert_eq!(c.flash_geometry, SsdConfig::test_small(1).flash_geometry);
+    }
+
+    #[test]
+    fn scrubber_duty_lowers_the_iops_ceiling() {
+        let base = Ssd::build(SsdConfig::test_small(1)).max_iops();
+        let scrubbed =
+            Ssd::build(SsdConfig::test_small(1).with_scrubber(ScrubberConfig::default()))
+                .max_iops();
+        assert!(
+            scrubbed < base,
+            "scrubbing steals service capacity: {scrubbed} !< {base}"
+        );
+        // ...but a patrol's duty cycle is a few percent, not a cliff.
+        assert!(scrubbed > base * 0.9);
+    }
+
+    #[test]
+    fn get_log_page_reports_health() {
+        let mut s = ssd();
+        s.create_namespace(64).unwrap();
+        let qp = s.create_queue_pair(8);
+        let c = s.roundtrip(qp, Command::GetLogPage).unwrap();
+        let CmdResult::HealthLog(log) = c.result else {
+            panic!("expected health log");
+        };
+        assert_eq!(log, HealthLog::default());
+        assert!(!log.read_only);
+    }
+
+    #[test]
+    fn scrubber_repairs_corrupted_entries_between_commands() {
+        let config = SsdConfig::test_small(1)
+            .with_flash_geometry(integrity_flash())
+            .with_ftl(FtlConfig::default().with_integrity(ssdhammer_ftl::IntegrityMode::Correct))
+            .with_scrubber(ScrubberConfig::default());
+        let mut s = Ssd::build(config);
+        let ns = s.create_namespace(64).unwrap();
+        let qp = s.create_queue_pair(8);
+        for lba in 0..8u64 {
+            let c = s
+                .roundtrip(
+                    qp,
+                    Command::Write {
+                        ns,
+                        lba: Lba(lba),
+                        data: vec![lba as u8; BLOCK_SIZE].into_boxed_slice(),
+                    },
+                )
+                .unwrap();
+            assert!(c.is_ok());
+        }
+        // Flip one bit in a live L2P entry behind the FTL's back.
+        let addr = s.ftl().table().entry_addr(Lba(3));
+        let raw = s.ftl_mut().dram_mut().read_u32(addr).unwrap();
+        s.ftl_mut().dram_mut().write_u32(addr, raw ^ 0x04).unwrap();
+        // Let enough simulated time pass that the patrol owes a full sweep,
+        // then drive any command through the controller to pump it.
+        s.clock().advance(SimDuration::from_millis(500));
+        let _ = s.roundtrip(qp, Command::Identify).unwrap();
+        let c = s.roundtrip(qp, Command::GetLogPage).unwrap();
+        let CmdResult::HealthLog(log) = c.result else {
+            panic!("expected health log");
+        };
+        assert!(log.scrub_repairs >= 1, "patrol repaired the flip: {log:?}");
+        assert!(log.integrity_repaired >= 1);
+        assert!(!log.read_only);
+        // The host read sees the original mapping, not a redirection.
+        let r = s.roundtrip(qp, Command::Read { ns, lba: Lba(3) }).unwrap();
+        let CmdResult::Read { data, mapped } = r.result else {
+            panic!("expected read data");
+        };
+        assert!(mapped);
+        assert_eq!(data[0], 3);
+    }
+
+    #[test]
+    fn integrity_detect_fails_reads_loudly_over_nvme() {
+        let config = SsdConfig::test_small(1)
+            .with_flash_geometry(integrity_flash())
+            .with_ftl(FtlConfig::default().with_integrity(ssdhammer_ftl::IntegrityMode::Detect));
+        let mut s = Ssd::build(config);
+        let ns = s.create_namespace(64).unwrap();
+        let qp = s.create_queue_pair(8);
+        let c = s
+            .roundtrip(
+                qp,
+                Command::Write {
+                    ns,
+                    lba: Lba(5),
+                    data: vec![0x55u8; BLOCK_SIZE].into_boxed_slice(),
+                },
+            )
+            .unwrap();
+        assert!(c.is_ok());
+        let addr = s.ftl().table().entry_addr(Lba(5));
+        let raw = s.ftl_mut().dram_mut().read_u32(addr).unwrap();
+        s.ftl_mut().dram_mut().write_u32(addr, raw ^ 0x10).unwrap();
+        let r = s.roundtrip(qp, Command::Read { ns, lba: Lba(5) }).unwrap();
+        assert!(
+            matches!(
+                r.result,
+                CmdResult::Error(NvmeError::Ftl(ssdhammer_ftl::FtlError::L2pIntegrity { .. }))
+            ),
+            "detect mode fails loudly instead of redirecting: {:?}",
+            r.result
+        );
     }
 }

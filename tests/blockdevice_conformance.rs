@@ -213,3 +213,115 @@ fn power_loss_rejects_all_operations() {
         Err(StorageError::Rejected { .. })
     ));
 }
+
+// ---- integrity-plane degraded mode through the trait -----------------------
+
+use ssdhammer::flash::FlashGeometry;
+use ssdhammer::ftl::IntegrityMode;
+use ssdhammer::simkit::DramAddr;
+
+/// An SSD with a Correct-mode integrity plane, on a flash geometry small
+/// enough that the tiny test DRAM holds the L2P table plus the SEC-DED
+/// codes and the mirror region.
+fn integrity_ssd(seed: u64) -> Ssd {
+    Ssd::build(
+        SsdConfig::test_small(seed)
+            .with_dram_profile(ModuleProfile::invulnerable())
+            .with_flash_geometry(FlashGeometry {
+                blocks_per_plane: 32,
+                ..FlashGeometry::tiny_test()
+            })
+            .with_ftl(FtlConfig::default().with_integrity(IntegrityMode::Correct)),
+    )
+}
+
+/// XORs `mask` into the entry word at `addr` through the DRAM backdoor,
+/// simulating rowhammer flips without the hammer.
+fn corrupt_u32(ssd: &mut Ssd, addr: DramAddr, mask: u32) {
+    let mut buf = [0u8; 4];
+    ssd.ftl().dram().peek(addr, &mut buf).unwrap();
+    let raw = u32::from_le_bytes(buf) ^ mask;
+    ssd.ftl_mut().dram_mut().write_u32(addr, raw).unwrap();
+}
+
+/// Flips two bits in `lba`'s primary L2P entry *and* two different bits in
+/// its mirror copy: both copies exceed SEC-DED correction and disagree, so
+/// nothing trustworthy remains and the device must degrade.
+fn corrupt_beyond_repair(ssd: &mut Ssd, lba: Lba) {
+    let slot = ssd.ftl().table().slot_of(lba);
+    let entry = ssd.ftl().table().entry_addr(lba);
+    let mirror = ssd.ftl().integrity_plane().unwrap().mirror_addr(slot);
+    corrupt_u32(ssd, entry, 0b11);
+    corrupt_u32(ssd, mirror, 0b1100);
+}
+
+/// Unrepairable L2P divergence degrades the device to read-only: the poisoned
+/// LBA fails loudly as `Uncorrectable`, mutations are rejected typed, and
+/// intact blocks keep reading back their data.
+#[test]
+fn integrity_degradation_rejects_writes_but_serves_reads() {
+    let mut ssd = integrity_ssd(9);
+    let mut block = [0u8; BLOCK_SIZE];
+    for lba in 0..4u64 {
+        block[0] = lba as u8 + 1;
+        ssd.write(Lba(lba), &block).unwrap();
+    }
+    corrupt_beyond_repair(&mut ssd, Lba(1));
+
+    // Consuming the poisoned entry is loud, never a silent redirection.
+    let mut out = [0u8; BLOCK_SIZE];
+    assert!(matches!(
+        ssd.read(Lba(1), &mut out),
+        Err(StorageError::Uncorrectable { lba: Lba(1) })
+    ));
+    assert!(ssd.ftl().is_read_only(), "divergence degrades the device");
+
+    // Degraded-mode contract: mutations rejected with a typed error …
+    assert!(matches!(
+        ssd.write(Lba(2), &block),
+        Err(StorageError::Rejected { .. })
+    ));
+    assert!(matches!(
+        ssd.trim(Lba(0)),
+        Err(StorageError::Rejected { .. })
+    ));
+    // … while intact blocks are still served.
+    ssd.read(Lba(3), &mut out).unwrap();
+    assert_eq!(out[0], 4, "intact reads keep working after degradation");
+}
+
+/// The namespace view honors the same degraded-mode contract: reads of
+/// intact blocks succeed, mutations come back `Rejected`.
+#[test]
+fn namespace_view_honors_integrity_degradation() {
+    let mut ssd = integrity_ssd(9);
+    let ns = ssd.create_namespace(32).unwrap();
+    let mut block = [0u8; BLOCK_SIZE];
+    {
+        let mut view = ssd.namespace(ns).unwrap();
+        for lba in 0..4u64 {
+            block[0] = lba as u8 + 1;
+            view.write(Lba(lba), &block).unwrap();
+        }
+    }
+    // The first namespace starts at absolute LBA 0, so view-relative and
+    // drive-absolute coordinates coincide here.
+    corrupt_beyond_repair(&mut ssd, Lba(1));
+    let mut view = ssd.namespace(ns).unwrap();
+
+    let mut out = [0u8; BLOCK_SIZE];
+    assert!(matches!(
+        view.read(Lba(1), &mut out),
+        Err(StorageError::Uncorrectable { lba: Lba(1) })
+    ));
+    assert!(matches!(
+        view.write(Lba(2), &block),
+        Err(StorageError::Rejected { .. })
+    ));
+    assert!(matches!(
+        view.trim(Lba(0)),
+        Err(StorageError::Rejected { .. })
+    ));
+    view.read(Lba(3), &mut out).unwrap();
+    assert_eq!(out[0], 4);
+}

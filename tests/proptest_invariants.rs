@@ -75,7 +75,7 @@ fn crc32c_detects_single_bit_errors() {
 fn ftl_matches_model() {
     let mut rng = seeded(104);
     for case in 0..15 {
-        let mut ftl = Ftl::tiny_for_tests(1);
+        let mut ftl = Ftl::tiny_for_tests(1).unwrap();
         let mut model: std::collections::HashMap<u64, u8> = std::collections::HashMap::new();
         let n_ops = rng.gen_range(1usize..120);
         for _ in 0..n_ops {
