@@ -124,6 +124,7 @@ pub fn fast_path_latency_threads(seed: u64, threads: usize) -> Vec<FastPathRow> 
             let qp = ssd.create_queue_pair(16);
             let mut total_us = 0.0;
             let n = 200u64;
+            let mut completions = Vec::with_capacity(qp.depth());
             for burst in 0..(n / qp.depth() as u64) {
                 let batch: Vec<Command> = (0..qp.depth() as u64)
                     .map(|i| Command::Read {
@@ -133,9 +134,17 @@ pub fn fast_path_latency_threads(seed: u64, threads: usize) -> Vec<FastPathRow> 
                     .collect();
                 ssd.submit_batch(qp, &batch).expect("submit batch");
                 ssd.process_all();
-                for c in ssd.drain_completions(qp).expect("drain") {
-                    assert!(matches!(c.result, CmdResult::Read { mapped: false, .. }));
+                ssd.drain_completions_into(qp, &mut completions)
+                    .expect("drain");
+                for c in completions.drain(..) {
                     total_us += c.latency().as_secs_f64() * 1e6;
+                    match c.result {
+                        CmdResult::Read {
+                            data,
+                            mapped: false,
+                        } => ssd.recycle_buffer(data),
+                        other => panic!("expected unmapped read, got {other:?}"),
+                    }
                 }
             }
             let measured = (n / qp.depth() as u64) * qp.depth() as u64;
@@ -357,5 +366,90 @@ mod tests {
             active < idle,
             "victim self-refresh should suppress flips: idle {idle} vs active {active}"
         );
+    }
+}
+
+// ---- structured output -------------------------------------------------------
+
+use ssdhammer_simkit::json::{Json, ToJson};
+
+impl ToJson for AmplificationRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("amplification", Json::from(self.amplification)),
+            ("act_rate", Json::from(self.act_rate)),
+            ("flips", Json::from(self.flips)),
+        ])
+    }
+}
+
+impl ToJson for FastPathRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("config", Json::from(self.config.as_str())),
+            ("mean_latency_us", Json::from(self.mean_latency_us)),
+        ])
+    }
+}
+
+impl ToJson for MappingCensusRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("mapping", Json::from(self.mapping.as_str())),
+            ("total_sites", Json::from(self.total_sites)),
+            (
+                "cross_partition_sites",
+                Json::from(self.cross_partition_sites),
+            ),
+        ])
+    }
+}
+
+impl ToJson for VictimActivityRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("scenario", Json::from(self.scenario.as_str())),
+            ("victim_row_flips", Json::from(self.victim_row_flips)),
+        ])
+    }
+}
+
+// ---- scenario entry ---------------------------------------------------------
+
+use crate::scenario::{Scenario, ScenarioCfg};
+
+/// [`Scenario`] wrapper: `repro ablations`. The structured document groups
+/// the four sweeps under one object.
+#[derive(Debug, Clone, Copy)]
+pub struct AblationsScenario;
+
+impl Scenario for AblationsScenario {
+    fn name(&self) -> &'static str {
+        "ablations"
+    }
+
+    fn run(&self, _cfg: ScenarioCfg, seed: u64, threads: usize) -> Json {
+        Json::obj([
+            (
+                "amplification",
+                amplification_sweep_threads(seed, threads).to_json(),
+            ),
+            (
+                "fast_path",
+                fast_path_latency_threads(seed, threads).to_json(),
+            ),
+            (
+                "mapping_census",
+                mapping_census_threads(seed, threads).to_json(),
+            ),
+            (
+                "victim_activity",
+                victim_activity_threads(seed, threads).to_json(),
+            ),
+        ])
+    }
+
+    fn render(&self, _cfg: ScenarioCfg, seed: u64, threads: usize) -> String {
+        render_with_threads(seed, threads)
     }
 }

@@ -2,245 +2,278 @@
 //! Devices* (HotStorage '21) as text, and optionally dumps the structured
 //! results as JSON.
 //!
-//! ```text
-//! repro <experiment> [--seed N] [--threads N] [--json] [--full]
+//! Subcommands are declared once in the [`COMMANDS`] registry — a name, a
+//! help line, and a runner — and everything else (dispatch, `repro help`,
+//! the usage string, the `all` loop) is generated from that table. Most
+//! experiments dispatch through their module's [`Scenario`] impl; the few
+//! with extra side effects (fig1's telemetry snapshot file, the escalation
+//! demo, the `bench` harness) use custom runners.
 //!
-//! experiments:
-//!   table1        Table 1  — minimal access rate to trigger bitflips
-//!   fig1          Figure 1 — two-sided FTL rowhammer redirects an LBA
-//!   fig2          Figure 2 — direct vs helper-VM setups
-//!   fig3          Figure 3 — end-to-end ext4 indirect-block exploit
-//!   prob          §4.3     — probability of success
-//!   mitigations   §5       — mitigation matrix
-//!   feasibility   §2.3     — NVMe-rate feasibility
-//!   ablations     design-choice ablations (DESIGN.md §5)
-//!   escalation    §3.2     — privilege escalation via polyglot blocks
-//!   faults        fault-injection plane vs the FTL recovery stack
-//!   defenses      defense-in-depth matrix — attack success probability per
-//!                 defense layer (TRR, PARA, L2P integrity, scrubber)
-//!   all           everything above
-//!
-//! flags:
-//!   --seed N      manufacturing-variation seed (default 7)
-//!   --threads N   worker threads for campaign experiments (table1, prob,
-//!                 ablations, faults, defenses); output is bit-identical for any N
-//!                 (default 1)
-//!   --json        print structured JSON instead of tables
-//!   --full        fig3 only: run the paper-prototype-scale configuration
-//!                 (1 GiB SSD, 5% spray cap, 5-minute hammer bursts) instead
-//!                 of the fast demo
-//! ```
+//! Run `repro help` for the generated command and flag reference.
 
-use ssdhammer_bench::{ablations, defenses, faults, fig1, fig2, fig3, sec23, sec43, sec5, table1};
-use ssdhammer_simkit::json::{Json, ToJson};
+use ssdhammer_bench::scenario::{Scenario, ScenarioCfg};
+use ssdhammer_bench::{
+    ablations, benchmark, defenses, faults, fig1, fig2, fig3, sec23, sec43, sec5, table1,
+};
+use ssdhammer_simkit::json::ToJson;
+
+/// Parsed command-line flags, handed to every runner.
+struct Ctx {
+    seed: u64,
+    threads: usize,
+    json: bool,
+    full: bool,
+    quick: bool,
+}
+
+impl Ctx {
+    fn cfg(&self) -> ScenarioCfg {
+        ScenarioCfg { full: self.full }
+    }
+}
+
+/// How a subcommand executes.
+enum Runner {
+    /// Dispatch through the module's uniform [`Scenario`] entry point.
+    Scenario(&'static dyn Scenario),
+    /// A bespoke runner for commands with side effects beyond stdout.
+    Custom(fn(&Ctx)),
+}
+
+/// One row of the subcommand registry.
+struct Cmd {
+    /// Subcommand name.
+    name: &'static str,
+    /// One-line help text.
+    help: &'static str,
+    /// Execution strategy.
+    runner: Runner,
+    /// Whether `repro all` includes this command.
+    in_all: bool,
+}
+
+/// The declarative subcommand registry: `help`, the usage line, and
+/// dispatch are all generated from this table.
+static COMMANDS: &[Cmd] = &[
+    Cmd {
+        name: "table1",
+        help: "Table 1  — minimal access rate to trigger bitflips",
+        runner: Runner::Scenario(&table1::Table1Scenario),
+        in_all: true,
+    },
+    Cmd {
+        name: "fig1",
+        help: "Figure 1 — two-sided FTL rowhammer redirects an LBA",
+        runner: Runner::Custom(run_fig1),
+        in_all: true,
+    },
+    Cmd {
+        name: "fig2",
+        help: "Figure 2 — direct vs helper-VM setups",
+        runner: Runner::Scenario(&fig2::Fig2Scenario),
+        in_all: true,
+    },
+    Cmd {
+        name: "fig3",
+        help: "Figure 3 — end-to-end ext4 indirect-block exploit",
+        runner: Runner::Scenario(&fig3::Fig3Scenario),
+        in_all: true,
+    },
+    Cmd {
+        name: "prob",
+        help: "§4.3     — probability of success",
+        runner: Runner::Scenario(&sec43::Sec43Scenario),
+        in_all: true,
+    },
+    Cmd {
+        name: "mitigations",
+        help: "§5       — mitigation matrix",
+        runner: Runner::Scenario(&sec5::Sec5Scenario),
+        in_all: true,
+    },
+    Cmd {
+        name: "feasibility",
+        help: "§2.3     — NVMe-rate feasibility",
+        runner: Runner::Scenario(&sec23::Sec23Scenario),
+        in_all: true,
+    },
+    Cmd {
+        name: "ablations",
+        help: "design-choice ablations (DESIGN.md §5)",
+        runner: Runner::Scenario(&ablations::AblationsScenario),
+        in_all: true,
+    },
+    Cmd {
+        name: "escalation",
+        help: "§3.2     — privilege escalation via polyglot blocks",
+        runner: Runner::Custom(run_escalation),
+        in_all: true,
+    },
+    Cmd {
+        name: "faults",
+        help: "fault-injection plane vs the FTL recovery stack",
+        runner: Runner::Scenario(&faults::FaultsScenario),
+        in_all: true,
+    },
+    Cmd {
+        name: "defenses",
+        help: "defense-in-depth matrix — attack success per defense layer",
+        runner: Runner::Scenario(&defenses::DefensesScenario),
+        in_all: true,
+    },
+    Cmd {
+        name: "bench",
+        help: "perf baseline — times the hot paths, writes BENCH_6.json",
+        runner: Runner::Custom(run_bench),
+        in_all: false,
+    },
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiment = None;
-    let mut seed = 7u64;
-    let mut threads = 1usize;
-    let mut json = false;
-    let mut full = false;
+    let mut ctx = Ctx {
+        seed: 7,
+        threads: 1,
+        json: false,
+        full: false,
+        quick: false,
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--seed" => {
-                seed = it
+                ctx.seed = it
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--seed needs a number"));
             }
             "--threads" => {
-                threads = it
+                ctx.threads = it
                     .next()
                     .and_then(|s| s.parse().ok())
                     .filter(|&t| t >= 1)
                     .unwrap_or_else(|| die("--threads needs a positive number"));
             }
-            "--json" => json = true,
-            "--full" => full = true,
+            "--json" => ctx.json = true,
+            "--full" => ctx.full = true,
+            "--quick" => ctx.quick = true,
+            "--help" | "-h" => {
+                print_help();
+                return;
+            }
             name if experiment.is_none() && !name.starts_with('-') => {
                 experiment = Some(name.to_owned());
             }
             other => die(&format!("unknown argument '{other}'")),
         }
     }
-    let experiment = experiment.unwrap_or_else(|| "all".to_owned());
-    let run_one = |name: &str| run_experiment(name, seed, threads, json, full);
-    match experiment.as_str() {
+    match experiment.as_deref().unwrap_or("all") {
+        "help" => print_help(),
         "all" => {
-            for name in [
-                "table1",
-                "fig1",
-                "fig2",
-                "fig3",
-                "prob",
-                "mitigations",
-                "feasibility",
-                "ablations",
-                "escalation",
-                "faults",
-                "defenses",
-            ] {
-                run_one(name);
+            for cmd in COMMANDS.iter().filter(|c| c.in_all) {
+                run_cmd(cmd, &ctx);
                 println!();
             }
         }
-        name => run_one(name),
+        name => match COMMANDS.iter().find(|c| c.name == name) {
+            Some(cmd) => run_cmd(cmd, &ctx),
+            None => die(&format!("unknown experiment '{name}'")),
+        },
     }
 }
 
-fn run_experiment(name: &str, seed: u64, threads: usize, json: bool, full: bool) {
-    match name {
-        "table1" => {
-            let rows = table1::run_with_threads(seed, threads);
-            if json {
-                println!("{}", rows.to_json().to_string_pretty());
-            } else {
-                print!("{}", table1::render(&rows));
-            }
-        }
-        "fig1" => {
-            let (r, snapshot) = fig1::run_with_telemetry(seed);
-            if json {
-                println!("{}", r.to_json().to_string_pretty());
-            } else {
-                print!("{}", fig1::render(&r));
-            }
-            let path = "fig1-telemetry.json";
-            match std::fs::write(path, snapshot.to_json().to_string_pretty()) {
-                Ok(()) => eprintln!("telemetry snapshot written to {path}"),
-                Err(e) => eprintln!("repro: could not write {path}: {e}"),
-            }
-        }
-        "fig2" => {
-            let rows = fig2::run(seed);
-            if json {
-                println!("{}", rows.to_json().to_string_pretty());
-            } else {
-                print!("{}", fig2::render(&rows));
-            }
-        }
-        "fig3" => {
-            if full {
-                run_fig3_full(seed, json);
-            } else {
-                let r = fig3::run(seed);
-                if json {
-                    println!("{}", r.to_json().to_string_pretty());
-                } else {
-                    print!("{}", fig3::render(&r));
-                    let ablation = fig3::spray_ablation(seed);
-                    print!("{}", fig3::render_ablation(&ablation));
-                }
-            }
-        }
-        "prob" => {
-            let r = sec43::run_with_threads(seed, threads);
-            if json {
-                println!("{}", r.to_json().to_string_pretty());
-            } else {
-                print!("{}", sec43::render(&r));
-            }
-        }
-        "mitigations" => {
-            let rows = sec5::run(seed);
-            let leak_rows = sec5::run_leak_matrix(seed);
-            if json {
-                println!("{}", rows.to_json().to_string_pretty());
-                println!("{}", leak_rows.to_json().to_string_pretty());
-            } else {
-                print!("{}", sec5::render(&rows));
-                print!("{}", sec5::render_leak_matrix(&leak_rows));
-            }
-        }
-        "feasibility" => {
-            let rows = sec23::run(seed);
-            if json {
-                println!("{}", rows.to_json().to_string_pretty());
-            } else {
-                print!("{}", sec23::render(&rows));
-            }
-        }
-        "ablations" => {
-            print!("{}", ablations::render_with_threads(seed, threads));
-        }
-        "faults" => {
-            let rows = faults::run_with_threads(seed, threads);
-            if json {
-                println!("{}", rows.to_json().to_string_pretty());
-            } else {
-                print!("{}", faults::render(&rows));
-            }
-        }
-        "defenses" => {
-            let rows = defenses::run_with_threads(seed, threads);
-            if json {
-                println!("{}", rows.to_json().to_string_pretty());
-            } else {
-                print!("{}", defenses::render(&rows));
-            }
-        }
-        "escalation" => {
-            use ssdhammer_cloud::{run_escalation, EscalationConfig};
-            let outcome =
-                run_escalation(&EscalationConfig::fast_demo(seed)).expect("escalation run");
-            if json {
-                println!("{}", outcome.cycles.to_json().to_string_pretty());
-            } else {
+fn run_cmd(cmd: &Cmd, ctx: &Ctx) {
+    match cmd.runner {
+        Runner::Scenario(s) => {
+            if ctx.json {
                 println!(
-                    "§3.2 privilege escalation: escalated={} tag={:?} simulated_time={}",
-                    outcome.escalated, outcome.observed_tag, outcome.total_time
+                    "{}",
+                    s.run(ctx.cfg(), ctx.seed, ctx.threads).to_string_pretty()
                 );
-                for c in &outcome.cycles {
-                    println!(
-                        "  cycle {:>2}: flips={:<4} legitimate={:<4} crashed={:<3} hijacked={}",
-                        c.cycle, c.flips, c.legitimate, c.crashed, c.escalated
-                    );
-                }
+            } else {
+                print!("{}", s.render(ctx.cfg(), ctx.seed, ctx.threads));
             }
         }
-        other => die(&format!("unknown experiment '{other}'")),
+        Runner::Custom(f) => f(ctx),
     }
 }
 
-/// The paper-prototype-scale end-to-end run (§4.1's 1 GiB SSD).
-fn run_fig3_full(seed: u64, json: bool) {
-    use ssdhammer_cloud::{run_case_study, CaseStudyConfig};
-    eprintln!("running the paper-prototype configuration; this simulates hours of attack time...");
-    let config = CaseStudyConfig::paper_prototype(seed);
-    let outcome = run_case_study(&config).expect("case study");
-    if json {
-        let doc = Json::obj([
-            ("success", Json::from(outcome.success)),
-            ("cycles", outcome.cycles.to_json()),
-            (
-                "total_time_secs",
-                Json::from(outcome.total_time.as_secs_f64()),
-            ),
-            ("corruption_events", Json::from(outcome.corruption_events)),
-        ]);
-        println!("{}", doc.to_string_pretty());
+/// fig1 with its side effect: the device telemetry snapshot is written
+/// next to the figure output.
+fn run_fig1(ctx: &Ctx) {
+    let (r, snapshot) = fig1::run_with_telemetry(ctx.seed);
+    if ctx.json {
+        println!("{}", r.to_json().to_string_pretty());
+    } else {
+        print!("{}", fig1::render(&r));
+    }
+    let path = "fig1-telemetry.json";
+    match std::fs::write(path, snapshot.to_json().to_string_pretty()) {
+        Ok(()) => eprintln!("telemetry snapshot written to {path}"),
+        Err(e) => eprintln!("repro: could not write {path}: {e}"),
+    }
+}
+
+/// The §3.2 privilege-escalation demo.
+fn run_escalation(ctx: &Ctx) {
+    use ssdhammer_cloud::{run_escalation, EscalationConfig};
+    let outcome = run_escalation(&EscalationConfig::fast_demo(ctx.seed)).expect("escalation run");
+    if ctx.json {
+        println!("{}", outcome.cycles.to_json().to_string_pretty());
     } else {
         println!(
-            "paper-prototype case study: success={} cycles={} corruption_events={} simulated_time={}",
-            outcome.success,
-            outcome.cycles.len(),
-            outcome.corruption_events,
-            outcome.total_time,
+            "§3.2 privilege escalation: escalated={} tag={:?} simulated_time={}",
+            outcome.escalated, outcome.observed_tag, outcome.total_time
         );
-        println!("(paper §4.2: \"on our testbed this took about two hours\")");
         for c in &outcome.cycles {
             println!(
-                "  cycle {:>2}: files={} sites={} flips={} hits={} leaked={}",
-                c.cycle, c.sprayed_files, c.sites_hammered, c.flips, c.scan_hits, c.leaked_secret
+                "  cycle {:>2}: flips={:<4} legitimate={:<4} crashed={:<3} hijacked={}",
+                c.cycle, c.flips, c.legitimate, c.crashed, c.escalated
             );
         }
     }
 }
 
+/// The perf baseline: times the hot paths, writes `BENCH_6.json`, and
+/// self-checks that the document parses.
+fn run_bench(ctx: &Ctx) {
+    let report = benchmark::run(ctx.seed, ctx.threads, ctx.quick);
+    let text = report.doc.to_string_pretty();
+    ssdhammer_simkit::json::Json::parse(&text).expect("BENCH document must parse");
+    let path = "BENCH_6.json";
+    match std::fs::write(path, &text) {
+        Ok(()) => eprintln!("bench report written to {path}"),
+        Err(e) => eprintln!("repro: could not write {path}: {e}"),
+    }
+    println!("{text}");
+}
+
+fn print_help() {
+    println!("repro <experiment> [--seed N] [--threads N] [--json] [--full] [--quick]");
+    println!();
+    println!("experiments:");
+    for c in COMMANDS {
+        println!("  {:<13} {}", c.name, c.help);
+    }
+    println!("  all           every experiment above except bench");
+    println!();
+    println!("flags:");
+    println!("  --seed N      manufacturing-variation seed (default 7)");
+    println!("  --threads N   worker threads for campaign experiments; output is");
+    println!("                bit-identical for any N (default 1)");
+    println!("  --json        print structured JSON instead of tables");
+    println!("  --full        fig3 only: run the paper-prototype-scale configuration");
+    println!("                (1 GiB SSD, 5% spray cap, 5-minute hammer bursts)");
+    println!("  --quick       bench only: fast-demo scenarios for CI smoke runs");
+}
+
 fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}");
-    eprintln!("usage: repro [table1|fig1|fig2|fig3|prob|mitigations|feasibility|ablations|escalation|faults|defenses|all] [--seed N] [--threads N] [--json] [--full]");
+    let names: Vec<&str> = COMMANDS.iter().map(|c| c.name).collect();
+    eprintln!(
+        "usage: repro [{}|all] [--seed N] [--threads N] [--json] [--full] [--quick]",
+        names.join("|")
+    );
     std::process::exit(2);
 }

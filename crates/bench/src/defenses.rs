@@ -287,3 +287,25 @@ mod tests {
         assert_eq!(json(1), json(4));
     }
 }
+
+// ---- scenario entry ---------------------------------------------------------
+
+use crate::scenario::{Scenario, ScenarioCfg};
+
+/// [`Scenario`] wrapper: `repro defenses`.
+#[derive(Debug, Clone, Copy)]
+pub struct DefensesScenario;
+
+impl Scenario for DefensesScenario {
+    fn name(&self) -> &'static str {
+        "defenses"
+    }
+
+    fn run(&self, _cfg: ScenarioCfg, seed: u64, threads: usize) -> Json {
+        run_with_threads(seed, threads).to_json()
+    }
+
+    fn render(&self, _cfg: ScenarioCfg, seed: u64, threads: usize) -> String {
+        render(&run_with_threads(seed, threads))
+    }
+}

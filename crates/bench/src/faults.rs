@@ -222,11 +222,14 @@ fn nvme_timeout(seed: u64) -> FaultRow {
     let qp = ssd.create_queue_pair(32);
     let mut failed = 0u64;
     let mut recovered = 0u64;
+    let mut completions = Vec::with_capacity(32);
     for round in 0..4u64 {
         let cmds: Vec<Command> = (0..32u64).map(|i| write_cmd(ns, i, round as u8)).collect();
         ssd.submit_batch(qp, &cmds).expect("submit");
         ssd.process(qp).expect("process");
-        for c in ssd.drain_completions(qp).expect("drain") {
+        ssd.drain_completions_into(qp, &mut completions)
+            .expect("drain");
+        for c in completions.drain(..) {
             if c.is_ok() {
                 recovered += 1;
             } else {
@@ -318,5 +321,27 @@ mod tests {
     fn thread_count_does_not_change_results() {
         let json = |threads| run_with_threads(7, threads).to_json().to_string();
         assert_eq!(json(1), json(4));
+    }
+}
+
+// ---- scenario entry ---------------------------------------------------------
+
+use crate::scenario::{Scenario, ScenarioCfg};
+
+/// [`Scenario`] wrapper: `repro faults`.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultsScenario;
+
+impl Scenario for FaultsScenario {
+    fn name(&self) -> &'static str {
+        "faults"
+    }
+
+    fn run(&self, _cfg: ScenarioCfg, seed: u64, threads: usize) -> Json {
+        run_with_threads(seed, threads).to_json()
+    }
+
+    fn render(&self, _cfg: ScenarioCfg, seed: u64, threads: usize) -> String {
+        render(&run_with_threads(seed, threads))
     }
 }

@@ -171,3 +171,27 @@ mod tests {
         }
     }
 }
+
+// ---- scenario entry ---------------------------------------------------------
+
+use crate::scenario::{Scenario, ScenarioCfg};
+
+/// [`Scenario`] wrapper: `repro fig1`. The telemetry-snapshot side file is
+/// a `repro`-binary concern ([`run_with_telemetry`] exposes the snapshot);
+/// the scenario itself returns only the figure's result document.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig1Scenario;
+
+impl Scenario for Fig1Scenario {
+    fn name(&self) -> &'static str {
+        "fig1"
+    }
+
+    fn run(&self, _cfg: ScenarioCfg, seed: u64, _threads: usize) -> Json {
+        run(seed).to_json()
+    }
+
+    fn render(&self, _cfg: ScenarioCfg, seed: u64, _threads: usize) -> String {
+        render(&run(seed))
+    }
+}

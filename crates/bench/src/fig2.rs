@@ -163,3 +163,25 @@ mod tests {
         }
     }
 }
+
+// ---- scenario entry ---------------------------------------------------------
+
+use crate::scenario::{Scenario, ScenarioCfg};
+
+/// [`Scenario`] wrapper: `repro fig2`.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig2Scenario;
+
+impl Scenario for Fig2Scenario {
+    fn name(&self) -> &'static str {
+        "fig2"
+    }
+
+    fn run(&self, _cfg: ScenarioCfg, seed: u64, _threads: usize) -> Json {
+        run(seed).to_json()
+    }
+
+    fn render(&self, _cfg: ScenarioCfg, seed: u64, _threads: usize) -> String {
+        render(&run(seed))
+    }
+}

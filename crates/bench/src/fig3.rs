@@ -142,3 +142,85 @@ mod tests {
         );
     }
 }
+
+// ---- paper-prototype scale ---------------------------------------------------
+
+/// Runs the paper-prototype-scale configuration (§4.1's 1 GiB SSD),
+/// printing a progress note to stderr — the run simulates hours of attack
+/// time.
+fn run_full(seed: u64) -> ssdhammer_cloud::CaseStudyOutcome {
+    eprintln!("running the paper-prototype configuration; this simulates hours of attack time...");
+    let config = CaseStudyConfig::paper_prototype(seed);
+    run_case_study(&config).expect("case study")
+}
+
+/// The structured document for the full-scale run (`repro fig3 --full
+/// --json`).
+#[must_use]
+pub fn run_full_json(seed: u64) -> Json {
+    let outcome = run_full(seed);
+    Json::obj([
+        ("success", Json::from(outcome.success)),
+        ("cycles", outcome.cycles.to_json()),
+        (
+            "total_time_secs",
+            Json::from(outcome.total_time.as_secs_f64()),
+        ),
+        ("corruption_events", Json::from(outcome.corruption_events)),
+    ])
+}
+
+/// The human-readable report for the full-scale run (`repro fig3 --full`).
+#[must_use]
+pub fn render_full(seed: u64) -> String {
+    let outcome = run_full(seed);
+    let mut out = format!(
+        "paper-prototype case study: success={} cycles={} corruption_events={} simulated_time={}\n",
+        outcome.success,
+        outcome.cycles.len(),
+        outcome.corruption_events,
+        outcome.total_time,
+    );
+    out.push_str("(paper \u{a7}4.2: \"on our testbed this took about two hours\")\n");
+    for c in &outcome.cycles {
+        out.push_str(&format!(
+            "  cycle {:>2}: files={} sites={} flips={} hits={} leaked={}\n",
+            c.cycle, c.sprayed_files, c.sites_hammered, c.flips, c.scan_hits, c.leaked_secret
+        ));
+    }
+    out
+}
+
+// ---- scenario entry ---------------------------------------------------------
+
+use crate::scenario::{Scenario, ScenarioCfg};
+
+/// [`Scenario`] wrapper: `repro fig3`. `cfg.full` selects the
+/// paper-prototype scale; the fast demo also reports the spray-limit
+/// ablation in its rendered form.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig3Scenario;
+
+impl Scenario for Fig3Scenario {
+    fn name(&self) -> &'static str {
+        "fig3"
+    }
+
+    fn run(&self, cfg: ScenarioCfg, seed: u64, _threads: usize) -> Json {
+        if cfg.full {
+            run_full_json(seed)
+        } else {
+            run(seed).to_json()
+        }
+    }
+
+    fn render(&self, cfg: ScenarioCfg, seed: u64, _threads: usize) -> String {
+        if cfg.full {
+            render_full(seed)
+        } else {
+            let mut out = render(&run(seed));
+            out.push_str(&render_ablation(&spray_ablation(seed)));
+            out
+        }
+    }
+}

@@ -19,6 +19,12 @@
 //! activity), and the [`faults`] module exercises the deterministic
 //! fault-injection plane against the FTL recovery stack.
 //!
+//! Every experiment module exposes a unit struct implementing
+//! [`scenario::Scenario`] — one uniform `run(cfg, seed, threads) -> Json`
+//! / `render` entry point that the `repro` binary's subcommand registry
+//! dispatches through. The [`benchmark`] module (`repro bench`) times the
+//! hot paths and writes `BENCH_6.json`.
+//!
 //! Run `cargo run -p ssdhammer-bench --bin repro -- all` for the complete
 //! text reproduction, or `cargo bench` for the timed harnesses.
 
@@ -26,12 +32,14 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod benchmark;
 pub mod defenses;
 pub mod faults;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
 pub mod harness;
+pub mod scenario;
 pub mod sec23;
 pub mod sec43;
 pub mod sec5;

@@ -1,0 +1,39 @@
+//! The uniform scenario API: every experiment module exposes one entry
+//! point with the same shape, so callers (the `repro` binary's subcommand
+//! registry, the bench harness, tests) can drive any experiment without
+//! knowing its module-specific function zoo.
+//!
+//! A scenario is a unit struct implementing [`Scenario`]; the impl lives in
+//! the experiment's own module next to the functions it wraps. `run`
+//! returns the structured result as [`Json`] — the same document `repro
+//! <name> --json` prints — and `render` returns the human-readable report.
+//! Both are deterministic for a fixed `(cfg, seed)`: thread count shards
+//! work but never changes output bytes.
+
+use ssdhammer_simkit::json::Json;
+
+/// Options shared by every scenario. Scenarios ignore fields that do not
+/// apply to them (only `fig3` distinguishes `full` today).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScenarioCfg {
+    /// Run the paper-prototype-scale configuration where one exists
+    /// (fig3's 1 GiB case study) instead of the fast demo.
+    pub full: bool,
+}
+
+/// A reproducible experiment with a uniform entry signature.
+///
+/// `Sync` is a supertrait so `&'static dyn Scenario` can sit in the
+/// `repro` binary's static command table.
+pub trait Scenario: Sync {
+    /// The canonical experiment name — the `repro` subcommand.
+    fn name(&self) -> &'static str;
+
+    /// Runs the experiment and returns its structured result document.
+    /// Byte-identical for a fixed `(cfg, seed)` regardless of `threads`.
+    fn run(&self, cfg: ScenarioCfg, seed: u64, threads: usize) -> Json;
+
+    /// Runs the experiment and returns the human-readable report (the
+    /// text `repro <name>` prints).
+    fn render(&self, cfg: ScenarioCfg, seed: u64, threads: usize) -> String;
+}

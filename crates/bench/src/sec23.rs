@@ -131,3 +131,25 @@ mod tests {
         assert!(by_name("3.0").attackable_modules >= 1);
     }
 }
+
+// ---- scenario entry ---------------------------------------------------------
+
+use crate::scenario::{Scenario, ScenarioCfg};
+
+/// [`Scenario`] wrapper: `repro feasibility`.
+#[derive(Debug, Clone, Copy)]
+pub struct Sec23Scenario;
+
+impl Scenario for Sec23Scenario {
+    fn name(&self) -> &'static str {
+        "feasibility"
+    }
+
+    fn run(&self, _cfg: ScenarioCfg, seed: u64, _threads: usize) -> Json {
+        run(seed).to_json()
+    }
+
+    fn render(&self, _cfg: ScenarioCfg, seed: u64, _threads: usize) -> String {
+        render(&run(seed))
+    }
+}

@@ -89,3 +89,25 @@ mod tests {
         assert!(r.cumulative.windows(2).all(|w| w[1] >= w[0]));
     }
 }
+
+// ---- scenario entry ---------------------------------------------------------
+
+use crate::scenario::{Scenario, ScenarioCfg};
+
+/// [`Scenario`] wrapper: `repro prob`.
+#[derive(Debug, Clone, Copy)]
+pub struct Sec43Scenario;
+
+impl Scenario for Sec43Scenario {
+    fn name(&self) -> &'static str {
+        "prob"
+    }
+
+    fn run(&self, _cfg: ScenarioCfg, seed: u64, threads: usize) -> Json {
+        run_with_threads(seed, threads).to_json()
+    }
+
+    fn render(&self, _cfg: ScenarioCfg, seed: u64, threads: usize) -> String {
+        render(&run_with_threads(seed, threads))
+    }
+}

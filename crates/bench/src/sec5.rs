@@ -312,3 +312,32 @@ mod tests {
         assert_eq!(get("extents-only").cycles, 0);
     }
 }
+
+// ---- scenario entry ---------------------------------------------------------
+
+use crate::scenario::{Scenario, ScenarioCfg};
+
+/// [`Scenario`] wrapper: `repro mitigations`. The structured document
+/// carries both the mitigation matrix and the §5 leak matrix under one
+/// object, where the legacy path printed two separate documents.
+#[derive(Debug, Clone, Copy)]
+pub struct Sec5Scenario;
+
+impl Scenario for Sec5Scenario {
+    fn name(&self) -> &'static str {
+        "mitigations"
+    }
+
+    fn run(&self, _cfg: ScenarioCfg, seed: u64, _threads: usize) -> Json {
+        Json::obj([
+            ("mitigations", run(seed).to_json()),
+            ("leak_matrix", run_leak_matrix(seed).to_json()),
+        ])
+    }
+
+    fn render(&self, _cfg: ScenarioCfg, seed: u64, _threads: usize) -> String {
+        let mut out = render(&run(seed));
+        out.push_str(&render_leak_matrix(&run_leak_matrix(seed)));
+        out
+    }
+}

@@ -150,3 +150,25 @@ mod tests {
         }
     }
 }
+
+// ---- scenario entry ---------------------------------------------------------
+
+use crate::scenario::{Scenario, ScenarioCfg};
+
+/// [`Scenario`] wrapper: `repro table1`.
+#[derive(Debug, Clone, Copy)]
+pub struct Table1Scenario;
+
+impl Scenario for Table1Scenario {
+    fn name(&self) -> &'static str {
+        "table1"
+    }
+
+    fn run(&self, _cfg: ScenarioCfg, seed: u64, threads: usize) -> Json {
+        run_with_threads(seed, threads).to_json()
+    }
+
+    fn render(&self, _cfg: ScenarioCfg, seed: u64, threads: usize) -> String {
+        render(&run_with_threads(seed, threads))
+    }
+}

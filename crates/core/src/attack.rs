@@ -76,7 +76,7 @@ impl ToJson for Redirection {
 ///
 /// Propagates FTL/DRAM errors.
 pub fn snapshot_mappings(ftl: &Ftl, lbas: &[Lba]) -> Result<Vec<Option<Ppn>>, FtlError> {
-    lbas.iter().map(|&l| ftl.peek_mapping(l)).collect()
+    ftl.peek_mappings(lbas)
 }
 
 /// Snapshots the *host-visible* mapping states of `lbas`, reading each entry

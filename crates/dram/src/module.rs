@@ -27,7 +27,7 @@
 //! Rows never written are unobservable: disturbance there has no effect on
 //! any read, exactly like scribbling on uninitialized memory.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 use ssdhammer_simkit::telemetry::{CounterHandle, Telemetry};
 use ssdhammer_simkit::{DramAddr, SimClock, SimDuration, SimTime};
@@ -205,13 +205,26 @@ pub struct DramModule {
     para: Option<ParaConfig>,
     timing_enabled: bool,
 
-    rows: BTreeMap<RowKey, RowData>,
-    remaining_weak: BTreeMap<RowKey, Vec<WeakCell>>,
+    /// Materialized row contents, dense by global row index (`None` =
+    /// never written, reads as zero).
+    rows: Vec<Option<Box<RowData>>>,
+    /// Cached weak-cell lists, dense by global row index (`None` = not
+    /// yet derived).
+    remaining_weak: Vec<Option<Box<[WeakCell]>>>,
     window_idx: u64,
-    acts: BTreeMap<RowKey, u64>,
+    /// Per-row activation counts this refresh window (struct-of-arrays;
+    /// `acts[i]`/`discount[i]` are only meaningful when `stamp[i] == gen`).
+    acts: Vec<u64>,
     /// Pressure already "spent" on a row at its last self-refresh (ACT).
-    discount: BTreeMap<RowKey, f64>,
-    open_rows: BTreeMap<u32, u32>,
+    discount: Vec<f64>,
+    /// Generation stamp validating `acts`/`discount` lanes — bumping `gen`
+    /// clears every per-window counter in O(1).
+    stamp: Vec<u64>,
+    gen: u64,
+    /// Global row indices activated this window, insertion order, deduped.
+    acted: Vec<u32>,
+    /// Open row per bank (`u32::MAX` = none open).
+    open_rows: Vec<u32>,
     tel: DramHandles,
     flip_log: Vec<FlipEvent>,
 }
@@ -295,6 +308,12 @@ impl DramModuleBuilder {
     #[must_use]
     pub fn build(self, clock: SimClock) -> DramModule {
         let mapping = AddressMapping::new(self.geometry, self.mapping);
+        let total_rows =
+            self.geometry.total_banks() as usize * self.geometry.rows_per_bank as usize;
+        let mut rows = Vec::new();
+        rows.resize_with(total_rows, || None);
+        let mut remaining_weak = Vec::new();
+        remaining_weak.resize_with(total_rows, || None);
         DramModule {
             mapping,
             profile: self.profile,
@@ -304,12 +323,16 @@ impl DramModuleBuilder {
             trr: self.trr,
             para: self.para,
             timing_enabled: self.timing_enabled,
-            rows: BTreeMap::new(),
-            remaining_weak: BTreeMap::new(),
+            rows,
+            remaining_weak,
             window_idx: 0,
-            acts: BTreeMap::new(),
-            discount: BTreeMap::new(),
-            open_rows: BTreeMap::new(),
+            acts: vec![0; total_rows],
+            discount: vec![0.0; total_rows],
+            stamp: vec![0; total_rows],
+            // Stamps start at zero, so generation 1 marks every lane stale.
+            gen: 1,
+            acted: Vec::new(),
+            open_rows: vec![u32::MAX; self.geometry.total_banks() as usize],
             tel: DramHandles::bind(self.telemetry.unwrap_or_default()),
             flip_log: Vec::new(),
         }
@@ -445,7 +468,7 @@ impl DramModule {
         let start_bit = u64::from(loc.col) * 8;
         let end_bit = start_bit + buf.len() as u64 * 8;
         // Serve data. Unwritten rows read as zero.
-        let Some(row_data) = self.rows.get(&key) else {
+        let Some(row_data) = self.rows[self.row_index(key)].as_deref() else {
             buf.fill(0);
             return Ok(());
         };
@@ -475,9 +498,12 @@ impl DramModule {
         self.charge_access_time(hit);
         self.tel.writes.incr();
         let row_bytes = self.mapping.geometry().row_bytes as usize;
-        let row_data = self.rows.entry(key).or_insert_with(|| RowData {
-            bytes: vec![0u8; row_bytes].into_boxed_slice(),
-            flipped_bits: BTreeSet::new(),
+        let i = self.row_index(key);
+        let row_data = self.rows[i].get_or_insert_with(|| {
+            Box::new(RowData {
+                bytes: vec![0u8; row_bytes].into_boxed_slice(),
+                flipped_bits: BTreeSet::new(),
+            })
         });
         row_data.bytes[loc.col as usize..loc.col as usize + data.len()].copy_from_slice(data);
         let start_bit = u64::from(loc.col) * 8;
@@ -631,12 +657,14 @@ impl DramModule {
             if acts == 0 {
                 continue;
             }
-            *self.acts.entry(key).or_insert(0) += acts;
+            let lane = self.row_index(key);
+            self.touch_lane(lane);
+            self.acts[lane] += acts;
             self.tel.activations.add(acts);
             *activations += acts;
             // The aggressor itself is refreshed by its own activations.
-            self.discount.insert(key, self.raw_pressure(key));
-            self.open_rows.insert(key.bank, key.row);
+            self.discount[lane] = self.raw_pressure(key);
+            self.open_rows[key.bank as usize] = key.row;
         }
     }
 
@@ -654,7 +682,7 @@ impl DramModule {
     /// Panics if the range crosses a row boundary.
     pub fn peek(&self, addr: DramAddr, buf: &mut [u8]) -> Result<(), DramError> {
         let loc = self.checked_decode(addr, buf.len())?;
-        match self.rows.get(&loc.row_key()) {
+        match self.rows[self.row_index(loc.row_key())].as_deref() {
             Some(row) => {
                 buf.copy_from_slice(&row.bytes[loc.col as usize..loc.col as usize + buf.len()])
             }
@@ -679,10 +707,12 @@ impl DramModule {
         self.tick_window();
         let key = loc.row_key();
         self.evaluate_victim(key);
-        *self.acts.entry(key).or_insert(0) += n;
+        let lane = self.row_index(key);
+        self.touch_lane(lane);
+        self.acts[lane] += n;
         self.tel.activations.add(n);
-        self.discount.insert(key, self.raw_pressure(key));
-        self.open_rows.insert(key.bank, key.row);
+        self.discount[lane] = self.raw_pressure(key);
+        self.open_rows[key.bank as usize] = key.row;
         if self.timing_enabled {
             self.clock.advance(self.profile.t_row_miss * n);
         }
@@ -690,6 +720,44 @@ impl DramModule {
     }
 
     // ---- internals ---------------------------------------------------------
+
+    /// Dense index of `key` into the per-row arrays.
+    #[inline]
+    fn row_index(&self, key: RowKey) -> usize {
+        key.bank as usize * self.mapping.geometry().rows_per_bank as usize + key.row as usize
+    }
+
+    /// Inverse of [`DramModule::row_index`].
+    #[inline]
+    fn key_of_index(&self, i: u32) -> RowKey {
+        let rows = self.mapping.geometry().rows_per_bank;
+        RowKey {
+            bank: i / rows,
+            row: i % rows,
+        }
+    }
+
+    /// This window's activation count for the row at dense index `i`.
+    #[inline]
+    fn acts_at(&self, i: usize) -> u64 {
+        if self.stamp[i] == self.gen {
+            self.acts[i]
+        } else {
+            0
+        }
+    }
+
+    /// Validates lane `i` for the current window (zeroing stale counters)
+    /// and registers the row in `acted` the first time it is touched.
+    #[inline]
+    fn touch_lane(&mut self, i: usize) {
+        if self.stamp[i] != self.gen {
+            self.stamp[i] = self.gen;
+            self.acts[i] = 0;
+            self.discount[i] = 0.0;
+            self.acted.push(i as u32);
+        }
+    }
 
     fn checked_decode(
         &self,
@@ -717,8 +785,10 @@ impl DramModule {
         let idx = self.clock.now().window_index(self.profile.refresh_interval);
         if idx != self.window_idx {
             self.settle_window();
-            self.acts.clear();
-            self.discount.clear();
+            // Bumping the generation invalidates every `acts`/`discount`
+            // lane at once — the O(1) equivalent of clearing both maps.
+            self.gen += 1;
+            self.acted.clear();
             self.window_idx = idx;
             self.tel.refresh_windows.incr();
         }
@@ -727,19 +797,21 @@ impl DramModule {
     /// Activates `key` if a row-buffer miss, counting pressure on neighbors.
     /// Returns true on a row-buffer hit.
     fn activate(&mut self, key: RowKey) -> bool {
-        let open = self.open_rows.get(&key.bank).copied();
-        let hit = self.profile.row_policy == RowPolicy::OpenPage && open == Some(key.row);
+        let hit = self.profile.row_policy == RowPolicy::OpenPage
+            && self.open_rows[key.bank as usize] == key.row;
         if hit {
             self.tel.row_hits.incr();
             return true;
         }
-        self.open_rows.insert(key.bank, key.row);
-        *self.acts.entry(key).or_insert(0) += 1;
+        self.open_rows[key.bank as usize] = key.row;
+        let lane = self.row_index(key);
+        self.touch_lane(lane);
+        self.acts[lane] += 1;
         self.tel.activations.incr();
         // Activation refreshes this row: remember the pressure it has
         // already absorbed so only *future* pressure counts.
         let p = self.raw_pressure(key);
-        self.discount.insert(key, p);
+        self.discount[lane] = p;
         false
     }
 
@@ -760,19 +832,24 @@ impl DramModule {
     fn raw_pressure(&self, victim: RowKey) -> f64 {
         let rows = self.mapping.geometry().rows_per_bank;
         let tracked: Option<Vec<u32>> = self.trr.map(|trr| {
-            let bank_acts: Vec<(u32, u64)> = self
-                .acts
+            // Ordered by row to match the former sorted-map iteration the
+            // TRR sampler was tuned against.
+            let mut bank_acts: Vec<(u32, u64)> = self
+                .acted
                 .iter()
-                .filter(|(k, _)| k.bank == victim.bank)
-                .map(|(k, &n)| (k.row, n))
+                .map(|&i| self.key_of_index(i))
+                .filter(|k| k.bank == victim.bank)
+                .map(|k| (k.row, self.acts[self.row_index(k)]))
                 .collect();
+            bank_acts.sort_unstable_by_key(|&(row, _)| row);
             trr.tracked_rows(&bank_acts)
         });
         let trr_suppressions = self.tel.trr_suppressions.clone();
         let contribution = |key: RowKey| -> f64 {
-            let Some(&n) = self.acts.get(&key) else {
+            let n = self.acts_at(self.row_index(key));
+            if n == 0 {
                 return 0.0;
-            };
+            }
             match (&self.trr, &tracked) {
                 (Some(trr), Some(t)) if t.contains(&key.row) => {
                     if n > trr.detection_threshold {
@@ -813,35 +890,42 @@ impl DramModule {
     /// activation already refreshed away.
     fn effective_pressure(&self, victim: RowKey) -> f64 {
         let raw = self.raw_pressure(victim);
-        let discount = self.discount.get(&victim).copied().unwrap_or(0.0);
+        let i = self.row_index(victim);
+        let discount = if self.stamp[i] == self.gen {
+            self.discount[i]
+        } else {
+            0.0
+        };
         (raw - discount).max(0.0)
     }
 
     /// Applies any flips that current pressure causes on `victim`.
     fn evaluate_victim(&mut self, victim: RowKey) {
-        if self.acts.is_empty() {
+        if self.acted.is_empty() {
             return;
         }
         let pressure = self.effective_pressure(victim);
         if pressure <= 0.0 {
             return;
         }
+        let vi = self.row_index(victim);
         // Only materialized rows hold observable data.
-        if !self.rows.contains_key(&victim) {
+        if self.rows[vi].is_none() {
             return;
         }
         let row_bits = u64::from(self.mapping.geometry().row_bytes) * 8;
-        let cells = self
-            .remaining_weak
-            .entry(victim)
-            .or_insert_with(|| weak_cells_for_row(self.seed, &self.profile, row_bits, victim));
+        if self.remaining_weak[vi].is_none() {
+            self.remaining_weak[vi] =
+                Some(weak_cells_for_row(self.seed, &self.profile, row_bits, victim).into());
+        }
+        let cells = self.remaining_weak[vi].as_deref().unwrap_or(&[]);
         if cells.is_empty() {
             return;
         }
         let now = self.clock.now();
         let mut flipped_indices = Vec::new();
         {
-            let Some(row_data) = self.rows.get_mut(&victim) else {
+            let Some(row_data) = self.rows[vi].as_deref_mut() else {
                 return;
             };
             for (i, cell) in cells.iter().enumerate() {
@@ -909,7 +993,7 @@ impl DramModule {
 
     /// Evaluates every victim adjacent to any aggressor acted on this window.
     fn settle_window(&mut self) {
-        if self.acts.is_empty() {
+        if self.acted.is_empty() {
             return;
         }
         let rows = self.mapping.geometry().rows_per_bank;
@@ -919,7 +1003,8 @@ impl DramModule {
             1
         };
         let mut victims = BTreeSet::new();
-        for key in self.acts.keys() {
+        for &i in &self.acted {
+            let key = self.key_of_index(i);
             for delta in 1..=reach {
                 if let Some(v) = key.neighbor(-delta, rows) {
                     victims.insert(v);
@@ -951,7 +1036,8 @@ impl DramModule {
         };
         let word_lo = start_bit / ECC_WORD_BITS;
         let word_hi = end_bit.div_ceil(ECC_WORD_BITS);
-        let row_data = match self.rows.get_mut(&key) {
+        let i = self.row_index(key);
+        let row_data = match self.rows[i].as_deref_mut() {
             Some(r) => r,
             None => return Ok(()),
         };

@@ -1,8 +1,6 @@
 //! The NAND array simulator: erase-before-program semantics, in-order page
 //! programming, per-channel pipelining, wear, and bad blocks.
 
-use std::collections::BTreeMap;
-
 use ssdhammer_simkit::faultplane::FaultPlane;
 use ssdhammer_simkit::rng::{derive_seed, seeded, Rng};
 use ssdhammer_simkit::telemetry::{CounterHandle, Telemetry};
@@ -180,7 +178,11 @@ pub struct FlashArray {
     geometry: FlashGeometry,
     timing: FlashTiming,
     clock: SimClock,
-    pages: BTreeMap<u64, PageData>,
+    /// Programmed-page store, directly indexed by PPN (`None` = erased).
+    /// A flat slot table rather than an ordered map: page lookup is the
+    /// single hottest operation in the simulator and O(1) indexing beats a
+    /// tree walk over hundreds of thousands of programmed pages.
+    pages: Vec<Option<PageData>>,
     blocks: Vec<BlockState>,
     channel_busy_until: Vec<SimTime>,
     tel: FlashHandles,
@@ -227,12 +229,14 @@ impl FlashArray {
                 b.bad = true;
             }
         }
+        let mut pages = Vec::new();
+        pages.resize_with(geometry.total_pages() as usize, || None);
         FlashArray {
             channel_busy_until: vec![SimTime::ZERO; geometry.channels as usize],
             geometry,
             timing,
             clock,
-            pages: BTreeMap::new(),
+            pages,
             blocks,
             tel: FlashHandles::bind(Telemetry::new()),
             max_pe_cycles: 3000,
@@ -394,11 +398,54 @@ impl FlashArray {
         self.read_page_inner(ppn, false)
     }
 
+    /// [`FlashArray::read_page`] into a caller-provided buffer of exactly
+    /// one page, avoiding the per-read allocation. Semantics, timing, and
+    /// read-disturb accounting are identical.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FlashArray::read_page`], plus [`FlashError::BadBufferLen`]
+    /// when `buf` is not exactly one page.
+    pub fn read_page_into(&mut self, ppn: Ppn, buf: &mut [u8]) -> Result<SimTime, FlashError> {
+        self.read_page_inner_into(ppn, true, buf)
+    }
+
+    /// [`FlashArray::read_page_assisted`] into a caller-provided buffer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FlashArray::read_page_assisted`], plus
+    /// [`FlashError::BadBufferLen`] when `buf` is not exactly one page.
+    pub fn read_page_assisted_into(
+        &mut self,
+        ppn: Ppn,
+        buf: &mut [u8],
+    ) -> Result<SimTime, FlashError> {
+        self.read_page_inner_into(ppn, false, buf)
+    }
+
     fn read_page_inner(
         &mut self,
         ppn: Ppn,
         inject: bool,
     ) -> Result<(Box<[u8]>, SimTime), FlashError> {
+        let mut data = vec![0u8; self.geometry.page_bytes as usize].into_boxed_slice();
+        let done = self.read_page_inner_into(ppn, inject, &mut data)?;
+        Ok((data, done))
+    }
+
+    fn read_page_inner_into(
+        &mut self,
+        ppn: Ppn,
+        inject: bool,
+        buf: &mut [u8],
+    ) -> Result<SimTime, FlashError> {
+        if buf.len() != self.geometry.page_bytes as usize {
+            return Err(FlashError::BadBufferLen {
+                got: buf.len(),
+                expected: self.geometry.page_bytes as usize,
+            });
+        }
         let block = self.checked_block(ppn)?;
         let done = self.schedule(
             self.geometry.channel_of(block),
@@ -417,21 +464,21 @@ impl FlashArray {
                 return Err(FlashError::ReadFailed { ppn, bits });
             }
         }
-        let mut data = match self.pages.get(&ppn.as_u64()) {
-            Some(p) => p.data.clone(),
-            None => vec![0xFFu8; self.geometry.page_bytes as usize].into_boxed_slice(),
-        };
+        match &self.pages[ppn.as_u64() as usize] {
+            Some(p) => buf.copy_from_slice(&p.data),
+            None => buf.fill(0xFF),
+        }
         if excess > 0 {
             // One more flipped bit per further `limit/8` reads, up to 32.
             let errors = (1 + excess / (self.read_disturb_limit / 8).max(1)).min(32);
             let bits = u64::from(self.geometry.page_bytes) * 8;
             for e in 0..errors {
                 let bit = derive_seed(self.seed, "read-disturb", ppn.as_u64() ^ (e << 48)) % bits;
-                data[(bit / 8) as usize] ^= 1 << (bit % 8);
+                buf[(bit / 8) as usize] ^= 1 << (bit % 8);
             }
             self.tel.read_disturb_errors.add(errors);
         }
-        Ok((data, done))
+        Ok(done)
     }
 
     /// Reads a page's OOB area. Erased pages read as all-`0xFF`.
@@ -441,7 +488,7 @@ impl FlashArray {
     /// [`FlashError::OutOfRange`] or [`FlashError::BadBlock`].
     pub fn read_oob(&mut self, ppn: Ppn) -> Result<Box<[u8]>, FlashError> {
         let _ = self.checked_block(ppn)?;
-        Ok(match self.pages.get(&ppn.as_u64()) {
+        Ok(match &self.pages[ppn.as_u64() as usize] {
             Some(p) => p.oob.clone(),
             None => vec![0xFFu8; self.geometry.oob_bytes as usize].into_boxed_slice(),
         })
@@ -479,7 +526,7 @@ impl FlashArray {
                 expected: self.geometry.oob_bytes as usize,
             });
         }
-        if self.pages.contains_key(&ppn.as_u64()) {
+        if self.pages[ppn.as_u64() as usize].is_some() {
             return Err(FlashError::NotErased { ppn });
         }
         let page_idx = self.geometry.page_in_block(ppn);
@@ -501,13 +548,10 @@ impl FlashArray {
         }
         let mut oob_buf = vec![0u8; self.geometry.oob_bytes as usize].into_boxed_slice();
         oob_buf[..oob.len()].copy_from_slice(oob);
-        self.pages.insert(
-            ppn.as_u64(),
-            PageData {
-                data: data.into(),
-                oob: oob_buf,
-            },
-        );
+        self.pages[ppn.as_u64() as usize] = Some(PageData {
+            data: data.into(),
+            oob: oob_buf,
+        });
         let done = self.schedule(
             self.geometry.channel_of(block),
             SimDuration::from_nanos(self.timing.t_program_ns + self.timing.t_xfer_ns),
@@ -562,7 +606,7 @@ impl FlashArray {
         state.reads_since_erase = 0;
         let first = self.geometry.first_page(block).as_u64();
         for p in first..first + u64::from(self.geometry.pages_per_block) {
-            self.pages.remove(&p);
+            self.pages[p as usize] = None;
         }
         let done = self.schedule(
             self.geometry.channel_of(block),

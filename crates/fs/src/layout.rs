@@ -474,6 +474,31 @@ impl Dirent {
     ///
     /// [`FsError::Corrupted`] on malformed entries.
     pub fn decode(buf: &[u8]) -> FsResult<Option<Dirent>> {
+        Ok(DirentRef::decode(buf)?.map(|d| d.to_dirent()))
+    }
+}
+
+/// A borrowed view of an on-disk directory entry: the allocation-free
+/// counterpart of [`Dirent`] for streaming directory scans. Validation is
+/// identical to [`Dirent::decode`]; only the name copy is deferred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirentRef<'a> {
+    /// Target inode (never 0; free slots decode to `None`).
+    pub ino: Ino,
+    /// Entry type.
+    pub ftype: FileType,
+    /// File name, borrowed from the block buffer.
+    pub name: &'a str,
+}
+
+impl<'a> DirentRef<'a> {
+    /// Deserializes from [`DIRENT_SIZE`] bytes without allocating. A zero
+    /// inode yields `None` (free slot).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Corrupted`] on malformed entries.
+    pub fn decode(buf: &'a [u8]) -> FsResult<Option<DirentRef<'a>>> {
         let ino = le_u32(buf, 0);
         if ino == 0 {
             return Ok(None);
@@ -490,13 +515,22 @@ impl Dirent {
             }
         };
         let name = core::str::from_utf8(&buf[6..6 + len])
-            .map_err(|_| FsError::Corrupted("dirent name not utf-8".into()))?
-            .to_owned();
-        Ok(Some(Dirent {
+            .map_err(|_| FsError::Corrupted("dirent name not utf-8".into()))?;
+        Ok(Some(DirentRef {
             ino: Ino(ino),
             ftype,
             name,
         }))
+    }
+
+    /// Copies into an owned [`Dirent`].
+    #[must_use]
+    pub fn to_dirent(self) -> Dirent {
+        Dirent {
+            ino: self.ino,
+            ftype: self.ftype,
+            name: self.name.to_owned(),
+        }
     }
 }
 

@@ -56,7 +56,7 @@ pub use error::{FsError, FsResult};
 pub use fs::{Credentials, FileSystem, Stat, EXTENTS_PER_LEAF};
 pub use fsck::{FsckIssue, FsckReport};
 pub use layout::{
-    AddressingMode, Dirent, Extent, FileType, FsBlock, Ino, Inode, InodeMap, SuperBlock,
+    AddressingMode, Dirent, DirentRef, Extent, FileType, FsBlock, Ino, Inode, InodeMap, SuperBlock,
     DIRECT_PTRS, DIRENT_SIZE, INLINE_EXTENTS, INODES_PER_BLOCK, INODE_SIZE, MAX_NAME,
     PTRS_PER_BLOCK, ROOT_INO,
 };

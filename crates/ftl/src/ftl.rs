@@ -1002,11 +1002,11 @@ impl Ftl {
                 })
             }
             Some(ppn) => {
-                let (data, completed) = self.read_page_recovered(ppn)?;
+                let completed = self.read_page_recovered_into(ppn, buf)?;
                 if self.config.dif {
                     let oob = self.nand.read_oob(ppn)?;
                     let (_, _, stored_guard) = decode_oob(&oob);
-                    if stored_guard != dif_guard(lba, &data) {
+                    if stored_guard != dif_guard(lba, buf) {
                         // The page's guard was computed for a different
                         // (LBA, data) pair: a misdirected mapping (or
                         // corrupted data). Fail loudly, leak nothing.
@@ -1020,7 +1020,6 @@ impl Ftl {
                         return Ok(ReadOutcome::GuardMismatch { ppn });
                     }
                 }
-                buf.copy_from_slice(&data);
                 // Stay ahead of read disturb: relocate heavily-read blocks.
                 if let Some(threshold) = self.config.read_refresh_threshold {
                     let block = self.nand.geometry().block_of(ppn);
@@ -1181,6 +1180,7 @@ impl Ftl {
         let total_pages = self.nand.geometry().total_pages();
         let mut issued = 0u32;
         let mut scanned = 0u64;
+        let mut page = vec![0u8; self.nand.geometry().page_bytes as usize];
         while issued < flash_reads && scanned < total_pages {
             let ppn = Ppn(self.patrol_cursor);
             self.patrol_cursor = (self.patrol_cursor + 1) % total_pages;
@@ -1190,7 +1190,7 @@ impl Ftl {
             }
             issued += 1;
             self.tel.scrub_flash_reads.incr();
-            match self.read_page_recovered(ppn) {
+            match self.read_page_recovered_into(ppn, &mut page) {
                 Ok(_) => {}
                 // Already counted in `recovery.uncorrectable_reads`; the
                 // host read path will surface it to the owner.
@@ -1300,13 +1300,33 @@ impl Ftl {
     /// DRAM range errors only (the table was validated to fit at
     /// construction).
     pub fn l2p_snapshot(&self) -> Result<Vec<u8>, FtlError> {
-        let mut out = Vec::with_capacity((self.exported_lbas * 4) as usize);
-        let mut buf = [0u8; 4];
-        for lba in 0..self.exported_lbas {
-            self.dram.peek(self.table.entry_addr(Lba(lba)), &mut buf)?;
-            out.extend_from_slice(&buf);
+        let mut entries = Vec::new();
+        self.table
+            .peek_batch(&self.dram, (0..self.exported_lbas).map(Lba), &mut entries)?;
+        let mut out = Vec::with_capacity(entries.len() * 4);
+        for raw in entries {
+            out.extend_from_slice(&raw.to_le_bytes());
         }
         Ok(out)
+    }
+
+    /// Batch counterpart of [`Ftl::peek_mapping`]: snapshots many mappings
+    /// through the non-disturbing DRAM backdoor in one call.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range LBAs or DRAM errors.
+    pub fn peek_mappings(&self, lbas: &[Lba]) -> Result<Vec<Option<Ppn>>, FtlError> {
+        for &lba in lbas {
+            self.check_lba(lba)?;
+        }
+        let mut raw = Vec::new();
+        self.table
+            .peek_batch(&self.dram, lbas.iter().copied(), &mut raw)?;
+        Ok(raw
+            .into_iter()
+            .map(|r| (r != crate::l2p::INVALID_ENTRY).then(|| Ppn(u64::from(r))))
+            .collect())
     }
 
     // ---- internals ---------------------------------------------------------
@@ -1352,10 +1372,18 @@ impl Ftl {
     /// come back as silently wrong data (DIF, when enabled, is the last
     /// line of defense).
     fn read_page_recovered(&mut self, ppn: Ppn) -> Result<(Box<[u8]>, SimTime), FtlError> {
+        let mut data = vec![0u8; self.nand.geometry().page_bytes as usize].into_boxed_slice();
+        let done = self.read_page_recovered_into(ppn, &mut data)?;
+        Ok((data, done))
+    }
+
+    /// [`Ftl::read_page_recovered`] into a caller-provided buffer,
+    /// avoiding the per-read page allocation on the hot host-read path.
+    fn read_page_recovered_into(&mut self, ppn: Ppn, buf: &mut [u8]) -> Result<SimTime, FtlError> {
         let mut attempt = 0u32;
         loop {
-            match self.nand.read_page(ppn) {
-                Ok(out) => return Ok(out),
+            match self.nand.read_page_into(ppn, buf) {
+                Ok(done) => return Ok(done),
                 Err(FlashError::ReadFailed { bits, .. }) => {
                     if attempt < self.config.read_retry_max {
                         attempt += 1;
@@ -1364,20 +1392,20 @@ impl Ftl {
                     }
                     match EccOutcome::classify(bits as usize) {
                         outcome if outcome.returns_clean_data() => {
-                            let out = self.nand.read_page_assisted(ppn)?;
+                            let done = self.nand.read_page_assisted_into(ppn, buf)?;
                             self.tel.ecc_corrected.incr();
-                            return Ok(out);
+                            return Ok(done);
                         }
                         EccOutcome::SilentCorruption => {
-                            let (mut data, done) = self.nand.read_page_assisted(ppn)?;
+                            let done = self.nand.read_page_assisted_into(ppn, buf)?;
                             self.tel.silent_corruptions.incr();
                             let bit = derive_seed(
                                 self.fault_plane.seed(),
                                 "silent-corruption",
                                 ppn.as_u64(),
-                            ) % (data.len() as u64 * 8);
-                            data[(bit / 8) as usize] ^= 1 << (bit % 8);
-                            return Ok((data, done));
+                            ) % (buf.len() as u64 * 8);
+                            buf[(bit / 8) as usize] ^= 1 << (bit % 8);
+                            return Ok(done);
                         }
                         _ => {
                             self.tel.uncorrectable_reads.incr();

@@ -429,6 +429,12 @@ pub struct Ssd {
     /// `nvme.abort`); the same plane (shared streams) drives the flash and
     /// FTL sites.
     fault_plane: FaultPlane,
+    /// Recycled read-completion payloads: `execute` draws block buffers
+    /// here instead of allocating per I/O; callers hand them back through
+    /// [`Ssd::recycle_buffer`] after consuming a [`CmdResult::Read`].
+    buf_pool: Vec<Box<[u8]>>,
+    /// Reused scratch for the arbitration round in [`Ssd::process_all`].
+    arb_scratch: Vec<(QpId, u32)>,
     tel: SsdHandles,
 }
 
@@ -536,6 +542,8 @@ impl Ssd {
             scrub_duty,
             stats_started: now,
             fault_plane,
+            buf_pool: Vec::new(),
+            arb_scratch: Vec::new(),
             tel: SsdHandles::bind(telemetry),
         })
     }
@@ -744,13 +752,15 @@ impl Ssd {
     /// [`NvmeError::InvalidQueue`] or [`NvmeError::QueueFull`].
     pub fn submit(&mut self, qp: impl Into<QpId>, cmd: Command) -> Result<u64, NvmeError> {
         let mut cids = self.submit_batch(qp, std::slice::from_ref(&cmd))?;
-        cids.pop().ok_or(NvmeError::Protocol {
+        cids.next().ok_or(NvmeError::Protocol {
             expected: "one cid per submitted command",
         })
     }
 
     /// Enqueues a batch of commands on `qp` in order, returning their
-    /// command ids. The whole batch is accepted or rejected atomically: if
+    /// command ids as a contiguous ascending range (cids are assigned
+    /// sequentially, so the range *is* the id list — no per-batch
+    /// allocation). The whole batch is accepted or rejected atomically: if
     /// the submission queue cannot hold every command, nothing is enqueued.
     ///
     /// Batching amortizes per-command host overhead — one queue lookup, one
@@ -766,7 +776,7 @@ impl Ssd {
         &mut self,
         qp: impl Into<QpId>,
         cmds: &[Command],
-    ) -> Result<Vec<u64>, NvmeError> {
+    ) -> Result<std::ops::Range<u64>, NvmeError> {
         let qp = qp.into();
         let first_cid = self.next_cid;
         let queue = self
@@ -777,21 +787,15 @@ impl Ssd {
             return Err(NvmeError::QueueFull);
         }
         let mut units = 0u64;
-        let cids: Vec<u64> = cmds
-            .iter()
-            .enumerate()
-            .map(|(i, cmd)| {
-                let cid = first_cid + i as u64;
-                units += cmd.io_units();
-                queue.sq.push_back((cid, cmd.clone()));
-                cid
-            })
-            .collect();
+        for (i, cmd) in cmds.iter().enumerate() {
+            units += cmd.io_units();
+            queue.sq.push_back((first_cid + i as u64, cmd.clone()));
+        }
         self.next_cid += cmds.len() as u64;
         queue.submissions.add(units);
         queue.sq_depth.set(queue.sq.len() as f64);
         self.tel.submissions.add(units);
-        Ok(cids)
+        Ok(first_cid..self.next_cid)
     }
 
     /// Services every queued command of `qp`, moving completions to the
@@ -822,16 +826,19 @@ impl Ssd {
     pub fn process_all(&mut self) -> u64 {
         let mut serviced = 0u64;
         loop {
-            let active: Vec<(QpId, u32)> = self
-                .queues
-                .iter()
-                .filter(|(_, q)| !q.sq.is_empty())
-                .map(|(&id, q)| (id, q.weight))
-                .collect();
+            let mut active = std::mem::take(&mut self.arb_scratch);
+            active.clear();
+            active.extend(
+                self.queues
+                    .iter()
+                    .filter(|(_, q)| !q.sq.is_empty())
+                    .map(|(&id, q)| (id, q.weight)),
+            );
             if active.is_empty() {
+                self.arb_scratch = active;
                 return serviced;
             }
-            for (id, weight) in active {
+            for &(id, weight) in &active {
                 let burst = match self.controller.arbiter {
                     Arbiter::RoundRobin => 1,
                     Arbiter::WeightedRoundRobin => weight,
@@ -915,12 +922,41 @@ impl Ssd {
     ///
     /// [`NvmeError::InvalidQueue`] for unknown queues.
     pub fn drain_completions(&mut self, qp: impl Into<QpId>) -> Result<Vec<Completion>, NvmeError> {
+        let mut out = Vec::new();
+        self.drain_completions_into(qp, &mut out)?;
+        Ok(out)
+    }
+
+    /// Drains every pending completion of `qp` into `out` (appended, oldest
+    /// first) — the allocation-free form of [`Ssd::drain_completions`] for
+    /// benchmark loops that reuse one completion vector across bursts.
+    ///
+    /// # Errors
+    ///
+    /// [`NvmeError::InvalidQueue`] for unknown queues.
+    pub fn drain_completions_into(
+        &mut self,
+        qp: impl Into<QpId>,
+        out: &mut Vec<Completion>,
+    ) -> Result<(), NvmeError> {
         let qp = qp.into();
         let queue = self
             .queues
             .get_mut(&qp)
             .ok_or(NvmeError::InvalidQueue { qp })?;
-        Ok(queue.cq.drain(..).collect())
+        out.extend(queue.cq.drain(..));
+        Ok(())
+    }
+
+    /// Returns a consumed [`CmdResult::Read`] payload to the controller's
+    /// buffer pool so the next read command reuses it instead of
+    /// allocating. Buffers of the wrong size are dropped; the pool is
+    /// bounded so a burst of unreturned buffers cannot grow it unboundedly.
+    pub fn recycle_buffer(&mut self, buf: Box<[u8]>) {
+        const POOL_CAP: usize = 4096;
+        if buf.len() == BLOCK_SIZE && self.buf_pool.len() < POOL_CAP {
+            self.buf_pool.push(buf);
+        }
     }
 
     /// Convenience: submit one command and process it synchronously.
@@ -1061,9 +1097,15 @@ impl Ssd {
                     Ok(l) => l,
                     Err(e) => return (CmdResult::Error(e), None),
                 };
-                let mut buf = vec![0u8; BLOCK_SIZE].into_boxed_slice();
+                // Draw the payload buffer from the recycle pool; the FTL
+                // overwrites every byte on success, so no zeroing is needed.
+                let mut buf = self
+                    .buf_pool
+                    .pop()
+                    .unwrap_or_else(|| vec![0u8; BLOCK_SIZE].into_boxed_slice());
                 match self.ftl.read(device_lba, &mut buf) {
                     Ok(ReadOutcome::GuardMismatch { .. }) => {
+                        self.recycle_buffer(buf);
                         (CmdResult::Error(NvmeError::Integrity { ns, lba }), None)
                     }
                     Ok(outcome) => {
@@ -1085,7 +1127,10 @@ impl Ssd {
                             ready,
                         )
                     }
-                    Err(e) => (CmdResult::Error(e.into()), None),
+                    Err(e) => {
+                        self.recycle_buffer(buf);
+                        (CmdResult::Error(e.into()), None)
+                    }
                 }
             }
             Command::Write { ns, lba, data } => {
@@ -1440,7 +1485,10 @@ impl BlockDevice for Namespace<'_> {
                 })?;
         match self.ssd.ns_key(self.ns) {
             Some(key) => {
-                let mut enc = buf.to_vec();
+                // check_access validated the length; a stack copy avoids a
+                // heap allocation per encrypted write.
+                let mut enc = [0u8; BLOCK_SIZE];
+                enc.copy_from_slice(buf);
                 apply_cipher(key, lba, &mut enc);
                 self.ssd.ftl.write(device_lba, &enc)
             }
@@ -1913,13 +1961,12 @@ mod tests {
         assert!(s.drain_completions(qp).unwrap().is_empty());
         // Four fit, with contiguous ascending cids.
         let cids = s.submit_batch(qp, &cmds[..4]).unwrap();
-        assert_eq!(cids.len(), 4);
-        assert!(cids.windows(2).all(|w| w[1] == w[0] + 1));
+        assert_eq!(cids.end - cids.start, 4, "contiguous ascending cid range");
         s.process(qp).unwrap();
         let done = s.drain_completions(qp).unwrap();
         assert_eq!(
             done.iter().map(|c| c.cid).collect::<Vec<_>>(),
-            cids,
+            cids.collect::<Vec<_>>(),
             "completions drain in submission order"
         );
         assert!(s.drain_completions(qp).unwrap().is_empty());

@@ -34,8 +34,8 @@ fn persistent_timeouts_surface_as_per_command_errors() {
     ssd.process(qp).unwrap();
     let completions = ssd.drain_completions(qp).unwrap();
     assert_eq!(completions.len(), 4);
-    for (c, cid) in completions.iter().zip(&cids) {
-        assert_eq!(c.cid, *cid);
+    for (c, cid) in completions.iter().zip(cids) {
+        assert_eq!(c.cid, cid);
         assert!(!c.is_ok());
         // The per-command error status is inspectable without matching on
         // the result payload.

@@ -1,14 +1,18 @@
 //! CRC-32C (Castagnoli), the checksum ext4 uses for metadata such as extent
-//! tree blocks. Table-driven, reflected, polynomial `0x1EDC6F41`.
+//! tree blocks. Slicing-by-8 table-driven, reflected, polynomial
+//! `0x1EDC6F41` — eight bytes per step instead of one, same values as the
+//! classic byte-at-a-time loop.
 
 /// The reflected CRC-32C polynomial.
 const POLY: u32 = 0x82F6_3B78;
 
-/// 256-entry lookup table, built at compile time.
-const TABLE: [u32; 256] = build_table();
+/// Slicing-by-8 lookup tables, built at compile time. `TABLES[0]` is the
+/// classic byte-at-a-time table; `TABLES[k][b]` advances byte `b` through
+/// `k` additional zero bytes.
+const TABLES: [[u32; 256]; 8] = build_tables();
 
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+const fn build_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -21,10 +25,20 @@ const fn build_table() -> [u32; 256] {
             };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
 }
 
 /// Computes the CRC-32C of `data` with the conventional `!0` init/finalize.
@@ -46,8 +60,21 @@ pub fn crc32c(data: &[u8]) -> u32 {
 #[must_use]
 pub fn update(state: u32, data: &[u8]) -> u32 {
     let mut crc = state;
-    for &b in data {
-        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
+        let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+        crc = TABLES[7][(lo & 0xFF) as usize]
+            ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ TABLES[4][(lo >> 24) as usize]
+            ^ TABLES[3][(hi & 0xFF) as usize]
+            ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ TABLES[0][((crc ^ u32::from(b)) & 0xFF) as usize];
     }
     crc
 }
@@ -87,5 +114,24 @@ mod tests {
     #[test]
     fn all_zeros_vs_all_ones() {
         assert_ne!(crc32c(&[0u8; 32]), crc32c(&[0xFFu8; 32]));
+    }
+
+    #[test]
+    fn slicing_matches_byte_at_a_time() {
+        // Cross-check the 8-byte fast path against the scalar table loop on
+        // buffers of every alignment/remainder length.
+        let mut data = [0u8; 131];
+        let mut x = 0x9E37_79B9u32;
+        for b in data.iter_mut() {
+            x = x.wrapping_mul(0x0019_660D).wrapping_add(0x3C6E_F35F);
+            *b = (x >> 24) as u8;
+        }
+        for len in 0..data.len() {
+            let mut scalar = !0u32;
+            for &b in &data[..len] {
+                scalar = (scalar >> 8) ^ TABLES[0][((scalar ^ u32::from(b)) & 0xFF) as usize];
+            }
+            assert_eq!(crc32c(&data[..len]), !scalar, "len {len}");
+        }
     }
 }
