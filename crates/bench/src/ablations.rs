@@ -3,14 +3,13 @@
 //! mapping structure, and victim-activity as an accidental defense.
 
 use ssdhammer_core::{
-    cross_partition_sites, find_attack_sites, run_primitive, setup_entries, LbaRange,
+    cross_partition_sites, find_attack_sites, setup_entries, AttackPipeline, LbaRange,
 };
 use ssdhammer_dram::{DramGeneration, DramGeometry, MappingKind, ModuleProfile};
 use ssdhammer_flash::FlashGeometry;
 use ssdhammer_nvme::{CmdResult, Command, Ssd, SsdConfig};
 use ssdhammer_simkit::parallel::Campaign;
 use ssdhammer_simkit::{Lba, SimDuration};
-use ssdhammer_workload::HammerStyle;
 
 fn demo_profile(min_rate_kaps: u32) -> ModuleProfile {
     let mut p = ModuleProfile::from_min_rate("ablation", DramGeneration::Ddr4, 2020, min_rate_kaps);
@@ -69,15 +68,12 @@ pub fn amplification_sweep_threads(seed: u64, threads: usize) -> Vec<Amplificati
             config.ftl.hammer_amplification = amp;
             let mut ssd = Ssd::build(config);
             let site = find_attack_sites(ssd.ftl(), 1).pop().expect("site");
-            setup_entries(ssd.ftl_mut(), &site.victim_lbas).expect("setup");
-            let outcome = run_primitive(
-                &mut ssd,
-                &site,
-                HammerStyle::DoubleSided,
-                10_000_000.0,
-                SimDuration::from_millis(500),
-            )
-            .expect("hammer");
+            let outcome = AttackPipeline::default()
+                .with_rate(10_000_000.0)
+                .with_duration(SimDuration::from_millis(500))
+                .with_sites(vec![site])
+                .run(&mut ssd)
+                .expect("hammer");
             AmplificationRow {
                 amplification: amp,
                 act_rate: outcome.report.achieved_rate,

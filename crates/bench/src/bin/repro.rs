@@ -13,7 +13,7 @@
 
 use ssdhammer_bench::scenario::{Scenario, ScenarioCfg};
 use ssdhammer_bench::{
-    ablations, benchmark, defenses, faults, fig1, fig2, fig3, sec23, sec43, sec5, table1,
+    ablations, attacks, benchmark, defenses, faults, fig1, fig2, fig3, sec23, sec43, sec5, table1,
 };
 use ssdhammer_simkit::json::ToJson;
 
@@ -24,6 +24,8 @@ struct Ctx {
     json: bool,
     full: bool,
     quick: bool,
+    pattern: Option<String>,
+    victim: Option<String>,
 }
 
 impl Ctx {
@@ -122,6 +124,12 @@ static COMMANDS: &[Cmd] = &[
         in_all: true,
     },
     Cmd {
+        name: "attacks",
+        help: "pattern x victim campaign grid (--pattern/--victim filter)",
+        runner: Runner::Custom(run_attacks),
+        in_all: true,
+    },
+    Cmd {
         name: "bench",
         help: "perf baseline — times the hot paths, writes BENCH_6.json",
         runner: Runner::Custom(run_bench),
@@ -138,6 +146,8 @@ fn main() {
         json: false,
         full: false,
         quick: false,
+        pattern: None,
+        victim: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -147,6 +157,20 @@ fn main() {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--pattern" => {
+                ctx.pattern = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--pattern needs a name")),
+                );
+            }
+            "--victim" => {
+                ctx.victim = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--victim needs a name")),
+                );
             }
             "--threads" => {
                 ctx.threads = it
@@ -215,6 +239,28 @@ fn run_fig1(ctx: &Ctx) {
     }
 }
 
+/// The pattern × victim campaign grid, with the registry-name filters.
+fn run_attacks(ctx: &Ctx) {
+    let cells = attacks::run_filtered(
+        ctx.seed,
+        ctx.threads,
+        ctx.pattern.as_deref(),
+        ctx.victim.as_deref(),
+    )
+    .unwrap_or_else(|e| {
+        use ssdhammer_core::{pattern_names, victim_names};
+        eprintln!("repro: {e}");
+        eprintln!("patterns: {}", pattern_names().join(", "));
+        eprintln!("victims:  {}", victim_names().join(", "));
+        std::process::exit(2);
+    });
+    if ctx.json {
+        println!("{}", cells.to_json().to_string_pretty());
+    } else {
+        print!("{}", attacks::render(&cells));
+    }
+}
+
 /// The §3.2 privilege-escalation demo.
 fn run_escalation(ctx: &Ctx) {
     use ssdhammer_cloud::{run_escalation, EscalationConfig};
@@ -266,6 +312,8 @@ fn print_help() {
     println!("  --full        fig3 only: run the paper-prototype-scale configuration");
     println!("                (1 GiB SSD, 5% spray cap, 5-minute hammer bursts)");
     println!("  --quick       bench only: fast-demo scenarios for CI smoke runs");
+    println!("  --pattern P   attacks only: run a single hammer pattern's cells");
+    println!("  --victim V    attacks only: run a single victim structure's cells");
 }
 
 fn die(msg: &str) -> ! {

@@ -15,7 +15,7 @@
 //! Trials are sharded across a [`Campaign`], so the output is bit-identical
 //! for any `--threads` value.
 
-use ssdhammer_core::{find_attack_sites, run_primitive, setup_entries, MappingState};
+use ssdhammer_core::{find_attack_sites, AttackPipeline};
 use ssdhammer_dram::{
     DramGeneration, DramGeometry, MappingKind, ModuleProfile, ParaConfig, TrrConfig,
 };
@@ -25,7 +25,6 @@ use ssdhammer_nvme::{ScrubberConfig, Ssd, SsdConfig};
 use ssdhammer_simkit::json::{Json, ToJson};
 use ssdhammer_simkit::parallel::Campaign;
 use ssdhammer_simkit::SimDuration;
-use ssdhammer_workload::HammerStyle;
 
 /// Independent attack trials per defense configuration.
 const TRIALS: usize = 3;
@@ -135,38 +134,25 @@ fn configure(defense: usize, seed: u64) -> (&'static str, SsdConfig) {
     }
 }
 
-/// Runs one Figure 1 primitive trial against `config` and classifies every
-/// victim mapping change: silent (usable by the exploit) vs loud (typed
-/// failure the host observes).
+/// Runs one Figure 1 primitive trial against `config`. The pipeline's
+/// victim stage classifies every mapping change: silent (usable by the
+/// exploit) vs loud (typed failure the host observes).
 fn attack_trial(config: SsdConfig) -> TrialOutcome {
     let mut ssd = Ssd::build(config);
     let Some(site) = find_attack_sites(ssd.ftl(), 4).first().cloned() else {
         return TrialOutcome::default();
     };
-    setup_entries(ssd.ftl_mut(), &site.victim_lbas).expect("setup");
-    let outcome = run_primitive(
-        &mut ssd,
-        &site,
-        HammerStyle::DoubleSided,
-        1_000_000.0,
-        SimDuration::from_millis(500),
-    )
-    .expect("hammer");
-    let mut silent = 0u64;
-    let mut loud = 0u64;
-    for r in &outcome.redirections {
-        match r.to {
-            MappingState::Unreadable => loud += 1,
-            // A mapping that silently changed (redirected or dropped)
-            // without any error is what the exploit chain consumes.
-            MappingState::Mapped(_) | MappingState::Unmapped => silent += 1,
-        }
-    }
+    let outcome = AttackPipeline::default()
+        .with_rate(1_000_000.0)
+        .with_duration(SimDuration::from_millis(500))
+        .with_sites(vec![site])
+        .run(&mut ssd)
+        .expect("hammer");
     let log = ssd.health_log();
     TrialOutcome {
         flips: outcome.report.flips.len() as u64,
-        silent,
-        loud,
+        silent: outcome.silent_count() as u64,
+        loud: outcome.loud_count() as u64,
         repairs: log.scrub_repairs + log.integrity_repaired,
         degraded: log.read_only,
     }

@@ -7,14 +7,15 @@
 //! LBAs. Also verifies the negative control (sub-threshold rate ⇒ no
 //! redirection).
 
-use ssdhammer_core::{find_attack_sites, run_primitive, setup_entries, Redirection};
+use ssdhammer_core::{
+    find_attack_sites, AttackPipeline, CrossBank, L2pEntries, Redirection, TwoSided,
+};
 use ssdhammer_dram::{DramGeneration, DramGeometry, MappingKind, ModuleProfile};
 use ssdhammer_flash::FlashGeometry;
 use ssdhammer_nvme::{Ssd, SsdConfig};
 use ssdhammer_simkit::json::{Json, ToJson};
 use ssdhammer_simkit::telemetry::TelemetrySnapshot;
 use ssdhammer_simkit::SimDuration;
-use ssdhammer_workload::HammerStyle;
 
 /// The reproduced Figure 1 run.
 #[derive(Debug, Clone)]
@@ -76,32 +77,30 @@ pub fn run(seed: u64) -> Fig1Result {
 /// trace with the flip and redirection records).
 #[must_use]
 pub fn run_with_telemetry(seed: u64) -> (Fig1Result, TelemetrySnapshot) {
-    // The attack proper.
+    // The attack proper: a double-sided pipeline against the device's
+    // weakest L2P site, aggressor entries included in the setup phase.
     let mut ssd = build_ssd(seed);
     let site = find_attack_sites(ssd.ftl(), 1).pop().expect("site");
-    setup_entries(ssd.ftl_mut(), &site.victim_lbas).expect("setup");
-    setup_entries(ssd.ftl_mut(), &[site.above_lbas[0], site.below_lbas[0]]).expect("setup");
-    let outcome = run_primitive(
-        &mut ssd,
-        &site,
-        HammerStyle::DoubleSided,
-        1_500_000.0,
-        SimDuration::from_millis(500),
+    let outcome = AttackPipeline::new(
+        TwoSided,
+        L2pEntries::default().with_setup_aggressors(true),
+        CrossBank,
     )
+    .with_rate(1_500_000.0)
+    .with_duration(SimDuration::from_millis(500))
+    .with_sites(vec![site.clone()])
+    .run(&mut ssd)
     .expect("hammer");
 
     // Negative control on a fresh, identical device at 1/20 the rate.
     let mut control_ssd = build_ssd(seed);
     let control_site = find_attack_sites(control_ssd.ftl(), 1).pop().expect("site");
-    setup_entries(control_ssd.ftl_mut(), &control_site.victim_lbas).expect("setup");
-    let control = run_primitive(
-        &mut control_ssd,
-        &control_site,
-        HammerStyle::DoubleSided,
-        75_000.0,
-        SimDuration::from_millis(500),
-    )
-    .expect("control hammer");
+    let control = AttackPipeline::default()
+        .with_rate(75_000.0)
+        .with_duration(SimDuration::from_millis(500))
+        .with_sites(vec![control_site])
+        .run(&mut control_ssd)
+        .expect("control hammer");
 
     let snapshot = ssd.snapshot_telemetry();
     (
@@ -111,8 +110,8 @@ pub fn run_with_telemetry(seed: u64) -> (Fig1Result, TelemetrySnapshot) {
             victim_lba_count: site.victim_lbas.len(),
             achieved_rate: outcome.report.achieved_rate,
             flips: outcome.report.flips.len(),
-            redirections: outcome.redirections,
-            control_redirections: control.redirections.len(),
+            redirections: outcome.redirections(),
+            control_redirections: control.redirections().len(),
         },
         snapshot,
     )
@@ -169,6 +168,15 @@ mod tests {
         ] {
             assert!(snapshot.counter(name).is_some(), "snapshot missing {name}");
         }
+        // The pipeline stamps per-stage counters keyed by registry name.
+        assert_eq!(snapshot.counter("attack.pattern.two_sided.cycles"), Some(1));
+        assert_eq!(snapshot.counter("attack.victim.l2p.cycles"), Some(1));
+        assert!(
+            snapshot
+                .counter("attack.victim.l2p.changes")
+                .is_some_and(|n| n > 0),
+            "victim change counter missing or zero"
+        );
     }
 }
 

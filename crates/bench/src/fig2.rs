@@ -9,13 +9,12 @@
 //! 5× amplification) and a modern module (DDR4-new 2020, 313 K acc/s —
 //! reachable directly).
 
-use ssdhammer_core::{find_attack_sites, run_primitive, setup_entries};
+use ssdhammer_core::{find_attack_sites, AttackPipeline};
 use ssdhammer_dram::{DramGeometry, MappingKind, ModuleProfile};
 use ssdhammer_flash::FlashGeometry;
 use ssdhammer_nvme::{Ssd, SsdConfig};
 use ssdhammer_simkit::json::{Json, ToJson};
 use ssdhammer_simkit::SimDuration;
-use ssdhammer_workload::HammerStyle;
 
 /// One sweep point.
 #[derive(Debug, Clone)]
@@ -67,19 +66,16 @@ fn sweep_point(profile: ModuleProfile, amplification: u32, seed: u64) -> (f64, u
     config.ftl.hammer_amplification = amplification;
     let mut ssd = Ssd::build(config);
     let site = find_attack_sites(ssd.ftl(), 1).pop().expect("site");
-    setup_entries(ssd.ftl_mut(), &site.victim_lbas).expect("setup");
-    let outcome = run_primitive(
-        &mut ssd,
-        &site,
-        HammerStyle::DoubleSided,
-        10_000_000.0, // ask for more than the interface can do; it clamps
-        SimDuration::from_millis(500),
-    )
-    .expect("hammer");
+    let outcome = AttackPipeline::default()
+        .with_rate(10_000_000.0) // ask for more than the interface can do; it clamps
+        .with_duration(SimDuration::from_millis(500))
+        .with_sites(vec![site])
+        .run(&mut ssd)
+        .expect("hammer");
     (
         outcome.report.achieved_rate,
         outcome.report.flips.len(),
-        outcome.redirections.len(),
+        outcome.redirections().len(),
     )
 }
 

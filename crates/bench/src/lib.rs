@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod attacks;
 pub mod benchmark;
 pub mod defenses;
 pub mod faults;

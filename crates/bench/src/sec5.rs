@@ -4,8 +4,8 @@
 //! the TRR sampler) and the one-location/open-page interaction.
 
 use ssdhammer_core::{
-    diff_mappings, find_attack_sites, run_many_sided, run_primitive, setup_entries,
-    sites_sharing_a_bank, snapshot_host_mappings,
+    diff_mappings, find_attack_sites, setup_entries, snapshot_host_mappings, AttackError,
+    AttackPipeline, CrossBank, Hammerer, L2pEntries, ManySided, OneLocation, SameBank, TwoSided,
 };
 use ssdhammer_dram::{
     DramGeneration, DramGeometry, EccConfig, MappingKind, ModuleProfile, TrrConfig,
@@ -15,7 +15,6 @@ use ssdhammer_ftl::L2pLayout;
 use ssdhammer_nvme::{Ssd, SsdConfig};
 use ssdhammer_simkit::json::{Json, ToJson};
 use ssdhammer_simkit::{Lba, SimDuration};
-use ssdhammer_workload::HammerStyle;
 
 /// One mitigation sweep point.
 #[derive(Debug, Clone)]
@@ -57,42 +56,37 @@ fn base_config(seed: u64) -> SsdConfig {
     c
 }
 
-fn attack(config: SsdConfig, style: HammerStyle) -> (u64, usize) {
+fn attack(config: SsdConfig, hammerer: impl Hammerer + 'static) -> (u64, usize) {
     let mut ssd = Ssd::build(config);
     let Some(site) = find_attack_sites(ssd.ftl(), 4).first().cloned() else {
         return (0, 0);
     };
-    setup_entries(ssd.ftl_mut(), &site.victim_lbas).expect("setup");
-    let outcome = run_primitive(
-        &mut ssd,
-        &site,
-        style,
-        1_000_000.0,
-        SimDuration::from_millis(500),
-    )
-    .expect("hammer");
+    let outcome = AttackPipeline::new(hammerer, L2pEntries::default(), CrossBank)
+        .with_rate(1_000_000.0)
+        .with_duration(SimDuration::from_millis(500))
+        .with_sites(vec![site])
+        .run(&mut ssd)
+        .expect("hammer");
     (
         outcome.report.flips.len() as u64,
-        outcome.redirections.len(),
+        outcome.redirections().len(),
     )
 }
 
 fn attack_many_sided(config: SsdConfig) -> (u64, usize) {
     let mut ssd = Ssd::build(config);
-    let sites = find_attack_sites(ssd.ftl(), 256);
-    let group = sites_sharing_a_bank(&sites, 6);
-    if group.is_empty() {
-        return (0, 0);
+    let pipeline = AttackPipeline::new(ManySided::default(), L2pEntries::default(), SameBank)
+        .with_rate(2_000_000.0)
+        .with_duration(SimDuration::from_millis(500))
+        .with_max_sites(6);
+    match pipeline.run(&mut ssd) {
+        Ok(outcome) => (
+            outcome.report.flips.len() as u64,
+            outcome.redirections().len(),
+        ),
+        Err(AttackError::NoSites | AttackError::NotEnoughSites { .. }) => (0, 0),
+        Err(e) => panic!("hammer: {e}"),
     }
-    for s in &group {
-        setup_entries(ssd.ftl_mut(), &s.victim_lbas).expect("setup");
-    }
-    let outcome = run_many_sided(&mut ssd, &group, 2_000_000.0, SimDuration::from_millis(500))
-        .expect("hammer");
-    (
-        outcome.report.flips.len() as u64,
-        outcome.redirections.len(),
-    )
 }
 
 /// Attack against a keyed-hash L2P with the attacker's recon blinded to the
@@ -128,34 +122,25 @@ pub fn run(seed: u64) -> Vec<Sec5Row> {
 
     push(
         "baseline (no mitigation)",
-        attack(base_config(seed), HammerStyle::DoubleSided),
+        attack(base_config(seed), TwoSided),
     );
 
     let mut ecc = base_config(seed);
     ecc.ecc = Some(EccConfig::default());
-    push("SEC-DED ECC", attack(ecc, HammerStyle::DoubleSided));
+    push("SEC-DED ECC", attack(ecc, TwoSided));
 
     let mut trr = base_config(seed);
     trr.trr = Some(TrrConfig::default());
-    push(
-        "TRR vs double-sided",
-        attack(trr.clone(), HammerStyle::DoubleSided),
-    );
+    push("TRR vs double-sided", attack(trr.clone(), TwoSided));
     push("TRR vs many-sided (6 pairs)", attack_many_sided(trr));
 
     let mut refresh = base_config(seed);
     refresh.dram_profile = demo_profile().with_refresh_multiplier(16);
-    push(
-        "16x refresh rate",
-        attack(refresh, HammerStyle::DoubleSided),
-    );
+    push("16x refresh rate", attack(refresh, TwoSided));
 
     let mut limited = base_config(seed);
     limited.controller.rate_limit_iops = Some(50_000.0);
-    push(
-        "IOPS rate limit (50K/s)",
-        attack(limited, HammerStyle::DoubleSided),
-    );
+    push("IOPS rate limit (50K/s)", attack(limited, TwoSided));
 
     let mut hashed = base_config(seed);
     hashed.ftl.l2p_layout = L2pLayout::Hashed { key: 0x5EC6_E7B1 };
@@ -163,7 +148,7 @@ pub fn run(seed: u64) -> Vec<Sec5Row> {
 
     push(
         "one-location on open-page ctrl",
-        attack(base_config(seed), HammerStyle::OneLocation),
+        attack(base_config(seed), OneLocation),
     );
     rows
 }

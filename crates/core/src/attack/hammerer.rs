@@ -1,0 +1,214 @@
+//! [`Hammerer`] — how aggressor rows are activated.
+
+use ssdhammer_dram::HammerOptions;
+use ssdhammer_simkit::Lba;
+
+use crate::attack::AttackError;
+use crate::recon::AttackSite;
+
+/// A planned hammer burst: the round-robin LBA request pattern plus the
+/// per-access modifiers the NVMe hammer path applies.
+#[derive(Debug, Clone)]
+pub struct HammerPlan {
+    /// LBAs to read round-robin (each activates one aggressor row).
+    pub pattern: Vec<Lba>,
+    /// How many of the placement's sites the pattern spans (victim
+    /// observation covers exactly these).
+    pub sites_used: usize,
+    /// Open-row dwell and the telemetry label for `dram.pattern.*`.
+    pub opts: HammerOptions,
+    /// Multiplier on the requested rate: patterns that hold rows open
+    /// longer ([`RowPress`]) achieve proportionally fewer activations per
+    /// second.
+    pub rate_scale: f64,
+}
+
+/// A hammer pattern generator. Implementations are stateless recipes: given
+/// the placement's aggressor sites, produce the request pattern.
+pub trait Hammerer {
+    /// Registry name (`two_sided`, `many_sided`, …).
+    fn name(&self) -> &'static str;
+
+    /// Builds the request pattern over the best sites.
+    ///
+    /// # Errors
+    ///
+    /// [`AttackError::NoSites`] or [`AttackError::NotEnoughSites`] when the
+    /// placement did not produce what the pattern needs;
+    /// [`AttackError::SitesSpanBanks`] for many-sided patterns given sites
+    /// from several banks.
+    fn plan(&self, sites: &[AttackSite]) -> Result<HammerPlan, AttackError>;
+}
+
+fn first_site(sites: &[AttackSite]) -> Result<&AttackSite, AttackError> {
+    sites.first().ok_or(AttackError::NoSites)
+}
+
+/// Two aggressor rows sandwiching the victim — "used in our demonstration"
+/// (§3.1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TwoSided;
+
+impl Hammerer for TwoSided {
+    fn name(&self) -> &'static str {
+        "two_sided"
+    }
+
+    fn plan(&self, sites: &[AttackSite]) -> Result<HammerPlan, AttackError> {
+        let site = first_site(sites)?;
+        Ok(HammerPlan {
+            pattern: vec![site.above_lbas[0], site.below_lbas[0]],
+            sites_used: 1,
+            opts: HammerOptions {
+                label: self.name(),
+                ..HammerOptions::default()
+            },
+            rate_scale: 1.0,
+        })
+    }
+}
+
+/// One aggressor row adjacent to the victim — "single-sided attacks flip
+/// fewer bits in practice" (§4.2). The pattern still needs a second,
+/// far-away row of the same bank to force row-buffer conflicts; the below
+/// row's last LBA serves (same bank, far enough in practice).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OneSided;
+
+impl Hammerer for OneSided {
+    fn name(&self) -> &'static str {
+        "one_sided"
+    }
+
+    fn plan(&self, sites: &[AttackSite]) -> Result<HammerPlan, AttackError> {
+        let site = first_site(sites)?;
+        let far = site
+            .below_lbas
+            .last()
+            .copied()
+            .unwrap_or(site.below_lbas[0]);
+        Ok(HammerPlan {
+            pattern: vec![site.above_lbas[0], far],
+            sites_used: 1,
+            opts: HammerOptions {
+                label: self.name(),
+                ..HammerOptions::default()
+            },
+            rate_scale: 1.0,
+        })
+    }
+}
+
+/// Repeated access to a single row; only effective on closed-page
+/// controllers (Gruss et al.'s one-location variant, cited in §3.1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OneLocation;
+
+impl Hammerer for OneLocation {
+    fn name(&self) -> &'static str {
+        "one_location"
+    }
+
+    fn plan(&self, sites: &[AttackSite]) -> Result<HammerPlan, AttackError> {
+        let site = first_site(sites)?;
+        Ok(HammerPlan {
+            pattern: vec![site.above_lbas[0]],
+            sites_used: 1,
+            opts: HammerOptions {
+                label: self.name(),
+                ..HammerOptions::default()
+            },
+            rate_scale: 1.0,
+        })
+    }
+}
+
+/// Many aggressor pairs in one bank, interleaved — more hot rows than the
+/// per-bank TRR sampler can track (TRRespass).
+#[derive(Debug, Clone, Copy)]
+pub struct ManySided {
+    /// Aggressor pairs in the pattern (sites consumed).
+    pub pairs: u32,
+    /// Rotation of the pair order — TRRespass's phase offset, shifting
+    /// which pair the sampler sees first in each refresh window.
+    pub phase: u32,
+}
+
+impl Default for ManySided {
+    fn default() -> Self {
+        ManySided { pairs: 6, phase: 0 }
+    }
+}
+
+impl Hammerer for ManySided {
+    fn name(&self) -> &'static str {
+        "many_sided"
+    }
+
+    fn plan(&self, sites: &[AttackSite]) -> Result<HammerPlan, AttackError> {
+        let pairs = self.pairs as usize;
+        assert!(pairs >= 1, "many-sided needs at least one pair");
+        if sites.len() < pairs {
+            return Err(AttackError::NotEnoughSites {
+                needed: pairs,
+                got: sites.len(),
+            });
+        }
+        let used = &sites[..pairs];
+        let bank = used[0].victim.bank;
+        if used.iter().any(|s| s.victim.bank != bank) {
+            return Err(AttackError::SitesSpanBanks);
+        }
+        let pattern = (0..pairs)
+            .map(|i| &used[(i + self.phase as usize) % pairs])
+            .flat_map(|s| [s.above_lbas[0], s.below_lbas[0]])
+            .collect();
+        Ok(HammerPlan {
+            pattern,
+            sites_used: pairs,
+            opts: HammerOptions {
+                label: self.name(),
+                ..HammerOptions::default()
+            },
+            rate_scale: 1.0,
+        })
+    }
+}
+
+/// RowPress-style hammering: each aggressor access holds the row open
+/// `dwell`× longer. Achievable activation rate drops by the same factor,
+/// but per-activation disturbance grows with row-open time — and TRR
+/// samplers count *activations*, so the pressure rides under their
+/// detection threshold.
+#[derive(Debug, Clone, Copy)]
+pub struct RowPress {
+    /// Open-row dwell multiplier (> 1 presses, 1 degenerates to
+    /// [`TwoSided`]).
+    pub dwell: f64,
+}
+
+impl Default for RowPress {
+    fn default() -> Self {
+        RowPress { dwell: 8.0 }
+    }
+}
+
+impl Hammerer for RowPress {
+    fn name(&self) -> &'static str {
+        "rowpress"
+    }
+
+    fn plan(&self, sites: &[AttackSite]) -> Result<HammerPlan, AttackError> {
+        assert!(self.dwell >= 1.0, "dwell must be >= 1");
+        let site = first_site(sites)?;
+        Ok(HammerPlan {
+            pattern: vec![site.above_lbas[0], site.below_lbas[0]],
+            sites_used: 1,
+            opts: HammerOptions {
+                dwell_factor: self.dwell,
+                label: self.name(),
+            },
+            rate_scale: 1.0 / self.dwell,
+        })
+    }
+}

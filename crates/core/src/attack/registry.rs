@@ -1,0 +1,77 @@
+//! Name-keyed registries of hammer patterns, victims, and placements, so a
+//! command line (`repro attacks --pattern … --victim …`) can enumerate the
+//! full grid.
+
+use crate::attack::{
+    AttackError, BadBlockTable, CrossBank, Hammerer, JournalCache, L2pEntries, ManySided,
+    OneLocation, OneSided, Placement, RowPress, SameBank, TwoSided, Victim, WearCounters,
+};
+
+/// Registered hammer pattern names, grid order.
+#[must_use]
+pub fn pattern_names() -> &'static [&'static str] {
+    &[
+        "two_sided",
+        "one_sided",
+        "one_location",
+        "many_sided",
+        "rowpress",
+    ]
+}
+
+/// Registered victim names, grid order.
+#[must_use]
+pub fn victim_names() -> &'static [&'static str] {
+    &["l2p", "bad_block", "journal", "wear"]
+}
+
+/// Registered placement names.
+#[must_use]
+pub fn placement_names() -> &'static [&'static str] {
+    &["cross_bank", "same_bank"]
+}
+
+/// Instantiates a hammer pattern by name (defaults for parameterized ones:
+/// six pairs / phase 0 for `many_sided`, dwell 8 for `rowpress`).
+///
+/// # Errors
+///
+/// [`AttackError::UnknownPattern`] for unregistered names.
+pub fn make_hammerer(name: &str) -> Result<Box<dyn Hammerer>, AttackError> {
+    match name {
+        "two_sided" => Ok(Box::new(TwoSided)),
+        "one_sided" => Ok(Box::new(OneSided)),
+        "one_location" => Ok(Box::new(OneLocation)),
+        "many_sided" => Ok(Box::new(ManySided::default())),
+        "rowpress" => Ok(Box::new(RowPress::default())),
+        other => Err(AttackError::UnknownPattern(other.to_string())),
+    }
+}
+
+/// Instantiates a victim by name.
+///
+/// # Errors
+///
+/// [`AttackError::UnknownVictim`] for unregistered names.
+pub fn make_victim(name: &str) -> Result<Box<dyn Victim>, AttackError> {
+    match name {
+        "l2p" => Ok(Box::new(L2pEntries::default())),
+        "bad_block" => Ok(Box::new(BadBlockTable)),
+        "journal" => Ok(Box::new(JournalCache)),
+        "wear" => Ok(Box::new(WearCounters)),
+        other => Err(AttackError::UnknownVictim(other.to_string())),
+    }
+}
+
+/// Instantiates a placement by name.
+///
+/// # Errors
+///
+/// [`AttackError::UnknownPlacement`] for unregistered names.
+pub fn make_placement(name: &str) -> Result<Box<dyn Placement>, AttackError> {
+    match name {
+        "cross_bank" => Ok(Box::new(CrossBank)),
+        "same_bank" => Ok(Box::new(SameBank)),
+        other => Err(AttackError::UnknownPlacement(other.to_string())),
+    }
+}

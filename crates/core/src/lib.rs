@@ -49,9 +49,12 @@ pub mod recon;
 pub mod spray;
 
 pub use attack::{
-    diff_mappings, expected_time_to_success, many_sided_request_set, probe_sites,
-    request_set_for_site, run_many_sided, run_primitive, setup_entries, sites_sharing_a_bank,
-    snapshot_host_mappings, snapshot_mappings, MappingState, PrimitiveOutcome, Redirection,
+    diff_mappings, expected_time_to_success, make_hammerer, make_placement, make_victim,
+    pattern_names, placement_names, probe_sites, setup_entries, snapshot_host_mappings,
+    snapshot_mappings, victim_names, AttackError, AttackOutcome, AttackPipeline, BadBlockTable,
+    ChangeKind, CrossBank, HammerPlan, Hammerer, JournalCache, L2pEntries, ManySided, MappingState,
+    Observation, OneLocation, OneSided, Placement, Redirection, RowPress, SameBank, TwoSided,
+    Victim, VictimChange, WearCounters,
 };
 pub use polyglot::{executable_payload, is_valid_executable, polyglot_block};
 pub use probability::AttackParams;

@@ -71,7 +71,8 @@ pub use ecc::{EccConfig, EccOutcome, ECC_WORD_BITS};
 pub use geometry::{DramGeometry, Location, RowKey};
 pub use mapping::{AddressMapping, MappingKind};
 pub use module::{
-    DramError, DramModule, DramModuleBuilder, DramTelemetry, FlipDirection, FlipEvent, HammerReport,
+    DramError, DramModule, DramModuleBuilder, DramTelemetry, FlipDirection, FlipEvent,
+    HammerOptions, HammerReport,
 };
 pub use para::ParaConfig;
 pub use profile::{DramGeneration, ModuleProfile, RowPolicy};

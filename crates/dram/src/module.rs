@@ -156,6 +156,33 @@ impl DramHandles {
     }
 }
 
+/// Per-run knobs for [`DramModule::run_hammer_with`].
+///
+/// The defaults reproduce [`DramModule::run_hammer`] exactly: a dwell factor
+/// of `1.0` multiplies every pressure contribution by one (bit-identical in
+/// IEEE-754), and an empty label suppresses per-pattern telemetry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HammerOptions {
+    /// Open-row dwell multiplier (RowPress): each aggressor activation
+    /// holds its row open `dwell_factor`× longer than a minimal ACT, which
+    /// amplifies the per-activation disturbance on neighbors by the same
+    /// factor (Luo et al., RowPress, ISCA '23). `1.0` models back-to-back
+    /// ACTs with no extra dwell.
+    pub dwell_factor: f64,
+    /// Attack-pattern label for per-pattern activation telemetry
+    /// (`dram.pattern.<label>.activations`). Empty = no pattern counter.
+    pub label: &'static str,
+}
+
+impl Default for HammerOptions {
+    fn default() -> Self {
+        HammerOptions {
+            dwell_factor: 1.0,
+            label: "",
+        }
+    }
+}
+
 /// Result of a bulk hammering run (see [`DramModule::run_hammer`]).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct HammerReport {
@@ -225,6 +252,9 @@ pub struct DramModule {
     acted: Vec<u32>,
     /// Open row per bank (`u32::MAX` = none open).
     open_rows: Vec<u32>,
+    /// Open-row dwell multiplier in effect (RowPress); `1.0` outside a
+    /// [`DramModule::run_hammer_with`] call with a non-default factor.
+    open_row_dwell: f64,
     tel: DramHandles,
     flip_log: Vec<FlipEvent>,
 }
@@ -333,6 +363,7 @@ impl DramModuleBuilder {
             gen: 1,
             acted: Vec::new(),
             open_rows: vec![u32::MAX; self.geometry.total_banks() as usize],
+            open_row_dwell: 1.0,
             tel: DramHandles::bind(self.telemetry.unwrap_or_default()),
             flip_log: Vec::new(),
         }
@@ -567,8 +598,40 @@ impl DramModule {
         total_accesses: u64,
         rate_per_sec: f64,
     ) -> Result<HammerReport, DramError> {
+        self.run_hammer_with(
+            aggressors,
+            total_accesses,
+            rate_per_sec,
+            HammerOptions::default(),
+        )
+    }
+
+    /// [`DramModule::run_hammer`] with per-run [`HammerOptions`]: an
+    /// open-row dwell multiplier (RowPress-style patterns trade activation
+    /// rate for per-activation disturbance) and a pattern label for
+    /// `dram.pattern.<label>.activations` telemetry.
+    ///
+    /// With the default options this is bit-identical to
+    /// [`DramModule::run_hammer`].
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::OutOfRange`] if any aggressor address is out of range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aggressors` is empty, `rate_per_sec` is not positive, or
+    /// `opts.dwell_factor` is not positive.
+    pub fn run_hammer_with(
+        &mut self,
+        aggressors: &[DramAddr],
+        total_accesses: u64,
+        rate_per_sec: f64,
+        opts: HammerOptions,
+    ) -> Result<HammerReport, DramError> {
         assert!(!aggressors.is_empty(), "need at least one aggressor");
         assert!(rate_per_sec > 0.0, "rate must be positive");
+        assert!(opts.dwell_factor > 0.0, "dwell factor must be positive");
         let keys: Vec<RowKey> = aggressors
             .iter()
             .map(|&a| self.checked_decode(a, 1).map(|l| l.row_key()))
@@ -577,6 +640,7 @@ impl DramModule {
         // one ACT per window, not one per access.
         let absorbed = keys.len() == 1 && self.profile.row_policy == RowPolicy::OpenPage;
 
+        self.open_row_dwell = opts.dwell_factor;
         let start = self.clock.now();
         let flips_before = self.flip_log.len();
         let mut issued = 0u64;
@@ -617,6 +681,13 @@ impl DramModule {
             }
         }
         self.settle_window();
+        self.open_row_dwell = 1.0;
+        if !opts.label.is_empty() {
+            self.tel
+                .registry
+                .counter(&format!("dram.pattern.{}.activations", opts.label))
+                .add(activations);
+        }
         let elapsed = self.clock.elapsed_since(start);
         let windows = elapsed.as_nanos() / window.as_nanos().max(1) + 1;
         Ok(HammerReport {
@@ -845,6 +916,11 @@ impl DramModule {
             trr.tracked_rows(&bank_acts)
         });
         let trr_suppressions = self.tel.trr_suppressions.clone();
+        // Open-row dwell scales per-ACT disturbance *after* TRR capping: the
+        // sampler counts activations, not row-open time, which is exactly
+        // the blind spot RowPress exploits. A factor of 1.0 is a bit-exact
+        // no-op.
+        let dwell = self.open_row_dwell;
         let contribution = |key: RowKey| -> f64 {
             let n = self.acts_at(self.row_index(key));
             if n == 0 {
@@ -855,9 +931,9 @@ impl DramModule {
                     if n > trr.detection_threshold {
                         trr_suppressions.incr();
                     }
-                    n.min(trr.detection_threshold) as f64
+                    n.min(trr.detection_threshold) as f64 * dwell
                 }
-                _ => n as f64,
+                _ => n as f64 * dwell,
             }
         };
         let mut p = 0.0;

@@ -6,7 +6,7 @@
 //! update is a real access to the simulated [`DramModule`], so host I/O
 //! produces DRAM row activations — the attack surface.
 
-use ssdhammer_dram::{DramError, DramModule, EccOutcome, HammerReport};
+use ssdhammer_dram::{DramError, DramModule, EccOutcome, HammerOptions, HammerReport};
 use ssdhammer_flash::{BlockId, FlashArray, FlashError, Ppn};
 use ssdhammer_simkit::bytes::{le_u32, le_u64};
 use ssdhammer_simkit::faultplane::FaultPlane;
@@ -17,6 +17,7 @@ use ssdhammer_simkit::{DramAddr, Lba, SimClock, SimTime, BLOCK_SIZE};
 use crate::integrity::{IntegrityMode, IntegrityPlane, VerifyOutcome};
 use crate::journal::{self, JournalEntry};
 use crate::l2p::{L2pLayout, L2pTable};
+use crate::meta::{MetaKind, MetaPlane};
 
 /// Errors surfaced by FTL operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -152,6 +153,11 @@ pub struct FtlConfig {
     /// [`IntegrityMode::Correct`], a distant mirror copy) verified on the
     /// firmware's read path. See [`crate::integrity`].
     pub integrity: IntegrityMode,
+    /// Keep FTL metadata (grown-bad-block table, wear counters, journal
+    /// write cache) resident in DRAM alongside the L2P table, making it a
+    /// rowhammer target of its own. See [`crate::meta`]. Off by default:
+    /// write-through costs timed DRAM accesses.
+    pub meta_resident: bool,
 }
 
 impl Default for FtlConfig {
@@ -174,6 +180,7 @@ impl Default for FtlConfig {
             journal_checkpoint_every: 0,
             journal_blocks: 2,
             integrity: IntegrityMode::Off,
+            meta_resident: false,
         }
     }
 }
@@ -270,6 +277,13 @@ impl FtlConfig {
     #[must_use]
     pub fn with_integrity(mut self, mode: IntegrityMode) -> Self {
         self.integrity = mode;
+        self
+    }
+
+    /// Enables or disables the DRAM-resident metadata plane.
+    #[must_use]
+    pub fn with_meta_resident(mut self, enabled: bool) -> Self {
+        self.meta_resident = enabled;
         self
     }
 }
@@ -488,6 +502,9 @@ pub struct Ftl {
     journal_buf: Vec<JournalEntry>,
     /// L2P protection plane (`None` when [`FtlConfig::integrity`] is Off).
     integrity: Option<IntegrityPlane>,
+    /// DRAM-resident metadata mirrors (`None` unless
+    /// [`FtlConfig::meta_resident`]).
+    meta: Option<MetaPlane>,
     /// Next LBA the patrol scrubber will verify.
     scrub_cursor: u64,
     /// Next physical page the flash patrol will consider.
@@ -594,6 +611,36 @@ impl Ftl {
             plane.init(&mut dram, crate::l2p::INVALID_ENTRY)?;
             Some(plane)
         };
+        // The metadata mirrors pack into the L2P table's slot-padding tail
+        // when it is free (linear layout leaves slots ≥ capacity unused, and
+        // no integrity codes cover them): firmware lays metadata right
+        // behind the entries, and that adjacency is what exposes it — the
+        // metadata words share controller swizzle groups with live entries,
+        // so their DRAM rows neighbor host-activatable rows. When the tail
+        // is occupied (hashed layout) or covered (integrity on) or too
+        // small, fall back to row-aligned regions after the table, below the
+        // integrity plane's reservation at the top of DRAM.
+        let meta = if config.meta_resident {
+            let primary_end = config.l2p_base.as_u64() + table.size_bytes();
+            let limit = integrity
+                .as_ref()
+                .map_or(dram_cap, |p| p.region_start().as_u64());
+            let row_bytes = u64::from(dram.mapping().geometry().row_bytes);
+            let tail_free =
+                config.l2p_layout == L2pLayout::Linear && config.integrity == IntegrityMode::Off;
+            let entries_end = config.l2p_base.as_u64() + exported_lbas * 4;
+            let plane = tail_free
+                .then(|| MetaPlane::plan_packed(geometry.total_blocks(), entries_end, primary_end))
+                .flatten()
+                .or_else(|| MetaPlane::plan(geometry.total_blocks(), primary_end, row_bytes, limit))
+                .ok_or(FtlError::Dram(DramError::OutOfRange {
+                    addr: DramAddr(dram_cap),
+                }))?;
+            plane.init(&mut dram)?;
+            Some(plane)
+        } else {
+            None
+        };
         // One registry for the whole sub-stack: the DRAM module's registry
         // becomes the FTL's, and the NAND array is rebound onto it.
         let registry = dram.shared_telemetry();
@@ -623,6 +670,7 @@ impl Ftl {
             journal_region,
             journal_buf: Vec::new(),
             integrity,
+            meta,
             scrub_cursor: 0,
             patrol_cursor: 0,
         })
@@ -845,6 +893,31 @@ impl Ftl {
     #[must_use]
     pub fn nand(&self) -> &FlashArray {
         &self.nand
+    }
+
+    /// The DRAM-resident metadata plane, when
+    /// [`FtlConfig::meta_resident`] enabled it.
+    #[must_use]
+    pub fn meta(&self) -> Option<&MetaPlane> {
+        self.meta.as_ref()
+    }
+
+    /// Reads word `idx` of metadata mirror `kind` through the device's
+    /// timed DRAM path — the firmware consulting its own tables, which is
+    /// how a hammered metadata bit becomes an observable failure.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::Dram`] when the plane is disabled, `idx` is out of
+    /// range, or the DRAM word is ECC-uncorrectable.
+    pub fn meta_word_read(&mut self, kind: MetaKind, idx: u64) -> Result<u32, FtlError> {
+        let addr = self
+            .meta
+            .and_then(|plane| plane.word_addr(kind, idx))
+            .ok_or(FtlError::Dram(DramError::OutOfRange {
+                addr: DramAddr(u64::MAX),
+            }))?;
+        Ok(self.dram.read_u32(addr)?)
     }
 
     /// The shared simulation clock.
@@ -1115,6 +1188,27 @@ impl Ftl {
         requests: u64,
         request_rate: f64,
     ) -> Result<HammerReport, FtlError> {
+        self.hammer_reads_with(lbas, requests, request_rate, HammerOptions::default())
+    }
+
+    /// [`Ftl::hammer_reads`] with per-burst [`HammerOptions`] (open-row
+    /// dwell, pattern telemetry label) forwarded to the DRAM layer. Default
+    /// options are bit-identical to [`Ftl::hammer_reads`].
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range LBAs or DRAM errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lbas` is empty or the rate is not positive.
+    pub fn hammer_reads_with(
+        &mut self,
+        lbas: &[Lba],
+        requests: u64,
+        request_rate: f64,
+        opts: HammerOptions,
+    ) -> Result<HammerReport, FtlError> {
         assert!(!lbas.is_empty(), "need at least one LBA");
         for &lba in lbas {
             self.check_lba(lba)?;
@@ -1123,9 +1217,9 @@ impl Ftl {
         let amp = u64::from(self.config.hammer_amplification);
         self.tel.host_reads.add(requests);
         self.tel.l2p_reads.add(requests);
-        let report = self
-            .dram
-            .run_hammer(&addrs, requests * amp, request_rate * amp as f64)?;
+        let report =
+            self.dram
+                .run_hammer_with(&addrs, requests * amp, request_rate * amp as f64, opts)?;
         Ok(report)
     }
 
@@ -1479,8 +1573,54 @@ impl Ftl {
             "ftl.bad_block",
             format!("block {} retired ({cause})", block.as_u64()),
         );
+        self.meta_mark_bad(block);
         if self.remap_events > self.config.remap_budget {
             self.engage_read_only("remap budget exhausted");
+        }
+    }
+
+    /// Write-through of the grown-bad-block mirror ([`crate::meta`]). A
+    /// mirror that cannot be written (never, by construction) is simply
+    /// stale — the authoritative state lives in the FTL proper.
+    fn meta_mark_bad(&mut self, block: BlockId) {
+        let Some(plane) = self.meta else { return };
+        if let Some(addr) = plane.word_addr(MetaKind::BadBlock, block.as_u64()) {
+            let _ = self
+                .dram
+                .write_u32(addr, MetaPlane::bad_word(block.as_u64() as u32, true));
+        }
+    }
+
+    /// Write-through of the wear-counter mirror after an erase.
+    fn meta_note_wear(&mut self, block: BlockId) {
+        let Some(plane) = self.meta else { return };
+        let Ok(pe) = self.nand.pe_cycles(block) else {
+            return;
+        };
+        if let Some(addr) = plane.word_addr(MetaKind::Wear, block.as_u64()) {
+            let _ = self
+                .dram
+                .write_u32(addr, MetaPlane::wear_word(block.as_u64() as u32, pe));
+        }
+    }
+
+    /// Write-through of the journal write-cache ring: the entry is encoded
+    /// into slot `seq % JOURNAL_SLOTS` as four words (LBA, sequence, PPN,
+    /// slot tag).
+    fn meta_journal_write(&mut self, entry: &JournalEntry) {
+        let Some(plane) = self.meta else { return };
+        let slot = entry.seq % crate::meta::JOURNAL_SLOTS;
+        let base = slot * crate::meta::JOURNAL_SLOT_WORDS;
+        let words = [
+            entry.lba as u32,
+            entry.seq as u32,
+            entry.ppn,
+            0x4A50_0000 | slot as u32,
+        ];
+        for (i, word) in words.into_iter().enumerate() {
+            if let Some(addr) = plane.word_addr(MetaKind::Journal, base + i as u64) {
+                let _ = self.dram.write_u32(addr, word);
+            }
         }
     }
 
@@ -1529,11 +1669,13 @@ impl Ftl {
         if self.config.journal_checkpoint_every == 0 {
             return Ok(());
         }
-        self.journal_buf.push(JournalEntry {
+        let entry = JournalEntry {
             lba: lba.as_u64(),
             seq,
             ppn: ppn.map_or(crate::l2p::INVALID_ENTRY, |p| p.as_u64() as u32),
-        });
+        };
+        self.meta_journal_write(&entry);
+        self.journal_buf.push(entry);
         if self.journal_buf.len() >= self.config.journal_checkpoint_every as usize {
             self.checkpoint_journal()?;
         }
@@ -1683,7 +1825,10 @@ impl Ftl {
         }
         self.relocate_valid_pages(victim)?;
         match self.nand.erase_block(victim) {
-            Ok(_) => self.free_blocks.push(victim),
+            Ok(_) => {
+                self.free_blocks.push(victim);
+                self.meta_note_wear(victim);
+            }
             Err(FlashError::BadBlock { .. }) => { /* retire worn block */ }
             Err(FlashError::EraseFailed { .. }) => {
                 // The flash marked it grown-bad; charge the remap budget.

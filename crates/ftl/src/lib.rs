@@ -47,7 +47,9 @@ mod ftl;
 pub mod integrity;
 mod journal;
 mod l2p;
+pub mod meta;
 
 pub use ftl::{Ftl, FtlConfig, FtlError, FtlTelemetry, ReadOutcome};
 pub use integrity::{IntegrityMode, SecdedOutcome};
 pub use l2p::{L2pLayout, L2pTable, INVALID_ENTRY};
+pub use meta::{MetaKind, MetaPlane};

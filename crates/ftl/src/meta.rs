@@ -1,0 +1,232 @@
+//! DRAM-resident FTL metadata mirrors: the grown-bad-block table, per-block
+//! wear-level counters, and the L2P journal write cache.
+//!
+//! The paper's threat model covers *any* FTL state resident in the SSD's
+//! on-board DRAM, not just the L2P table (§2.3). Real firmware keeps its
+//! bad-block table, wear-leveling statistics, and write-cache metadata in
+//! the same DRAM; a rowhammer flip in any of them is a silent-failure
+//! scenario of its own (a good block treated as bad, a hot block treated as
+//! cold, a cached journal entry replayed wrong). This module lays those
+//! structures out in simulated DRAM — row-aligned, right after the L2P
+//! table, where the controller's address swizzling interleaves their rows
+//! with L2P rows — and the [`Ftl`] write-through hooks keep them current.
+//!
+//! The plane is **opt-in** ([`FtlConfig::meta_resident`], default off):
+//! write-through costs timed DRAM accesses, and the repro figures must stay
+//! bit-identical to their committed baselines.
+//!
+//! [`Ftl`]: crate::Ftl
+//! [`FtlConfig::meta_resident`]: crate::FtlConfig::meta_resident
+
+use ssdhammer_dram::{DramError, DramModule};
+use ssdhammer_simkit::DramAddr;
+
+/// Journal write-cache ring slots mirrored in DRAM.
+pub const JOURNAL_SLOTS: u64 = 64;
+/// 32-bit words per journal slot: LBA, sequence, PPN, slot tag.
+pub const JOURNAL_SLOT_WORDS: u64 = 4;
+
+/// Which DRAM-resident metadata structure a word belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetaKind {
+    /// Grown-bad-block table: one word per flash block, bit 0 = retired.
+    BadBlock,
+    /// Wear-level counters: one word per flash block, P/E cycles in the
+    /// high half.
+    Wear,
+    /// L2P journal write cache: a [`JOURNAL_SLOTS`]-slot ring of
+    /// [`JOURNAL_SLOT_WORDS`]-word entries.
+    Journal,
+}
+
+impl core::fmt::Display for MetaKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            MetaKind::BadBlock => "bad_block",
+            MetaKind::Wear => "wear",
+            MetaKind::Journal => "journal",
+        })
+    }
+}
+
+/// DRAM placement of the three metadata mirrors. Each region starts on a
+/// DRAM row boundary so the structures occupy disjoint rows — under a
+/// swizzled controller mapping those rows scatter among L2P rows, which is
+/// what makes them hammerable through host reads alone (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetaPlane {
+    bad_base: DramAddr,
+    wear_base: DramAddr,
+    journal_base: DramAddr,
+    blocks: u64,
+    end: u64,
+}
+
+fn align_up(addr: u64, to: u64) -> u64 {
+    addr.div_ceil(to) * to
+}
+
+impl MetaPlane {
+    /// Lays the plane out row-aligned starting at or after `primary_end`
+    /// (the end of the L2P table), one word per flash block for the
+    /// bad-block and wear tables plus the journal ring. Returns `None` when
+    /// the regions would not fit below `limit` (the start of the integrity
+    /// plane, or the end of DRAM).
+    #[must_use]
+    pub fn plan(blocks: u64, primary_end: u64, row_bytes: u64, limit: u64) -> Option<Self> {
+        let bad_base = align_up(primary_end, row_bytes);
+        let wear_base = align_up(bad_base + blocks * 4, row_bytes);
+        let journal_base = align_up(wear_base + blocks * 4, row_bytes);
+        let end = align_up(
+            journal_base + JOURNAL_SLOTS * JOURNAL_SLOT_WORDS * 4,
+            row_bytes,
+        );
+        if end > limit {
+            return None;
+        }
+        Some(MetaPlane {
+            bad_base: DramAddr(bad_base),
+            wear_base: DramAddr(wear_base),
+            journal_base: DramAddr(journal_base),
+            blocks,
+            end,
+        })
+    }
+
+    /// Packs the plane word-aligned into `[start, limit)` — the L2P table's
+    /// slot-padding tail. This is how real firmware lays DRAM out (metadata
+    /// right behind the entries), and it is what makes the attack reach it:
+    /// the metadata words share memory-controller swizzle groups with live
+    /// entries, so their DRAM rows are physically adjacent to rows the host
+    /// can activate through reads. Returns `None` when the tail is too
+    /// small.
+    #[must_use]
+    pub fn plan_packed(blocks: u64, start: u64, limit: u64) -> Option<Self> {
+        let bad_base = align_up(start, 4);
+        let wear_base = bad_base + blocks * 4;
+        let journal_base = wear_base + blocks * 4;
+        let end = journal_base + JOURNAL_SLOTS * JOURNAL_SLOT_WORDS * 4;
+        if end > limit {
+            return None;
+        }
+        Some(MetaPlane {
+            bad_base: DramAddr(bad_base),
+            wear_base: DramAddr(wear_base),
+            journal_base: DramAddr(journal_base),
+            blocks,
+            end,
+        })
+    }
+
+    /// First byte of a region.
+    #[must_use]
+    pub fn base(&self, kind: MetaKind) -> DramAddr {
+        match kind {
+            MetaKind::BadBlock => self.bad_base,
+            MetaKind::Wear => self.wear_base,
+            MetaKind::Journal => self.journal_base,
+        }
+    }
+
+    /// Number of 32-bit words in a region.
+    #[must_use]
+    pub fn words(&self, kind: MetaKind) -> u64 {
+        match kind {
+            MetaKind::BadBlock | MetaKind::Wear => self.blocks,
+            MetaKind::Journal => JOURNAL_SLOTS * JOURNAL_SLOT_WORDS,
+        }
+    }
+
+    /// DRAM address of word `idx` of `kind`, if in range.
+    #[must_use]
+    pub fn word_addr(&self, kind: MetaKind, idx: u64) -> Option<DramAddr> {
+        (idx < self.words(kind)).then(|| self.base(kind).offset(idx * 4))
+    }
+
+    /// One byte past the plane's DRAM footprint.
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// The word a freshly initialized region holds at `idx` — a mixed bit
+    /// pattern (structure tag + index) so both true- and anti-cells have
+    /// something to flip.
+    #[must_use]
+    pub fn init_word(kind: MetaKind, idx: u64) -> u32 {
+        let idx = idx as u32;
+        match kind {
+            MetaKind::BadBlock => 0xB4D0_0000 | (idx << 1),
+            MetaKind::Wear => Self::wear_word(idx, 0),
+            MetaKind::Journal => 0x4A4E_4C00 ^ idx,
+        }
+    }
+
+    /// Wear-table encoding: P/E cycles in the high half, a tagged block id
+    /// in the low half.
+    #[must_use]
+    pub fn wear_word(block: u32, pe_cycles: u32) -> u32 {
+        (pe_cycles << 16) | 0x5A00 | (block & 0xFF)
+    }
+
+    /// Bad-block-table encoding: tag, block id, and the retired bit.
+    #[must_use]
+    pub fn bad_word(block: u32, bad: bool) -> u32 {
+        0xB4D0_0000 | (block << 1) | u32::from(bad)
+    }
+
+    /// Materializes every region with its initial pattern, through timed
+    /// DRAM writes (this is firmware boot work).
+    ///
+    /// # Errors
+    ///
+    /// Propagates DRAM range errors.
+    pub fn init(&self, dram: &mut DramModule) -> Result<(), DramError> {
+        for kind in [MetaKind::BadBlock, MetaKind::Wear, MetaKind::Journal] {
+            for idx in 0..self.words(kind) {
+                dram.write_u32(self.base(kind).offset(idx * 4), Self::init_word(kind, idx))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_row_aligned_and_bounded() {
+        let p = MetaPlane::plan(64, 4096 + 1, 1024, 1 << 20).unwrap();
+        for kind in [MetaKind::BadBlock, MetaKind::Wear, MetaKind::Journal] {
+            assert_eq!(p.base(kind).as_u64() % 1024, 0, "{kind} not row-aligned");
+        }
+        assert!(p.base(MetaKind::BadBlock).as_u64() >= 4097);
+        assert!(p.end() <= 1 << 20);
+        assert_eq!(p.words(MetaKind::BadBlock), 64);
+        assert_eq!(
+            p.words(MetaKind::Journal),
+            JOURNAL_SLOTS * JOURNAL_SLOT_WORDS
+        );
+    }
+
+    #[test]
+    fn plan_refuses_overflow() {
+        assert!(MetaPlane::plan(64, 0, 1024, 1024).is_none());
+    }
+
+    #[test]
+    fn word_addr_bounds() {
+        let p = MetaPlane::plan(8, 0, 1024, 1 << 20).unwrap();
+        assert!(p.word_addr(MetaKind::Wear, 7).is_some());
+        assert!(p.word_addr(MetaKind::Wear, 8).is_none());
+    }
+
+    #[test]
+    fn encodings_are_distinct_and_tagged() {
+        assert_ne!(MetaPlane::bad_word(3, false), MetaPlane::bad_word(3, true));
+        assert_eq!(MetaPlane::bad_word(3, false) & 1, 0);
+        assert_eq!(MetaPlane::bad_word(3, true) & 1, 1);
+        assert_eq!(MetaPlane::wear_word(2, 5) >> 16, 5);
+    }
+}

@@ -1,5 +1,6 @@
 //! NVMe-ish command set, completions, and controller configuration.
 
+use ssdhammer_dram::HammerOptions;
 use ssdhammer_ftl::FtlError;
 use ssdhammer_simkit::{Lba, SimDuration, SimTime};
 
@@ -144,6 +145,9 @@ pub enum Command {
         requests: u64,
         /// Requested submission rate, commands/second.
         rate: f64,
+        /// Per-burst DRAM knobs: open-row dwell and the pattern label for
+        /// per-pattern activation telemetry.
+        opts: HammerOptions,
     },
 }
 

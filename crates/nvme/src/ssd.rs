@@ -4,8 +4,8 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use ssdhammer_dram::{
-    DramGeometry, DramModule, EccConfig, HammerReport, MappingKind, ModuleProfile, ParaConfig,
-    TrrConfig,
+    DramGeometry, DramModule, EccConfig, HammerOptions, HammerReport, MappingKind, ModuleProfile,
+    ParaConfig, TrrConfig,
 };
 use ssdhammer_flash::{FlashArray, FlashGeometry, FlashTiming};
 use ssdhammer_ftl::{Ftl, FtlConfig, ReadOutcome};
@@ -1057,9 +1057,10 @@ impl Ssd {
             lbas,
             requests,
             rate,
+            opts,
         } = cmd
         {
-            return self.execute_hammer(cid, &lbas, requests, rate);
+            return self.execute_hammer(cid, &lbas, requests, rate, opts);
         }
         self.pump_scrubber();
         let submitted = self.clock.now();
@@ -1188,7 +1189,14 @@ impl Ssd {
     /// scrub-interval-sized sub-bursts so patrol chunks genuinely interleave
     /// with the attack stream — the defense races the hammer inside the
     /// burst, not just at its boundaries.
-    fn execute_hammer(&mut self, cid: u64, lbas: &[Lba], requests: u64, rate: f64) -> Completion {
+    fn execute_hammer(
+        &mut self,
+        cid: u64,
+        lbas: &[Lba],
+        requests: u64,
+        rate: f64,
+        opts: HammerOptions,
+    ) -> Completion {
         let submitted = self.clock.now();
         self.pump_scrubber();
         let effective = rate.min(self.max_iops());
@@ -1200,7 +1208,7 @@ impl Ssd {
         let mut merged: Option<HammerReport> = None;
         let result = loop {
             let n = slice.map_or(remaining, |s| remaining.min(s));
-            match self.ftl.hammer_reads(lbas, n, effective) {
+            match self.ftl.hammer_reads_with(lbas, n, effective, opts) {
                 Ok(report) => {
                     merged = Some(match merged.take() {
                         None => report,
@@ -1288,6 +1296,28 @@ impl Ssd {
         requests: u64,
         requested_rate: f64,
     ) -> Result<HammerReport, NvmeError> {
+        self.hammer_device_reads_with(lbas, requests, requested_rate, HammerOptions::default())
+    }
+
+    /// [`Ssd::hammer_device_reads`] with per-burst [`HammerOptions`]: an
+    /// open-row dwell multiplier (RowPress-style patterns) and a pattern
+    /// label for per-pattern DRAM activation telemetry. Default options are
+    /// bit-identical to [`Ssd::hammer_device_reads`].
+    ///
+    /// # Errors
+    ///
+    /// Addressing or FTL failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lbas` is empty or `requested_rate` is not positive.
+    pub fn hammer_device_reads_with(
+        &mut self,
+        lbas: &[Lba],
+        requests: u64,
+        requested_rate: f64,
+        opts: HammerOptions,
+    ) -> Result<HammerReport, NvmeError> {
         assert!(requested_rate > 0.0, "rate must be positive");
         assert!(!lbas.is_empty(), "need at least one LBA");
         // The hammer loop is a batch submission like any other: the burst
@@ -1299,6 +1329,7 @@ impl Ssd {
             lbas: lbas.into(),
             requests,
             rate: requested_rate,
+            opts,
         }];
         self.submit_batch(qp, &batch)?;
         self.process(qp)?;

@@ -1,9 +1,10 @@
 //! # ssdhammer-workload
 //!
-//! Host access-pattern generators for the `ssdhammer` experiments: the
-//! attack's hammer request sets (double-sided, single-sided, one-location,
-//! many-sided) plus ordinary sequential/random/skewed workloads used to
-//! exercise the FTL and as background noise in mitigation ablations.
+//! Host access-pattern generators for the `ssdhammer` experiments:
+//! sequential/random/skewed workloads used to exercise the FTL and as
+//! background noise in mitigation ablations. (Hammer request patterns are
+//! the attack pipeline's job — see the `Hammerer` trait in
+//! `ssdhammer_core::attack`.)
 //!
 //! The replay helpers ([`prefill`], [`replay_reads`],
 //! [`trim_all`], [`verify_prefill`]) drive those patterns into any
@@ -13,13 +14,13 @@
 //! # Examples
 //!
 //! ```
-//! use ssdhammer_workload::{hammer_request_set, HammerStyle};
+//! use ssdhammer_workload::sequential;
 //! use ssdhammer_simkit::Lba;
 //!
-//! // Figure 1's read workload: alternate between LBAs whose L2P entries sit
-//! // in the two aggressor rows.
-//! let set = hammer_request_set(HammerStyle::DoubleSided, Lba(0), Lba(512), Lba(9000), &[]);
-//! assert_eq!(set.len(), 2);
+//! // Figure 1's setup workload: contiguous LBAs so the firmware allocates
+//! // contiguous L2P entries.
+//! let set = sequential(Lba(0), 512);
+//! assert_eq!(set.len(), 512);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -28,5 +29,5 @@
 mod patterns;
 mod replay;
 
-pub use patterns::{hammer_request_set, hot_cold, random_uniform, sequential, HammerStyle};
+pub use patterns::{hot_cold, random_uniform, sequential};
 pub use replay::{prefill, replay_reads, trim_all, verify_prefill};

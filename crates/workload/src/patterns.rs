@@ -1,80 +1,10 @@
 //! Host I/O access-pattern generators.
+//!
+//! Hammer request patterns moved to the attack pipeline's `Hammerer` stage
+//! (`ssdhammer_core::attack`); this module keeps the ordinary workloads.
 
 use ssdhammer_simkit::rng::{seeded, Rng};
 use ssdhammer_simkit::Lba;
-
-/// The hammering styles the rowhammer literature distinguishes, as request
-/// patterns over LBAs whose L2P entries live in chosen DRAM rows.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum HammerStyle {
-    /// Two aggressor rows sandwiching the victim ("used in our
-    /// demonstration", §3.1).
-    DoubleSided,
-    /// One aggressor row adjacent to the victim — "single-sided attacks flip
-    /// fewer bits in practice" (§4.2). The pattern still needs a second,
-    /// far-away row to force row-buffer conflicts.
-    SingleSided,
-    /// Repeated access to a single row; only effective on closed-page
-    /// controllers (Gruss et al.'s one-location variant, cited in §3.1).
-    OneLocation,
-    /// Many aggressor pairs in one bank — overwhelms TRR samplers
-    /// (TRRespass).
-    ManySided {
-        /// Number of aggressor pairs.
-        pairs: u32,
-    },
-}
-
-impl core::fmt::Display for HammerStyle {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        match self {
-            HammerStyle::DoubleSided => write!(f, "double-sided"),
-            HammerStyle::SingleSided => write!(f, "single-sided"),
-            HammerStyle::OneLocation => write!(f, "one-location"),
-            HammerStyle::ManySided { pairs } => write!(f, "many-sided({pairs})"),
-        }
-    }
-}
-
-/// Builds the round-robin LBA request set for a hammer style.
-///
-/// `above`/`below` are LBAs whose L2P entries live in the rows physically
-/// adjacent to the victim row; `far` is an LBA in the same bank but distant
-/// (used to force row closes for single-sided/one-location variants);
-/// `extra_pairs` supplies additional adjacent pairs for many-sided patterns.
-///
-/// # Panics
-///
-/// Panics if a style's required inputs are missing (e.g. `ManySided` with
-/// fewer pairs than requested).
-#[must_use]
-pub fn hammer_request_set(
-    style: HammerStyle,
-    above: Lba,
-    below: Lba,
-    far: Lba,
-    extra_pairs: &[(Lba, Lba)],
-) -> Vec<Lba> {
-    match style {
-        HammerStyle::DoubleSided => vec![above, below],
-        HammerStyle::SingleSided => vec![above, far],
-        HammerStyle::OneLocation => vec![above],
-        HammerStyle::ManySided { pairs } => {
-            assert!(
-                extra_pairs.len() + 1 >= pairs as usize,
-                "need {} extra pairs, got {}",
-                pairs.saturating_sub(1),
-                extra_pairs.len()
-            );
-            let mut out = vec![above, below];
-            for &(a, b) in extra_pairs.iter().take(pairs as usize - 1) {
-                out.push(a);
-                out.push(b);
-            }
-            out
-        }
-    }
-}
 
 /// Sequential LBAs — the attack's setup phase "writing data to contiguous
 /// LBAs" so the firmware allocates contiguous L2P entries (§3.1, Figure 1).
@@ -123,50 +53,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn double_sided_alternates_two() {
-        let set = hammer_request_set(HammerStyle::DoubleSided, Lba(10), Lba(20), Lba(99), &[]);
-        assert_eq!(set, vec![Lba(10), Lba(20)]);
-    }
-
-    #[test]
-    fn single_sided_includes_far_row() {
-        let set = hammer_request_set(HammerStyle::SingleSided, Lba(10), Lba(20), Lba(99), &[]);
-        assert_eq!(set, vec![Lba(10), Lba(99)]);
-    }
-
-    #[test]
-    fn one_location_is_one_lba() {
-        let set = hammer_request_set(HammerStyle::OneLocation, Lba(10), Lba(20), Lba(99), &[]);
-        assert_eq!(set, vec![Lba(10)]);
-    }
-
-    #[test]
-    fn many_sided_expands_pairs() {
-        let extra = [(Lba(30), Lba(40)), (Lba(50), Lba(60))];
-        let set = hammer_request_set(
-            HammerStyle::ManySided { pairs: 3 },
-            Lba(10),
-            Lba(20),
-            Lba(99),
-            &extra,
-        );
-        assert_eq!(set.len(), 6);
-        assert_eq!(&set[2..], &[Lba(30), Lba(40), Lba(50), Lba(60)]);
-    }
-
-    #[test]
-    #[should_panic(expected = "need 2 extra pairs")]
-    fn many_sided_validates_pairs() {
-        let _ = hammer_request_set(
-            HammerStyle::ManySided { pairs: 3 },
-            Lba(1),
-            Lba(2),
-            Lba(3),
-            &[],
-        );
-    }
-
-    #[test]
     fn sequential_is_contiguous() {
         let s = sequential(Lba(5), 4);
         assert_eq!(s, vec![Lba(5), Lba(6), Lba(7), Lba(8)]);
@@ -187,14 +73,5 @@ mod tests {
         let hot = w.iter().filter(|l| l.as_u64() < 100).count();
         let frac = hot as f64 / w.len() as f64;
         assert!(frac > 0.85, "hot fraction {frac}");
-    }
-
-    #[test]
-    fn styles_display() {
-        assert_eq!(HammerStyle::DoubleSided.to_string(), "double-sided");
-        assert_eq!(
-            HammerStyle::ManySided { pairs: 9 }.to_string(),
-            "many-sided(9)"
-        );
     }
 }

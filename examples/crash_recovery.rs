@@ -25,19 +25,25 @@ fn main() -> Result<()> {
         .map(|&l| ssd.ftl().peek_mapping(l))
         .collect::<std::result::Result<_, ssdhammer::ftl::FtlError>>()?;
 
-    let outcome = run_primitive(
-        &mut ssd,
-        &site,
-        HammerStyle::DoubleSided,
-        1_000_000.0,
-        SimDuration::from_millis(500),
-    )?;
+    // The victim entries were staged above (the ground truth had to be
+    // captured first), so the pipeline's setup pass must not rewrite them —
+    // a rewrite would bump their OOB sequence numbers and move the truth.
+    let outcome = AttackPipeline::new(
+        TwoSided,
+        L2pEntries::default().with_setup_victims(false),
+        CrossBank,
+    )
+    .with_rate(1_000_000.0)
+    .with_duration(SimDuration::from_millis(500))
+    .with_sites(vec![site.clone()])
+    .run(&mut ssd)?;
+    let redirections = outcome.redirections();
     println!(
         "attack: {} bitflips, {} L2P redirections in the DRAM-resident table",
         outcome.report.flips.len(),
-        outcome.redirections.len()
+        redirections.len()
     );
-    assert!(!outcome.redirections.is_empty());
+    assert!(!redirections.is_empty());
 
     // Pull the power: the DRAM (and its corrupted table) evaporates; only
     // flash — with per-page (LBA, sequence) OOB metadata — survives.

@@ -7,7 +7,6 @@
 //!
 //! Run with: `cargo run --release --example mitigations`
 
-use ssdhammer::core::sites_sharing_a_bank;
 use ssdhammer::dram::DramGeneration;
 use ssdhammer::prelude::*;
 
@@ -20,45 +19,41 @@ fn vulnerable_profile() -> ModuleProfile {
 
 /// Double-sided (or single/one-location) attack; returns (flips, host-visible
 /// redirections).
-fn attack(config: SsdConfig, style: HammerStyle) -> (u64, usize) {
+fn attack(config: SsdConfig, hammerer: impl Hammerer + 'static) -> (u64, usize) {
     let mut ssd = Ssd::build(config);
     let sites = find_attack_sites(ssd.ftl(), 4);
     let Some(site) = sites.first().cloned() else {
         return (0, 0);
     };
-    setup_entries(ssd.ftl_mut(), &site.victim_lbas).expect("setup");
-    setup_entries(ssd.ftl_mut(), &[site.above_lbas[0], site.below_lbas[0]]).expect("setup");
-    let outcome = run_primitive(
-        &mut ssd,
-        &site,
-        style,
-        1_000_000.0,
-        SimDuration::from_millis(500),
+    let outcome = AttackPipeline::new(
+        hammerer,
+        L2pEntries::default().with_setup_aggressors(true),
+        CrossBank,
     )
+    .with_rate(1_000_000.0)
+    .with_duration(SimDuration::from_millis(500))
+    .with_sites(vec![site])
+    .run(&mut ssd)
     .expect("hammer");
     (
         outcome.report.flips.len() as u64,
-        outcome.redirections.len(),
+        outcome.redirections().len(),
     )
 }
 
 /// TRRespass-style many-sided attack over several same-bank sites.
 fn attack_many_sided(config: SsdConfig) -> (u64, usize) {
     let mut ssd = Ssd::build(config);
-    let sites = find_attack_sites(ssd.ftl(), 256);
-    let group = sites_sharing_a_bank(&sites, 6);
-    if group.is_empty() {
-        return (0, 0);
+    let outcome = AttackPipeline::new(ManySided::default(), L2pEntries::default(), SameBank)
+        .with_rate(2_000_000.0)
+        .with_duration(SimDuration::from_millis(500))
+        .with_max_sites(6)
+        .run(&mut ssd);
+    match outcome {
+        Ok(o) => (o.report.flips.len() as u64, o.redirections().len()),
+        Err(AttackError::NoSites | AttackError::NotEnoughSites { .. }) => (0, 0),
+        Err(e) => panic!("hammer: {e}"),
     }
-    for s in &group {
-        setup_entries(ssd.ftl_mut(), &s.victim_lbas).expect("setup");
-    }
-    let outcome = run_many_sided(&mut ssd, &group, 2_000_000.0, SimDuration::from_millis(500))
-        .expect("hammer");
-    (
-        outcome.report.flips.len() as u64,
-        outcome.redirections.len(),
-    )
 }
 
 fn main() {
@@ -76,36 +71,24 @@ fn main() {
         println!("{name:<36} {flips:>6} {redirs:>12}");
     };
 
-    report(
-        "baseline (no mitigation)",
-        attack(base(), HammerStyle::DoubleSided),
-    );
+    report("baseline (no mitigation)", attack(base(), TwoSided));
 
     let mut ecc = base();
     ecc.ecc = Some(EccConfig::default());
-    report("SEC-DED ECC", attack(ecc, HammerStyle::DoubleSided));
+    report("SEC-DED ECC", attack(ecc, TwoSided));
 
     let mut trr = base();
     trr.trr = Some(TrrConfig::default());
-    report(
-        "TRR vs double-sided",
-        attack(trr.clone(), HammerStyle::DoubleSided),
-    );
+    report("TRR vs double-sided", attack(trr.clone(), TwoSided));
     report("TRR vs many-sided (6 pairs)", attack_many_sided(trr));
 
     let mut fast_refresh = base();
     fast_refresh.dram_profile = vulnerable_profile().with_refresh_multiplier(16);
-    report(
-        "16x refresh rate",
-        attack(fast_refresh, HammerStyle::DoubleSided),
-    );
+    report("16x refresh rate", attack(fast_refresh, TwoSided));
 
     let mut limited = base();
     limited.controller.rate_limit_iops = Some(50_000.0);
-    report(
-        "IOPS rate limit (50K/s)",
-        attack(limited, HammerStyle::DoubleSided),
-    );
+    report("IOPS rate limit (50K/s)", attack(limited, TwoSided));
 
     let mut hashed = base();
     hashed.ftl.l2p_layout = L2pLayout::Hashed { key: 0x5EC6_E7B1 };
@@ -113,7 +96,7 @@ fn main() {
 
     report(
         "one-location (open-page controller)",
-        attack(base(), HammerStyle::OneLocation),
+        attack(base(), OneLocation),
     );
 }
 

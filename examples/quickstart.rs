@@ -36,20 +36,20 @@ fn main() -> Result<()> {
         site.weakest_threshold,
     );
 
-    // Setup phase (§3.1): sequential writes materialize L2P entries in the
-    // aggressor and victim rows.
-    setup_entries(ssd.ftl_mut(), &site.victim_lbas)?;
-    setup_entries(ssd.ftl_mut(), &[site.above_lbas[0], site.below_lbas[0]])?;
-
-    // Hammering phase: plain reads, alternating between two LBAs whose
-    // entries live in the aggressor rows. 1M requests/s for 500 ms.
-    let outcome = run_primitive(
-        &mut ssd,
-        &site,
-        HammerStyle::DoubleSided,
-        1_000_000.0,
-        SimDuration::from_millis(500),
-    )?;
+    // The attack pipeline composes the three stages — how to hammer
+    // (two-sided), what to attack (L2P entries, aggressor entries included
+    // in the setup phase), where (the weakest sites) — and runs the whole
+    // cycle: setup, observe, hammer at 1M requests/s for 500 ms, observe,
+    // classify.
+    let outcome = AttackPipeline::new(
+        TwoSided,
+        L2pEntries::default().with_setup_aggressors(true),
+        CrossBank,
+    )
+    .with_rate(1_000_000.0)
+    .with_duration(SimDuration::from_millis(500))
+    .with_sites(vec![site])
+    .run(&mut ssd)?;
     println!(
         "hammered: {} activations at {:.0}/s over {} refresh windows -> {} bitflips",
         outcome.report.activations,
@@ -59,16 +59,17 @@ fn main() -> Result<()> {
     );
 
     // The payoff: logical blocks now point at different physical pages.
-    for r in &outcome.redirections {
+    let redirections = outcome.redirections();
+    for r in &redirections {
         println!("  {} redirected: {:?} -> {:?}", r.lba, r.from, r.to);
     }
     assert!(
-        !outcome.redirections.is_empty(),
+        !redirections.is_empty(),
         "expected at least one L2P redirection"
     );
     println!(
         "\n{} logical block(s) silently remapped using nothing but reads.",
-        outcome.redirections.len()
+        redirections.len()
     );
 
     // The same device speaks the batched multi-queue NVMe front end: queue

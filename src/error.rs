@@ -10,6 +10,7 @@
 use std::fmt;
 
 use ssdhammer_cloud::CloudError;
+use ssdhammer_core::AttackError;
 use ssdhammer_dram::DramError;
 use ssdhammer_flash::FlashError;
 use ssdhammer_fs::FsError;
@@ -34,6 +35,8 @@ pub enum Error {
     Cloud(CloudError),
     /// A raw block-storage error.
     Storage(StorageError),
+    /// An attack-pipeline error.
+    Attack(AttackError),
 }
 
 /// Workspace-wide result alias over [`Error`].
@@ -49,6 +52,7 @@ impl fmt::Display for Error {
             Error::Fs(e) => write!(f, "fs: {e}"),
             Error::Cloud(e) => write!(f, "cloud: {e}"),
             Error::Storage(e) => write!(f, "storage: {e}"),
+            Error::Attack(e) => write!(f, "attack: {e}"),
         }
     }
 }
@@ -63,6 +67,7 @@ impl std::error::Error for Error {
             Error::Fs(e) => Some(e),
             Error::Cloud(e) => Some(e),
             Error::Storage(e) => Some(e),
+            Error::Attack(e) => Some(e),
         }
     }
 }
@@ -100,6 +105,11 @@ impl From<CloudError> for Error {
 impl From<StorageError> for Error {
     fn from(e: StorageError) -> Self {
         Error::Storage(e)
+    }
+}
+impl From<AttackError> for Error {
+    fn from(e: AttackError) -> Self {
+        Error::Attack(e)
     }
 }
 

@@ -3,8 +3,9 @@
 //! `use ssdhammer::prelude::*;` brings in the types nearly every program
 //! built on this workspace touches: the device (`Ssd`, `SsdConfig`), the
 //! layers underneath it (`Ftl`, `DramModule`, `FileSystem`), the attack
-//! surface (`find_attack_sites`, `run_primitive`, `AttackParams`,
-//! `HammerStyle`), the simulation substrate (`SimClock`, `SimDuration`,
+//! pipeline (`AttackPipeline` with its `Hammerer`/`Victim`/`Placement`
+//! stages, `find_attack_sites`, `AttackParams`), the simulation substrate
+//! (`SimClock`, `SimDuration`,
 //! `Lba`), the batched multi-queue front end (`Command`, `Completion`,
 //! `QueuePairHandle`, `Arbiter`), the deterministic parallel campaign
 //! runner (`Campaign`), the storage seam (`BlockDevice`, `RamDisk`), the
@@ -45,9 +46,11 @@ pub use ssdhammer_nvme::{
 };
 
 pub use ssdhammer_core::{
-    find_attack_sites, run_many_sided, run_primitive, setup_entries, AttackParams, AttackSite,
+    find_attack_sites, probe_sites, setup_entries, AttackError, AttackOutcome, AttackParams,
+    AttackPipeline, AttackSite, BadBlockTable, ChangeKind, CrossBank, Hammerer, JournalCache,
+    L2pEntries, ManySided, MappingState, Observation, OneLocation, OneSided, Placement,
+    Redirection, RowPress, SameBank, TwoSided, Victim, VictimChange, WearCounters,
 };
 pub use ssdhammer_fs::{AddressingMode, Credentials, FileSystem};
-pub use ssdhammer_workload::HammerStyle;
 
 pub use ssdhammer_cloud::{run_case_study, CaseStudyConfig};

@@ -1,0 +1,123 @@
+//! Conformance contract of the modular attack pipeline: the name-keyed
+//! registries round-trip, the campaign grid is byte-identical for any
+//! worker-thread count, and every victim's silent-vs-loud classification
+//! agrees with the defense matrix's established semantics.
+
+use ssdhammer::core::{
+    make_hammerer, make_placement, make_victim, pattern_names, placement_names, victim_names,
+    AttackError, ChangeKind, MappingState, Observation,
+};
+use ssdhammer_bench::attacks;
+
+/// Every registered name instantiates a component that reports that exact
+/// name back — the contract `repro attacks --pattern/--victim` relies on.
+#[test]
+fn registries_round_trip_every_name() {
+    for &name in pattern_names() {
+        let h = make_hammerer(name).expect("registered pattern");
+        assert_eq!(h.name(), name);
+    }
+    for &name in victim_names() {
+        let v = make_victim(name).expect("registered victim");
+        assert_eq!(v.name(), name);
+    }
+    for &name in placement_names() {
+        let p = make_placement(name).expect("registered placement");
+        assert_eq!(p.name(), name);
+    }
+    assert!(matches!(
+        make_hammerer("hammertime"),
+        Err(AttackError::UnknownPattern(_))
+    ));
+    assert!(matches!(
+        make_victim("oob"),
+        Err(AttackError::UnknownVictim(_))
+    ));
+    assert!(matches!(
+        make_placement("diagonal"),
+        Err(AttackError::UnknownPlacement(_))
+    ));
+}
+
+/// The full pattern × victim grid covers at least 16 cells, and its
+/// serialized document is byte-identical no matter how many campaign
+/// worker threads sharded the cells.
+#[test]
+fn campaign_grid_is_byte_identical_across_thread_counts() {
+    use ssdhammer::simkit::json::ToJson;
+
+    let grid = |threads: usize| {
+        let cells = attacks::run_filtered(23, threads, None, None).expect("no filters, no error");
+        cells.to_json().to_string()
+    };
+    let single = grid(1);
+    let cells = attacks::run_filtered(23, 1, None, None).expect("grid");
+    assert!(
+        cells.len() >= 16,
+        "grid must cover at least 16 pattern x victim cells, got {}",
+        cells.len()
+    );
+    assert_eq!(single, grid(4), "thread count must not change any byte");
+}
+
+/// Every victim classifies a change exactly as the PR 5 defense matrix
+/// did: a unit that becomes unreadable is a *loud* failure (the host sees
+/// a device error); a redirected mapping or altered metadata word is
+/// *silent* corruption — wrong state served as if good.
+#[test]
+fn classification_matches_the_defense_matrix_semantics() {
+    use ssdhammer::flash::Ppn;
+
+    let mapped = |p| Observation::Mapping(MappingState::Mapped(Ppn(p)));
+    let cases = [
+        // (before, after, expected)
+        (mapped(1), mapped(2), ChangeKind::Silent),
+        (
+            mapped(1),
+            Observation::Mapping(MappingState::Unmapped),
+            ChangeKind::Silent,
+        ),
+        (
+            mapped(1),
+            Observation::Mapping(MappingState::Unreadable),
+            ChangeKind::Loud,
+        ),
+        (
+            Observation::Word(0xB4D0_0000),
+            Observation::Word(0xB4D0_0001),
+            ChangeKind::Silent,
+        ),
+        (
+            Observation::Word(0xB4D0_0000),
+            Observation::Unreadable,
+            ChangeKind::Loud,
+        ),
+    ];
+    for &victim in victim_names() {
+        let v = make_victim(victim).expect("registered victim");
+        for (before, after, expected) in &cases {
+            assert_eq!(
+                v.classify(before, after),
+                *expected,
+                "{victim}: {before:?} -> {after:?}"
+            );
+        }
+    }
+}
+
+/// The flagship cell (two-sided vs the L2P table) actually lands silent
+/// redirections through the whole pipeline — the grid is not vacuously
+/// deterministic.
+#[test]
+fn flagship_cell_produces_silent_corruption() {
+    let cells = attacks::run_filtered(23, 2, Some("two_sided"), Some("l2p")).expect("valid names");
+    assert_eq!(cells.len(), 1);
+    let cell = &cells[0];
+    assert!(
+        cell.error.is_none(),
+        "flagship cell must run: {:?}",
+        cell.error
+    );
+    assert!(cell.flips > 0, "flagship cell must flip bits");
+    assert!(cell.silent > 0, "flagship cell must corrupt silently");
+}

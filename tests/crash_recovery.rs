@@ -2,13 +2,14 @@
 //! DRAM, so corruption that never reaches flash heals on reboot — and what
 //! has reached flash does not.
 
-use ssdhammer::core::{find_attack_sites, run_primitive, setup_entries};
+use ssdhammer::core::{
+    find_attack_sites, setup_entries, AttackPipeline, CrossBank, L2pEntries, TwoSided,
+};
 use ssdhammer::dram::{DramGeneration, DramGeometry, DramModule, MappingKind, ModuleProfile};
 use ssdhammer::flash::FlashGeometry;
 use ssdhammer::ftl::{Ftl, FtlConfig};
 use ssdhammer::nvme::{Ssd, SsdConfig};
 use ssdhammer::simkit::{Lba, SimClock, SimDuration, BLOCK_SIZE};
-use ssdhammer::workload::HammerStyle;
 
 fn eager_config(seed: u64) -> SsdConfig {
     let mut profile = ModuleProfile::from_min_rate("eager", DramGeneration::Ddr3, 2021, 1);
@@ -45,16 +46,20 @@ fn reboot_heals_hammered_l2p_entries() {
         .iter()
         .map(|&l| ssd.ftl().peek_mapping(l).unwrap())
         .collect();
-    let outcome = run_primitive(
-        &mut ssd,
-        &site,
-        HammerStyle::DoubleSided,
-        5_000_000.0,
-        SimDuration::from_millis(200),
+    // Victims were staged above so the ground truth could be captured;
+    // skip the pipeline's own victim rewrite to keep it valid.
+    let outcome = AttackPipeline::new(
+        TwoSided,
+        L2pEntries::default().with_setup_victims(false),
+        CrossBank,
     )
+    .with_rate(5_000_000.0)
+    .with_duration(SimDuration::from_millis(200))
+    .with_sites(vec![site.clone()])
+    .run(&mut ssd)
     .unwrap();
     assert!(
-        !outcome.redirections.is_empty(),
+        !outcome.redirections().is_empty(),
         "attack must corrupt mappings"
     );
 

@@ -2,12 +2,11 @@
 //! different seeds model different physical device instances.
 
 use ssdhammer::cloud::{run_case_study, CaseStudyConfig};
-use ssdhammer::core::{find_attack_sites, run_primitive, setup_entries};
+use ssdhammer::core::{find_attack_sites, AttackPipeline, CrossBank, L2pEntries, TwoSided};
 use ssdhammer::dram::{DramGeneration, DramGeometry, MappingKind, ModuleProfile};
 use ssdhammer::flash::FlashGeometry;
 use ssdhammer::nvme::{Ssd, SsdConfig};
 use ssdhammer::simkit::SimDuration;
-use ssdhammer::workload::HammerStyle;
 
 fn eager_config(seed: u64) -> SsdConfig {
     let mut profile = ModuleProfile::from_min_rate("eager", DramGeneration::Ddr3, 2021, 1);
@@ -22,18 +21,19 @@ fn eager_config(seed: u64) -> SsdConfig {
     config
 }
 
+/// The Figure 1 pipeline at a fixed rate/duration, bound to the device's
+/// single weakest site.
+fn two_sided(rate: f64, millis: u64, site: ssdhammer::core::AttackSite) -> AttackPipeline {
+    AttackPipeline::new(TwoSided, L2pEntries::default(), CrossBank)
+        .with_rate(rate)
+        .with_duration(SimDuration::from_millis(millis))
+        .with_sites(vec![site])
+}
+
 fn primitive_flips(seed: u64) -> Vec<(u32, u32, u64)> {
     let mut ssd = Ssd::build(eager_config(seed));
     let site = find_attack_sites(ssd.ftl(), 1).pop().expect("site");
-    setup_entries(ssd.ftl_mut(), &site.victim_lbas).unwrap();
-    let outcome = run_primitive(
-        &mut ssd,
-        &site,
-        HammerStyle::DoubleSided,
-        2_000_000.0,
-        SimDuration::from_millis(300),
-    )
-    .unwrap();
+    let outcome = two_sided(2_000_000.0, 300, site).run(&mut ssd).unwrap();
     outcome
         .report
         .flips
@@ -83,15 +83,7 @@ fn same_seed_produces_identical_telemetry_json() {
     let telemetry_json = |seed| {
         let mut ssd = Ssd::build(eager_config(seed));
         let site = find_attack_sites(ssd.ftl(), 1).pop().expect("site");
-        setup_entries(ssd.ftl_mut(), &site.victim_lbas).unwrap();
-        run_primitive(
-            &mut ssd,
-            &site,
-            HammerStyle::DoubleSided,
-            2_000_000.0,
-            SimDuration::from_millis(300),
-        )
-        .unwrap();
+        two_sided(2_000_000.0, 300, site).run(&mut ssd).unwrap();
         ssd.snapshot_telemetry().to_json().to_string()
     };
     let a = telemetry_json(42);
@@ -108,16 +100,8 @@ fn simulated_time_is_host_speed_independent() {
     let elapsed = |seed| {
         let mut ssd = Ssd::build(eager_config(seed));
         let site = find_attack_sites(ssd.ftl(), 1).pop().unwrap();
-        setup_entries(ssd.ftl_mut(), &site.victim_lbas).unwrap();
         let t0 = ssd.clock().now();
-        run_primitive(
-            &mut ssd,
-            &site,
-            HammerStyle::DoubleSided,
-            1_000_000.0,
-            SimDuration::from_millis(100),
-        )
-        .unwrap();
+        two_sided(1_000_000.0, 100, site).run(&mut ssd).unwrap();
         ssd.clock().elapsed_since(t0)
     };
     assert_eq!(elapsed(1), elapsed(1));

@@ -18,16 +18,16 @@ fn attack_run_populates_every_layer_of_the_shared_registry() {
         .into_iter()
         .next()
         .expect("a hammerable site");
-    setup_entries(ssd.ftl_mut(), &site.victim_lbas).unwrap();
-    setup_entries(ssd.ftl_mut(), &[site.above_lbas[0], site.below_lbas[0]]).unwrap();
 
-    let outcome = run_primitive(
-        &mut ssd,
-        &site,
-        HammerStyle::DoubleSided,
-        1_000_000.0,
-        SimDuration::from_millis(500),
+    let outcome = AttackPipeline::new(
+        TwoSided,
+        L2pEntries::default().with_setup_aggressors(true),
+        CrossBank,
     )
+    .with_rate(1_000_000.0)
+    .with_duration(SimDuration::from_millis(500))
+    .with_sites(vec![site])
+    .run(&mut ssd)
     .unwrap();
     assert!(
         !outcome.report.flips.is_empty(),
