@@ -85,6 +85,14 @@ impl AttackParams {
         self.f_a + self.f_v / 2
     }
 
+    /// Asserts the parameters pass [`AttackParams::validate`]: every
+    /// probability formula below is meaningless on an invalid geometry, and
+    /// each public caller documents the panic under `# Panics`.
+    fn assert_valid(&self) {
+        let check = self.validate();
+        assert!(check.is_ok(), "invalid attack parameters: {check:?}");
+    }
+
     /// Closed-form probability that one bitflip in the victim partition's
     /// L2P region is useful (§4.3's formula).
     ///
@@ -93,7 +101,7 @@ impl AttackParams {
     /// Panics if the parameters fail [`AttackParams::validate`].
     #[must_use]
     pub fn useful_flip_probability(&self) -> f64 {
-        self.validate().expect("invalid attack parameters"); // lint:allow(P1) -- documented `# Panics`: probability formulas are meaningless on invalid parameters
+        self.assert_valid();
         let hit_indirect = self.sprayed_indirect_blocks() as f64 / self.c_v as f64;
         let hit_malicious = self.malicious_blocks() as f64 / self.pb as f64;
         hit_indirect * hit_malicious
@@ -132,7 +140,7 @@ impl AttackParams {
     /// [`AttackParams::monte_carlo_useful_flip_sharded`].
     #[must_use]
     pub fn monte_carlo_useful_flip(&self, trials: u32, seed: u64) -> f64 {
-        self.validate().expect("invalid attack parameters"); // lint:allow(P1) -- documented `# Panics`: probability formulas are meaningless on invalid parameters
+        self.assert_valid();
         f64::from(self.mc_hits(trials, seed)) / f64::from(trials)
     }
 
@@ -150,7 +158,7 @@ impl AttackParams {
     /// threads returns bit-identical results.
     #[must_use]
     pub fn monte_carlo_useful_flip_sharded(&self, trials: u32, seed: u64, threads: usize) -> f64 {
-        self.validate().expect("invalid attack parameters"); // lint:allow(P1) -- documented `# Panics`: probability formulas are meaningless on invalid parameters
+        self.assert_valid();
         if trials == 0 {
             return 0.0;
         }

@@ -100,7 +100,10 @@ pub fn spray_filesystem<S: BlockDevice>(
         match fs.write_file_block(ino, cred, SPRAY_BLOCK_INDEX, &payload) {
             Ok(()) => files.push(SprayedFile { path, ino }),
             Err(FsError::NoSpace) => {
-                let _ = fs.unlink(&path, cred);
+                // The partially-written file must not survive the spray:
+                // an unlink failure here is a real filesystem fault, not
+                // part of running out of space, so it propagates.
+                fs.unlink(&path, cred)?;
                 exhausted_at = Some(i);
                 break;
             }

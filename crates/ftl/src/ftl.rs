@@ -1579,15 +1579,27 @@ impl Ftl {
         }
     }
 
+    /// Disables the metadata mirror and leaves a trace event saying why.
+    /// The authoritative state lives in the FTL proper, so losing the
+    /// mirror is survivable — but a *silently stale* mirror would poison
+    /// the next recovery scan, so it is dropped the moment a write-through
+    /// fails rather than left behind.
+    fn drop_meta_mirror(&mut self, cause: &str) {
+        self.meta = None;
+        self.tel
+            .registry
+            .trace(self.clock.now(), "ftl.meta_mirror_lost", cause.to_string());
+    }
+
     /// Write-through of the grown-bad-block mirror ([`crate::meta`]). A
-    /// mirror that cannot be written (never, by construction) is simply
-    /// stale — the authoritative state lives in the FTL proper.
+    /// failed write disables the mirror (see [`Self::drop_meta_mirror`]).
     fn meta_mark_bad(&mut self, block: BlockId) {
         let Some(plane) = self.meta else { return };
         if let Some(addr) = plane.word_addr(MetaKind::BadBlock, block.as_u64()) {
-            let _ = self
-                .dram
-                .write_u32(addr, MetaPlane::bad_word(block.as_u64() as u32, true));
+            let word = MetaPlane::bad_word(block.as_u64() as u32, true);
+            if self.dram.write_u32(addr, word).is_err() {
+                self.drop_meta_mirror("bad-block mirror write failed");
+            }
         }
     }
 
@@ -1598,9 +1610,10 @@ impl Ftl {
             return;
         };
         if let Some(addr) = plane.word_addr(MetaKind::Wear, block.as_u64()) {
-            let _ = self
-                .dram
-                .write_u32(addr, MetaPlane::wear_word(block.as_u64() as u32, pe));
+            let word = MetaPlane::wear_word(block.as_u64() as u32, pe);
+            if self.dram.write_u32(addr, word).is_err() {
+                self.drop_meta_mirror("wear mirror write failed");
+            }
         }
     }
 
@@ -1619,7 +1632,11 @@ impl Ftl {
         ];
         for (i, word) in words.into_iter().enumerate() {
             if let Some(addr) = plane.word_addr(MetaKind::Journal, base + i as u64) {
-                let _ = self.dram.write_u32(addr, word);
+                if self.dram.write_u32(addr, word).is_err() {
+                    // A half-written journal slot is worse than none.
+                    self.drop_meta_mirror("journal mirror write failed");
+                    return;
+                }
             }
         }
     }

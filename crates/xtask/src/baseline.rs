@@ -1,0 +1,177 @@
+//! The waiver ratchet: `lint-baseline.json`.
+//!
+//! Waivers are debt. The committed baseline records, per rule, how many
+//! inline waivers the tree is allowed to carry; the lint run fails if any
+//! rule's count *rises*. Counts may only fall — and when they do, the
+//! shrunken numbers get committed as the new floor, so the debt can never
+//! quietly grow back. (A rule absent from the baseline has a floor of
+//! zero.)
+//!
+//! Breaches are reported as ordinary [`Violation`]s anchored at the
+//! baseline file itself, so exit codes, text rendering, and `--json`
+//! output need no special casing. Regenerate the file with
+//! `cargo xtask lint --write-baseline` after burning waivers down.
+
+use std::collections::BTreeMap;
+
+use ssdhammer_simkit::json::Json;
+
+use crate::rules::{Rule, Violation};
+
+/// The schema tag the parser insists on, so a stale or foreign file fails
+/// loudly instead of ratcheting against garbage.
+pub const SCHEMA: &str = "ssdhammer-lint-baseline-v1";
+
+/// The committed file name, relative to the workspace root.
+pub const FILE_NAME: &str = "lint-baseline.json";
+
+/// Parsed baseline: per-rule-code waiver floors.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Rule code → committed waiver count.
+    pub waived: BTreeMap<String, u64>,
+}
+
+impl Baseline {
+    /// The floor for one rule (zero when unlisted).
+    #[must_use]
+    pub fn floor(&self, rule: Rule) -> u64 {
+        self.waived.get(rule.code()).copied().unwrap_or(0)
+    }
+}
+
+/// Parses a committed baseline document.
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed JSON, a wrong schema
+/// tag, or an unknown rule code.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let doc = Json::parse(text).map_err(|e| format!("invalid JSON: {e:?}"))?;
+    let Json::Obj(pairs) = &doc else {
+        return Err("baseline must be a JSON object".into());
+    };
+    let field = |name: &str| pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    match field("schema") {
+        Some(Json::Str(s)) if s == SCHEMA => {}
+        other => return Err(format!("schema must be \"{SCHEMA}\", got {other:?}")),
+    }
+    let Some(Json::Obj(waived)) = field("waived") else {
+        return Err("missing `waived` object".into());
+    };
+    let mut baseline = Baseline::default();
+    for (code, value) in waived {
+        if Rule::from_code(code).is_none() {
+            return Err(format!("unknown rule code `{code}` in baseline"));
+        }
+        let Json::U64(n) = value else {
+            return Err(format!("count for `{code}` must be a non-negative integer"));
+        };
+        baseline.waived.insert(code.clone(), *n);
+    }
+    Ok(baseline)
+}
+
+/// Renders the baseline document for the given per-rule waiver counts.
+/// Zero-count rules are omitted so the file reads as the actual debt list.
+#[must_use]
+pub fn render(waived_by_rule: &BTreeMap<String, u64>) -> Json {
+    let entries: Vec<(String, Json)> = waived_by_rule
+        .iter()
+        .filter(|&(_, &n)| n > 0)
+        .map(|(code, &n)| (code.clone(), Json::U64(n)))
+        .collect();
+    let total: u64 = entries
+        .iter()
+        .map(|(_, v)| match v {
+            Json::U64(n) => *n,
+            _ => 0,
+        })
+        .sum();
+    Json::obj([
+        ("schema", Json::str(SCHEMA)),
+        ("waived", Json::Obj(entries)),
+        ("waived_total", Json::U64(total)),
+    ])
+}
+
+/// Compares the live per-rule waiver counts against the committed floors
+/// and returns one violation per breached rule. The violation carries the
+/// rule that regressed (not a synthetic code) so `--json` consumers can
+/// aggregate it with ordinary findings.
+#[must_use]
+pub fn check(baseline: &Baseline, waived_by_rule: &BTreeMap<String, u64>) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for rule in Rule::ALL {
+        let live = waived_by_rule.get(rule.code()).copied().unwrap_or(0);
+        let floor = baseline.floor(rule);
+        if live > floor {
+            out.push(Violation {
+                rule,
+                file: FILE_NAME.to_string(),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "waiver ratchet: {} waivers rose from {floor} to {live}; \
+                     fix the finding instead of waiving it (or, if the new \
+                     waiver genuinely retires an old one elsewhere, burn that \
+                     one first)",
+                    rule.code()
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(&str, u64)]) -> BTreeMap<String, u64> {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let live = counts(&[("D1", 2), ("P1", 3), ("T1", 0)]);
+        let doc = render(&live).to_string_pretty();
+        let parsed = parse(&doc).expect("round trip");
+        assert_eq!(parsed.floor(Rule::D1), 2);
+        assert_eq!(parsed.floor(Rule::P1), 3);
+        // Zero-count rules are omitted, which parses back as floor 0.
+        assert_eq!(parsed.floor(Rule::T1), 0);
+        assert!(doc.contains("\"waived_total\": 5"));
+    }
+
+    #[test]
+    fn ratchet_rejects_rises_and_allows_falls() {
+        let baseline = parse(&render(&counts(&[("P1", 2)])).to_string_pretty()).unwrap();
+        assert!(check(&baseline, &counts(&[("P1", 2)])).is_empty());
+        assert!(check(&baseline, &counts(&[("P1", 1)])).is_empty());
+        let breaches = check(&baseline, &counts(&[("P1", 3)]));
+        assert_eq!(breaches.len(), 1);
+        assert_eq!(breaches[0].rule, Rule::P1);
+        assert_eq!(breaches[0].file, FILE_NAME);
+        assert!(breaches[0].message.contains("rose from 2 to 3"));
+        // An unlisted rule has floor zero.
+        let fresh = check(&baseline, &counts(&[("E1", 1)]));
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].rule, Rule::E1);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("[]").is_err());
+        assert!(parse("{\"schema\": \"other\", \"waived\": {}}").is_err());
+        assert!(parse(&format!("{{\"schema\": \"{SCHEMA}\"}}")).is_err());
+        assert!(parse(&format!(
+            "{{\"schema\": \"{SCHEMA}\", \"waived\": {{\"Z9\": 1}}}}"
+        ))
+        .is_err());
+        assert!(parse(&format!(
+            "{{\"schema\": \"{SCHEMA}\", \"waived\": {{\"P1\": -1}}}}"
+        ))
+        .is_err());
+    }
+}

@@ -16,6 +16,14 @@
 //! $ cargo xtask lint --json     # machine-readable report
 //! ```
 //!
+//! Since lint v2 the analyzer is two-pass: pass 1 stays per-file on the
+//! token stream, and pass 2 ([`symgraph`] + [`wsrules`]) builds a
+//! workspace-wide symbol table — items, impl owners, `pub` surface,
+//! telemetry string literals with spans, function-call edges — and runs
+//! the cross-file rules (R1 determinism race, T2 telemetry registry, E1
+//! swallowed result, S1 seed hygiene) plus the committed waiver ratchet
+//! ([`baseline`]).
+//!
 //! The library surface exists so the analyzer can test itself: fixture
 //! files with seeded violations are fed through [`rules::lint_source`]
 //! under synthetic workspace paths, which exercises exactly the code the
@@ -24,11 +32,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod symgraph;
 pub mod walk;
+pub mod wsrules;
 
 pub use report::{render_diagnostic, render_text, to_json};
 pub use rules::{lint_source, FileReport, Rule, Violation};
-pub use walk::{lint_workspace, LintOutcome};
+pub use walk::{lint_workspace, lint_workspace_with, LintOptions, LintOutcome};
+pub use wsrules::{SymStats, Workspace};

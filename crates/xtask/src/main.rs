@@ -5,15 +5,19 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use xtask::{lint_workspace, render_text, to_json, walk};
+use xtask::walk::{lint_workspace_with, LintOptions};
+use xtask::{baseline, render_text, to_json, walk};
 
 const USAGE: &str = "\
 usage: cargo xtask <command>
 
 commands:
-  lint [--json] [--root <dir>]   run the determinism & safety analyzer
-                                 over every .rs file in the workspace;
-                                 exits 1 if any unwaived violation is found
+  lint [--json] [--root <dir>] [--write-baseline]
+      run the determinism & safety analyzer (per-file pass, workspace
+      symbol-graph pass, waiver ratchet) over every .rs file in the
+      workspace; exits 1 if any unwaived violation is found.
+      --write-baseline regenerates lint-baseline.json from the live
+      per-rule waiver counts (ratchet skipped on that run)
 ";
 
 fn main() -> ExitCode {
@@ -33,11 +37,13 @@ fn main() -> ExitCode {
 
 fn lint(args: &[String]) -> ExitCode {
     let mut json = false;
+    let mut write_baseline = false;
     let mut root: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--write-baseline" => write_baseline = true,
             "--root" => match it.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
@@ -52,13 +58,25 @@ fn lint(args: &[String]) -> ExitCode {
         }
     }
     let root = root.unwrap_or_else(walk::default_root);
-    let outcome = match lint_workspace(&root) {
+    let opts = LintOptions {
+        ratchet: !write_baseline,
+    };
+    let outcome = match lint_workspace_with(&root, opts) {
         Ok(o) => o,
         Err(err) => {
             eprintln!("xtask lint: cannot walk {}: {err}", root.display());
             return ExitCode::from(2);
         }
     };
+    if write_baseline {
+        let path = root.join(baseline::FILE_NAME);
+        let doc = baseline::render(&outcome.waived_by_rule).to_string_pretty();
+        if let Err(err) = std::fs::write(&path, doc + "\n") {
+            eprintln!("xtask lint: cannot write {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("xtask lint: wrote {}", path.display());
+    }
     if json {
         println!("{}", to_json(&outcome).to_string_pretty());
     } else {

@@ -39,10 +39,21 @@ pub fn render_text(outcome: &LintOutcome) -> String {
             (n > 0).then(|| format!("{} x{n}", r.code()))
         })
         .collect();
+    if let Some(err) = &outcome.baseline_error {
+        out.push_str(&format!(
+            "error: waiver ratchet has no usable floor: {err}\n\n"
+        ));
+    }
     if outcome.is_clean() {
         out.push_str(&format!(
-            "ssdhammer lint: clean — {} files checked, {} waiver(s) honored\n",
-            outcome.files_checked, outcome.waived
+            "ssdhammer lint: clean — {} files checked, {} waiver(s) honored{}\n",
+            outcome.files_checked,
+            outcome.waived,
+            if outcome.ratchet_checked {
+                ", ratchet ok"
+            } else {
+                ""
+            }
         ));
     } else {
         out.push_str(&format!(
@@ -64,6 +75,42 @@ pub fn to_json(outcome: &LintOutcome) -> Json {
         ("clean", Json::Bool(outcome.is_clean())),
         ("files_checked", Json::from(outcome.files_checked)),
         ("waived", Json::from(outcome.waived)),
+        (
+            "waived_by_rule",
+            Json::Obj(
+                outcome
+                    .waived_by_rule
+                    .iter()
+                    .map(|(code, &n)| (code.clone(), Json::U64(n)))
+                    .collect(),
+            ),
+        ),
+        (
+            "symbols",
+            Json::obj([
+                ("files", Json::from(outcome.stats.files)),
+                ("fns", Json::from(outcome.stats.fns)),
+                ("pub_fns", Json::from(outcome.stats.pub_fns)),
+                ("call_edges", Json::from(outcome.stats.call_edges)),
+                ("use_edges", Json::from(outcome.stats.use_edges)),
+                (
+                    "telemetry_literals",
+                    Json::from(outcome.stats.telemetry_literals),
+                ),
+                (
+                    "campaign_reachable",
+                    Json::from(outcome.stats.campaign_reachable),
+                ),
+            ]),
+        ),
+        ("ratchet_checked", Json::Bool(outcome.ratchet_checked)),
+        (
+            "baseline_error",
+            outcome
+                .baseline_error
+                .as_ref()
+                .map_or(Json::Null, Json::str),
+        ),
         (
             "violations",
             Json::Arr(
@@ -100,6 +147,8 @@ mod tests {
             }],
             files_checked: 90,
             waived: 2,
+            waived_by_rule: [("P1".to_string(), 2u64)].into_iter().collect(),
+            ..LintOutcome::default()
         }
     }
 

@@ -23,6 +23,10 @@
 //!   e.g. `ftl.l2p_reads` or `dram.ecc.corrected`), so
 //!   `fig1-telemetry.json` keys stay stable across refactors.
 //!
+//! Four more rules — **R1** (determinism race), **T2** (telemetry
+//! registry), **E1** (swallowed result), **S1** (seed hygiene) — need the
+//! whole workspace in view and run in pass 2; see [`crate::wsrules`].
+//!
 //! Rules are *scoped*: test code (both `tests/` trees and `#[cfg(test)]`
 //! items), benches, and examples are exempt from the rules that only
 //! govern the result path (D2, P1, T1). A per-rule [`ALLOWLIST`] names the
@@ -56,6 +60,14 @@ pub enum Rule {
     P1,
     /// Malformed telemetry metric name.
     T1,
+    /// Cross-thread determinism race (pass 2).
+    R1,
+    /// Telemetry name missing from — or dead in — `TELEMETRY.md` (pass 2).
+    T2,
+    /// Swallowed `Result` in sim-crate library code (pass 2).
+    E1,
+    /// Hard-coded RNG seed on the library path (pass 2).
+    S1,
 }
 
 impl Rule {
@@ -69,6 +81,10 @@ impl Rule {
             Rule::U1 => "U1",
             Rule::P1 => "P1",
             Rule::T1 => "T1",
+            Rule::R1 => "R1",
+            Rule::T2 => "T2",
+            Rule::E1 => "E1",
+            Rule::S1 => "S1",
         }
     }
 
@@ -82,12 +98,27 @@ impl Rule {
             "U1" => Some(Rule::U1),
             "P1" => Some(Rule::P1),
             "T1" => Some(Rule::T1),
+            "R1" => Some(Rule::R1),
+            "T2" => Some(Rule::T2),
+            "E1" => Some(Rule::E1),
+            "S1" => Some(Rule::S1),
             _ => None,
         }
     }
 
-    /// Every rule, in report order.
-    pub const ALL: [Rule; 6] = [Rule::D1, Rule::D2, Rule::D3, Rule::U1, Rule::P1, Rule::T1];
+    /// Every rule, in report order (pass 1 first, then pass 2).
+    pub const ALL: [Rule; 10] = [
+        Rule::D1,
+        Rule::D2,
+        Rule::D3,
+        Rule::U1,
+        Rule::P1,
+        Rule::T1,
+        Rule::R1,
+        Rule::T2,
+        Rule::E1,
+        Rule::S1,
+    ];
 }
 
 /// One rule violation at a source position.
@@ -112,6 +143,9 @@ pub struct FileReport {
     pub violations: Vec<Violation>,
     /// Violations suppressed by a `lint:allow` waiver.
     pub waived: usize,
+    /// The rule of each waived violation (feeds the ratchet's per-rule
+    /// counts; `waived == waived_rules.len()`).
+    pub waived_rules: Vec<Rule>,
     /// Whether the file contains the `unsafe` keyword (outside strings
     /// and comments). Feeds the crate-level U1 `forbid` check.
     pub contains_unsafe: bool,
@@ -140,6 +174,36 @@ pub const ALLOWLIST: &[(Rule, &str, &str)] = &[
         "wall-clock-only reporting path: timings are printed for humans and \
          never feed back into simulated state (see the wallclock module)",
     ),
+    (
+        Rule::R1,
+        "crates/simkit/src/telemetry.rs",
+        "lock-free counters use Relaxed adds and aggregate loads; increments \
+         are commutative, so per-run totals are order-independent",
+    ),
+    (
+        Rule::R1,
+        "crates/simkit/src/clock.rs",
+        "the monotonic sim clock advances a single logical timeline; its \
+         Relaxed counter never feeds a cross-thread result value",
+    ),
+    (
+        Rule::R1,
+        "crates/simkit/src/faultplane.rs",
+        "consult/fire counters are commutative Relaxed adds; fault draws are \
+         keyed off positional indices, never arrival order",
+    ),
+    (
+        Rule::R1,
+        "crates/simkit/src/parallel.rs",
+        "the Campaign work queue claims trial indices with Relaxed; results \
+         are merged in trial-index order, so claim order cannot leak",
+    ),
+    (
+        Rule::R1,
+        "crates/cloud/src/partition.rs",
+        "tenant views share one Ssd via Rc<RefCell<..>>, which is !Send: the \
+         compiler already forbids it crossing Campaign worker threads",
+    ),
 ];
 
 /// Crates whose collections sit on the deterministic result path (D2).
@@ -157,7 +221,7 @@ const SIM_CRATES: &[&str] = &[
 
 /// Which build target a file belongs to, derived from its path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum FileClass {
+pub(crate) enum FileClass {
     /// `src/` of a library crate (or the root facade crate).
     Lib,
     /// An integration-test tree (`tests/`).
@@ -170,7 +234,7 @@ enum FileClass {
     Bin,
 }
 
-struct FileCtx<'a> {
+pub(crate) struct FileCtx<'a> {
     rel: &'a str,
     /// `Some("ftl")` for `crates/ftl/...`; `None` for the root crate.
     crate_name: Option<&'a str>,
@@ -178,7 +242,7 @@ struct FileCtx<'a> {
 }
 
 impl<'a> FileCtx<'a> {
-    fn of(rel: &'a str) -> Self {
+    pub(crate) fn of(rel: &'a str) -> Self {
         let crate_name = rel
             .strip_prefix("crates/")
             .and_then(|rest| rest.split('/').next());
@@ -206,12 +270,20 @@ impl<'a> FileCtx<'a> {
             .any(|&(r, path, _)| r == rule && path == self.rel)
     }
 
+    /// Is this file in a crate on the deterministic result path (or the
+    /// root facade crate)?
+    pub(crate) fn deterministic_crate(&self) -> bool {
+        self.crate_name
+            .is_none_or(|c| DETERMINISTIC_CRATES.contains(&c))
+    }
+
     /// Whether `rule` governs this file at all (test scope is handled
     /// separately, token by token).
-    fn applies(&self, rule: Rule) -> bool {
+    pub(crate) fn applies(&self, rule: Rule) -> bool {
         if self.allowlisted(rule) {
             return false;
         }
+        let not_tooling = self.crate_name != Some("xtask");
         match rule {
             // Wall time, ambient randomness, and unsafe hygiene are banned
             // everywhere, tests included: a nondeterministic test is still
@@ -223,11 +295,17 @@ impl<'a> FileCtx<'a> {
                         .crate_name
                         .is_none_or(|c| DETERMINISTIC_CRATES.contains(&c))
             }
-            Rule::P1 => {
+            Rule::P1 | Rule::E1 => {
                 self.class == FileClass::Lib
                     && self.crate_name.is_some_and(|c| SIM_CRATES.contains(&c))
             }
-            Rule::T1 => self.class != FileClass::Test,
+            Rule::T1 | Rule::T2 => self.class != FileClass::Test && not_tooling,
+            // Shared mutable state is a hazard in any code a Campaign run
+            // can execute — library, bin, and the bench drivers alike.
+            Rule::R1 => {
+                self.class != FileClass::Test && self.class != FileClass::Example && not_tooling
+            }
+            Rule::S1 => self.class == FileClass::Lib && not_tooling,
         }
     }
 }
@@ -238,16 +316,22 @@ impl<'a> FileCtx<'a> {
 /// any crate.
 #[must_use]
 pub fn lint_source(rel: &str, source: &str) -> FileReport {
+    lint_tokens(rel, &lex(source))
+}
+
+/// Token-level pass-1 lint, for callers (the workspace walker) that lex
+/// each file exactly once and reuse the tokens for pass 2.
+#[must_use]
+pub(crate) fn lint_tokens(rel: &str, tokens: &[Token]) -> FileReport {
     let ctx = FileCtx::of(rel);
-    let tokens = lex(source);
-    let in_test = test_scope_mask(&tokens);
-    let waivers = collect_waivers(&tokens);
+    let in_test = test_scope_mask(tokens);
+    let waivers = collect_waivers(tokens);
     let mut report = FileReport {
         contains_unsafe: tokens
             .iter()
             .filter(|t| t.kind == TokenKind::Ident)
             .any(|t| t.text == "unsafe"),
-        contains_forbid_unsafe: has_forbid_unsafe(&tokens),
+        contains_forbid_unsafe: has_forbid_unsafe(tokens),
         ..FileReport::default()
     };
 
@@ -297,7 +381,7 @@ pub fn lint_source(rel: &str, source: &str) -> FileReport {
                      from a `simkit::rng` seed"
                         .to_string(),
                 )),
-                "unsafe" if !preceded_by_safety_comment(&tokens, k) => Some((
+                "unsafe" if !preceded_by_safety_comment(tokens, k) => Some((
                     Rule::U1,
                     "`unsafe` without a `// SAFETY:` comment on the preceding \
                      line(s)"
@@ -365,6 +449,7 @@ pub fn lint_source(rel: &str, source: &str) -> FileReport {
             .is_some_and(|rules| rules.contains(&rule))
         {
             report.waived += 1;
+            report.waived_rules.push(rule);
             continue;
         }
         report.violations.push(Violation {
@@ -397,7 +482,7 @@ fn has_forbid_unsafe(tokens: &[Token]) -> bool {
 /// Maps source line → rules waived on that line. A trailing waiver covers
 /// its own line; a waiver alone on a line covers the next line. Waivers
 /// missing the `-- reason` suffix are ignored (and thus suppress nothing).
-fn collect_waivers(tokens: &[Token]) -> BTreeMap<u32, Vec<Rule>> {
+pub(crate) fn collect_waivers(tokens: &[Token]) -> BTreeMap<u32, Vec<Rule>> {
     let mut map: BTreeMap<u32, Vec<Rule>> = BTreeMap::new();
     for (k, tok) in tokens.iter().enumerate() {
         if !tok.is_comment() {

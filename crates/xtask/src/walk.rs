@@ -1,10 +1,21 @@
-//! Workspace traversal and the crate-level U1 check.
+//! Workspace traversal and both analysis passes.
 //!
 //! The walker visits every `.rs` file under the workspace root in sorted
-//! order (so reports are byte-stable run to run), lints each with
-//! [`lint_source`], and then applies the one rule that needs whole-crate
-//! knowledge: a crate containing no `unsafe` at all must say so with
-//! `#![forbid(unsafe_code)]` in its entry file.
+//! order (so reports are byte-stable run to run) and lexes each exactly
+//! once. The token stream feeds:
+//!
+//! 1. **Pass 1** — the per-file rules ([`crate::rules::lint_source`]),
+//!    plus the one rule that needs whole-crate knowledge: a crate
+//!    containing no `unsafe` at all must say so with
+//!    `#![forbid(unsafe_code)]` in its entry file.
+//! 2. **Pass 2** — symbol extraction ([`crate::symgraph`]) into a
+//!    [`Workspace`], which then runs the cross-file rules
+//!    ([`crate::wsrules`]: R1/T2/E1/S1) against the committed
+//!    `TELEMETRY.md` registry.
+//!
+//! Finally the waiver **ratchet** compares live per-rule waiver counts
+//! against the committed `lint-baseline.json` floors
+//! ([`crate::baseline`]); any rise is a violation.
 //!
 //! Skipped subtrees: `target/` and `.git/` (not source), and
 //! `crates/xtask/tests/fixtures/` — those files exist to *contain* seeded
@@ -15,7 +26,11 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::rules::{lint_source, Rule, Violation};
+use crate::baseline;
+use crate::lexer::lex;
+use crate::rules::{collect_waivers, lint_tokens, Rule, Violation};
+use crate::symgraph;
+use crate::wsrules::{SymStats, Workspace};
 
 /// Aggregated result of linting the whole workspace.
 #[derive(Debug, Default)]
@@ -24,15 +39,42 @@ pub struct LintOutcome {
     pub violations: Vec<Violation>,
     /// Number of `.rs` files inspected.
     pub files_checked: usize,
-    /// Violations suppressed by inline waivers.
+    /// Violations suppressed by inline waivers (both passes).
     pub waived: usize,
+    /// Waived-violation counts per rule code (the ratchet's live counts).
+    pub waived_by_rule: BTreeMap<String, u64>,
+    /// Pass-2 symbol-graph summary.
+    pub stats: SymStats,
+    /// Whether the ratchet ran (false only under
+    /// [`LintOptions::ratchet`] = false).
+    pub ratchet_checked: bool,
+    /// Set when `lint-baseline.json` is missing or malformed while the
+    /// ratchet is enabled. A missing baseline is not silently a pass —
+    /// deleting the file must not disable the ratchet.
+    pub baseline_error: Option<String>,
 }
 
 impl LintOutcome {
-    /// True when the tree is clean.
+    /// True when the tree is clean (no violations *and* a readable
+    /// baseline when the ratchet ran).
     #[must_use]
     pub fn is_clean(&self) -> bool {
-        self.violations.is_empty()
+        self.violations.is_empty() && self.baseline_error.is_none()
+    }
+}
+
+/// Knobs for [`lint_workspace_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct LintOptions {
+    /// Run the waiver ratchet against `lint-baseline.json` (default true).
+    /// `--write-baseline` disables it: the run that regenerates the floor
+    /// must not be gated on the floor it is replacing.
+    pub ratchet: bool,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions { ratchet: true }
     }
 }
 
@@ -75,16 +117,27 @@ pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
-/// Lints every workspace source file plus the crate-level `forbid` check.
+/// Runs both passes and the ratchet with default options.
 ///
 /// # Errors
 ///
 /// Propagates I/O failures reading the tree; individual files that are not
 /// valid UTF-8 are reported as a violation rather than an error.
 pub fn lint_workspace(root: &Path) -> io::Result<LintOutcome> {
+    lint_workspace_with(root, LintOptions::default())
+}
+
+/// Runs both passes, and the ratchet when `opts.ratchet` is set.
+///
+/// # Errors
+///
+/// Propagates I/O failures reading the tree.
+pub fn lint_workspace_with(root: &Path, opts: LintOptions) -> io::Result<LintOutcome> {
     let mut outcome = LintOutcome::default();
+    let mut waived_rules: Vec<Rule> = Vec::new();
     // crate key → (saw unsafe, entry file has forbid, entry rel path)
     let mut crates: BTreeMap<String, (bool, bool, Option<String>)> = BTreeMap::new();
+    let mut workspace = Workspace::new();
 
     for rel in collect_rs_files(root)? {
         let rel_str = rel.to_string_lossy().replace('\\', "/");
@@ -99,9 +152,16 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintOutcome> {
             continue;
         };
         outcome.files_checked += 1;
-        let report = lint_source(&rel_str, &source);
+        // Lex once; both passes consume the same tokens.
+        let tokens = lex(&source);
+        let report = lint_tokens(&rel_str, &tokens);
         outcome.waived += report.waived;
+        waived_rules.extend(report.waived_rules.iter().copied());
         outcome.violations.extend(report.violations);
+        workspace.add_file(
+            symgraph::extract(&rel_str, &tokens),
+            collect_waivers(&tokens),
+        );
 
         if let Some((crate_key, is_entry)) = crate_of(&rel_str) {
             let slot = crates.entry(crate_key).or_default();
@@ -125,6 +185,43 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintOutcome> {
                      file does not declare `#![forbid(unsafe_code)]`"
                 ),
             });
+        }
+    }
+
+    // Pass 2: cross-file rules against the committed registry.
+    if let Ok(registry) = fs::read_to_string(root.join("TELEMETRY.md")) {
+        workspace.set_registry(&registry);
+    }
+    let pass2 = workspace.analyze();
+    outcome.waived += pass2.waived.len();
+    waived_rules.extend(pass2.waived.iter().copied());
+    outcome.violations.extend(pass2.violations);
+    outcome.stats = pass2.stats;
+
+    for rule in waived_rules {
+        *outcome
+            .waived_by_rule
+            .entry(rule.code().to_string())
+            .or_insert(0) += 1;
+    }
+
+    if opts.ratchet {
+        outcome.ratchet_checked = true;
+        match fs::read_to_string(root.join(baseline::FILE_NAME)) {
+            Ok(text) => match baseline::parse(&text) {
+                Ok(b) => outcome
+                    .violations
+                    .extend(baseline::check(&b, &outcome.waived_by_rule)),
+                Err(err) => {
+                    outcome.baseline_error = Some(format!("{}: {err}", baseline::FILE_NAME));
+                }
+            },
+            Err(err) => {
+                outcome.baseline_error = Some(format!(
+                    "{}: {err} (regenerate with `cargo xtask lint --write-baseline`)",
+                    baseline::FILE_NAME
+                ));
+            }
         }
     }
 

@@ -1,0 +1,17 @@
+//! Fixture: E1 swallowed result — exactly one seeded violation.
+
+/// A fallible operation the symbol table knows returns `Result`.
+pub fn flush() -> Result<(), ()> {
+    Ok(())
+}
+
+/// Seeded violation: drops `flush`'s `Result` on the floor.
+pub fn shutdown() {
+    let _ = flush();
+}
+
+/// Not a violation: the `?` propagates the error.
+pub fn orderly_shutdown() -> Result<(), ()> {
+    let _ = flush()?;
+    Ok(())
+}

@@ -1,0 +1,7 @@
+//! Fixture: R1 determinism race — exactly one seeded violation.
+//!
+//! A `static mut` is shared mutable state; campaign workers racing on it
+//! would make 1-thread and 4-thread runs diverge.
+
+/// Seeded violation: workspace-global mutable tally.
+static mut FLIP_TALLY: u64 = 0;

@@ -1,0 +1,16 @@
+//! Fixture: S1 seed hygiene — exactly one seeded violation.
+
+use simkit::rng::seeded;
+
+/// Seeded violation: the literal seed bypasses configuration plumbing, so
+/// the stream cannot be steered (or varied) from the outside.
+pub fn stream() -> u64 {
+    let mut rng = seeded(42);
+    rng.next_u64()
+}
+
+/// Not a violation: the seed arrives as a parameter.
+pub fn plumbed_stream(seed: u64) -> u64 {
+    let mut rng = seeded(seed);
+    rng.next_u64()
+}

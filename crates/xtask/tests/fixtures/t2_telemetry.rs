@@ -1,0 +1,11 @@
+//! Fixture: T2 telemetry registry — exactly one seeded violation.
+//!
+//! The test supplies a registry covering `fixture.registered` only, so the
+//! second name below is flagged as unregistered (and the first keeps the
+//! registry entry live, so no reverse-direction violation fires).
+
+/// Wires one registered and one unregistered counter.
+pub fn wire(tel: &Telemetry) {
+    tel.counter("fixture.registered").add(1);
+    tel.counter("fixture.unregistered").add(1);
+}

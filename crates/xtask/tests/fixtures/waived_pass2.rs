@@ -1,0 +1,16 @@
+//! Fixture: every pass-2 rule seeded once and waived inline.
+
+static mut TALLY: u64 = 0; // lint:allow(R1) -- fixture: the waiver must silence the race
+
+/// A fallible operation.
+pub fn flush() -> Result<(), ()> {
+    Ok(())
+}
+
+/// One waived violation per remaining pass-2 rule.
+pub fn shutdown(tel: &Telemetry) {
+    let _ = flush(); // lint:allow(E1) -- fixture: the waiver must silence the discard
+    let mut rng = seeded(42); // lint:allow(S1) -- fixture: the waiver must silence the seed
+    tel.counter("fixture.unregistered").add(1); // lint:allow(T2) -- fixture: the waiver must silence the registry miss
+    rng.next_u64();
+}

@@ -1,10 +1,12 @@
 //! Fixture-driven integration tests for the lint rules.
 //!
 //! Every rule has a fixture under `tests/fixtures/` seeding exactly one
-//! violation, plus a clean file, plus a waiver fixture. Fixture sources are
-//! linted under a synthetic path inside a deterministic sim crate
-//! (`crates/ftl/src/...`) so that every rule is in scope; the real walker
-//! never descends into `tests/fixtures/` (see `walk::SKIP_DIRS`).
+//! violation, plus a clean file, plus waiver fixtures. Pass-1 fixtures are
+//! linted with [`lint_source`] under a synthetic path inside a
+//! deterministic sim crate (`crates/ftl/src/...`) so that every rule is in
+//! scope; pass-2 fixtures go through a [`Workspace`], which is the same
+//! engine the real walker feeds. The real walker never descends into
+//! `tests/fixtures/` (see `walk::SKIP_DIRS`).
 
 use std::path::Path;
 
@@ -12,6 +14,8 @@ use ssdhammer_simkit::json::Json;
 use xtask::report::to_json;
 use xtask::rules::{lint_source, Rule};
 use xtask::walk::{default_root, lint_workspace, LintOutcome};
+use xtask::wsrules::Pass2Report;
+use xtask::Workspace;
 
 /// Reads a fixture file from `tests/fixtures/`.
 fn fixture(name: &str) -> String {
@@ -23,9 +27,20 @@ fn fixture(name: &str) -> String {
 }
 
 /// Lints a fixture as if it lived on a deterministic sim crate's library
-/// path, where all six rules apply.
+/// path, where all six pass-1 rules apply.
 fn lint_fixture(name: &str) -> xtask::rules::FileReport {
     lint_source("crates/ftl/src/fixture_under_test.rs", &fixture(name))
+}
+
+/// Runs pass 2 over a single fixture placed on the same synthetic library
+/// path, with an optional `TELEMETRY.md` registry text.
+fn analyze_fixture(name: &str, registry: Option<&str>) -> Pass2Report {
+    let mut ws = Workspace::new();
+    ws.add_source("crates/ftl/src/fixture_under_test.rs", &fixture(name));
+    if let Some(reg) = registry {
+        ws.set_registry(reg);
+    }
+    ws.analyze()
 }
 
 #[test]
@@ -51,6 +66,123 @@ fn each_rule_fires_exactly_once_on_its_fixture() {
         assert!(v.line > 0 && v.col > 0, "{name}: positions are 1-based");
         assert_eq!(report.waived, 0, "{name}: nothing is waived");
     }
+}
+
+#[test]
+fn each_pass2_rule_fires_exactly_once_on_its_fixture() {
+    let registry = "- `fixture.registered` — kept live by the fixture\n";
+    let cases = [
+        ("r1_race.rs", Rule::R1, None),
+        ("t2_telemetry.rs", Rule::T2, Some(registry)),
+        ("e1_swallow.rs", Rule::E1, None),
+        ("s1_seed.rs", Rule::S1, None),
+    ];
+    for (name, rule, reg) in cases {
+        let report = analyze_fixture(name, reg);
+        assert_eq!(
+            report.violations.len(),
+            1,
+            "{name}: expected exactly one violation, got {:?}",
+            report.violations
+        );
+        let v = &report.violations[0];
+        assert_eq!(v.rule, rule, "{name}: wrong rule fired");
+        assert!(v.line > 0 && v.col > 0, "{name}: positions are 1-based");
+        assert!(report.waived.is_empty(), "{name}: nothing is waived");
+    }
+}
+
+#[test]
+fn waivers_suppress_every_pass2_rule() {
+    let report = analyze_fixture("waived_pass2.rs", Some(""));
+    assert!(
+        report.violations.is_empty(),
+        "waived pass-2 violations leaked through: {:?}",
+        report.violations
+    );
+    let mut waived = report.waived.clone();
+    waived.sort();
+    assert_eq!(
+        waived,
+        vec![Rule::R1, Rule::T2, Rule::E1, Rule::S1],
+        "one waiver per pass-2 rule"
+    );
+}
+
+#[test]
+fn pass2_fixtures_are_pass1_clean() {
+    // Each pass-2 fixture must seed *only* its own rule: the per-file pass
+    // over the same source finds nothing.
+    for name in [
+        "r1_race.rs",
+        "t2_telemetry.rs",
+        "e1_swallow.rs",
+        "s1_seed.rs",
+    ] {
+        let report = lint_fixture(name);
+        assert!(
+            report.violations.is_empty(),
+            "{name} also trips pass 1: {:?}",
+            report.violations
+        );
+    }
+}
+
+#[test]
+fn ratchet_rejects_a_seeded_regression() {
+    // A throwaway mini-workspace: one sim-crate file carrying one freshly
+    // waived P1 violation, against a committed floor of zero.
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("ratchet-regression");
+    let src_dir = root.join("crates/ftl/src");
+    std::fs::create_dir_all(&src_dir).expect("mk mini workspace");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "#![forbid(unsafe_code)]\n\
+         pub fn f(x: Option<u32>) -> u32 {\n    \
+         x.unwrap() // lint:allow(P1) -- fixture: freshly added waiver\n\
+         }\n",
+    )
+    .expect("write fixture crate");
+
+    // No baseline at all: the ratchet must refuse to pass, not silently
+    // skip.
+    let _ = std::fs::remove_file(root.join("lint-baseline.json"));
+    let outcome = lint_workspace(&root).expect("walk mini workspace");
+    assert!(outcome.ratchet_checked);
+    assert!(
+        !outcome.is_clean() && outcome.baseline_error.is_some(),
+        "a deleted baseline must not disable the ratchet"
+    );
+
+    // Floor of zero, live count of one: the regression is rejected.
+    std::fs::write(
+        root.join("lint-baseline.json"),
+        "{\"schema\": \"ssdhammer-lint-baseline-v1\", \"waived\": {}, \"waived_total\": 0}\n",
+    )
+    .expect("write floor");
+    let outcome = lint_workspace(&root).expect("walk mini workspace");
+    assert!(
+        outcome.violations.iter().any(|v| {
+            v.rule == Rule::P1
+                && v.file == "lint-baseline.json"
+                && v.message.contains("rose from 0 to 1")
+        }),
+        "expected a P1 ratchet breach, got:\n{}",
+        xtask::report::render_text(&outcome)
+    );
+
+    // Floor matching the live count: clean.
+    std::fs::write(
+        root.join("lint-baseline.json"),
+        "{\"schema\": \"ssdhammer-lint-baseline-v1\", \"waived\": {\"P1\": 1}, \"waived_total\": 1}\n",
+    )
+    .expect("write floor");
+    let outcome = lint_workspace(&root).expect("walk mini workspace");
+    assert!(
+        outcome.is_clean(),
+        "floor == live must pass:\n{}",
+        xtask::report::render_text(&outcome)
+    );
 }
 
 #[test]
@@ -98,6 +230,11 @@ fn json_report_round_trips_through_simkit_json() {
         outcome.waived += report.waived;
         outcome.files_checked += 1;
     }
+    // Mix in a pass-2 finding so the report covers both passes.
+    let mut pass2 = analyze_fixture("e1_swallow.rs", None);
+    outcome.violations.append(&mut pass2.violations);
+    outcome.stats = pass2.stats;
+    outcome.waived_by_rule.insert("P1".to_string(), 2);
     let doc = to_json(&outcome);
     let text = doc.to_string();
     let reparsed = Json::parse(&text).expect("lint --json output parses");
@@ -111,6 +248,10 @@ fn json_report_round_trips_through_simkit_json() {
     assert!(pretty.contains("\"clean\": false"));
     assert!(pretty.contains("\"files_checked\": 3"));
     assert!(pretty.contains("\"rule\": \"D1\""));
+    assert!(pretty.contains("\"rule\": \"E1\""));
+    assert!(pretty.contains("\"waived_by_rule\""));
+    assert!(pretty.contains("\"symbols\""));
+    assert!(pretty.contains("\"ratchet_checked\""));
 }
 
 #[test]

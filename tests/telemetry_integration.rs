@@ -4,6 +4,7 @@
 
 use ssdhammer::dram::DramGeneration;
 use ssdhammer::prelude::*;
+use xtask::wsrules::{glob_match, parse_registry};
 
 #[test]
 fn attack_run_populates_every_layer_of_the_shared_registry() {
@@ -65,4 +66,29 @@ fn attack_run_populates_every_layer_of_the_shared_registry() {
         live.counter_value("dram.activations"),
         snapshot.counter("dram.activations")
     );
+
+    // Every name the run actually emitted is enumerated in the committed
+    // TELEMETRY.md — the same registry rule T2 checks statically — so the
+    // fig1 telemetry export can never ship an undocumented key.
+    let registry_text = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("TELEMETRY.md"),
+    )
+    .expect("committed TELEMETRY.md");
+    let entries = parse_registry(&registry_text);
+    assert!(entries.len() > 50, "the registry enumerates the stack");
+    let names: Vec<String> = snapshot
+        .counters
+        .iter()
+        .map(|(k, _)| k.clone())
+        .chain(snapshot.gauges.iter().map(|(k, _)| k.clone()))
+        .chain(snapshot.histograms.iter().map(|(k, _)| k.clone()))
+        .chain(snapshot.trace.iter().map(|e| e.kind.clone()))
+        .collect();
+    assert!(!names.is_empty());
+    for name in names {
+        assert!(
+            entries.iter().any(|e| glob_match(&e.name, &name)),
+            "`{name}` was emitted at runtime but is not registered in TELEMETRY.md"
+        );
+    }
 }
