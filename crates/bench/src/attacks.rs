@@ -10,15 +10,22 @@
 //! single-row metadata mirrors cannot provide them) report the typed error
 //! instead of a result — that, too, is a finding.
 //!
-//! Cells are sharded across a [`Campaign`], so the output document is
-//! bit-identical for any `--threads` value.
+//! Cells are sharded across a supervised campaign ([`Supervisor`] over
+//! the same deterministic [`Campaign`] sharding), so the output document
+//! is bit-identical for any `--threads` value — and, with
+//! `--checkpoint`/`--resume`, bit-identical whether or not the campaign
+//! was killed and resumed partway.
+//!
+//! [`Campaign`]: ssdhammer_simkit::parallel::Campaign
+
+use std::path::Path;
 
 use ssdhammer_core::{pattern_names, victim_names, AttackError, AttackPipeline};
 use ssdhammer_dram::{DramGeneration, DramGeometry, MappingKind, ModuleProfile};
 use ssdhammer_flash::FlashGeometry;
 use ssdhammer_nvme::{Ssd, SsdConfig};
 use ssdhammer_simkit::json::{Json, ToJson};
-use ssdhammer_simkit::parallel::Campaign;
+use ssdhammer_simkit::supervisor::{JsonCodec, SupervisedReport, Supervisor};
 use ssdhammer_simkit::SimDuration;
 
 /// One (pattern, victim) cell of the campaign grid.
@@ -45,6 +52,36 @@ pub struct GridCell {
     pub loud: u64,
     /// Typed pipeline error, when the combination cannot run.
     pub error: Option<String>,
+}
+
+impl GridCell {
+    /// Decodes a checkpointed cell; registry names map back to their
+    /// `&'static str` entries. `None` (undecodable) makes the supervisor
+    /// re-run the shard live.
+    fn from_json(j: &Json) -> Option<GridCell> {
+        let interned = |names: &[&'static str], v: &str| names.iter().find(|n| **n == v).copied();
+        let pattern = interned(pattern_names(), j.get("pattern").and_then(Json::as_str)?)?;
+        let victim = interned(victim_names(), j.get("victim").and_then(Json::as_str)?)?;
+        let placement = interned(
+            &["same_bank", "cross_bank"],
+            j.get("placement").and_then(Json::as_str)?,
+        )?;
+        Some(GridCell {
+            pattern,
+            victim,
+            placement,
+            sites_used: usize::try_from(j.get("sites_used").and_then(Json::as_u64)?).ok()?,
+            flips: j.get("flips").and_then(Json::as_u64)?,
+            achieved_rate: j.get("achieved_rate").and_then(Json::as_f64)?,
+            changes: j.get("changes").and_then(Json::as_u64)?,
+            silent: j.get("silent").and_then(Json::as_u64)?,
+            loud: j.get("loud").and_then(Json::as_u64)?,
+            error: j
+                .get("error")
+                .and_then(Json::as_str)
+                .map(ToString::to_string),
+        })
+    }
 }
 
 impl ToJson for GridCell {
@@ -153,6 +190,29 @@ pub fn run_filtered(
     pattern: Option<&str>,
     victim: Option<&str>,
 ) -> Result<Vec<GridCell>, AttackError> {
+    let report = run_supervised(seed, threads, pattern, victim, None, false, None)?;
+    Ok(report.values().cloned().collect())
+}
+
+/// [`run_filtered`] under full supervision: panic isolation, optional
+/// checkpoint persistence after every completed cell (`checkpoint` +
+/// `resume`), and the `abort_after` kill-switch CI uses to prove a
+/// resumed grid is bit-identical to an uninterrupted one.
+///
+/// # Errors
+///
+/// [`AttackError::UnknownPattern`] / [`AttackError::UnknownVictim`] as in
+/// [`run_filtered`]; checkpoint I/O failures panic (the file the user
+/// asked for cannot be written).
+pub fn run_supervised(
+    seed: u64,
+    threads: usize,
+    pattern: Option<&str>,
+    victim: Option<&str>,
+    checkpoint: Option<&Path>,
+    resume: bool,
+    abort_after: Option<usize>,
+) -> Result<SupervisedReport<GridCell>, AttackError> {
     let patterns: Vec<&'static str> = match pattern {
         Some(p) => vec![*pattern_names()
             .iter()
@@ -171,13 +231,27 @@ pub fn run_filtered(
         .iter()
         .flat_map(|p| victims.iter().map(move |v| (*p, *v)))
         .collect();
-    Ok(Campaign::new(seed)
+    let mut sup = Supervisor::new(seed)
         .with_tag("attack-grid")
-        .with_threads(threads)
-        .run(cells.len(), |trial| {
-            let (p, v) = cells[trial.index];
-            run_cell(trial.seed, p, v)
-        }))
+        .with_threads(threads);
+    if let Some(n) = abort_after {
+        sup = sup.with_stop_after(n);
+    }
+    let shard = |ctx: &ssdhammer_simkit::supervisor::ShardCtx| {
+        let (p, v) = cells[ctx.trial.index];
+        run_cell(ctx.trial.seed, p, v)
+    };
+    Ok(match checkpoint {
+        Some(path) => {
+            let codec = JsonCodec {
+                encode: GridCell::to_json,
+                decode: GridCell::from_json,
+            };
+            sup.run_checkpointed(cells.len(), path, resume, codec, shard)
+                .expect("attack-grid checkpoint")
+        }
+        None => sup.run(cells.len(), shard),
+    })
 }
 
 /// Renders the grid as a table.
@@ -252,6 +326,29 @@ mod tests {
     }
 
     #[test]
+    fn grid_cells_survive_a_checkpoint_round_trip() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("ssdhammer-attacks-resume-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let uninterrupted = run_filtered(11, 2, None, None).expect("grid");
+        let killed =
+            run_supervised(11, 2, None, None, Some(&path), false, Some(3)).expect("killed grid");
+        assert!(killed.degraded());
+        assert_eq!(killed.values().count(), 3);
+        let resumed =
+            run_supervised(11, 1, None, None, Some(&path), true, None).expect("resumed grid");
+        assert!(!resumed.degraded());
+        assert_eq!(resumed.resumed, 3);
+        let resumed_cells: Vec<GridCell> = resumed.values().cloned().collect();
+        assert_eq!(
+            resumed_cells.to_json().to_string(),
+            uninterrupted.to_json().to_string()
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn thread_count_does_not_change_results() {
         let json = |threads| {
             run_filtered(11, threads, None, None)
@@ -277,10 +374,28 @@ impl Scenario for AttacksScenario {
         "attacks"
     }
 
-    fn run(&self, _cfg: ScenarioCfg, seed: u64, threads: usize) -> Json {
-        run_filtered(seed, threads, None, None)
-            .expect("unfiltered grid")
-            .to_json()
+    fn run(&self, cfg: ScenarioCfg, seed: u64, threads: usize) -> Json {
+        if cfg.checkpoint.is_none() && cfg.abort_after.is_none() {
+            return run_filtered(seed, threads, None, None)
+                .expect("unfiltered grid")
+                .to_json();
+        }
+        // Supervised form: completed cells plus the partial-result marker.
+        let report = run_supervised(
+            seed,
+            threads,
+            None,
+            None,
+            cfg.checkpoint.as_deref(),
+            cfg.resume,
+            cfg.abort_after,
+        )
+        .expect("unfiltered grid");
+        let cells: Vec<GridCell> = report.values().cloned().collect();
+        Json::obj([
+            ("degraded", Json::from(report.degraded())),
+            ("cells", cells.to_json()),
+        ])
     }
 
     fn render(&self, _cfg: ScenarioCfg, seed: u64, threads: usize) -> String {

@@ -14,6 +14,7 @@
 use ssdhammer_bench::scenario::{Scenario, ScenarioCfg};
 use ssdhammer_bench::{
     ablations, attacks, benchmark, defenses, faults, fig1, fig2, fig3, sec23, sec43, sec5, table1,
+    torture,
 };
 use ssdhammer_simkit::json::ToJson;
 
@@ -26,11 +27,19 @@ struct Ctx {
     quick: bool,
     pattern: Option<String>,
     victim: Option<String>,
+    checkpoint: Option<String>,
+    resume: bool,
+    abort_after: Option<usize>,
 }
 
 impl Ctx {
     fn cfg(&self) -> ScenarioCfg {
-        ScenarioCfg { full: self.full }
+        ScenarioCfg {
+            full: self.full,
+            checkpoint: self.checkpoint.as_ref().map(std::path::PathBuf::from),
+            resume: self.resume,
+            abort_after: self.abort_after,
+        }
     }
 }
 
@@ -130,8 +139,14 @@ static COMMANDS: &[Cmd] = &[
         in_all: true,
     },
     Cmd {
+        name: "torture",
+        help: "power-cut torture — crash-point enumeration x recovery oracle",
+        runner: Runner::Scenario(&torture::TortureScenario),
+        in_all: false,
+    },
+    Cmd {
         name: "bench",
-        help: "perf baseline — times the hot paths, writes BENCH_6.json",
+        help: "perf baseline — times the hot paths, writes BENCH_9.json",
         runner: Runner::Custom(run_bench),
         in_all: false,
     },
@@ -148,6 +163,9 @@ fn main() {
         quick: false,
         pattern: None,
         victim: None,
+        checkpoint: None,
+        resume: false,
+        abort_after: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -178,6 +196,21 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .filter(|&t| t >= 1)
                     .unwrap_or_else(|| die("--threads needs a positive number"));
+            }
+            "--checkpoint" => {
+                ctx.checkpoint = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--checkpoint needs a path")),
+                );
+            }
+            "--resume" => ctx.resume = true,
+            "--abort-after" => {
+                ctx.abort_after = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--abort-after needs a number")),
+                );
             }
             "--json" => ctx.json = true,
             "--full" => ctx.full = true,
@@ -281,13 +314,13 @@ fn run_escalation(ctx: &Ctx) {
     }
 }
 
-/// The perf baseline: times the hot paths, writes `BENCH_6.json`, and
+/// The perf baseline: times the hot paths, writes `BENCH_9.json`, and
 /// self-checks that the document parses.
 fn run_bench(ctx: &Ctx) {
     let report = benchmark::run(ctx.seed, ctx.threads, ctx.quick);
     let text = report.doc.to_string_pretty();
     ssdhammer_simkit::json::Json::parse(&text).expect("BENCH document must parse");
-    let path = "BENCH_6.json";
+    let path = "BENCH_9.json";
     match std::fs::write(path, &text) {
         Ok(()) => eprintln!("bench report written to {path}"),
         Err(e) => eprintln!("repro: could not write {path}: {e}"),
@@ -309,11 +342,15 @@ fn print_help() {
     println!("  --threads N   worker threads for campaign experiments; output is");
     println!("                bit-identical for any N (default 1)");
     println!("  --json        print structured JSON instead of tables");
-    println!("  --full        fig3 only: run the paper-prototype-scale configuration");
-    println!("                (1 GiB SSD, 5% spray cap, 5-minute hammer bursts)");
+    println!("  --full        fig3: run the paper-prototype-scale configuration");
+    println!("                (1 GiB SSD, 5% spray cap, 5-minute hammer bursts);");
+    println!("                torture: larger workload with a sampled crash schedule");
     println!("  --quick       bench only: fast-demo scenarios for CI smoke runs");
     println!("  --pattern P   attacks only: run a single hammer pattern's cells");
     println!("  --victim V    attacks only: run a single victim structure's cells");
+    println!("  --checkpoint F  torture: persist completed shards to F after each one");
+    println!("  --resume      torture: restore completed shards from --checkpoint first");
+    println!("  --abort-after N  torture: stop launching shards after N (kill simulation)");
 }
 
 fn die(msg: &str) -> ! {

@@ -16,14 +16,17 @@
 //!
 //! The [`ablations`] module additionally sweeps the design choices called
 //! out in DESIGN.md (amplification, fast path, mapping structure, victim
-//! activity), and the [`faults`] module exercises the deterministic
-//! fault-injection plane against the FTL recovery stack.
+//! activity), the [`faults`] module exercises the deterministic
+//! fault-injection plane against the FTL recovery stack, and the
+//! [`torture`] module enumerates power-cut crash points across every
+//! recovery-critical site and checks each recovery against a shadow-model
+//! oracle (DESIGN.md §17).
 //!
 //! Every experiment module exposes a unit struct implementing
 //! [`scenario::Scenario`] — one uniform `run(cfg, seed, threads) -> Json`
 //! / `render` entry point that the `repro` binary's subcommand registry
 //! dispatches through. The [`benchmark`] module (`repro bench`) times the
-//! hot paths and writes `BENCH_6.json`.
+//! hot paths and writes `BENCH_9.json`.
 //!
 //! Run `cargo run -p ssdhammer-bench --bin repro -- all` for the complete
 //! text reproduction, or `cargo bench` for the timed harnesses.
@@ -45,3 +48,4 @@ pub mod sec23;
 pub mod sec43;
 pub mod sec5;
 pub mod table1;
+pub mod torture;

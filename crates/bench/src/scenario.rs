@@ -10,15 +10,29 @@
 //! Both are deterministic for a fixed `(cfg, seed)`: thread count shards
 //! work but never changes output bytes.
 
+use std::path::PathBuf;
+
 use ssdhammer_simkit::json::Json;
 
 /// Options shared by every scenario. Scenarios ignore fields that do not
-/// apply to them (only `fig3` distinguishes `full` today).
-#[derive(Debug, Clone, Copy, Default)]
+/// apply to them (`fig3` and `torture` distinguish `full`; the
+/// checkpoint/resume/abort knobs drive supervised campaigns — `torture`
+/// today).
+#[derive(Debug, Clone, Default)]
 pub struct ScenarioCfg {
     /// Run the paper-prototype-scale configuration where one exists
-    /// (fig3's 1 GiB case study) instead of the fast demo.
+    /// (fig3's 1 GiB case study, torture's sampling schedule) instead of
+    /// the fast demo.
     pub full: bool,
+    /// Persist completed campaign shards to this checkpoint file
+    /// (`--checkpoint`).
+    pub checkpoint: Option<PathBuf>,
+    /// Restore completed shards from the checkpoint before running
+    /// (`--resume`).
+    pub resume: bool,
+    /// Stop launching new shards after this many (`--abort-after`; CI's
+    /// simulated kill for checkpoint/resume round-trips).
+    pub abort_after: Option<usize>,
 }
 
 /// A reproducible experiment with a uniform entry signature.

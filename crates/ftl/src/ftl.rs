@@ -106,6 +106,22 @@ impl core::fmt::Display for FtlError {
 
 impl std::error::Error for FtlError {}
 
+/// Fault-plane crash sites consulted on the FTL's metadata-persistence
+/// paths, one per recovery-critical structure. Each behaves like the
+/// `ftl.power_loss` site — when it fires, power is cut at that exact
+/// point and the device stays offline until [`Ftl::recover`] — but is
+/// placed *inside* the persistence operation, so torture campaigns
+/// (`simkit::torture`) can cut power at every journal append, mirror
+/// write-through, grown-bad remap, scrub pass, and explicit flush a
+/// workload performs.
+pub const CRASH_SITES: &[&str] = &[
+    "ftl.crash.journal_append",
+    "ftl.crash.meta_mirror",
+    "ftl.crash.bad_block_remap",
+    "ftl.crash.scrub_repair",
+    "ftl.crash.l2p_flush",
+];
+
 /// FTL construction parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FtlConfig {
@@ -737,7 +753,18 @@ impl Ftl {
                 // Recovery reads bypass fault injection (assisted mode):
                 // remount happens under controller-managed retry voltages.
                 let (page, _) = ftl.nand.read_page_assisted(Ppn(p))?;
-                entries.extend(journal::decode_page(&page));
+                let decoded = journal::decode_page(&page);
+                if decoded.torn {
+                    ftl.tel.registry.trace(
+                        ftl.clock.now(),
+                        "ftl.journal.torn_tail",
+                        format!(
+                            "journal page {p}: torn tail truncated after {} records",
+                            decoded.entries.len()
+                        ),
+                    );
+                }
+                entries.extend(decoded.entries);
             }
         }
         entries.sort_by_key(|e| e.seq);
@@ -1253,6 +1280,7 @@ impl Ftl {
         if !self.powered {
             return Err(FtlError::PowerLoss);
         }
+        self.crash_point("ftl.crash.scrub_repair")?;
         let repairs_before = self.repairs_total();
         for _ in 0..entries.min(self.exported_lbas) {
             let lba = Lba(self.scrub_cursor);
@@ -1382,6 +1410,7 @@ impl Ftl {
         if !self.powered {
             return Err(FtlError::PowerLoss);
         }
+        self.crash_point("ftl.crash.l2p_flush")?;
         self.checkpoint_journal()
     }
 
@@ -1442,6 +1471,23 @@ impl Ftl {
                 self.clock.now(),
                 "ftl.power_loss",
                 "power cut; device offline until remount",
+            );
+            return Err(FtlError::PowerLoss);
+        }
+        Ok(())
+    }
+
+    /// Consults one [`CRASH_SITES`] site: when it fires, power is cut at
+    /// this exact point (same semantics as the `ftl.power_loss` site) and
+    /// the in-flight operation surfaces [`FtlError::PowerLoss`].
+    fn crash_point(&mut self, site: &'static str) -> Result<(), FtlError> {
+        if self.fault_plane.fires(site) {
+            self.powered = false;
+            self.tel.power_losses.incr();
+            self.tel.registry.trace(
+                self.clock.now(),
+                "ftl.power_loss",
+                format!("power cut at {site}"),
             );
             return Err(FtlError::PowerLoss);
         }
@@ -1558,14 +1604,16 @@ impl Ftl {
         }
         self.relocate_valid_pages(block)?;
         self.nand.mark_bad(block)?;
-        self.note_block_retired(block, "program failure");
-        Ok(())
+        self.note_block_retired(block, "program failure")
     }
 
     /// Counts one grown-bad retirement and degrades to read-only past the
     /// budget. In-flight operations are allowed to complete; subsequent
     /// mutations are rejected.
-    fn note_block_retired(&mut self, block: BlockId, cause: &str) {
+    fn note_block_retired(&mut self, block: BlockId, cause: &str) -> Result<(), FtlError> {
+        // The NAND already holds the grown-bad mark; a cut here leaves a
+        // half-finished retirement for recovery to reconcile.
+        self.crash_point("ftl.crash.bad_block_remap")?;
         self.remap_events += 1;
         self.tel.bad_block_remaps.incr();
         self.tel.registry.trace(
@@ -1577,6 +1625,7 @@ impl Ftl {
         if self.remap_events > self.config.remap_budget {
             self.engage_read_only("remap budget exhausted");
         }
+        Ok(())
     }
 
     /// Disables the metadata mirror and leaves a trace event saying why.
@@ -1691,6 +1740,10 @@ impl Ftl {
             seq,
             ppn: ppn.map_or(crate::l2p::INVALID_ENTRY, |p| p.as_u64() as u32),
         };
+        // A cut here lands mid write-through: the DRAM mirror never sees
+        // this entry, and neither does the journal buffer — the mutation
+        // itself (L2P update, programmed page) already happened.
+        self.crash_point("ftl.crash.meta_mirror")?;
         self.meta_journal_write(&entry);
         self.journal_buf.push(entry);
         if self.journal_buf.len() >= self.config.journal_checkpoint_every as usize {
@@ -1715,8 +1768,29 @@ impl Ftl {
                 return Ok(());
             };
             let take = per_page.min(self.journal_buf.len());
-            let page = journal::encode_page(&self.journal_buf[..take], page_bytes);
             let marker = encode_oob(Lba(journal::JOURNAL_LBA_MARKER), 0, 0);
+            if self.fault_plane.fires("ftl.crash.journal_append") {
+                // A mid-append power cut: the page header and all but the
+                // final record reach the cells, the record's tail does
+                // not. Recovery must detect the torn record by its CRC and
+                // truncate it rather than replay garbage.
+                let torn = journal::encode_page_torn(&self.journal_buf[..take], page_bytes);
+                match self.nand.program_page(ppn, &torn, &marker) {
+                    // A failed program just means the cut landed before
+                    // any bytes hit the page — equally valid torture.
+                    Ok(_) | Err(FlashError::ProgramFailed { .. }) => {}
+                    Err(e) => return Err(e.into()),
+                }
+                self.powered = false;
+                self.tel.power_losses.incr();
+                self.tel.registry.trace(
+                    self.clock.now(),
+                    "ftl.power_loss",
+                    "power cut at ftl.crash.journal_append",
+                );
+                return Err(FtlError::PowerLoss);
+            }
+            let page = journal::encode_page(&self.journal_buf[..take], page_bytes);
             match self.nand.program_page(ppn, &page, &marker) {
                 Ok(_) => {
                     self.journal_buf.drain(..take);
@@ -1849,7 +1923,7 @@ impl Ftl {
             Err(FlashError::BadBlock { .. }) => { /* retire worn block */ }
             Err(FlashError::EraseFailed { .. }) => {
                 // The flash marked it grown-bad; charge the remap budget.
-                self.note_block_retired(victim, "erase failure");
+                self.note_block_retired(victim, "erase failure")?;
             }
             Err(e) => return Err(e.into()),
         }

@@ -13,10 +13,16 @@
 //! their OOB ([`JOURNAL_LBA_MARKER`]), far above any exportable capacity,
 //! so the normal OOB scan skips them automatically.
 //!
+//! Every record carries its own CRC-32C, so a page torn by a mid-append
+//! power cut — the final record only partially written — is detected and
+//! truncated at the first bad record ([`DecodedPage::torn`]) instead of
+//! being replayed as garbage or aborting recovery.
+//!
 //! [`Ftl::recover`]: crate::Ftl::recover
 //! [`FtlConfig::journal_checkpoint_every`]: crate::FtlConfig::journal_checkpoint_every
 
 use ssdhammer_simkit::bytes::{le_u32, le_u64};
+use ssdhammer_simkit::crc32c;
 
 /// Sentinel OOB LBA marking a page as journal payload rather than data.
 pub(crate) const JOURNAL_LBA_MARKER: u64 = u64::MAX - 1;
@@ -24,8 +30,12 @@ pub(crate) const JOURNAL_LBA_MARKER: u64 = u64::MAX - 1;
 /// Magic number opening every journal page.
 const PAGE_MAGIC: u32 = 0x4A4E_4C31; // "JNL1"
 
-/// Serialized size of one entry: LBA (8) + sequence (8) + PPN (4).
-pub(crate) const ENTRY_BYTES: usize = 20;
+/// Serialized size of one entry: LBA (8) + sequence (8) + PPN (4) +
+/// CRC-32C over the preceding 20 bytes (4).
+pub(crate) const ENTRY_BYTES: usize = 24;
+
+/// Bytes of an entry covered by its trailing CRC.
+const ENTRY_PAYLOAD_BYTES: usize = 20;
 
 /// Page header: magic (4) + entry count (4).
 const HEADER_BYTES: usize = 8;
@@ -38,6 +48,14 @@ pub(crate) struct JournalEntry {
     pub lba: u64,
     pub seq: u64,
     pub ppn: u32,
+}
+
+/// A decoded journal page: the records whose CRCs verified, and whether
+/// the page ended in a torn (CRC-failing) record that was truncated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct DecodedPage {
+    pub entries: Vec<JournalEntry>,
+    pub torn: bool,
 }
 
 /// Entries that fit one journal page of `page_bytes`.
@@ -56,29 +74,58 @@ pub(crate) fn encode_page(entries: &[JournalEntry], page_bytes: usize) -> Vec<u8
         page[at..at + 8].copy_from_slice(&e.lba.to_le_bytes());
         page[at + 8..at + 16].copy_from_slice(&e.seq.to_le_bytes());
         page[at + 16..at + 20].copy_from_slice(&e.ppn.to_le_bytes());
+        let crc = crc32c(&page[at..at + ENTRY_PAYLOAD_BYTES]);
+        page[at + 20..at + 24].copy_from_slice(&crc.to_le_bytes());
+    }
+    page
+}
+
+/// Serializes `entries` like [`encode_page`], then tears the final record
+/// as a mid-append power cut would: its trailing bytes (second half of the
+/// payload plus the CRC) never reach the cells and read back as zeroes.
+/// Decoding such a page yields all but the final record, with
+/// [`DecodedPage::torn`] set.
+pub(crate) fn encode_page_torn(entries: &[JournalEntry], page_bytes: usize) -> Vec<u8> {
+    let mut page = encode_page(entries, page_bytes);
+    if let Some(last) = entries.len().checked_sub(1) {
+        let at = HEADER_BYTES + last * ENTRY_BYTES;
+        for b in &mut page[at + ENTRY_PAYLOAD_BYTES / 2..at + ENTRY_BYTES] {
+            *b = 0;
+        }
     }
     page
 }
 
 /// Deserializes a journal page; returns no entries for pages that do not
 /// carry the magic (burned or torn pages read back as `0xFF` / zeroes).
-pub(crate) fn decode_page(page: &[u8]) -> Vec<JournalEntry> {
+/// Records are verified front-to-back against their CRCs; the first bad
+/// record truncates the page and marks it torn. A count claiming more
+/// records than fit is itself corruption and marks the page torn.
+pub(crate) fn decode_page(page: &[u8]) -> DecodedPage {
     if page.len() < HEADER_BYTES || le_u32(page, 0) != PAGE_MAGIC {
-        return Vec::new();
+        return DecodedPage {
+            entries: Vec::new(),
+            torn: false,
+        };
     }
     let count = le_u32(page, 4) as usize;
     let max = entries_per_page(page.len());
-    let count = count.min(max);
-    (0..count)
-        .map(|i| {
-            let at = HEADER_BYTES + i * ENTRY_BYTES;
-            JournalEntry {
-                lba: le_u64(page, at),
-                seq: le_u64(page, at + 8),
-                ppn: le_u32(page, at + 16),
-            }
-        })
-        .collect()
+    let claimed = count.min(max);
+    let mut entries = Vec::with_capacity(claimed);
+    let mut torn = count > max;
+    for i in 0..claimed {
+        let at = HEADER_BYTES + i * ENTRY_BYTES;
+        if crc32c(&page[at..at + ENTRY_PAYLOAD_BYTES]) != le_u32(page, at + ENTRY_PAYLOAD_BYTES) {
+            torn = true;
+            break;
+        }
+        entries.push(JournalEntry {
+            lba: le_u64(page, at),
+            seq: le_u64(page, at + 8),
+            ppn: le_u32(page, at + 16),
+        });
+    }
+    DecodedPage { entries, torn }
 }
 
 #[cfg(test)]
@@ -89,7 +136,7 @@ mod tests {
     fn roundtrip_full_page() {
         let page_bytes = 4096;
         let n = entries_per_page(page_bytes);
-        assert_eq!(n, (4096 - 8) / 20);
+        assert_eq!(n, (4096 - 8) / 24);
         let entries: Vec<JournalEntry> = (0..n as u64)
             .map(|i| JournalEntry {
                 lba: i,
@@ -99,7 +146,9 @@ mod tests {
             .collect();
         let page = encode_page(&entries, page_bytes);
         assert_eq!(page.len(), page_bytes);
-        assert_eq!(decode_page(&page), entries);
+        let decoded = decode_page(&page);
+        assert_eq!(decoded.entries, entries);
+        assert!(!decoded.torn);
     }
 
     #[test]
@@ -117,20 +166,80 @@ mod tests {
             },
         ];
         let page = encode_page(&entries, 4096);
-        assert_eq!(decode_page(&page), entries);
+        let decoded = decode_page(&page);
+        assert_eq!(decoded.entries, entries);
+        assert!(!decoded.torn);
     }
 
     #[test]
     fn erased_and_garbage_pages_decode_empty() {
-        assert!(decode_page(&vec![0xFFu8; 4096]).is_empty());
-        assert!(decode_page(&vec![0u8; 4096]).is_empty());
-        assert!(decode_page(&[1, 2, 3]).is_empty());
+        assert!(decode_page(&vec![0xFFu8; 4096]).entries.is_empty());
+        assert!(decode_page(&vec![0u8; 4096]).entries.is_empty());
+        assert!(decode_page(&[1, 2, 3]).entries.is_empty());
     }
 
     #[test]
-    fn corrupt_count_is_clamped() {
-        let mut page = encode_page(&[], 4096);
+    fn corrupt_count_is_clamped_and_flagged() {
+        // An all-records page whose count field was blasted to MAX: the
+        // claimed count clamps to capacity and the lie marks the page torn,
+        // but every intact record still replays.
+        let n = entries_per_page(4096);
+        let entries: Vec<JournalEntry> = (0..n as u64)
+            .map(|i| JournalEntry {
+                lba: i,
+                seq: i,
+                ppn: i as u32,
+            })
+            .collect();
+        let mut page = encode_page(&entries, 4096);
         page[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
-        assert_eq!(decode_page(&page).len(), entries_per_page(4096));
+        let decoded = decode_page(&page);
+        assert_eq!(decoded.entries, entries);
+        assert!(decoded.torn);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_never_replayed() {
+        let entries: Vec<JournalEntry> = (0..5u64)
+            .map(|i| JournalEntry {
+                lba: 10 + i,
+                seq: 100 + i,
+                ppn: 7 + i as u32,
+            })
+            .collect();
+        let page = encode_page_torn(&entries, 4096);
+        let decoded = decode_page(&page);
+        assert!(decoded.torn);
+        assert_eq!(decoded.entries, entries[..4]);
+    }
+
+    #[test]
+    fn torn_single_record_page_decodes_empty_and_torn() {
+        let entries = vec![JournalEntry {
+            lba: 1,
+            seq: 2,
+            ppn: 3,
+        }];
+        let decoded = decode_page(&encode_page_torn(&entries, 4096));
+        assert!(decoded.torn);
+        assert!(decoded.entries.is_empty());
+    }
+
+    #[test]
+    fn mid_page_corruption_truncates_at_first_bad_record() {
+        let entries: Vec<JournalEntry> = (0..6u64)
+            .map(|i| JournalEntry {
+                lba: i,
+                seq: i,
+                ppn: i as u32,
+            })
+            .collect();
+        let mut page = encode_page(&entries, 4096);
+        // Flip one payload bit in record 2; its CRC no longer matches.
+        let at = HEADER_BYTES + 2 * ENTRY_BYTES;
+        page[at + 3] ^= 0x10;
+        let decoded = decode_page(&page);
+        assert!(decoded.torn);
+        assert_eq!(decoded.entries, entries[..2]);
     }
 }

@@ -360,6 +360,7 @@ struct SsdHandles {
     service_latency: HistogramHandle,
     timeouts: CounterHandle,
     retries: CounterHandle,
+    retry_exhausted: CounterHandle,
     aborts: CounterHandle,
 }
 
@@ -372,6 +373,7 @@ impl SsdHandles {
             service_latency: registry.histogram("nvme.service_latency"),
             timeouts: registry.counter("nvme.timeouts"),
             retries: registry.counter("nvme.retries"),
+            retry_exhausted: registry.counter("nvme.retry.exhausted"),
             aborts: registry.counter("nvme.aborts"),
             registry,
         }
@@ -999,6 +1001,7 @@ impl Ssd {
             // The attempt holds the command until its deadline expires.
             self.clock.advance(policy.timeout);
             if attempt >= policy.max_retries {
+                self.tel.retry_exhausted.incr();
                 self.tel.registry.trace(
                     self.clock.now(),
                     "nvme.timeout",

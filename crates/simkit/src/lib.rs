@@ -27,6 +27,12 @@
 //! * [`faultplane`] — the seeded fault-injection plane device crates
 //!   consult at their failure points; identical seeds replay identical
 //!   fault sequences.
+//! * [`torture`] — deterministic crash-point enumeration over fault-plane
+//!   sites: census a workload's site crossings, then cut power at every
+//!   one (or a seeded-stratified sample) and check recovery.
+//! * [`supervisor`] — supervised campaign execution over [`parallel`]:
+//!   sim-time budget watchdog, `catch_unwind` panic isolation with seeded
+//!   retry, and checkpoint/resume of long campaigns.
 //! * [`json`] — a dependency-free JSON document model used to export
 //!   telemetry snapshots and experiment results.
 //!
@@ -53,8 +59,10 @@ pub mod json;
 pub mod parallel;
 pub mod rng;
 pub mod stats;
+pub mod supervisor;
 pub mod telemetry;
 mod time;
+pub mod torture;
 mod units;
 
 pub use blockdev::{BlockDevice, BlockStorage, RamDisk, StorageError, StorageResult};

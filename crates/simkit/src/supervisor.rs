@@ -1,0 +1,962 @@
+//! Supervised campaign execution: watchdog, panic isolation, checkpoint.
+//!
+//! [`parallel::Campaign`] assumes every trial closure returns; a runaway or
+//! panicking shard takes the whole campaign (and the repro run around it)
+//! down with it. The [`Supervisor`] wraps the same deterministic sharding
+//! with the robustness layers a long fleet-scale campaign needs:
+//!
+//! * **Sim-time budget watchdog** — each shard receives a fresh
+//!   [`ShardCtx`] carrying a [`SimClock`] and an optional budget; shards
+//!   that consume more simulated time than the budget come back as typed
+//!   [`ShardOutcome::Timeout`] results instead of values. Cooperative
+//!   shards poll [`ShardCtx::over_budget`] to bail out early.
+//! * **Panic isolation** — shard closures run under
+//!   [`std::panic::catch_unwind`]; a panic is captured together with the
+//!   shard's index and seed so the failure replays deterministically in a
+//!   debugger, and the rest of the campaign keeps running.
+//! * **Bounded seeded retry** — a panicked shard is retried up to
+//!   [`Supervisor::with_max_retries`] times, each attempt reseeded with
+//!   [`rng::derive_seed`]`(trial_seed, "retry", attempt)` so retries are
+//!   themselves reproducible.
+//! * **Checkpoint/resume** — [`Supervisor::run_checkpointed`] persists
+//!   every completed shard to a JSON checkpoint file (atomic
+//!   write-then-rename); rerunning with `resume = true` restores completed
+//!   shards from the file and only executes the remainder. Because shard
+//!   seeds are positional, a resumed campaign's merged report is
+//!   bit-identical to an uninterrupted one at any thread count.
+//!
+//! The merged [`SupervisedReport`] keeps per-shard outcomes in trial order
+//! and exposes a [`SupervisedReport::degraded`] flag scenario JSON can
+//! surface when partial results were aggregated.
+//!
+//! # Examples
+//!
+//! ```
+//! use ssdhammer_simkit::supervisor::{ShardOutcome, Supervisor};
+//!
+//! let report = Supervisor::new(42).with_threads(4).run(8, |ctx| {
+//!     if ctx.trial.index == 3 {
+//!         panic!("injected shard failure");
+//!     }
+//!     ctx.trial.index as u64 * 2
+//! });
+//! assert_eq!(report.panics, 1);
+//! assert!(report.degraded());
+//! assert!(matches!(report.outcomes[3], ShardOutcome::Panicked { index: 3, .. }));
+//! assert_eq!(report.outcomes[4].value(), Some(&8));
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::clock::SimClock;
+use crate::json::Json;
+use crate::parallel::{Campaign, Trial};
+use crate::rng;
+use crate::telemetry::{CounterHandle, Telemetry};
+use crate::time::SimDuration;
+
+/// Checkpoint file schema identifier.
+pub const CHECKPOINT_SCHEMA: &str = "ssdhammer-supervisor-ckpt-v1";
+
+/// Per-shard context handed to supervised closures.
+#[derive(Debug, Clone)]
+pub struct ShardCtx {
+    /// The shard's position and (attempt-specific) seed. On retry the seed
+    /// is re-derived; the index never changes.
+    pub trial: Trial,
+    /// Which attempt this is: `0` for the first run, `1..` for retries.
+    pub attempt: u32,
+    clock: SimClock,
+    budget: Option<SimDuration>,
+}
+
+impl ShardCtx {
+    /// The simulated clock this shard should drive its device with; the
+    /// watchdog reads it back after the closure returns.
+    #[must_use]
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Simulated time consumed so far.
+    #[must_use]
+    pub fn sim_elapsed(&self) -> SimDuration {
+        SimDuration::from_nanos(self.clock.now().as_nanos())
+    }
+
+    /// True once the shard has consumed its simulated-time budget;
+    /// cooperative shards poll this to abandon runaway work early.
+    #[must_use]
+    pub fn over_budget(&self) -> bool {
+        self.budget
+            .is_some_and(|b| self.sim_elapsed().as_nanos() > b.as_nanos())
+    }
+}
+
+/// What happened to one supervised shard; merged in trial order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardOutcome<T> {
+    /// The shard completed within budget.
+    Ok(T),
+    /// The shard completed but consumed more simulated time than the
+    /// configured budget; its value is discarded.
+    Timeout {
+        /// Trial index for deterministic replay.
+        index: usize,
+        /// Seed of the attempt that timed out.
+        seed: u64,
+        /// Simulated time the shard consumed.
+        sim_elapsed: SimDuration,
+    },
+    /// Every attempt of the shard panicked.
+    Panicked {
+        /// Trial index for deterministic replay.
+        index: usize,
+        /// Seed of the *first* attempt — replaying `(index, seed)`
+        /// reproduces the original panic.
+        seed: u64,
+        /// Attempts made (first run plus retries).
+        attempts: u32,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// The shard never ran: the campaign stopped first
+    /// ([`Supervisor::with_stop_after`]).
+    Skipped {
+        /// Trial index.
+        index: usize,
+        /// The seed the shard would have used.
+        seed: u64,
+    },
+}
+
+impl<T> ShardOutcome<T> {
+    /// The completed value, when the shard succeeded.
+    #[must_use]
+    pub fn value(&self) -> Option<&T> {
+        match self {
+            ShardOutcome::Ok(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Consumes the outcome into the completed value, when present.
+    #[must_use]
+    pub fn into_value(self) -> Option<T> {
+        match self {
+            ShardOutcome::Ok(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Short status tag for reports: `ok`, `timeout`, `panicked`,
+    /// `skipped`.
+    #[must_use]
+    pub fn status(&self) -> &'static str {
+        match self {
+            ShardOutcome::Ok(_) => "ok",
+            ShardOutcome::Timeout { .. } => "timeout",
+            ShardOutcome::Panicked { .. } => "panicked",
+            ShardOutcome::Skipped { .. } => "skipped",
+        }
+    }
+}
+
+/// Merged result of a supervised campaign, in trial order.
+#[derive(Debug, Clone)]
+pub struct SupervisedReport<T> {
+    /// Per-shard outcomes, index `i` at position `i`.
+    pub outcomes: Vec<ShardOutcome<T>>,
+    /// Shards that exceeded the simulated-time budget.
+    pub timeouts: usize,
+    /// Shards whose every attempt panicked.
+    pub panics: usize,
+    /// Shards skipped because the campaign stopped early.
+    pub skipped: usize,
+    /// Total retry attempts performed across all shards.
+    pub retries: usize,
+    /// Shards restored from a checkpoint instead of re-running. Excluded
+    /// from [`SupervisedReport::degraded`] — and callers must exclude it
+    /// from deterministic scenario output, since it differs between a
+    /// resumed and an uninterrupted run of the same campaign.
+    pub resumed: usize,
+}
+
+impl<T> SupervisedReport<T> {
+    /// True when any shard failed to contribute a value — the scenario
+    /// JSON marker for partial-result aggregation.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        self.timeouts + self.panics + self.skipped > 0
+    }
+
+    /// Completed values in trial order (failed shards absent).
+    pub fn values(&self) -> impl Iterator<Item = &T> {
+        self.outcomes.iter().filter_map(ShardOutcome::value)
+    }
+}
+
+/// A `(encode, decode)` pair teaching the checkpoint writer how to persist
+/// shard values through [`Json`]. Plain function pointers so the codec is
+/// `Copy` and trivially shareable across worker threads.
+pub struct JsonCodec<T> {
+    /// Serializes one completed shard value.
+    pub encode: fn(&T) -> Json,
+    /// Deserializes one checkpointed value; `None` marks the entry
+    /// undecodable, and the shard re-runs live.
+    pub decode: fn(&Json) -> Option<T>,
+}
+
+impl<T> Clone for JsonCodec<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for JsonCodec<T> {}
+
+/// Why a checkpointed run could not use (or persist) its checkpoint file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SupervisorError {
+    /// Reading or writing the checkpoint file failed at the I/O layer.
+    Io {
+        /// The checkpoint path involved.
+        path: PathBuf,
+        /// The underlying error message.
+        message: String,
+    },
+    /// The checkpoint file exists but does not parse as checkpoint JSON.
+    Corrupt {
+        /// The checkpoint path involved.
+        path: PathBuf,
+        /// What failed to parse.
+        message: String,
+    },
+    /// The checkpoint belongs to a different campaign (seed, tag, or trial
+    /// count mismatch) — resuming it would silently mix seed streams.
+    Mismatch {
+        /// The checkpoint path involved.
+        path: PathBuf,
+        /// Which field diverged.
+        message: String,
+    },
+}
+
+impl fmt::Display for SupervisorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SupervisorError::Io { path, message } => {
+                write!(f, "checkpoint i/o failed at {}: {message}", path.display())
+            }
+            SupervisorError::Corrupt { path, message } => {
+                write!(f, "corrupt checkpoint {}: {message}", path.display())
+            }
+            SupervisorError::Mismatch { path, message } => {
+                write!(f, "checkpoint mismatch at {}: {message}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SupervisorError {}
+
+/// Telemetry handles bound by [`Supervisor::attach_telemetry`].
+#[derive(Clone)]
+struct SupervisorTel {
+    shards: CounterHandle,
+    timeouts: CounterHandle,
+    panics: CounterHandle,
+    retries: CounterHandle,
+    resumed: CounterHandle,
+}
+
+/// A supervised, checkpointable campaign over [`Campaign`] shards.
+///
+/// See the [module docs](self) for the robustness layers.
+#[derive(Clone)]
+pub struct Supervisor {
+    seed: u64,
+    tag: &'static str,
+    threads: usize,
+    sim_budget: Option<SimDuration>,
+    max_retries: u32,
+    stop_after: Option<usize>,
+    tel: Option<SupervisorTel>,
+}
+
+impl Supervisor {
+    /// A supervisor rooted at `seed`, single-threaded, no budget, no
+    /// retries, default tag `"trial"`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Supervisor {
+            seed,
+            tag: "trial",
+            threads: 1,
+            sim_budget: None,
+            max_retries: 0,
+            stop_after: None,
+            tel: None,
+        }
+    }
+
+    /// Sets the worker-thread count (see [`Campaign::with_threads`]).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the per-campaign seed-derivation tag (see
+    /// [`Campaign::with_tag`]).
+    #[must_use]
+    pub fn with_tag(mut self, tag: &'static str) -> Self {
+        self.tag = tag;
+        self
+    }
+
+    /// Caps the simulated time one shard may consume before it is reported
+    /// as [`ShardOutcome::Timeout`].
+    #[must_use]
+    pub fn with_sim_budget(mut self, budget: SimDuration) -> Self {
+        self.sim_budget = Some(budget);
+        self
+    }
+
+    /// Number of seeded retries granted to a panicking shard.
+    #[must_use]
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Stops launching new shards once `n` have started live; the rest
+    /// report [`ShardOutcome::Skipped`]. Checkpoint-restored shards do not
+    /// count. Used to simulate a killed campaign in resume tests.
+    #[must_use]
+    pub fn with_stop_after(mut self, n: usize) -> Self {
+        self.stop_after = Some(n);
+        self
+    }
+
+    /// Binds the `supervisor.*` counters on `registry`; totals are added
+    /// after the deterministic merge, on the calling thread.
+    #[must_use]
+    pub fn attach_telemetry(mut self, registry: &Telemetry) -> Self {
+        self.tel = Some(SupervisorTel {
+            shards: registry.counter("supervisor.shards"),
+            timeouts: registry.counter("supervisor.timeouts"),
+            panics: registry.counter("supervisor.panics"),
+            retries: registry.counter("supervisor.retries"),
+            resumed: registry.counter("supervisor.resumed"),
+        });
+        self
+    }
+
+    /// The seed shard `index` will receive on its first attempt.
+    #[must_use]
+    pub fn trial_seed(&self, index: usize) -> u64 {
+        self.campaign().trial_seed(index)
+    }
+
+    /// Runs `trials` supervised shards and merges their outcomes in trial
+    /// order — bit-identical for any thread count.
+    pub fn run<T, F>(&self, trials: usize, f: F) -> SupervisedReport<T>
+    where
+        T: Send,
+        F: Fn(&ShardCtx) -> T + Sync,
+    {
+        self.run_inner(trials, BTreeMap::new(), None, &f)
+    }
+
+    /// Like [`Supervisor::run`], but persists every completed shard to the
+    /// checkpoint file at `path` (atomic write-then-rename after each
+    /// completion). With `resume = true` an existing checkpoint for the
+    /// same campaign restores completed shards instead of re-running them;
+    /// a missing file starts fresh. The merged report is bit-identical
+    /// whether or not the campaign was interrupted and resumed.
+    ///
+    /// # Errors
+    ///
+    /// [`SupervisorError`] when the checkpoint file cannot be read,
+    /// parsed, validated against this campaign, or written.
+    pub fn run_checkpointed<T, F>(
+        &self,
+        trials: usize,
+        path: &Path,
+        resume: bool,
+        codec: JsonCodec<T>,
+        f: F,
+    ) -> Result<SupervisedReport<T>, SupervisorError>
+    where
+        T: Send,
+        F: Fn(&ShardCtx) -> T + Sync,
+    {
+        let cached: BTreeMap<usize, T> = if resume {
+            self.load_checkpoint(trials, path, codec)?
+        } else {
+            BTreeMap::new()
+        };
+        let done: BTreeMap<usize, Json> = cached
+            .iter()
+            .map(|(&i, v)| (i, (codec.encode)(v)))
+            .collect();
+        let writer = CkptWriter {
+            path,
+            encode: codec.encode,
+            state: Mutex::new(CkptState {
+                seed: self.seed,
+                tag: self.tag.to_string(),
+                trials,
+                done,
+                error: None,
+            }),
+        };
+        let report = self.run_inner(trials, cached, Some(&writer), &f);
+        writer.flush();
+        let state = writer
+            .state
+            .into_inner()
+            .expect("checkpoint state poisoned");
+        match state.error {
+            Some(message) => Err(SupervisorError::Io {
+                path: path.to_path_buf(),
+                message,
+            }),
+            None => Ok(report),
+        }
+    }
+
+    fn campaign(&self) -> Campaign {
+        Campaign::new(self.seed)
+            .with_tag(self.tag)
+            .with_threads(self.threads)
+    }
+
+    fn run_inner<T, F>(
+        &self,
+        trials: usize,
+        cached: BTreeMap<usize, T>,
+        writer: Option<&CkptWriter<'_, T>>,
+        f: &F,
+    ) -> SupervisedReport<T>
+    where
+        T: Send,
+        F: Fn(&ShardCtx) -> T + Sync,
+    {
+        let resumed = cached.len();
+        let cached = Mutex::new(cached);
+        let live_started = AtomicUsize::new(0);
+        let shards: Vec<(ShardOutcome<T>, u32)> = self.campaign().run(trials, |trial| {
+            if let Some(v) = cached
+                .lock()
+                .expect("supervisor cache poisoned")
+                .remove(&trial.index)
+            {
+                return (ShardOutcome::Ok(v), 0);
+            }
+            if let Some(limit) = self.stop_after {
+                if live_started.fetch_add(1, Ordering::SeqCst) >= limit {
+                    return (
+                        ShardOutcome::Skipped {
+                            index: trial.index,
+                            seed: trial.seed,
+                        },
+                        0,
+                    );
+                }
+            }
+            let (outcome, attempts) = self.supervise(trial, f);
+            if let (Some(w), ShardOutcome::Ok(v)) = (writer, &outcome) {
+                w.record(trial.index, v);
+            }
+            (outcome, attempts)
+        });
+        let mut report = SupervisedReport {
+            outcomes: Vec::with_capacity(shards.len()),
+            timeouts: 0,
+            panics: 0,
+            skipped: 0,
+            retries: 0,
+            resumed,
+        };
+        for (outcome, retries) in shards {
+            match &outcome {
+                ShardOutcome::Ok(_) => {}
+                ShardOutcome::Timeout { .. } => report.timeouts += 1,
+                ShardOutcome::Panicked { .. } => report.panics += 1,
+                ShardOutcome::Skipped { .. } => report.skipped += 1,
+            }
+            report.retries += retries as usize;
+            report.outcomes.push(outcome);
+        }
+        if let Some(tel) = &self.tel {
+            tel.shards.add(report.outcomes.len() as u64);
+            tel.timeouts.add(report.timeouts as u64);
+            tel.panics.add(report.panics as u64);
+            tel.retries.add(report.retries as u64);
+            tel.resumed.add(report.resumed as u64);
+        }
+        report
+    }
+
+    /// One shard: run under `catch_unwind`, retry panics with re-derived
+    /// seeds, and apply the sim-time watchdog to the surviving attempt.
+    fn supervise<T, F>(&self, trial: Trial, f: &F) -> (ShardOutcome<T>, u32)
+    where
+        F: Fn(&ShardCtx) -> T + Sync,
+    {
+        let mut attempt = 0u32;
+        loop {
+            let seed = if attempt == 0 {
+                trial.seed
+            } else {
+                rng::derive_seed(trial.seed, "retry", u64::from(attempt))
+            };
+            let ctx = ShardCtx {
+                trial: Trial {
+                    index: trial.index,
+                    seed,
+                },
+                attempt,
+                clock: SimClock::new(),
+                budget: self.sim_budget,
+            };
+            match catch_unwind(AssertUnwindSafe(|| f(&ctx))) {
+                Ok(value) => {
+                    let sim_elapsed = ctx.sim_elapsed();
+                    if self
+                        .sim_budget
+                        .is_some_and(|b| sim_elapsed.as_nanos() > b.as_nanos())
+                    {
+                        return (
+                            ShardOutcome::Timeout {
+                                index: trial.index,
+                                seed,
+                                sim_elapsed,
+                            },
+                            attempt,
+                        );
+                    }
+                    return (ShardOutcome::Ok(value), attempt);
+                }
+                Err(payload) => {
+                    if attempt >= self.max_retries {
+                        return (
+                            ShardOutcome::Panicked {
+                                index: trial.index,
+                                seed: trial.seed,
+                                attempts: attempt + 1,
+                                message: panic_message(payload.as_ref()),
+                            },
+                            attempt,
+                        );
+                    }
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Loads and validates a checkpoint; absent file means "start fresh".
+    fn load_checkpoint<T>(
+        &self,
+        trials: usize,
+        path: &Path,
+        codec: JsonCodec<T>,
+    ) -> Result<BTreeMap<usize, T>, SupervisorError> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(BTreeMap::new());
+            }
+            Err(e) => {
+                return Err(SupervisorError::Io {
+                    path: path.to_path_buf(),
+                    message: e.to_string(),
+                })
+            }
+        };
+        let doc = Json::parse(&text).map_err(|e| SupervisorError::Corrupt {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        })?;
+        let corrupt = |message: &str| SupervisorError::Corrupt {
+            path: path.to_path_buf(),
+            message: message.to_string(),
+        };
+        let mismatch = |message: String| SupervisorError::Mismatch {
+            path: path.to_path_buf(),
+            message,
+        };
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or_else(|| corrupt("missing schema"))?;
+        if schema != CHECKPOINT_SCHEMA {
+            return Err(mismatch(format!(
+                "schema {schema:?}, expected {CHECKPOINT_SCHEMA:?}"
+            )));
+        }
+        let seed = doc
+            .get("seed")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| corrupt("missing seed"))?;
+        if seed != self.seed {
+            return Err(mismatch(format!(
+                "seed {seed}, campaign uses {}",
+                self.seed
+            )));
+        }
+        let tag = doc
+            .get("tag")
+            .and_then(Json::as_str)
+            .ok_or_else(|| corrupt("missing tag"))?;
+        if tag != self.tag {
+            return Err(mismatch(format!(
+                "tag {tag:?}, campaign uses {:?}",
+                self.tag
+            )));
+        }
+        let total = doc
+            .get("trials")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| corrupt("missing trials"))?;
+        if total != trials as u64 {
+            return Err(mismatch(format!("{total} trials, campaign runs {trials}")));
+        }
+        let done = doc
+            .get("done")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| corrupt("missing done map"))?;
+        let mut cached = BTreeMap::new();
+        for (key, value) in done {
+            // Undecodable keys or values simply re-run live: a checkpoint
+            // can lose work, never invent it.
+            let Ok(index) = key.parse::<usize>() else {
+                continue;
+            };
+            if index >= trials {
+                continue;
+            }
+            if let Some(v) = (codec.decode)(value) {
+                cached.insert(index, v);
+            }
+        }
+        Ok(cached)
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Mutable checkpoint file state, rewritten after every completed shard.
+struct CkptState {
+    seed: u64,
+    tag: String,
+    trials: usize,
+    done: BTreeMap<usize, Json>,
+    error: Option<String>,
+}
+
+/// Shared checkpoint writer: serializes completed shards under a mutex and
+/// replaces the file atomically (write to `<path>.tmp`, then rename).
+struct CkptWriter<'a, T> {
+    path: &'a Path,
+    encode: fn(&T) -> Json,
+    state: Mutex<CkptState>,
+}
+
+impl<T> CkptWriter<'_, T> {
+    fn record(&self, index: usize, value: &T) {
+        let encoded = (self.encode)(value);
+        let mut state = self.state.lock().expect("checkpoint state poisoned");
+        state.done.insert(index, encoded);
+        Self::write(self.path, &mut state);
+    }
+
+    /// Final write, covering the no-live-shards case (e.g. a fully
+    /// resumed campaign) so the file always reflects the full done set.
+    fn flush(&self) {
+        let mut state = self.state.lock().expect("checkpoint state poisoned");
+        Self::write(self.path, &mut state);
+    }
+
+    fn write(path: &Path, state: &mut CkptState) {
+        let doc = Json::obj([
+            ("schema", Json::str(CHECKPOINT_SCHEMA)),
+            ("seed", Json::from(state.seed)),
+            ("tag", Json::str(state.tag.as_str())),
+            ("trials", Json::from(state.trials)),
+            (
+                "done",
+                Json::Obj(
+                    state
+                        .done
+                        .iter()
+                        .map(|(i, v)| (i.to_string(), v.clone()))
+                        .collect(),
+                ),
+            ),
+        ]);
+        let tmp = path.with_extension("tmp");
+        let attempt =
+            std::fs::write(&tmp, doc.to_string_pretty()).and_then(|()| std::fs::rename(&tmp, path));
+        if let Err(e) = attempt {
+            if state.error.is_none() {
+                state.error = Some(e.to_string());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "ssdhammer-supervisor-{name}-{}",
+            std::process::id()
+        ));
+        p
+    }
+
+    fn u64_codec() -> JsonCodec<u64> {
+        JsonCodec {
+            encode: |v| Json::from(*v),
+            decode: Json::as_u64,
+        }
+    }
+
+    #[test]
+    fn clean_run_matches_campaign_semantics() {
+        let report = Supervisor::new(7)
+            .with_threads(4)
+            .run(16, |ctx| ctx.trial.index as u64 * 3);
+        assert!(!report.degraded());
+        assert_eq!(report.resumed, 0);
+        let values: Vec<u64> = report.values().copied().collect();
+        assert_eq!(values, (0..16).map(|i| i * 3).collect::<Vec<_>>());
+        // Shard seeds line up with the underlying campaign's.
+        assert_eq!(
+            Supervisor::new(7).trial_seed(5),
+            Campaign::new(7).trial_seed(5)
+        );
+    }
+
+    #[test]
+    fn panic_is_isolated_and_captured() {
+        let report = Supervisor::new(9).with_threads(2).run(6, |ctx| {
+            assert!(ctx.trial.index != 2, "boom at shard 2");
+            ctx.trial.index
+        });
+        assert_eq!(report.panics, 1);
+        assert!(report.degraded());
+        match &report.outcomes[2] {
+            ShardOutcome::Panicked {
+                index,
+                seed,
+                attempts,
+                message,
+            } => {
+                assert_eq!(*index, 2);
+                assert_eq!(*seed, Supervisor::new(9).trial_seed(2));
+                assert_eq!(*attempts, 1);
+                assert!(message.contains("boom at shard 2"), "got {message:?}");
+            }
+            other => panic!("expected panic outcome, got {other:?}"),
+        }
+        assert_eq!(report.values().count(), 5);
+    }
+
+    #[test]
+    fn retries_are_seeded_and_bounded() {
+        // Succeed only when handed a retry seed (attempt > 0); the retry
+        // seed itself must be the documented derivation.
+        let report = Supervisor::new(11).with_max_retries(2).run(3, |ctx| {
+            if ctx.attempt == 0 {
+                panic!("first attempt fails");
+            }
+            assert_eq!(
+                ctx.trial.seed,
+                rng::derive_seed(
+                    Supervisor::new(11).trial_seed(ctx.trial.index),
+                    "retry",
+                    u64::from(ctx.attempt)
+                )
+            );
+            99u64
+        });
+        assert_eq!(report.panics, 0);
+        assert_eq!(report.retries, 3);
+        assert_eq!(report.values().count(), 3);
+
+        let exhausted = Supervisor::new(11)
+            .with_max_retries(2)
+            .run(1, |_ctx: &ShardCtx| -> u64 { panic!("always") });
+        assert_eq!(exhausted.panics, 1);
+        assert_eq!(exhausted.retries, 2);
+        match &exhausted.outcomes[0] {
+            ShardOutcome::Panicked { attempts, .. } => assert_eq!(*attempts, 3),
+            other => panic!("expected panic outcome, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sim_budget_converts_runaways_to_timeouts() {
+        let budget = SimDuration::from_micros(10);
+        let report = Supervisor::new(5).with_sim_budget(budget).run(4, |ctx| {
+            if ctx.trial.index == 1 {
+                // Runaway shard: burns simulated time past the budget and
+                // notices via the cooperative check.
+                while !ctx.over_budget() {
+                    ctx.clock().advance(SimDuration::from_micros(3));
+                }
+            } else {
+                ctx.clock().advance(SimDuration::from_micros(1));
+            }
+            ctx.trial.index
+        });
+        assert_eq!(report.timeouts, 1);
+        match &report.outcomes[1] {
+            ShardOutcome::Timeout {
+                index, sim_elapsed, ..
+            } => {
+                assert_eq!(*index, 1);
+                assert!(sim_elapsed.as_nanos() > budget.as_nanos());
+            }
+            other => panic!("expected timeout outcome, got {other:?}"),
+        }
+        assert_eq!(report.values().count(), 3);
+    }
+
+    #[test]
+    fn outcomes_identical_across_thread_counts() {
+        let run = |threads| {
+            Supervisor::new(21)
+                .with_threads(threads)
+                .with_max_retries(1)
+                .run(12, |ctx| {
+                    if ctx.trial.index % 5 == 0 && ctx.attempt == 0 {
+                        panic!("flaky shard");
+                    }
+                    ctx.trial.seed
+                })
+        };
+        let one = run(1);
+        for threads in [2, 4] {
+            let many = run(threads);
+            assert_eq!(one.outcomes, many.outcomes, "diverged at {threads} threads");
+            assert_eq!(one.retries, many.retries);
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical_to_uninterrupted() {
+        let path = tmp_path("resume");
+        let _ = std::fs::remove_file(&path);
+        let shard = |ctx: &ShardCtx| ctx.trial.seed ^ 0xABCD;
+
+        let uninterrupted = Supervisor::new(33).with_threads(2).run(10, shard);
+
+        // First run dies after 4 live shards.
+        let partial = Supervisor::new(33)
+            .with_threads(2)
+            .with_stop_after(4)
+            .run_checkpointed(10, &path, false, u64_codec(), shard)
+            .expect("checkpointed run");
+        assert_eq!(partial.skipped, 6);
+        assert!(partial.degraded());
+
+        // Resume completes the rest; merged outcomes match the
+        // uninterrupted run exactly.
+        let resumed = Supervisor::new(33)
+            .with_threads(2)
+            .run_checkpointed(10, &path, true, u64_codec(), shard)
+            .expect("resumed run");
+        assert_eq!(resumed.resumed, 4);
+        assert!(!resumed.degraded());
+        assert_eq!(resumed.outcomes, uninterrupted.outcomes);
+
+        // The finished checkpoint decodes back to all ten shards.
+        let text = std::fs::read_to_string(&path).expect("checkpoint readable");
+        let doc = Json::parse(&text).expect("checkpoint parses");
+        assert_eq!(
+            doc.get("done").and_then(Json::as_obj).map(<[_]>::len),
+            Some(10)
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mismatched_checkpoint_is_rejected() {
+        let path = tmp_path("mismatch");
+        let _ = std::fs::remove_file(&path);
+        let shard = |ctx: &ShardCtx| ctx.trial.seed;
+        Supervisor::new(1)
+            .run_checkpointed(3, &path, false, u64_codec(), shard)
+            .expect("fresh run");
+        let err = Supervisor::new(2)
+            .run_checkpointed(3, &path, true, u64_codec(), shard)
+            .expect_err("seed mismatch must be rejected");
+        assert!(matches!(err, SupervisorError::Mismatch { .. }));
+        let err = Supervisor::new(1)
+            .run_checkpointed(4, &path, true, u64_codec(), shard)
+            .expect_err("trial-count mismatch must be rejected");
+        assert!(matches!(err, SupervisorError::Mismatch { .. }));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_resume_file_starts_fresh() {
+        let path = tmp_path("fresh");
+        let _ = std::fs::remove_file(&path);
+        let report = Supervisor::new(3)
+            .run_checkpointed(4, &path, true, u64_codec(), |ctx| ctx.trial.seed)
+            .expect("resume from nothing");
+        assert_eq!(report.resumed, 0);
+        assert_eq!(report.values().count(), 4);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn telemetry_counts_after_merge() {
+        let registry = Telemetry::new();
+        let report = Supervisor::new(13)
+            .attach_telemetry(&registry)
+            .with_max_retries(1)
+            .run(5, |ctx| {
+                if ctx.trial.index == 0 {
+                    panic!("unrecoverable");
+                }
+                if ctx.trial.index == 1 && ctx.attempt == 0 {
+                    panic!("recoverable");
+                }
+                ctx.trial.index
+            });
+        assert_eq!(registry.counter_value("supervisor.shards"), Some(5));
+        assert_eq!(registry.counter_value("supervisor.panics"), Some(1));
+        assert_eq!(
+            registry.counter_value("supervisor.retries"),
+            Some(report.retries as u64)
+        );
+        assert_eq!(registry.counter_value("supervisor.resumed"), Some(0));
+        assert_eq!(registry.counter_value("supervisor.timeouts"), Some(0));
+    }
+}

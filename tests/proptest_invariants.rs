@@ -372,3 +372,90 @@ fn rewrites_always_restore_data() {
         }
     }
 }
+
+/// Recovery idempotency invariant: for any workload and any single crash
+/// point — any registered site, any crossing — remounting twice yields a
+/// byte-identical L2P table and identical recovery telemetry to
+/// remounting once.
+#[test]
+fn recovery_is_idempotent_for_any_crash_point() {
+    use ssdhammer::dram::{DramModule, ModuleProfile};
+    use ssdhammer::flash::{FlashArray, FlashGeometry};
+    use ssdhammer::ftl::{FtlConfig, FtlError, CRASH_SITES};
+    use ssdhammer::simkit::faultplane::{FaultPlane, FaultPlaneConfig, FaultSpec};
+    use ssdhammer::simkit::SimClock;
+
+    let config = FtlConfig::default()
+        .with_journal_checkpoint_every(1)
+        .with_journal_blocks(2)
+        .with_meta_resident(true);
+    let dram = |seed: u64| {
+        DramModule::builder(DramGeometry::tiny_test())
+            .profile(ModuleProfile::invulnerable())
+            .mapping(MappingKind::Linear)
+            .seed(seed)
+            .without_timing()
+            .build(SimClock::new())
+    };
+    let mut rng = seeded(111);
+    for case in 0..24 {
+        // One crash point: any site, any crossing in the workload's range.
+        let site = if rng.gen_range(0u32..6) == 5 {
+            "ftl.power_loss"
+        } else {
+            CRASH_SITES[rng.gen_range(0usize..CRASH_SITES.len())]
+        };
+        let at = rng.gen_range(0u64..24);
+        let faults = FaultPlaneConfig::new().with_site(
+            site,
+            FaultSpec::always()
+                .with_window(at, at + 1)
+                .with_max_fires(1),
+        );
+        let clock = SimClock::new();
+        let mut nand = FlashArray::new(FlashGeometry::tiny_test(), clock.clone(), 1);
+        nand.set_fault_plane(FaultPlane::new(7, &faults));
+        let mut ftl = Ftl::new(dram(case), nand, config).expect("assembly");
+        // Random mutations until the cut (or a completed workload: a clean
+        // shutdown must be idempotently recoverable too).
+        for _ in 0..40 {
+            let lba = Lba(rng.gen_range(0u64..12));
+            let r = match rng.gen_range(0u32..8) {
+                0 => ftl.trim(lba),
+                1 => ftl.flush(),
+                2 => ftl.scrub_chunk(4, 2),
+                _ => {
+                    let fill = rng.next_u64() as u8;
+                    ftl.write(lba, &[fill; BLOCK_SIZE]).map(|_| ())
+                }
+            };
+            match r {
+                Ok(()) => {}
+                Err(FtlError::PowerLoss) => break,
+                Err(e) => panic!("case {case} ({site}@{at}): unexpected {e}"),
+            }
+        }
+        let (_lost, nand) = ftl.into_parts();
+        let once = Ftl::recover(dram(case ^ 0x100), nand, config)
+            .unwrap_or_else(|e| panic!("case {case} ({site}@{at}): first remount {e}"));
+        let snap_once = once.l2p_snapshot().expect("snapshot");
+        let tel_once = once.telemetry();
+        let read_only_once = once.is_read_only();
+        let free_once = once.free_block_count();
+        let (_lost, nand) = once.into_parts();
+        let twice = Ftl::recover(dram(case ^ 0x200), nand, config)
+            .unwrap_or_else(|e| panic!("case {case} ({site}@{at}): second remount {e}"));
+        assert_eq!(
+            snap_once,
+            twice.l2p_snapshot().expect("snapshot"),
+            "case {case} ({site}@{at}): L2P diverged across remounts"
+        );
+        let tel_twice = twice.telemetry();
+        assert_eq!(
+            tel_once.journal_replayed, tel_twice.journal_replayed,
+            "case {case} ({site}@{at}): replay count diverged"
+        );
+        assert_eq!(read_only_once, twice.is_read_only(), "case {case}");
+        assert_eq!(free_once, twice.free_block_count(), "case {case}");
+    }
+}
