@@ -13,8 +13,8 @@
 
 use ssdhammer_bench::scenario::{Scenario, ScenarioCfg};
 use ssdhammer_bench::{
-    ablations, attacks, benchmark, defenses, faults, fig1, fig2, fig3, sec23, sec43, sec5, table1,
-    torture,
+    ablations, attacks, benchmark, defenses, faults, fig1, fig2, fig3, fuzz, sec23, sec43, sec5,
+    table1, torture,
 };
 use ssdhammer_simkit::json::ToJson;
 
@@ -30,6 +30,8 @@ struct Ctx {
     checkpoint: Option<String>,
     resume: bool,
     abort_after: Option<usize>,
+    soak: Option<usize>,
+    replay: Option<String>,
 }
 
 impl Ctx {
@@ -39,6 +41,8 @@ impl Ctx {
             checkpoint: self.checkpoint.as_ref().map(std::path::PathBuf::from),
             resume: self.resume,
             abort_after: self.abort_after,
+            soak: self.soak,
+            replay: self.replay.as_ref().map(std::path::PathBuf::from),
         }
     }
 }
@@ -145,6 +149,12 @@ static COMMANDS: &[Cmd] = &[
         in_all: false,
     },
     Cmd {
+        name: "fuzz",
+        help: "model-based fuzz — random op soak vs the shadow oracle",
+        runner: Runner::Scenario(&fuzz::FuzzScenario),
+        in_all: false,
+    },
+    Cmd {
         name: "bench",
         help: "perf baseline — times the hot paths, writes BENCH_9.json",
         runner: Runner::Custom(run_bench),
@@ -166,6 +176,8 @@ fn main() {
         checkpoint: None,
         resume: false,
         abort_after: None,
+        soak: None,
+        replay: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -210,6 +222,21 @@ fn main() {
                     it.next()
                         .and_then(|s| s.parse().ok())
                         .unwrap_or_else(|| die("--abort-after needs a number")),
+                );
+            }
+            "--soak" => {
+                ctx.soak = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| die("--soak needs a positive number")),
+                );
+            }
+            "--replay" => {
+                ctx.replay = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--replay needs a directory")),
                 );
             }
             "--json" => ctx.json = true,
@@ -348,9 +375,11 @@ fn print_help() {
     println!("  --quick       bench only: fast-demo scenarios for CI smoke runs");
     println!("  --pattern P   attacks only: run a single hammer pattern's cells");
     println!("  --victim V    attacks only: run a single victim structure's cells");
-    println!("  --checkpoint F  torture: persist completed shards to F after each one");
-    println!("  --resume      torture: restore completed shards from --checkpoint first");
-    println!("  --abort-after N  torture: stop launching shards after N (kill simulation)");
+    println!("  --checkpoint F  torture/fuzz: persist completed shards to F after each one");
+    println!("  --resume      torture/fuzz: restore completed shards from --checkpoint first");
+    println!("  --abort-after N  torture/fuzz: stop launching shards after N (kill simulation)");
+    println!("  --soak N      fuzz only: run N episodes (default 24, or 64 with --full)");
+    println!("  --replay DIR  fuzz only: replay persisted corpus cases instead of soaking");
 }
 
 fn die(msg: &str) -> ! {

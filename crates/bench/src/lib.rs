@@ -20,7 +20,11 @@
 //! fault-injection plane against the FTL recovery stack, and the
 //! [`torture`] module enumerates power-cut crash points across every
 //! recovery-critical site and checks each recovery against a shadow-model
-//! oracle (DESIGN.md §17).
+//! oracle (DESIGN.md §17). The [`fuzz`] module (`repro fuzz`) grows that
+//! oracle into a model-based fuzzer: seeded random op interleavings are
+//! differentially checked against the shadow model, divergences
+//! auto-shrink to minimal repros, and the committed `corpus/` directory
+//! replays them as regression tests (DESIGN.md §18).
 //!
 //! Every experiment module exposes a unit struct implementing
 //! [`scenario::Scenario`] — one uniform `run(cfg, seed, threads) -> Json`
@@ -42,6 +46,7 @@ pub mod faults;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
+pub mod fuzz;
 pub mod harness;
 pub mod scenario;
 pub mod sec23;

@@ -33,6 +33,11 @@ pub struct ScenarioCfg {
     /// Stop launching new shards after this many (`--abort-after`; CI's
     /// simulated kill for checkpoint/resume round-trips).
     pub abort_after: Option<usize>,
+    /// Episode-count override for the fuzz campaign (`--soak N`).
+    pub soak: Option<usize>,
+    /// Replay a directory of persisted fuzz corpus cases instead of
+    /// soaking (`--replay DIR`).
+    pub replay: Option<PathBuf>,
 }
 
 /// A reproducible experiment with a uniform entry signature.

@@ -33,6 +33,7 @@ use ssdhammer_dram::{DramGeometry, DramModule, MappingKind, ModuleProfile};
 use ssdhammer_flash::{FlashArray, FlashGeometry};
 use ssdhammer_ftl::{Ftl, FtlConfig, FtlError, ReadOutcome, CRASH_SITES};
 use ssdhammer_simkit::faultplane::{FaultPlane, FaultPlaneConfig, FaultSpec};
+use ssdhammer_simkit::fuzz::ShadowDisk;
 use ssdhammer_simkit::json::{Json, ToJson};
 use ssdhammer_simkit::supervisor::{JsonCodec, ShardOutcome, SupervisedReport, Supervisor};
 use ssdhammer_simkit::telemetry::Telemetry;
@@ -205,67 +206,24 @@ fn fresh_dram(seed: u64) -> DramModule {
 
 // ---- shadow model -----------------------------------------------------------
 
-/// What the host knows the device should contain: one expected fill byte
-/// per LBA (`None` = unmapped, reads back zeroed), plus at most one
-/// *uncertain* LBA — the one whose operation the cut interrupted, where
-/// either the pre-op or the post-op content is acceptable.
-struct Shadow {
-    expect: Vec<Option<u8>>,
-    uncertain: Option<(u64, Option<u8>, Option<u8>)>,
+// The oracle state lives in [`ShadowDisk`] (shared with the fuzzer);
+// these adapters translate workload ops into its commit/interrupt calls.
+
+/// Applies a completed (host-acknowledged) operation.
+fn commit(shadow: &mut ShadowDisk, op: Op) {
+    match op {
+        Op::Write(lba, fill) => shadow.commit_write(lba, fill),
+        Op::Trim(lba) => shadow.commit_trim(lba),
+        Op::Flush | Op::Scrub => {}
+    }
 }
 
-impl Shadow {
-    fn new(span: u64) -> Shadow {
-        Shadow {
-            expect: vec![None; span as usize],
-            uncertain: None,
-        }
-    }
-
-    /// Applies a completed (host-acknowledged) operation.
-    fn commit(&mut self, op: Op) {
-        match op {
-            Op::Write(lba, fill) => self.expect[lba as usize] = Some(fill),
-            Op::Trim(lba) => self.expect[lba as usize] = None,
-            Op::Flush | Op::Scrub => {}
-        }
-    }
-
-    /// Marks the interrupted operation's LBA as uncertain.
-    fn interrupt(&mut self, op: Op) {
-        match op {
-            Op::Write(lba, fill) => {
-                self.uncertain = Some((lba, self.expect[lba as usize], Some(fill)));
-            }
-            Op::Trim(lba) => {
-                self.uncertain = Some((lba, self.expect[lba as usize], None));
-            }
-            Op::Flush | Op::Scrub => {}
-        }
-    }
-
-    /// Whether `buf` is acceptable content for `lba`.
-    fn acceptable(&self, lba: u64, buf: &[u8]) -> bool {
-        let matches = |v: Option<u8>| {
-            let want = v.unwrap_or(0);
-            buf.iter().all(|&b| b == want)
-        };
-        if let Some((ulba, before, after)) = self.uncertain {
-            if ulba == lba {
-                return matches(before) || matches(after);
-            }
-        }
-        matches(self.expect[lba as usize])
-    }
-
-    /// Human-readable expectation for mismatch reports.
-    fn describe(&self, lba: u64) -> String {
-        if let Some((ulba, before, after)) = self.uncertain {
-            if ulba == lba {
-                return format!("{before:?} or {after:?} (interrupted op)");
-            }
-        }
-        format!("{:?}", self.expect[lba as usize])
+/// Marks the interrupted operation's LBA as uncertain.
+fn interrupt(shadow: &mut ShadowDisk, op: Op) {
+    match op {
+        Op::Write(lba, fill) => shadow.interrupt_write(lba, fill),
+        Op::Trim(lba) => shadow.interrupt_trim(lba),
+        Op::Flush | Op::Scrub => {}
     }
 }
 
@@ -303,14 +261,14 @@ fn run_crash_point(seed: u64, full: bool, point: &CrashPoint, clock: &SimClock) 
     let faults = census_config(&base_faults(), &sites).with_site(point.site.clone(), point.spec());
     let span = lba_span(full);
     let mut ftl = device(seed, clock, &faults);
-    let mut shadow = Shadow::new(span);
+    let mut shadow = ShadowDisk::new(span);
     let mut loud: Vec<String> = Vec::new();
     let mut cut = false;
     for op in workload(full) {
         match apply(&mut ftl, op) {
-            Ok(()) => shadow.commit(op),
+            Ok(()) => commit(&mut shadow, op),
             Err(FtlError::PowerLoss) => {
-                shadow.interrupt(op);
+                interrupt(&mut shadow, op);
                 cut = true;
                 break;
             }
@@ -334,7 +292,7 @@ fn judge(
     seed: u64,
     span: u64,
     ftl: Ftl,
-    shadow: &Shadow,
+    shadow: &ShadowDisk,
     cut: bool,
     point: &CrashPoint,
     mut loud: Vec<String>,
@@ -752,6 +710,34 @@ mod tests {
         let one = run(11, 1, false).to_string();
         let four = run(11, 4, false).to_string();
         assert_eq!(one, four);
+    }
+
+    #[test]
+    fn abort_after_zero_aborts_before_the_first_shard() {
+        // The boundary: `--abort-after 0` must skip every shard — zero
+        // crash points replay, the run reports fully skipped/degraded.
+        let doc = run_supervised(
+            7,
+            2,
+            &TortureOpts {
+                full: false,
+                checkpoint: None,
+                resume: false,
+                abort_after: Some(0),
+            },
+        );
+        assert_eq!(doc.get("degraded").and_then(Json::as_bool), Some(true));
+        let summary = doc.get("summary").expect("summary");
+        let total = doc
+            .get("plan")
+            .and_then(|p| p.get("crash_points"))
+            .and_then(Json::as_u64)
+            .expect("crash points");
+        assert!(total > 0);
+        assert_eq!(summary.get("skipped").and_then(Json::as_u64), Some(total));
+        for key in ["clean", "loud_degraded", "silent_corruption"] {
+            assert_eq!(summary.get(key).and_then(Json::as_u64), Some(0), "{key}");
+        }
     }
 
     #[test]

@@ -42,7 +42,8 @@ pub use hammerer::{HammerPlan, Hammerer, ManySided, OneLocation, OneSided, RowPr
 pub use pipeline::{probe_sites, AttackOutcome, AttackPipeline, VictimChange};
 pub use placement::{enumerate_sites, CrossBank, Placement, SameBank};
 pub use registry::{
-    make_hammerer, make_placement, make_victim, pattern_names, placement_names, victim_names,
+    combos, make_hammerer, make_placement, make_victim, pattern_names, placement_names,
+    victim_names,
 };
 pub use victim::{
     BadBlockTable, ChangeKind, JournalCache, L2pEntries, Observation, Victim, WearCounters,
@@ -592,6 +593,18 @@ mod tests {
             make_placement("nope"),
             Err(AttackError::UnknownPlacement(_))
         ));
+    }
+
+    #[test]
+    fn combos_cover_the_full_grid_in_registry_order() {
+        let grid = combos();
+        assert_eq!(grid.len(), pattern_names().len() * victim_names().len());
+        assert_eq!(grid[0], (pattern_names()[0], victim_names()[0]));
+        assert_eq!(grid[1], (pattern_names()[0], victim_names()[1]));
+        for (p, v) in grid {
+            make_hammerer(p).unwrap();
+            make_victim(v).unwrap();
+        }
     }
 
     #[test]

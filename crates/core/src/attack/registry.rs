@@ -31,6 +31,17 @@ pub fn placement_names() -> &'static [&'static str] {
     &["cross_bank", "same_bank"]
 }
 
+/// The full `pattern × victim` grid in registry order — the op space
+/// registry-driven generators (campaign grids, the fuzzer's hammer op)
+/// index into, so new registrations enter every harness automatically.
+#[must_use]
+pub fn combos() -> Vec<(&'static str, &'static str)> {
+    pattern_names()
+        .iter()
+        .flat_map(|&p| victim_names().iter().map(move |&v| (p, v)))
+        .collect()
+}
+
 /// Instantiates a hammer pattern by name (defaults for parameterized ones:
 /// six pairs / phase 0 for `many_sided`, dwell 8 for `rowpress`).
 ///

@@ -67,6 +67,76 @@ pub enum FtlError {
     },
 }
 
+impl FtlError {
+    /// A stable, variant-level signature for failure triage: equal
+    /// signatures bucket together in fuzz reports regardless of the
+    /// addresses or inner errors carried by the variant.
+    #[must_use]
+    pub fn signature(&self) -> &'static str {
+        match self {
+            FtlError::OutOfRange { .. } => "out_of_range",
+            FtlError::BadBufferLen { .. } => "bad_buffer_len",
+            FtlError::DeviceFull => "device_full",
+            FtlError::Dram(_) => "dram",
+            FtlError::Flash(_) => "flash",
+            FtlError::Uncorrectable { .. } => "uncorrectable",
+            FtlError::ReadOnly => "read_only",
+            FtlError::PowerLoss => "power_loss",
+            FtlError::EntryOverflow { .. } => "entry_overflow",
+            FtlError::L2pIntegrity { .. } => "l2p_integrity",
+        }
+    }
+}
+
+/// The host-visible operation classes an [`FtlError`] can surface from,
+/// used by [`error_is_legal`] to judge whether a typed error is a lawful
+/// response or itself a contract violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostOp {
+    /// [`Ftl::read`].
+    Read,
+    /// [`Ftl::write`].
+    Write,
+    /// [`Ftl::trim`].
+    Trim,
+    /// [`Ftl::flush`].
+    Flush,
+    /// [`Ftl::scrub_chunk`].
+    Scrub,
+    /// [`Ftl::hammer_reads`] / [`Ftl::hammer_reads_with`].
+    Hammer,
+}
+
+/// The typed-error legality table: whether `err` is a *lawful* response
+/// to an in-range, well-formed `op` — media failures and loud degradation
+/// are part of the contract; validation errors against valid requests and
+/// spontaneous power loss are not. `cut_armed` states whether a fault-plane
+/// power cut is armed for this workload: [`FtlError::PowerLoss`] is lawful
+/// only then. The fuzz oracle flags any illegal error as a divergence.
+#[must_use]
+pub fn error_is_legal(op: HostOp, err: &FtlError, cut_armed: bool) -> bool {
+    match err {
+        // The fuzzer only issues in-range, block-sized requests on sane
+        // geometries, so validation errors signal FTL-side corruption.
+        FtlError::OutOfRange { .. }
+        | FtlError::BadBufferLen { .. }
+        | FtlError::EntryOverflow { .. } => false,
+        // Capacity exhaustion is only a lawful answer to a write.
+        FtlError::DeviceFull => op == HostOp::Write,
+        // Loud media/integrity failures are always lawful: the contract is
+        // "never lie", not "never fail".
+        FtlError::Dram(_)
+        | FtlError::Flash(_)
+        | FtlError::Uncorrectable { .. }
+        | FtlError::L2pIntegrity { .. } => true,
+        // Read-only degradation rejects mutations; reads and hammer reads
+        // must still be served.
+        FtlError::ReadOnly => !matches!(op, HostOp::Read | HostOp::Hammer),
+        // Power loss is lawful exactly when a cut is armed.
+        FtlError::PowerLoss => cut_armed,
+    }
+}
+
 impl From<DramError> for FtlError {
     fn from(e: DramError) -> Self {
         FtlError::Dram(e)
@@ -174,6 +244,12 @@ pub struct FtlConfig {
     /// rowhammer target of its own. See [`crate::meta`]. Off by default:
     /// write-through costs timed DRAM accesses.
     pub meta_resident: bool,
+    /// Verify per-record CRC-32C during journal replay (on by default).
+    /// Disabling it replays torn journal tails as wild mappings — a
+    /// planted bug kept behind a knob so the fuzz oracle's planted-bug
+    /// test can prove the differential check catches the corruption.
+    /// Never disable outside such a test.
+    pub journal_verify_crc: bool,
 }
 
 impl Default for FtlConfig {
@@ -197,6 +273,7 @@ impl Default for FtlConfig {
             journal_blocks: 2,
             integrity: IntegrityMode::Off,
             meta_resident: false,
+            journal_verify_crc: true,
         }
     }
 }
@@ -300,6 +377,15 @@ impl FtlConfig {
     #[must_use]
     pub fn with_meta_resident(mut self, enabled: bool) -> Self {
         self.meta_resident = enabled;
+        self
+    }
+
+    /// Enables or disables journal-replay CRC verification. A fuzz-oracle
+    /// test hook ([`FtlConfig::journal_verify_crc`]); leave on everywhere
+    /// else.
+    #[must_use]
+    pub fn with_journal_verify_crc(mut self, enabled: bool) -> Self {
+        self.journal_verify_crc = enabled;
         self
     }
 }
@@ -753,7 +839,7 @@ impl Ftl {
                 // Recovery reads bypass fault injection (assisted mode):
                 // remount happens under controller-managed retry voltages.
                 let (page, _) = ftl.nand.read_page_assisted(Ppn(p))?;
-                let decoded = journal::decode_page(&page);
+                let decoded = journal::decode_page_with(&page, ftl.config.journal_verify_crc);
                 if decoded.torn {
                     ftl.tel.registry.trace(
                         ftl.clock.now(),

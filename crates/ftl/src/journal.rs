@@ -101,7 +101,23 @@ pub(crate) fn encode_page_torn(entries: &[JournalEntry], page_bytes: usize) -> V
 /// Records are verified front-to-back against their CRCs; the first bad
 /// record truncates the page and marks it torn. A count claiming more
 /// records than fit is itself corruption and marks the page torn.
+#[cfg(test)]
 pub(crate) fn decode_page(page: &[u8]) -> DecodedPage {
+    decode_page_with(page, true)
+}
+
+/// `decode_page` with per-record CRC verification made optional.
+///
+/// `verify_crc = false` trusts the claimed count and replays every record
+/// as-is — including a torn tail whose zeroed trailing bytes decode as a
+/// live `lba → ppn 0` mapping. That is exactly the wrong-mapping bug the
+/// CRCs exist to prevent; the knob exists (via
+/// [`FtlConfig::with_journal_verify_crc`]) so the fuzz oracle's
+/// planted-bug test can prove it catches the corruption when the defense
+/// is off. Never disable it outside such a test.
+///
+/// [`FtlConfig::with_journal_verify_crc`]: crate::FtlConfig::with_journal_verify_crc
+pub(crate) fn decode_page_with(page: &[u8], verify_crc: bool) -> DecodedPage {
     if page.len() < HEADER_BYTES || le_u32(page, 0) != PAGE_MAGIC {
         return DecodedPage {
             entries: Vec::new(),
@@ -115,7 +131,9 @@ pub(crate) fn decode_page(page: &[u8]) -> DecodedPage {
     let mut torn = count > max;
     for i in 0..claimed {
         let at = HEADER_BYTES + i * ENTRY_BYTES;
-        if crc32c(&page[at..at + ENTRY_PAYLOAD_BYTES]) != le_u32(page, at + ENTRY_PAYLOAD_BYTES) {
+        if verify_crc
+            && crc32c(&page[at..at + ENTRY_PAYLOAD_BYTES]) != le_u32(page, at + ENTRY_PAYLOAD_BYTES)
+        {
             torn = true;
             break;
         }
@@ -211,6 +229,27 @@ mod tests {
         let decoded = decode_page(&page);
         assert!(decoded.torn);
         assert_eq!(decoded.entries, entries[..4]);
+    }
+
+    #[test]
+    fn unverified_decode_replays_the_torn_tail_as_a_wild_mapping() {
+        // What the CRC defends against: without verification the torn
+        // final record decodes as a live mapping with its trailing bytes
+        // zeroed (ppn 0), ready to corrupt the L2P table on replay.
+        let entries: Vec<JournalEntry> = (0..3u64)
+            .map(|i| JournalEntry {
+                lba: 10 + i,
+                seq: 100 + i,
+                ppn: 7 + i as u32,
+            })
+            .collect();
+        let page = encode_page_torn(&entries, 4096);
+        let decoded = decode_page_with(&page, false);
+        assert!(!decoded.torn, "nothing flags the tear");
+        assert_eq!(decoded.entries.len(), 3);
+        assert_eq!(decoded.entries[..2], entries[..2]);
+        assert_eq!(decoded.entries[2].lba, 12, "lba bytes survive the tear");
+        assert_eq!(decoded.entries[2].ppn, 0, "ppn bytes zeroed by the tear");
     }
 
     #[test]

@@ -596,6 +596,78 @@ impl Ssd {
         self.ftl
     }
 
+    /// Pulls the power and remounts: consumes the device, discards all
+    /// volatile state (DRAM contents, queue pairs, in-flight commands),
+    /// keeps the flash array, and rebuilds the FTL through
+    /// [`Ftl::recover`]. The simulated clock and telemetry registry carry
+    /// over, so campaigns observe one continuous timeline across cuts;
+    /// namespaces survive (their extents live in the config-derived block
+    /// accounting, not in DRAM). `config` must be the configuration the
+    /// device was built from.
+    ///
+    /// # Errors
+    ///
+    /// [`NvmeError::Ftl`] when recovery itself fails (e.g. unreadable
+    /// metadata beyond the retry ladder).
+    pub fn power_cycle(self, config: &SsdConfig) -> Result<Self, NvmeError> {
+        let Ssd {
+            ftl,
+            clock,
+            controller,
+            model,
+            namespaces,
+            next_ns,
+            allocated_blocks,
+            fault_plane,
+            tel,
+            ..
+        } = self;
+        let (_lost_dram, nand) = ftl.into_parts();
+        let mut dram_builder = DramModule::builder(config.dram_geometry)
+            .profile(config.dram_profile.clone())
+            .mapping(config.dram_mapping)
+            .seed(config.seed);
+        if let Some(ecc) = config.ecc {
+            dram_builder = dram_builder.ecc(ecc);
+        }
+        if let Some(trr) = config.trr {
+            dram_builder = dram_builder.trr(trr);
+        }
+        if let Some(para) = config.para {
+            dram_builder = dram_builder.para(para);
+        }
+        let dram = dram_builder.build(clock.clone());
+        let mut ftl = Ftl::recover(dram, nand, config.ftl)?;
+        ftl.attach_telemetry(&tel.registry);
+        let now = clock.now();
+        let flash_read =
+            SimDuration::from_nanos(config.flash_timing.t_read_ns + config.flash_timing.t_xfer_ns);
+        let scrub_duty = config.scrubber.map_or(0.0, |s| s.duty_fraction(flash_read));
+        let next_scrub = config.scrubber.map_or(now, |s| now + s.interval);
+        Ok(Ssd {
+            ftl,
+            clock,
+            controller,
+            model,
+            namespaces,
+            next_ns,
+            allocated_blocks,
+            queues: BTreeMap::new(),
+            next_qp: 1,
+            next_cid: 1,
+            hammer_qp: None,
+            next_service: now,
+            scrubber: config.scrubber,
+            next_scrub,
+            scrub_duty,
+            stats_started: now,
+            fault_plane,
+            buf_pool: Vec::new(),
+            arb_scratch: Vec::new(),
+            tel,
+        })
+    }
+
     /// Point-in-time view of the device statistics.
     #[must_use]
     pub fn stats(&self) -> SsdStats {
@@ -1575,6 +1647,33 @@ mod tests {
         assert_eq!(c.model, "custom");
         // Presets stay intact underneath the overrides.
         assert_eq!(c.flash_geometry, SsdConfig::test_small(1).flash_geometry);
+    }
+
+    #[test]
+    fn power_cycle_recovers_flushed_data_on_a_shared_timeline() {
+        let config = SsdConfig::test_small(3)
+            .with_ftl(FtlConfig::default().with_journal_checkpoint_every(1));
+        let mut s = Ssd::build(config.clone());
+        let before = s.clock().now();
+        let block = vec![0x5A; BLOCK_SIZE];
+        s.ftl_mut().write(Lba(4), &block).unwrap();
+        s.ftl_mut().trim(Lba(4)).unwrap();
+        s.ftl_mut().write(Lba(5), &block).unwrap();
+        s.ftl_mut().flush().unwrap();
+
+        let mut s = s.power_cycle(&config).expect("remount");
+        // Same clock carried over, and both the write and the TRIM
+        // (journal-persisted) survived the cut.
+        assert!(s.clock().now() >= before);
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        s.ftl_mut().read(Lba(5), &mut buf).unwrap();
+        assert_eq!(buf, block);
+        s.ftl_mut().read(Lba(4), &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0), "trimmed LBA reads zeroes");
+        // Queue pairs are volatile: the remounted device starts with none.
+        let qp = s.create_queue_pair(8);
+        let c = s.roundtrip(qp, Command::Identify).unwrap();
+        assert!(matches!(c.result, CmdResult::Identify(_)));
     }
 
     #[test]

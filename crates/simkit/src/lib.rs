@@ -33,6 +33,9 @@
 //! * [`supervisor`] — supervised campaign execution over [`parallel`]:
 //!   sim-time budget watchdog, `catch_unwind` panic isolation with seeded
 //!   retry, and checkpoint/resume of long campaigns.
+//! * [`fuzz`] — seeded model-based fuzzing: generate op interleavings,
+//!   differentially check them against a shadow model, auto-shrink
+//!   divergences with delta debugging, and bucket failures by signature.
 //! * [`json`] — a dependency-free JSON document model used to export
 //!   telemetry snapshots and experiment results.
 //!
@@ -55,6 +58,7 @@ pub mod bytes;
 mod clock;
 mod crc32c;
 pub mod faultplane;
+pub mod fuzz;
 pub mod json;
 pub mod parallel;
 pub mod rng;

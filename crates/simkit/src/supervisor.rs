@@ -273,6 +273,7 @@ struct SupervisorTel {
     panics: CounterHandle,
     retries: CounterHandle,
     resumed: CounterHandle,
+    dropped: CounterHandle,
 }
 
 /// A supervised, checkpointable campaign over [`Campaign`] shards.
@@ -337,7 +338,9 @@ impl Supervisor {
 
     /// Stops launching new shards once `n` have started live; the rest
     /// report [`ShardOutcome::Skipped`]. Checkpoint-restored shards do not
-    /// count. Used to simulate a killed campaign in resume tests.
+    /// count. `n = 0` therefore aborts before the first live shard: every
+    /// non-cached shard is skipped and the workload closure never runs.
+    /// Used to simulate a killed campaign in resume tests.
     #[must_use]
     pub fn with_stop_after(mut self, n: usize) -> Self {
         self.stop_after = Some(n);
@@ -354,6 +357,7 @@ impl Supervisor {
             panics: registry.counter("supervisor.panics"),
             retries: registry.counter("supervisor.retries"),
             resumed: registry.counter("supervisor.resumed"),
+            dropped: registry.counter("supervisor.checkpoint.dropped"),
         });
         self
     }
@@ -635,18 +639,29 @@ impl Supervisor {
             .and_then(Json::as_obj)
             .ok_or_else(|| corrupt("missing done map"))?;
         let mut cached = BTreeMap::new();
+        let mut dropped = 0u64;
         for (key, value) in done {
             // Undecodable keys or values simply re-run live: a checkpoint
-            // can lose work, never invent it.
+            // can lose work, never invent it. Each discarded entry bumps
+            // `supervisor.checkpoint.dropped` so the silent re-run is
+            // observable in telemetry.
             let Ok(index) = key.parse::<usize>() else {
+                dropped += 1;
                 continue;
             };
             if index >= trials {
+                dropped += 1;
                 continue;
             }
-            if let Some(v) = (codec.decode)(value) {
-                cached.insert(index, v);
+            match (codec.decode)(value) {
+                Some(v) => {
+                    cached.insert(index, v);
+                }
+                None => dropped += 1,
             }
+        }
+        if let Some(tel) = &self.tel {
+            tel.dropped.add(dropped);
         }
         Ok(cached)
     }
@@ -958,5 +973,101 @@ mod tests {
         );
         assert_eq!(registry.counter_value("supervisor.resumed"), Some(0));
         assert_eq!(registry.counter_value("supervisor.timeouts"), Some(0));
+    }
+
+    #[test]
+    fn stop_after_zero_skips_every_shard() {
+        // The abort boundary: stop-after 0 must abort *before* the first
+        // live shard, so the workload closure never runs at all.
+        let report = Supervisor::new(17)
+            .with_threads(2)
+            .with_stop_after(0)
+            .run(8, |_ctx: &ShardCtx| -> u64 {
+                panic!("no shard may start when stop_after is 0")
+            });
+        assert_eq!(report.skipped, 8);
+        assert_eq!(report.panics, 0);
+        assert_eq!(report.values().count(), 0);
+        assert!(report.degraded());
+    }
+
+    #[test]
+    fn stop_after_boundary_is_exact() {
+        // stop_after(n) runs exactly n live shards, skipping the rest —
+        // no off-by-one on either side.
+        for n in [1usize, 3, 7, 8] {
+            let report = Supervisor::new(17)
+                .with_stop_after(n)
+                .run(8, |ctx| ctx.trial.index as u64);
+            assert_eq!(report.values().count(), n.min(8), "stop_after({n})");
+            assert_eq!(report.skipped, 8 - n.min(8), "stop_after({n})");
+        }
+    }
+
+    #[test]
+    fn checkpointed_stop_after_zero_runs_nothing_and_resumes_cleanly() {
+        let path = tmp_path("abort-zero");
+        let _ = std::fs::remove_file(&path);
+        let shard = |ctx: &ShardCtx| ctx.trial.seed;
+        let aborted = Supervisor::new(29)
+            .with_stop_after(0)
+            .run_checkpointed(5, &path, false, u64_codec(), shard)
+            .expect("aborted run");
+        assert_eq!(aborted.skipped, 5);
+        assert_eq!(aborted.values().count(), 0);
+        // Nothing completed, so a resume re-runs the whole campaign and
+        // matches an uninterrupted one exactly.
+        let resumed = Supervisor::new(29)
+            .run_checkpointed(5, &path, true, u64_codec(), shard)
+            .expect("resumed run");
+        assert_eq!(resumed.resumed, 0);
+        assert_eq!(resumed.outcomes, Supervisor::new(29).run(5, shard).outcomes);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn undecodable_checkpoint_entries_bump_dropped_counter() {
+        let path = tmp_path("dropped");
+        let _ = std::fs::remove_file(&path);
+        let shard = |ctx: &ShardCtx| ctx.trial.seed;
+        Supervisor::new(41)
+            .run_checkpointed(4, &path, false, u64_codec(), shard)
+            .expect("seed checkpoint");
+
+        // Corrupt the done map: a non-numeric key, an out-of-range index,
+        // and a value the codec rejects. All three must drop (and re-run),
+        // each observable on supervisor.checkpoint.dropped.
+        let text = std::fs::read_to_string(&path).expect("checkpoint readable");
+        let doc = Json::parse(&text).expect("checkpoint parses");
+        let mut done: Vec<(String, Json)> = doc
+            .get("done")
+            .and_then(Json::as_obj)
+            .expect("done map")
+            .to_vec();
+        done.retain(|(k, _)| k == "0");
+        done.push(("not-a-number".to_string(), Json::from(1u64)));
+        done.push(("99".to_string(), Json::from(2u64)));
+        done.push(("1".to_string(), Json::from("not-a-u64")));
+        let doc = Json::obj([
+            ("schema", Json::from(CHECKPOINT_SCHEMA)),
+            ("seed", Json::from(41u64)),
+            ("tag", Json::from("trial")),
+            ("trials", Json::from(4u64)),
+            ("done", Json::Obj(done)),
+        ]);
+        std::fs::write(&path, doc.to_string_pretty()).expect("rewrite checkpoint");
+
+        let registry = Telemetry::new();
+        let report = Supervisor::new(41)
+            .attach_telemetry(&registry)
+            .run_checkpointed(4, &path, true, u64_codec(), shard)
+            .expect("resumed run");
+        assert_eq!(report.resumed, 1, "only the intact entry restores");
+        assert_eq!(report.values().count(), 4);
+        assert_eq!(
+            registry.counter_value("supervisor.checkpoint.dropped"),
+            Some(3)
+        );
+        let _ = std::fs::remove_file(&path);
     }
 }

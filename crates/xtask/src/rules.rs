@@ -23,9 +23,10 @@
 //!   e.g. `ftl.l2p_reads` or `dram.ecc.corrected`), so
 //!   `fig1-telemetry.json` keys stay stable across refactors.
 //!
-//! Four more rules — **R1** (determinism race), **T2** (telemetry
-//! registry), **E1** (swallowed result), **S1** (seed hygiene) — need the
-//! whole workspace in view and run in pass 2; see [`crate::wsrules`].
+//! Five more rules — **R1** (determinism race), **T2** (telemetry
+//! registry), **T3** (fuzz telemetry strictness), **E1** (swallowed
+//! result), **S1** (seed hygiene) — need the whole workspace in view and
+//! run in pass 2; see [`crate::wsrules`].
 //!
 //! Rules are *scoped*: test code (both `tests/` trees and `#[cfg(test)]`
 //! items), benches, and examples are exempt from the rules that only
@@ -64,6 +65,9 @@ pub enum Rule {
     R1,
     /// Telemetry name missing from — or dead in — `TELEMETRY.md` (pass 2).
     T2,
+    /// Fuzz telemetry strictness: `fuzz.*` names must be static literals
+    /// with exact, glob-free registry entries (pass 2).
+    T3,
     /// Swallowed `Result` in sim-crate library code (pass 2).
     E1,
     /// Hard-coded RNG seed on the library path (pass 2).
@@ -83,6 +87,7 @@ impl Rule {
             Rule::T1 => "T1",
             Rule::R1 => "R1",
             Rule::T2 => "T2",
+            Rule::T3 => "T3",
             Rule::E1 => "E1",
             Rule::S1 => "S1",
         }
@@ -100,6 +105,7 @@ impl Rule {
             "T1" => Some(Rule::T1),
             "R1" => Some(Rule::R1),
             "T2" => Some(Rule::T2),
+            "T3" => Some(Rule::T3),
             "E1" => Some(Rule::E1),
             "S1" => Some(Rule::S1),
             _ => None,
@@ -107,7 +113,7 @@ impl Rule {
     }
 
     /// Every rule, in report order (pass 1 first, then pass 2).
-    pub const ALL: [Rule; 10] = [
+    pub const ALL: [Rule; 11] = [
         Rule::D1,
         Rule::D2,
         Rule::D3,
@@ -116,6 +122,7 @@ impl Rule {
         Rule::T1,
         Rule::R1,
         Rule::T2,
+        Rule::T3,
         Rule::E1,
         Rule::S1,
     ];
@@ -299,7 +306,7 @@ impl<'a> FileCtx<'a> {
                 self.class == FileClass::Lib
                     && self.crate_name.is_some_and(|c| SIM_CRATES.contains(&c))
             }
-            Rule::T1 | Rule::T2 => self.class != FileClass::Test && not_tooling,
+            Rule::T1 | Rule::T2 | Rule::T3 => self.class != FileClass::Test && not_tooling,
             // Shared mutable state is a hazard in any code a Campaign run
             // can execute — library, bin, and the bench drivers alike.
             Rule::R1 => {

@@ -18,6 +18,10 @@
 //!   both directions diagnosed with spans. Dynamic names
 //!   (`format!("nvme.qp{}.aborts", …)`) match wildcard entries
 //!   (`nvme.qp*.aborts`).
+//! * **T3 — fuzz telemetry strictness.** `fuzz.*` names are the fuzz
+//!   engine's triage surface, so they get a tighter contract: static
+//!   literals only, each with an exact `TELEMETRY.md` entry, and no
+//!   wildcarded `fuzz.*` registry entries.
 //! * **E1 — swallowed result.** `let _ = fallible(…);` discarding a value
 //!   from a function the symbol table knows returns `Result`, and
 //!   statement-position `.ok();`, in sim-crate library code. The ftl
@@ -118,6 +122,7 @@ impl Workspace {
         let reachable = self.campaign_reachable();
         self.rule_r1(&reachable, &mut raw);
         self.rule_t2(&mut raw);
+        self.rule_t3(&mut raw);
         self.rule_e1(&mut raw);
         self.rule_s1(&mut raw);
 
@@ -348,6 +353,76 @@ impl Workspace {
                     ),
                 });
             }
+        }
+    }
+
+    /// T3 — fuzz telemetry strictness. The fuzz engine's counters are the
+    /// triage surface for divergences, so `fuzz.*` names are held to a
+    /// tighter contract than T2's: every `fuzz.*` name in code must be a
+    /// static literal (no `format!`-built names — a dynamic name can't be
+    /// audited against a replayed corpus case), every such literal must
+    /// have an *exact* registry entry, and `fuzz.*` registry entries must
+    /// be glob-free (a wildcard would let unregistered counters hide).
+    fn rule_t3(&self, out: &mut Vec<Violation>) {
+        let entries = self
+            .registry
+            .as_deref()
+            .map(parse_registry)
+            .unwrap_or_default();
+        for f in self
+            .files
+            .iter()
+            .filter(|f| FileCtx::of(&f.syms.rel).applies(Rule::T3))
+        {
+            for lit in f.syms.telemetry.iter().filter(|t| !t.in_test) {
+                if !lit.name.starts_with("fuzz.") {
+                    continue;
+                }
+                if lit.dynamic {
+                    out.push(Violation {
+                        rule: Rule::T3,
+                        file: f.syms.rel.clone(),
+                        line: lit.line,
+                        col: lit.col,
+                        message: format!(
+                            "fuzz telemetry name `{}` is format!-built; fuzz.* \
+                             metric names must be static literals so they stay \
+                             auditable against TELEMETRY.md and replayed corpus \
+                             cases",
+                            lit.name
+                        ),
+                    });
+                } else if !entries.iter().any(|e| e.name == lit.name) {
+                    out.push(Violation {
+                        rule: Rule::T3,
+                        file: f.syms.rel.clone(),
+                        line: lit.line,
+                        col: lit.col,
+                        message: format!(
+                            "fuzz telemetry name `{}` has no exact TELEMETRY.md \
+                             entry; fuzz.* names must be registered verbatim \
+                             (wildcards do not count)",
+                            lit.name
+                        ),
+                    });
+                }
+            }
+        }
+        for e in entries
+            .iter()
+            .filter(|e| e.name.starts_with("fuzz.") && e.name.contains('*'))
+        {
+            out.push(Violation {
+                rule: Rule::T3,
+                file: "TELEMETRY.md".into(),
+                line: e.line,
+                col: 1,
+                message: format!(
+                    "fuzz registry entry `{}` uses a wildcard; fuzz.* metrics \
+                     must be enumerated exactly so none can hide behind a glob",
+                    e.name
+                ),
+            });
         }
     }
 
@@ -638,6 +713,52 @@ Prose about `dotted.names` is ignored.
         )]);
         ws.set_registry("- `nvme.qp*.aborts` — per-queue aborts\n");
         assert!(ws.analyze().violations.is_empty());
+    }
+
+    #[test]
+    fn t3_fuzz_names_must_be_static_and_exactly_registered() {
+        let mut ws = ws_with(&[(
+            "crates/bench/src/x.rs",
+            "fn wire(tel: &Telemetry, i: u32) { \
+             tel.counter(\"fuzz.episodes\").add(1); \
+             tel.counter(\"fuzz.unlisted\").add(1); \
+             tel.counter(&format!(\"fuzz.bucket{}.hits\", i)).add(1); }\n",
+        )]);
+        ws.set_registry(
+            "- `fuzz.episodes` — episodes run\n\
+             - `fuzz.bucket*.hits` — per-bucket hits\n",
+        );
+        let report = ws.analyze();
+        let t3: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|v| v.rule == Rule::T3)
+            .collect();
+        // Unregistered exact name, dynamic name, and the wildcard registry
+        // entry each fire; the exactly-registered static name does not.
+        assert_eq!(t3.len(), 3, "{t3:?}");
+        assert!(t3
+            .iter()
+            .any(|v| v.message.contains("fuzz.unlisted") && v.message.contains("no exact")));
+        assert!(t3.iter().any(|v| v.message.contains("format!-built")));
+        assert!(t3
+            .iter()
+            .any(|v| v.file == "TELEMETRY.md" && v.message.contains("wildcard")));
+    }
+
+    #[test]
+    fn t3_is_silent_for_exact_static_registrations() {
+        let mut ws = ws_with(&[(
+            "crates/bench/src/x.rs",
+            "fn wire(tel: &Telemetry) { tel.counter(\"fuzz.divergences\").add(1); }\n",
+        )]);
+        ws.set_registry("- `fuzz.divergences` — oracle divergences\n");
+        let report = ws.analyze();
+        assert!(
+            report.violations.iter().all(|v| v.rule != Rule::T3),
+            "{:?}",
+            report.violations
+        );
     }
 
     #[test]

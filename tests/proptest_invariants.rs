@@ -373,6 +373,90 @@ fn rewrites_always_restore_data() {
     }
 }
 
+/// The extended shadow model agrees exactly with a reference device for
+/// any op sequence: committed writes and trims pin content, an
+/// interrupted operation leaves its LBA acceptable as either the pre-op
+/// or post-op state (whichever the device actually landed in), and a
+/// later commit to that LBA resolves the uncertainty. The device side is
+/// a plain [`RamDisk`] where the test itself decides — randomly — whether
+/// each interrupted op applied, so both resolutions are exercised.
+#[test]
+fn shadow_model_agrees_with_ramdisk_for_any_op_sequence() {
+    use ssdhammer::simkit::fuzz::ShadowDisk;
+    use ssdhammer::simkit::BlockDevice;
+    const SPAN: u64 = 16;
+    let mut rng = seeded(112);
+    for case in 0..40 {
+        let mut disk = RamDisk::new(SPAN);
+        let mut shadow = ShadowDisk::new(SPAN);
+        // Mirrors the fuzz executor's discipline: at most one
+        // interrupted op is outstanding (one armed cut per episode);
+        // while one is pending, new ops commit.
+        let mut pending: Option<u64> = None;
+        let n_ops = rng.gen_range(1usize..80);
+        for _ in 0..n_ops {
+            let lba = rng.gen_range(0u64..SPAN);
+            let fill = rng.gen_range(1u64..256) as u8;
+            match rng.gen_range(0u32..4) {
+                0 => {
+                    disk.write(Lba(lba), &[fill; BLOCK_SIZE]).unwrap();
+                    shadow.commit_write(lba, fill);
+                }
+                1 => {
+                    disk.write(Lba(lba), &[0u8; BLOCK_SIZE]).unwrap();
+                    shadow.commit_trim(lba);
+                }
+                2 if pending.is_none() => {
+                    // Interrupted write: the device lands in the post-op
+                    // state or keeps the pre-op one, at random.
+                    if rng.gen_bool(0.5) {
+                        disk.write(Lba(lba), &[fill; BLOCK_SIZE]).unwrap();
+                    }
+                    shadow.interrupt_write(lba, fill);
+                    pending = Some(lba);
+                }
+                3 if pending.is_none() => {
+                    if rng.gen_bool(0.5) {
+                        disk.write(Lba(lba), &[0u8; BLOCK_SIZE]).unwrap();
+                    }
+                    shadow.interrupt_trim(lba);
+                    pending = Some(lba);
+                }
+                _ => {
+                    disk.write(Lba(lba), &[fill; BLOCK_SIZE]).unwrap();
+                    shadow.commit_write(lba, fill);
+                }
+            }
+            if matches!((pending, rng.gen_range(0u32..4)), (Some(_), 0)) {
+                // Occasionally resolve the pending op with a commit.
+                let p = pending.take().unwrap();
+                disk.write(Lba(p), &[fill; BLOCK_SIZE]).unwrap();
+                shadow.commit_write(p, fill);
+            }
+            // The shadow must accept the device at every step.
+            let mut buf = [0u8; BLOCK_SIZE];
+            for l in 0..SPAN {
+                disk.read(Lba(l), &mut buf).unwrap();
+                assert!(
+                    shadow.acceptable(l, &buf),
+                    "case {case} lba {l}: device holds {:#04x}, shadow allows {}",
+                    buf[0],
+                    shadow.describe(l)
+                );
+            }
+            // And it is exact, not merely permissive: for a non-uncertain
+            // LBA, any *other* uniform fill must be rejected.
+            let wrong = [fill.wrapping_add(1).max(1); BLOCK_SIZE];
+            if pending != Some(lba) {
+                disk.read(Lba(lba), &mut buf).unwrap();
+                if buf[0] != wrong[0] {
+                    assert!(!shadow.acceptable(lba, &wrong), "case {case} lba {lba}");
+                }
+            }
+        }
+    }
+}
+
 /// Recovery idempotency invariant: for any workload and any single crash
 /// point — any registered site, any crossing — remounting twice yields a
 /// byte-identical L2P table and identical recovery telemetry to
